@@ -1,0 +1,79 @@
+"""Regenerate the DESIGN.md §5 ablation studies.
+
+Not paper panels — these quantify the design choices the paper fixes
+without justification: the number of demand levels, the three demand
+factors, the AHP weight method, and the mobility assumption.
+"""
+
+from conftest import bench_reps, regenerate as _regenerate  # noqa: F401
+
+from repro.experiments import ablations
+
+
+def test_ablation_levels(regenerate):
+    result = regenerate(lambda: ablations.level_count_ablation(
+        repetitions=bench_reps()
+    ))
+    assert result.metadata["variants"] == ["N=2", "N=5", "N=10", "level-free"]
+
+
+def test_ablation_factors(regenerate):
+    result = regenerate(lambda: ablations.factor_ablation(
+        repetitions=bench_reps()
+    ))
+    coverage = result.series_by_label("coverage_pct")
+    # The full demand indicator should never trail a dropped-factor
+    # variant by a wide margin on coverage.
+    full = coverage.points[0].mean
+    assert all(full >= p.mean - 5.0 for p in coverage.points)
+
+
+def test_ablation_mobility(regenerate):
+    result = regenerate(lambda: ablations.mobility_ablation(
+        repetitions=bench_reps()
+    ))
+    completeness = result.series_by_label("completeness_pct")
+    # Headline result is mobility-insensitive: all variants within 15 pts.
+    means = [p.mean for p in completeness.points]
+    assert max(means) - min(means) < 15.0
+
+
+def test_ablation_heterogeneity(regenerate):
+    result = regenerate(lambda: ablations.heterogeneity_ablation(
+        repetitions=bench_reps()
+    ))
+    coverage = result.series_by_label("coverage_pct")
+    # The mechanism must not collapse under a heterogeneous crowd.
+    assert all(p.mean >= 95.0 for p in coverage.points)
+
+
+def test_ablation_adaptive(regenerate):
+    result = regenerate(lambda: ablations.adaptive_budget_ablation(
+        repetitions=bench_reps()
+    ))
+    completeness = result.series_by_label("completeness_pct")
+    variants = result.metadata["variants"]
+    by_variant = dict(zip(variants, [p.mean for p in completeness.points]))
+    # Recycling the unspent budget must not hurt completeness.
+    assert by_variant["adaptive@40u"] >= by_variant["on-demand@40u"] - 2.0
+
+
+def test_ablation_arrivals(regenerate):
+    result = regenerate(lambda: ablations.arrivals_ablation(
+        repetitions=bench_reps()
+    ))
+    coverage = result.series_by_label("coverage_pct")
+    variants = result.metadata["variants"]
+    by_variant = dict(zip(variants, [p.mean for p in coverage.points]))
+    # The dynamic mechanism's edge must grow when tasks arrive mid-campaign.
+    assert by_variant["on-demand/staggered"] > by_variant["fixed/staggered"]
+
+
+def test_ablation_weights(regenerate):
+    result = regenerate(lambda: ablations.weight_method_ablation(
+        repetitions=bench_reps()
+    ))
+    completeness = result.series_by_label("completeness_pct")
+    means = [p.mean for p in completeness.points]
+    # Column-normalisation vs eigenvector weights: near-identical outcomes.
+    assert abs(means[0] - means[1]) < 10.0

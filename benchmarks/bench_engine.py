@@ -1,0 +1,48 @@
+"""Engine throughput: full paper-scale simulations per mechanism/selector.
+
+Not a paper figure — this is the bench that keeps the simulator honest
+as the experiment harness sweeps hundreds of runs.
+"""
+
+import pytest
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import SimulationEngine, simulate
+
+
+@pytest.mark.parametrize("mechanism", ["on-demand", "fixed", "steered"])
+def test_full_run(benchmark, mechanism):
+    """One full 100-user, 20-task, 15-round simulation."""
+    seeds = iter(range(10_000))
+
+    def run():
+        return simulate(SimulationConfig(
+            n_users=100, mechanism=mechanism, seed=next(seeds)
+        ))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.rounds_played >= 1
+
+
+def test_single_round_step(benchmark):
+    """Per-round cost: reward update + 100 selections + uploads."""
+    engines = iter(
+        SimulationEngine(SimulationConfig(n_users=100, seed=s)) for s in range(10_000)
+    )
+    record = benchmark.pedantic(
+        lambda: next(engines).step(), rounds=5, iterations=1
+    )
+    assert record.round_no == 1
+
+
+def test_greedy_vs_dp_engine(benchmark):
+    """Full run with the greedy selector (the large-scale configuration)."""
+    seeds = iter(range(10_000))
+
+    def run():
+        return simulate(SimulationConfig(
+            n_users=140, selector="greedy", seed=next(seeds)
+        ))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.rounds_played >= 1

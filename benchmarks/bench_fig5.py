@@ -1,0 +1,28 @@
+"""Regenerate Fig. 5: DP vs greedy task selection.
+
+(a) average profit per user at round 2 vs number of users;
+(b) boxplot of the per-user profit difference (DP minus greedy).
+
+Expected shape: DP dominates greedy at every user count, every per-user
+difference is >= 0 (DP is exactly optimal per instance), and both curves
+fall as users grow (more users -> lower demand -> lower rewards).
+"""
+
+from conftest import bench_reps, regenerate as _regenerate  # noqa: F401
+
+from repro.analysis.shape import dominates
+from repro.experiments.fig5 import fig5a, fig5b
+
+
+def test_fig5a(regenerate):
+    result = regenerate(lambda: fig5a(repetitions=bench_reps()))
+    assert dominates(
+        result.series_by_label("dp"), result.series_by_label("greedy"),
+        tolerance=1e-9,
+    )
+
+
+def test_fig5b(regenerate):
+    result = regenerate(lambda: fig5b(repetitions=bench_reps()))
+    minimum = result.series_by_label("minimum")
+    assert all(point.mean >= -1e-9 for point in minimum.points)

@@ -1,0 +1,25 @@
+"""Regenerate Fig. 7: overall completeness before deadlines.
+
+Expected shape: on-demand dominates both baselines at every user count
+and approaches 100 %; the baselines plateau below it.
+"""
+
+from conftest import bench_reps, regenerate as _regenerate  # noqa: F401
+
+from repro.analysis.shape import dominates, final_value
+from repro.experiments.fig7 import fig7a, fig7b
+
+
+def test_fig7a(regenerate):
+    result = regenerate(lambda: fig7a(repetitions=bench_reps()))
+    on_demand = result.series_by_label("on-demand")
+    assert dominates(on_demand, result.series_by_label("fixed"))
+    assert dominates(on_demand, result.series_by_label("steered"))
+    assert final_value(on_demand) >= 95.0
+
+
+def test_fig7b(regenerate):
+    result = regenerate(lambda: fig7b(repetitions=bench_reps()))
+    on_demand = result.series_by_label("on-demand")
+    assert dominates(on_demand, result.series_by_label("fixed"))
+    assert dominates(on_demand, result.series_by_label("steered"))

@@ -1,0 +1,33 @@
+"""Regenerate Fig. 8: number of measurements.
+
+Expected shape: (a) on-demand collects the most measurements per task,
+approaching the required 20; (b) steered spikes highest in round 1,
+fixed holds up relatively better in rounds 2-3, and from round 4 only
+the on-demand mechanism keeps collecting.
+"""
+
+from conftest import bench_reps, regenerate as _regenerate  # noqa: F401
+
+from repro.analysis.shape import dominates, final_value
+from repro.experiments.fig8 import fig8a, fig8b
+
+
+def test_fig8a(regenerate):
+    result = regenerate(lambda: fig8a(repetitions=bench_reps()))
+    on_demand = result.series_by_label("on-demand")
+    assert dominates(on_demand, result.series_by_label("fixed"))
+    assert dominates(on_demand, result.series_by_label("steered"))
+    assert final_value(on_demand) >= 19.0
+
+
+def test_fig8b(regenerate):
+    result = regenerate(lambda: fig8b(repetitions=bench_reps()), precision=1)
+    first = {label: result.series_by_label(label).point_at(1).mean
+             for label in result.labels}
+    assert first["steered"] >= max(first["on-demand"], first["fixed"])
+
+    def late(label):
+        return sum(p.mean for p in result.series_by_label(label).points if p.x >= 4)
+
+    assert late("on-demand") > late("fixed")
+    assert late("on-demand") > late("steered")

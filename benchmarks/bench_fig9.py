@@ -1,0 +1,27 @@
+"""Regenerate Fig. 9: participation balance and platform welfare.
+
+Expected shape: (a) on-demand has the lowest variance of measurements
+(best balance, despite the highest average in Fig. 8(a)); (b) on-demand
+pays the least per measurement, decreasing with more users.
+"""
+
+from conftest import bench_reps, regenerate as _regenerate  # noqa: F401
+
+from repro.analysis.shape import dominates
+from repro.experiments.fig9 import fig9a, fig9b
+
+
+def test_fig9a(regenerate):
+    result = regenerate(lambda: fig9a(repetitions=bench_reps()))
+    on_demand = result.series_by_label("on-demand")
+    assert dominates(result.series_by_label("fixed"), on_demand)
+    assert dominates(result.series_by_label("steered"), on_demand)
+
+
+def test_fig9b(regenerate):
+    result = regenerate(lambda: fig9b(repetitions=bench_reps()))
+    on_demand = result.series_by_label("on-demand")
+    assert dominates(result.series_by_label("fixed"), on_demand)
+    assert dominates(result.series_by_label("steered"), on_demand)
+    means = on_demand.means
+    assert means[-1] < means[0]

@@ -1,0 +1,26 @@
+"""Regenerate the SAT-vs-WST comparison (extension, DESIGN.md §5).
+
+Expected shape: demand-aware WST matches or beats the central greedy on
+completeness (pricing, not control, closes the gap); fixed-reward WST
+trails both; SAT has zero redundant contributions by construction.
+"""
+
+from conftest import bench_reps, regenerate as _regenerate  # noqa: F401
+
+from repro.experiments.sat_comparison import sat_vs_wst
+
+
+def test_sat_vs_wst_completeness(regenerate):
+    result = regenerate(lambda: sat_vs_wst(repetitions=bench_reps()))
+    on_demand = result.series_by_label("wst-on-demand")
+    fixed = result.series_by_label("wst-fixed")
+    for point_on_demand, point_fixed in zip(on_demand.points, fixed.points):
+        assert point_on_demand.mean > point_fixed.mean
+
+
+def test_sat_vs_wst_coverage(regenerate):
+    result = regenerate(
+        lambda: sat_vs_wst(repetitions=bench_reps(), metric="coverage")
+    )
+    sat = result.series_by_label("sat-greedy")
+    assert all(point.mean >= 99.0 for point in sat.points)

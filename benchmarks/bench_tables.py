@@ -1,0 +1,43 @@
+"""Regenerate Tables I-III and benchmark the AHP weight computation."""
+
+from pathlib import Path
+
+from conftest import RESULTS_DIR
+
+from repro.core.ahp import example_comparison_matrix
+from repro.experiments.tables import all_tables
+from repro.io.tables import render_table
+
+
+def test_tables(benchmark):
+    tables = benchmark.pedantic(all_tables, rounds=5, iterations=1)
+    lines = []
+    for table in tables:
+        lines.append(f"{table.table_id}: {table.title}")
+        lines.append(render_table(table.header, table.rows, precision=3))
+        lines.append("")
+    text = "\n".join(lines)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    Path(RESULTS_DIR / "tables.txt").write_text(text)
+    # Pin the paper's weight vector on the way out.
+    weights = [row[-1] for row in tables[1].rows]
+    assert weights == [0.648, 0.23, 0.122]
+
+
+def test_ahp_weights_speed(benchmark):
+    """Both weight methods on the Table I matrix (micro-benchmark)."""
+    matrix = example_comparison_matrix()
+
+    def both():
+        return (
+            matrix.weights("column-normalization"),
+            matrix.weights("eigenvector"),
+            matrix.consistency_ratio(),
+        )
+
+    column, eigen, ratio = benchmark(both)
+    assert abs(float(column.sum()) - 1.0) < 1e-9
+    assert abs(float(eigen.sum()) - 1.0) < 1e-9
+    assert ratio < 0.1

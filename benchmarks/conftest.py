@@ -1,0 +1,62 @@
+"""Shared machinery for the benchmark harness.
+
+Every bench regenerates one paper panel (DESIGN.md §4), times it with
+pytest-benchmark, prints the paper-style rows, and persists them under
+``benchmarks/results/`` so the numbers survive pytest's output capture.
+
+Scale: ``REPRO_BENCH_REPS`` repetitions per configuration (default 5;
+the paper uses 100 — export ``REPRO_BENCH_REPS=100`` for a full-fidelity
+regeneration, which takes on the order of an hour).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.series import ExperimentResult
+from repro.io.results import save_result
+from repro.io.tables import render_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_reps(default: int = 5) -> int:
+    """Repetitions per bench configuration (env ``REPRO_BENCH_REPS``)."""
+    raw = os.environ.get("REPRO_BENCH_REPS")
+    if raw is None:
+        return default
+    value = int(raw)
+    if value < 1:
+        raise ValueError(f"REPRO_BENCH_REPS must be >= 1, got {value}")
+    return value
+
+
+def report(result: ExperimentResult, precision: int = 2) -> None:
+    """Print the panel rows and persist them under benchmarks/results/."""
+    text = render_experiment(result, precision=precision)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+    save_result(result, RESULTS_DIR / f"{result.experiment_id}.json")
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Time one panel regeneration and report its rows.
+
+    Usage::
+
+        def test_fig6a(regenerate):
+            regenerate(lambda: fig6a(repetitions=bench_reps()))
+    """
+
+    def run(factory, precision: int = 2) -> ExperimentResult:
+        result = benchmark.pedantic(factory, rounds=1, iterations=1)
+        report(result, precision=precision)
+        return result
+
+    return run

@@ -1,0 +1,63 @@
+"""Budget recycling: spending the slack the paper's Eq. 9 leaves behind.
+
+Eq. 9 sizes the base reward against the worst case — every measurement
+paid at the top demand level — so a real campaign finishes with a large
+share of the budget unspent.  The `adaptive` extension mechanism
+re-derives the reward ladder each round from the *remaining* budget and
+*remaining* work, never pricing below the static schedule, and provably
+never overspending.
+
+This example runs the same sparse campaign (40 users — the regime where
+the static schedule leaves the most money on the table) under both
+mechanisms and shows where the recycled dollars went: deadline-critical
+and remote tasks.
+
+Run:  python examples/budget_recycling.py
+"""
+
+from repro import SimulationConfig, simulate
+from repro.io import render_table, render_world
+from repro.metrics import overall_completeness
+
+SEEDS = range(5)
+
+
+def campaign(mechanism: str, seed: int):
+    config = SimulationConfig(n_users=40, mechanism=mechanism, seed=seed)
+    return config, simulate(config)
+
+
+def main() -> None:
+    rows = []
+    last_worlds = {}
+    for mechanism in ("on-demand", "adaptive"):
+        spent, completeness, top_prices = [], [], []
+        for seed in SEEDS:
+            config, result = campaign(mechanism, seed)
+            spent.append(result.total_paid)
+            completeness.append(100.0 * overall_completeness(result))
+            top_prices.append(max(
+                max(record.published_rewards.values(), default=0.0)
+                for record in result.rounds
+            ))
+            last_worlds[mechanism] = result.world
+        rows.append([
+            mechanism,
+            sum(spent) / len(spent),
+            f"{sum(completeness) / len(completeness):.1f}%",
+            max(top_prices),
+        ])
+    print("Same $1000 budget, same worlds, 40 users, 5 seeds:\n")
+    print(render_table(
+        ["mechanism", "avg spent ($)", "completeness", "peak price ($)"], rows
+    ))
+    print(
+        "\nThe adaptive mechanism converts unspent budget into higher prices\n"
+        "for the remaining (hard) tasks — same guarantee, more data.\n"
+    )
+    print("Final world under the adaptive mechanism (last seed):")
+    print(render_world(last_worlds["adaptive"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Event sensing: every extension knob at once, under stress.
+
+A city event (think marathon day): sensing tasks *stream in* during the
+campaign instead of being known upfront, only ~60 % of the crowd is
+available in any given round, and the crowd itself is heterogeneous
+(mixed speeds, costs, and time budgets).  This is the regime the paper's
+fixed baseline cannot survive — and where the demand indicator shines,
+because a freshly released task is *born* urgent (zero progress, close
+deadline) and priced accordingly.
+
+Run:  python examples/event_sensing.py
+"""
+
+from repro import SimulationConfig, simulate
+from repro.io import render_table
+from repro.metrics import coverage, measurements_per_round, overall_completeness
+
+EVENT = dict(
+    n_users=80,
+    deadline_range=(4, 7),       # short-lived tasks
+    release_range=(1, 9),        # ... that appear throughout the event
+    participation_rate=0.6,      # people are busy watching the race
+    heterogeneity=0.4,           # cyclists to strollers
+    rounds=15,
+)
+SEEDS = range(6)
+
+
+def run(mechanism: str, seed: int):
+    return simulate(SimulationConfig(mechanism=mechanism, seed=seed, **EVENT))
+
+
+def main() -> None:
+    rows = []
+    per_round = {}
+    for mechanism in ("on-demand", "adaptive", "fixed"):
+        cov, compl = [], []
+        for seed in SEEDS:
+            result = run(mechanism, seed)
+            cov.append(100.0 * coverage(result))
+            compl.append(100.0 * overall_completeness(result))
+        per_round[mechanism] = measurements_per_round(run(mechanism, 0), 15)
+        rows.append([
+            mechanism,
+            f"{sum(cov) / len(cov):.1f}%",
+            f"{sum(compl) / len(compl):.1f}%",
+        ])
+
+    print("Event day: tasks streaming in over rounds 1-9, 60% availability,\n"
+          "mixed crowd (±40% speed/cost/budget), 80 users, 6 seeds:\n")
+    print(render_table(["mechanism", "coverage", "completeness"], rows))
+
+    print("\nMeasurements per round (seed 0) — watch the dynamic mechanisms\n"
+          "react to each wave of new tasks while fixed goes quiet:\n")
+    round_rows = [
+        [r + 1] + [per_round[m][r] for m in ("on-demand", "adaptive", "fixed")]
+        for r in range(15)
+    ]
+    print(render_table(["round", "on-demand", "adaptive", "fixed"], round_rows,
+                       precision=0))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""A miniature Section VI: all three incentive mechanisms, side by side.
+
+Runs the paper's comparison — on-demand vs fixed vs steered — at a small
+repetition count and prints the Fig. 6(a)/7(a)/9(b) rows plus the
+Fig. 8(b) per-round story.  For the full-fidelity sweeps use the
+benchmark harness (``pytest benchmarks/ --benchmark-only``) or the CLI
+(``repro run fig6a --reps 100``).
+
+Run:  python examples/mechanism_comparison.py
+"""
+
+from repro.experiments.fig6 import fig6a
+from repro.experiments.fig7 import fig7a
+from repro.experiments.fig8 import fig8b
+from repro.experiments.fig9 import fig9b
+from repro.io import render_experiment
+
+REPS = 5
+USER_COUNTS = (40, 80, 120)
+
+
+def main() -> None:
+    print(render_experiment(fig6a(user_counts=USER_COUNTS, repetitions=REPS)))
+    print()
+    print(render_experiment(fig7a(user_counts=USER_COUNTS, repetitions=REPS)))
+    print()
+    print(render_experiment(fig9b(user_counts=USER_COUNTS, repetitions=REPS)))
+    print()
+    print(render_experiment(fig8b(repetitions=REPS), precision=1))
+    print(
+        "\nReading the rows: on-demand holds 100% coverage and the highest\n"
+        "completeness at the lowest price per measurement, and it is the\n"
+        "only mechanism still collecting measurements after round 3 —\n"
+        "the paper's Figs. 6-9 in four tables."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Noise-pollution mapping in a clustered city — the paper's motivating app.
+
+Section III-A motivates the mechanism with city-scale noise assessment:
+measurements are needed everywhere, but users cluster downtown, so
+remote measurement points starve under fixed rewards.  This example uses
+the *clustered* world generator (dense user clusters + deliberately
+remote tasks) and shows how the on-demand mechanism rescues the remote
+tasks that the fixed mechanism abandons.
+
+Run:  python examples/noise_mapping.py
+"""
+
+from repro import SimulationConfig, simulate
+from repro.io import render_table
+from repro.metrics import (
+    coverage,
+    overall_completeness,
+    measurements_per_task,
+)
+
+
+def campaign(mechanism: str, seed: int = 11) -> dict:
+    """One clustered-city campaign; returns per-task measurement counts."""
+    config = SimulationConfig(
+        n_users=80,
+        mechanism=mechanism,
+        layout="clustered",
+        seed=seed,
+    )
+    result = simulate(config)
+    return {
+        "result": result,
+        "coverage": coverage(result),
+        "completeness": overall_completeness(result),
+        "per_task": measurements_per_task(result),
+    }
+
+
+def main() -> None:
+    runs = {name: campaign(name) for name in ("on-demand", "fixed")}
+
+    print("Clustered city: 80 users in 3 clusters, 30% of the 20 noise "
+          "measurement points placed far from every cluster.\n")
+
+    rows = [
+        [
+            name,
+            f"{100 * data['coverage']:.0f}%",
+            f"{100 * data['completeness']:.0f}%",
+            sum(1 for count in data["per_task"].values() if count == 0),
+        ]
+        for name, data in runs.items()
+    ]
+    print(render_table(
+        ["mechanism", "coverage", "completeness", "starved tasks"], rows
+    ))
+
+    print("\nPer-task measurements (task id: on-demand vs fixed):")
+    on_demand_counts = runs["on-demand"]["per_task"]
+    fixed_counts = runs["fixed"]["per_task"]
+    task_rows = [
+        [task_id, on_demand_counts[task_id], fixed_counts[task_id]]
+        for task_id in sorted(on_demand_counts)
+    ]
+    print(render_table(["task", "on-demand", "fixed"], task_rows, precision=0))
+
+    print("\nThe remote points (low fixed counts) are exactly where the "
+          "demand indicator pushes rewards up — Eq. 5's scarcity factor "
+          "sees few neighbouring users, Eq. 3 sees the deadline closing in.")
+
+
+if __name__ == "__main__":
+    main()

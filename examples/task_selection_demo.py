@@ -1,0 +1,64 @@
+"""The distributed task-selection problem, solver by solver (Section V).
+
+Builds one user's Eq. 1 instance by hand — an origin, eight priced task
+locations, a travel budget — and solves it with every selector in the
+library: the exact bitmask DP, the paper's greedy, greedy + 2-opt, and
+the brute-force oracle.  Prints each solver's route, profit, and the
+optimality gap.
+
+Run:  python examples/task_selection_demo.py
+"""
+
+from repro import Point, make_selector
+from repro.io import render_table
+from repro.selection import CandidateTask, TaskSelectionProblem
+
+#: Eight tasks around the user: (task id, x, y, reward $).
+TASKS = [
+    (0, 400.0, 0.0, 1.0),
+    (1, 450.0, 120.0, 1.5),
+    (2, 700.0, -80.0, 2.5),
+    (3, -300.0, 300.0, 2.0),
+    (4, -350.0, 260.0, 1.0),
+    (5, 0.0, 900.0, 2.5),
+    (6, 80.0, 960.0, 2.0),
+    (7, 1500.0, 1500.0, 0.5),  # far and cheap: never worth the walk
+]
+
+
+def main() -> None:
+    problem = TaskSelectionProblem.build(
+        origin=Point(0.0, 0.0),
+        candidates=[
+            CandidateTask(task_id=i, location=Point(x, y), reward=r)
+            for i, x, y, r in TASKS
+        ],
+        max_distance=2000.0,       # 1000 s budget at 2 m/s
+        cost_per_meter=0.002,
+    )
+    print(f"{problem.size} candidate tasks within reach "
+          f"(task 7 pruned: {2000.0:.0f} m budget < its distance).\n")
+
+    rows = []
+    selections = {}
+    for name in ("brute-force", "dp", "greedy-2opt", "greedy"):
+        selection = make_selector(name).select(problem)
+        selections[name] = selection
+        rows.append([
+            name,
+            " -> ".join(str(t) for t in selection.task_ids) or "(stay home)",
+            f"{selection.distance:.0f}",
+            f"{selection.reward:.2f}",
+            f"{selection.profit:.3f}",
+        ])
+    print(render_table(["solver", "route", "distance (m)", "reward ($)", "profit ($)"], rows))
+
+    optimal = selections["brute-force"].profit
+    print(f"\nOptimality: DP matches brute force "
+          f"({selections['dp'].profit:.3f} vs {optimal:.3f}); "
+          f"greedy leaves {optimal - selections['greedy'].profit:.3f} on the table; "
+          f"2-opt recovers {selections['greedy-2opt'].profit - selections['greedy'].profit:.3f} of it.")
+
+
+if __name__ == "__main__":
+    main()

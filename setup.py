@@ -1,0 +1,11 @@
+"""Shim so `pip install -e .` works without network access.
+
+pip performs PEP 517 build isolation whenever pyproject.toml declares a
+[build-system] table, which requires downloading setuptools.  This
+environment is offline, so we rely on the legacy setup.py editable path
+instead; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

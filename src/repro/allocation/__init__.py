@@ -1,0 +1,24 @@
+"""Server-Assigned-Tasks (SAT) mode: centralized task allocation.
+
+The paper (Sections II–III) contrasts its Worker-Selected-Tasks (WST)
+design against the SAT mode, where "the server has the global
+information of the tasks as well as mobile users" and assigns work
+centrally.  The paper argues WST is more practical but concedes its
+drawback: "the server does not have any control over the allocation of
+sensing tasks.  This may result that some sensing tasks cannot be
+completed, while others are completed redundantly."
+
+This package makes that comparison executable.  A
+:class:`~repro.allocation.base.Coordinator` plugs into the simulation
+engine and replaces the per-user Eq. 1 selection with a centralized
+assignment; :class:`~repro.allocation.greedy_server.GreedyServerCoordinator`
+implements a deadline-urgency-driven global greedy — an informed upper
+bound on what central control buys.  The ``sat-vs-wst`` experiment
+(:mod:`repro.experiments.sat_comparison`) reports how close the
+demand-based WST mechanism gets to it.
+"""
+
+from repro.allocation.base import Coordinator
+from repro.allocation.greedy_server import GreedyServerCoordinator
+
+__all__ = ["Coordinator", "GreedyServerCoordinator"]

@@ -1,0 +1,51 @@
+"""Statistical aggregation and series containers for experiments.
+
+- :mod:`~repro.analysis.stats` — mean/std/confidence intervals and
+  five-number boxplot summaries (Fig. 5(b) is a boxplot).
+- :mod:`~repro.analysis.series` — the containers experiment modules
+  return: labelled series of (x, mean, std) points with metadata.
+- :mod:`~repro.analysis.shape` — predicates over series ("curve A
+  dominates curve B", "monotone increasing", "crossover at x") used by
+  the integration tests and EXPERIMENTS.md to state paper-shape claims
+  precisely.
+"""
+
+from repro.analysis.stats import (
+    mean_std,
+    confidence_interval,
+    BoxplotSummary,
+    summarize_box,
+)
+from repro.analysis.series import SeriesPoint, Series, ExperimentResult
+from repro.analysis.shape import (
+    is_monotonic,
+    dominates,
+    final_value,
+    crossover_points,
+)
+from repro.analysis.significance import (
+    bootstrap_mean_ci,
+    sign_test_pvalue,
+    paired_permutation_pvalue,
+    compare_paired,
+    PairedComparison,
+)
+
+__all__ = [
+    "mean_std",
+    "confidence_interval",
+    "BoxplotSummary",
+    "summarize_box",
+    "SeriesPoint",
+    "Series",
+    "ExperimentResult",
+    "is_monotonic",
+    "dominates",
+    "final_value",
+    "crossover_points",
+    "bootstrap_mean_ci",
+    "sign_test_pvalue",
+    "paired_permutation_pvalue",
+    "compare_paired",
+    "PairedComparison",
+]

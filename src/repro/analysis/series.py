@@ -1,0 +1,169 @@
+"""Containers for experiment output: labelled (x, mean, std) series.
+
+Every experiment module returns an :class:`ExperimentResult` — the exact
+data behind one paper panel — which the I/O layer serialises and the CLI
+renders as the paper-style table of rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.stats import mean_std
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One aggregated observation: mean ± std of ``n`` repetitions at ``x``."""
+
+    x: float
+    mean: float
+    std: float = 0.0
+    n: int = 1
+
+    @classmethod
+    def from_values(cls, x: float, values: Sequence[float]) -> "SeriesPoint":
+        """Aggregate raw repetition values into a point."""
+        mean, std = mean_std(values)
+        return cls(x=float(x), mean=mean, std=std, n=len(values))
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve (e.g. one mechanism) across the sweep axis."""
+
+    label: str
+    points: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", tuple(self.points))
+        xs = [p.x for p in self.points]
+        if sorted(xs) != xs:
+            raise ValueError(f"series {self.label!r} points must be sorted by x")
+
+    @property
+    def xs(self) -> List[float]:
+        return [p.x for p in self.points]
+
+    @property
+    def means(self) -> List[float]:
+        return [p.mean for p in self.points]
+
+    def point_at(self, x: float) -> SeriesPoint:
+        """The point at an exact x value.
+
+        Raises:
+            KeyError: if no point has that x.
+        """
+        for point in self.points:
+            if point.x == x:
+                return point
+        raise KeyError(f"series {self.label!r} has no point at x={x}")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one paper panel needs: axes, curves, provenance.
+
+    Args:
+        experiment_id: e.g. ``"fig6a"`` — matches DESIGN.md's index.
+        title: human title, e.g. "Coverage vs number of users".
+        x_label / y_label: axis names as in the paper.
+        series: one curve per compared algorithm/mechanism.
+        metadata: run provenance (repetitions, seeds, config deviations).
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def series_by_label(self, label: str) -> Series:
+        """Fetch one curve by its label.
+
+        Raises:
+            KeyError: if no series carries that label.
+        """
+        for entry in self.series:
+            if entry.label == label:
+                return entry
+        raise KeyError(
+            f"{self.experiment_id} has no series {label!r}; "
+            f"available: {[s.label for s in self.series]}"
+        )
+
+    @property
+    def labels(self) -> List[str]:
+        return [s.label for s in self.series]
+
+    def rows(self) -> List[List[Any]]:
+        """Tabular form: one row per x, one column per series mean.
+
+        This is the "same rows the paper reports" rendering used by the
+        CLI and the benchmark harness.
+        """
+        xs: List[float] = sorted({p.x for s in self.series for p in s.points})
+        table: List[List[Any]] = []
+        for x in xs:
+            row: List[Any] = [x]
+            for entry in self.series:
+                try:
+                    row.append(entry.point_at(x).mean)
+                except KeyError:
+                    row.append(None)
+            table.append(row)
+        return table
+
+    def header(self) -> List[str]:
+        """Column names matching :meth:`rows`."""
+        return [self.x_label] + [s.label for s in self.series]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (see :mod:`repro.io.results`)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": [
+                {
+                    "label": s.label,
+                    "points": [
+                        {"x": p.x, "mean": p.mean, "std": p.std, "n": p.n}
+                        for p in s.points
+                    ],
+                }
+                for s in self.series
+            ],
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExperimentResult":
+        """Inverse of :meth:`as_dict`."""
+        series = [
+            Series(
+                label=entry["label"],
+                points=tuple(
+                    SeriesPoint(
+                        x=point["x"],
+                        mean=point["mean"],
+                        std=point.get("std", 0.0),
+                        n=point.get("n", 1),
+                    )
+                    for point in entry["points"]
+                ),
+            )
+            for entry in payload["series"]
+        ]
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            x_label=payload["x_label"],
+            y_label=payload["y_label"],
+            series=series,
+            metadata=payload.get("metadata", {}),
+        )

@@ -1,0 +1,82 @@
+"""Shape predicates: the language EXPERIMENTS.md claims are stated in.
+
+Reproductions on a different substrate cannot match absolute numbers;
+what must hold is the *shape* of each figure — who wins, monotonicity,
+where curves cross.  These predicates make those claims executable (the
+integration tests call them on freshly run experiments).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.analysis.series import Series
+
+
+def is_monotonic(
+    values: Sequence[float], increasing: bool = True, tolerance: float = 0.0
+) -> bool:
+    """Whether a sequence never moves against the stated direction.
+
+    ``tolerance`` forgives small counter-moves (simulation noise): each
+    step may regress by at most that much.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    for before, after in zip(values, values[1:]):
+        if increasing and after < before - tolerance:
+            return False
+        if not increasing and after > before + tolerance:
+            return False
+    return True
+
+
+def dominates(
+    upper: Series, lower: Series, tolerance: float = 0.0
+) -> bool:
+    """Whether ``upper``'s mean is >= ``lower``'s at every shared x.
+
+    Only x values present in both series are compared; the claim is
+    vacuously true if they share none.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    shared = set(upper.xs) & set(lower.xs)
+    return all(
+        upper.point_at(x).mean >= lower.point_at(x).mean - tolerance
+        for x in shared
+    )
+
+
+def final_value(series: Series) -> float:
+    """The mean at the largest x (where "until the last round" metrics land).
+
+    Raises:
+        ValueError: for an empty series.
+    """
+    if not series.points:
+        raise ValueError(f"series {series.label!r} is empty")
+    return series.points[-1].mean
+
+
+def crossover_points(a: Series, b: Series) -> List[Tuple[float, float]]:
+    """The consecutive shared-x pairs between which the sign of (a - b) flips.
+
+    Returns a list of ``(x_before, x_after)`` intervals.  Exact ties do
+    not count as a flip (the sign must actually reverse).
+    """
+    shared = sorted(set(a.xs) & set(b.xs))
+    flips: List[Tuple[float, float]] = []
+    previous_sign = 0
+    previous_x = None
+    for x in shared:
+        diff = a.point_at(x).mean - b.point_at(x).mean
+        sign = (diff > 0) - (diff < 0)
+        if sign != 0:
+            if previous_sign != 0 and sign != previous_sign:
+                flips.append((previous_x, x))
+            previous_sign = sign
+            previous_x = x
+        else:
+            previous_x = x
+    return flips

@@ -1,0 +1,140 @@
+"""Significance testing for paired mechanism comparisons.
+
+The experiment runner pairs repetitions across mechanisms (repetition i
+of every arm sees the same generated world), so the natural analyses are
+*paired*: per-world differences, a bootstrap CI on their mean, a sign
+test on their direction, and a paired permutation test on the mean
+difference.  EXPERIMENTS.md's "who wins" statements are backed by these
+(see ``tests/integration/test_significance_claims.py``).
+
+All procedures are deterministic given the ``seed`` argument — the same
+reproducibility contract as the simulations themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def _paired_differences(a: Sequence[float], b: Sequence[float]) -> np.ndarray:
+    if len(a) != len(b):
+        raise ValueError(f"paired samples must have equal length: {len(a)} vs {len(b)}")
+    if len(a) == 0:
+        raise ValueError("paired samples must be non-empty")
+    return np.asarray(a, dtype=float) - np.asarray(b, dtype=float)
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile bootstrap CI for the mean of ``values``.
+
+    Raises:
+        ValueError: for empty input, bad confidence, or resamples < 1.
+    """
+    if len(values) == 0:
+        raise ValueError("bootstrap requires at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 1:
+        raise ValueError(f"resamples must be >= 1, got {resamples}")
+    arr = np.asarray(values, dtype=float)
+    rng = np.random.default_rng(seed)
+    samples = rng.choice(arr, size=(resamples, arr.size), replace=True)
+    means = samples.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(low), float(high)
+
+
+def sign_test_pvalue(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sided exact sign test on paired samples (ties dropped).
+
+    Tests H0: P(a > b) = 1/2 via the binomial distribution.  Returns 1.0
+    when every pair ties (no evidence either way).
+    """
+    diffs = _paired_differences(a, b)
+    wins = int((diffs > 0).sum())
+    losses = int((diffs < 0).sum())
+    n = wins + losses
+    if n == 0:
+        return 1.0
+    k = max(wins, losses)
+    # Two-sided tail: 2 * P[X >= k], X ~ Binomial(n, 1/2), capped at 1.
+    tail = sum(math.comb(n, i) for i in range(k, n + 1)) / 2.0 ** n
+    return min(1.0, 2.0 * tail)
+
+
+def paired_permutation_pvalue(
+    a: Sequence[float],
+    b: Sequence[float],
+    permutations: int = 5000,
+    seed: int = 0,
+) -> float:
+    """Two-sided paired permutation test on the mean difference.
+
+    Randomly flips the sign of each paired difference; the p-value is the
+    share of sign assignments whose |mean| reaches the observed |mean|.
+    Add-one smoothing keeps the estimate away from an impossible 0.
+    """
+    if permutations < 1:
+        raise ValueError(f"permutations must be >= 1, got {permutations}")
+    diffs = _paired_differences(a, b)
+    observed = abs(diffs.mean())
+    if np.allclose(diffs, 0.0):
+        return 1.0
+    rng = np.random.default_rng(seed)
+    signs = rng.choice([-1.0, 1.0], size=(permutations, diffs.size))
+    permuted = np.abs((signs * diffs).mean(axis=1))
+    exceed = int((permuted >= observed - 1e-12).sum())
+    return (exceed + 1) / (permutations + 1)
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """A full paired read-out: who wins, by how much, how surely."""
+
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    wins: int
+    losses: int
+    ties: int
+    sign_pvalue: float
+    permutation_pvalue: float
+
+    @property
+    def n(self) -> int:
+        return self.wins + self.losses + self.ties
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the permutation test rejects 'no difference' at alpha."""
+        return self.permutation_pvalue < alpha
+
+
+def compare_paired(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> PairedComparison:
+    """Summarise a paired comparison of two samples (a minus b)."""
+    diffs = _paired_differences(a, b)
+    low, high = bootstrap_mean_ci(diffs, confidence=confidence, seed=seed)
+    return PairedComparison(
+        mean_difference=float(diffs.mean()),
+        ci_low=low,
+        ci_high=high,
+        wins=int((diffs > 0).sum()),
+        losses=int((diffs < 0).sum()),
+        ties=int((diffs == 0).sum()),
+        sign_pvalue=sign_test_pvalue(a, b),
+        permutation_pvalue=paired_permutation_pvalue(a, b, seed=seed),
+    )

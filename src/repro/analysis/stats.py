@@ -1,0 +1,149 @@
+"""Small-sample statistics for experiment aggregation.
+
+The paper reports means over 100 repetitions; we additionally expose
+sample standard deviations, normal-approximation confidence intervals,
+and the five-number summary behind Fig. 5(b)'s boxplot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Sample mean and sample (ddof=1) standard deviation.
+
+    A single observation has zero deviation by convention (there is no
+    spread to estimate, and experiments with reps=1 should not crash).
+
+    Raises:
+        ValueError: for an empty sequence.
+    """
+    if len(values) == 0:
+        raise ValueError("mean_std() requires at least one value")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 1:
+        return float(arr[0]), 0.0
+    return float(arr.mean()), float(arr.std(ddof=1))
+
+
+def confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Normal-approximation CI for the mean: mean ± z * s/sqrt(n).
+
+    Uses the normal quantile rather than Student's t — at the repetition
+    counts used here (>= 20) the difference is negligible and it avoids a
+    scipy dependency in the core path.
+
+    Raises:
+        ValueError: for an empty sequence or a confidence outside (0, 1).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    mean, std = mean_std(values)
+    n = len(values)
+    if n == 1 or std == 0.0:
+        return (mean, mean)
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    half = z * std / math.sqrt(n)
+    return (mean - half, mean + half)
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF via the Acklam rational approximation.
+
+    Accurate to ~1e-9 over (0, 1), which is far beyond what a CI on 20
+    noisy repetitions deserves.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile argument must be in (0, 1), got {p}")
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p > 1 - p_low:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+    )
+
+
+@dataclass(frozen=True)
+class BoxplotSummary:
+    """The five-number summary plus outliers (Tukey 1.5 x IQR fences)."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    outliers: Tuple[float, ...]
+    n: int
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    @property
+    def whisker_low(self) -> float:
+        """Smallest observation above the lower Tukey fence."""
+        return self.minimum
+
+    @property
+    def whisker_high(self) -> float:
+        """Largest observation below the upper Tukey fence."""
+        return self.maximum
+
+
+def summarize_box(values: Sequence[float]) -> BoxplotSummary:
+    """Five-number summary with Tukey outliers, for Fig. 5(b)-style boxplots.
+
+    ``minimum``/``maximum`` are the whisker ends (most extreme values
+    *inside* the 1.5 x IQR fences); points beyond land in ``outliers``.
+
+    Raises:
+        ValueError: for an empty sequence.
+    """
+    if len(values) == 0:
+        raise ValueError("summarize_box() requires at least one value")
+    arr = np.sort(np.asarray(values, dtype=float))
+    q1, median, q3 = (float(q) for q in np.percentile(arr, [25, 50, 75]))
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    inside = arr[(arr >= low_fence) & (arr <= high_fence)]
+    outliers: List[float] = [float(v) for v in arr if v < low_fence or v > high_fence]
+    # Degenerate all-outlier case cannot happen (median is always inside),
+    # but guard anyway for float pathologies.
+    if inside.size == 0:  # pragma: no cover - defensive
+        inside = arr
+    return BoxplotSummary(
+        minimum=float(inside[0]),
+        q1=q1,
+        median=median,
+        q3=q3,
+        maximum=float(inside[-1]),
+        outliers=tuple(outliers),
+        n=int(arr.size),
+    )

@@ -1,0 +1,217 @@
+"""Command-line interface: regenerate any paper panel from a terminal.
+
+Usage::
+
+    repro list                       # show every experiment id
+    repro run fig6a --reps 20        # regenerate one panel, print the rows
+    repro run fig6a --json out.json  # ... and persist it
+    repro tables                     # print Tables I-III
+    repro simulate --users 100       # one run, full metrics summary
+
+``python -m repro.cli`` works identically when the console script is not
+on PATH.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.registry import experiment_ids, run_experiment
+from repro.experiments.tables import all_tables
+from repro.io.csvio import write_series_csv
+from repro.io.results import save_result
+from repro.io.tables import render_experiment, render_table
+from repro.metrics import MetricsSummary
+from repro.simulation import SimulationConfig, simulate
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Pay On-demand' (ICDCS 2018) tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list every registered experiment id")
+
+    run = sub.add_parser("run", help="run one experiment and print its rows")
+    run.add_argument("experiment", help="experiment id (see 'repro list')")
+    run.add_argument("--reps", type=int, default=None,
+                     help="repetitions per configuration (default: REPRO_REPS or 20)")
+    run.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="also save the result as JSON")
+    run.add_argument("--csv", metavar="PATH", default=None,
+                     help="also export the series as CSV")
+    run.add_argument("--precision", type=int, default=2,
+                     help="decimal places in the printed table")
+    run.add_argument("--chart", action="store_true",
+                     help="also render the series as an ASCII chart")
+
+    sub.add_parser("tables", help="print Tables I-III from the paper")
+
+    report = sub.add_parser(
+        "report", help="regenerate all paper panels into one markdown report"
+    )
+    report.add_argument("--reps", type=int, default=None,
+                        help="repetitions per configuration")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--out", metavar="PATH", default=None,
+                        help="write the report here instead of stdout")
+
+    sim = sub.add_parser("simulate", help="run one simulation, print the metrics")
+    sim.add_argument("--users", type=int, default=100)
+    sim.add_argument("--tasks", type=int, default=20)
+    sim.add_argument("--rounds", type=int, default=15)
+    sim.add_argument("--mechanism", default="on-demand")
+    sim.add_argument("--selector", default="dp")
+    sim.add_argument("--mobility", default="follow-path")
+    sim.add_argument("--layout", default="uniform", choices=("uniform", "clustered"))
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--map", action="store_true",
+                     help="render the final world state as an ASCII map")
+
+    show = sub.add_parser("show", help="render a saved experiment JSON")
+    show.add_argument("path", help="result file written by 'repro run --json'")
+    show.add_argument("--chart", action="store_true",
+                      help="render as an ASCII chart instead of a table")
+    show.add_argument("--precision", type=int, default=2)
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep any SimulationConfig field against the core metrics"
+    )
+    sweep.add_argument("field", help="a SimulationConfig field, e.g. n_users")
+    sweep.add_argument("values", nargs="+", type=float, help="values to sweep")
+    sweep.add_argument("--reps", type=int, default=None)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--chart", action="store_true")
+    return parser
+
+
+def _command_list() -> int:
+    for experiment_id in experiment_ids():
+        print(experiment_id)
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    kwargs = {"base_seed": args.seed}
+    if args.reps is not None:
+        kwargs["repetitions"] = args.reps
+    result = run_experiment(args.experiment, **kwargs)
+    print(render_experiment(result, precision=args.precision))
+    if args.chart:
+        from repro.io.ascii_chart import render_chart
+
+        print()
+        print(render_chart(result))
+    if args.json:
+        path = save_result(result, args.json)
+        print(f"\nsaved JSON: {path}")
+    if args.csv:
+        path = write_series_csv(result, args.csv)
+        print(f"saved CSV: {path}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.report import build_report
+
+    text = build_report(repetitions=args.reps, base_seed=args.seed)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote report: {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _command_tables() -> int:
+    for table in all_tables():
+        print(f"{table.table_id}: {table.title}")
+        print(render_table(table.header, table.rows, precision=3))
+        print()
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    config = SimulationConfig(
+        n_users=args.users,
+        n_tasks=args.tasks,
+        rounds=args.rounds,
+        mechanism=args.mechanism,
+        selector=args.selector,
+        mobility=args.mobility,
+        layout=args.layout,
+        seed=args.seed,
+    )
+    result = simulate(config)
+    summary = MetricsSummary.from_result(result)
+    rows = [[name, value] for name, value in summary.as_dict().items()]
+    print(render_table(["metric", "value"], rows, precision=4))
+    if args.map:
+        from repro.io.worldmap import render_world
+
+        print()
+        print(render_world(result.world))
+    return 0
+
+
+def _command_show(args: argparse.Namespace) -> int:
+    from repro.io.results import load_result
+
+    result = load_result(args.path)
+    if args.chart:
+        from repro.io.ascii_chart import render_chart
+
+        print(render_chart(result))
+    else:
+        print(render_experiment(result, precision=args.precision))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweeps import config_sweep
+
+    # Integer-typed fields arrive as floats from argparse; coerce when exact.
+    values = [int(v) if float(v).is_integer() else v for v in args.values]
+    kwargs = {"base_seed": args.seed}
+    if args.reps is not None:
+        kwargs["repetitions"] = args.reps
+    result = config_sweep(args.field, values, **kwargs)
+    print(render_experiment(result))
+    if args.chart:
+        from repro.io.ascii_chart import render_chart
+
+        print()
+        print(render_chart(result))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "tables":
+        return _command_tables()
+    if args.command == "report":
+        return _command_report(args)
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "show":
+        return _command_show(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

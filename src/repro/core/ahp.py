@@ -1,0 +1,215 @@
+"""The Analytic Hierarchy Process (AHP) for criteria weighting.
+
+Section IV-B of the paper uses Saaty's AHP to turn a pairwise-comparison
+matrix over the three demand criteria (deadline, completing progress,
+number of neighbouring users) into a weight vector
+:math:`W = (w_1, w_2, w_3)^T` with :math:`\\sum w_i = 1`.
+
+This module implements the general n-criteria machinery:
+
+- reciprocal-matrix validation against Saaty's 1–9 scale,
+- the paper's weight rule: column-normalise, then average each row
+  (Eq. 6; Tables I → II → W = (0.648, 0.230, 0.122)),
+- the classical principal-eigenvector weights as an alternative,
+- Saaty's consistency index / consistency ratio, so callers can reject
+  incoherent expert matrices (CR > 0.1 is the standard threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+#: Saaty's random consistency index, indexed by matrix order n (0- and
+#: 1-element matrices are trivially consistent).  Values from Saaty (1980).
+RANDOM_CONSISTENCY_INDEX = {
+    1: 0.0,
+    2: 0.0,
+    3: 0.58,
+    4: 0.90,
+    5: 1.12,
+    6: 1.24,
+    7: 1.32,
+    8: 1.41,
+    9: 1.45,
+    10: 1.49,
+}
+
+#: Bounds of Saaty's fundamental comparison scale.  Entries of a pairwise
+#: comparison matrix must lie in [1/9, 9].
+SAATY_SCALE_MIN = 1.0 / 9.0
+SAATY_SCALE_MAX = 9.0
+
+#: Default tolerance for the reciprocity check a_ij * a_ji == 1.
+RECIPROCITY_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class PairwiseComparisonMatrix:
+    """A validated AHP pairwise-comparison matrix :math:`A = (a_{ij})`.
+
+    Entry :math:`a_{ij}` expresses how much more important criterion i is
+    than criterion j on Saaty's 1–9 scale; :math:`a_{ij} a_{ji} = 1` and
+    the diagonal is 1.
+
+    Construct via :meth:`from_rows` (validating) or
+    :meth:`from_upper_triangle` (builds the reciprocal lower half).
+    """
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        a = np.asarray(self.values, dtype=float)
+        object.__setattr__(self, "values", a)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(f"comparison matrix must be square, got shape {a.shape}")
+        n = a.shape[0]
+        if n < 1:
+            raise ValueError("comparison matrix must have at least one criterion")
+        if np.any(a <= 0):
+            raise ValueError("comparison matrix entries must be positive")
+        if not np.allclose(np.diag(a), 1.0, atol=RECIPROCITY_TOL):
+            raise ValueError("comparison matrix diagonal must be all ones")
+        if not np.allclose(a * a.T, 1.0, atol=1e-6):
+            raise ValueError(
+                "comparison matrix must be reciprocal: a_ij * a_ji == 1"
+            )
+        if np.any(a < SAATY_SCALE_MIN - 1e-12) or np.any(a > SAATY_SCALE_MAX + 1e-12):
+            raise ValueError(
+                "comparison matrix entries must lie on Saaty's scale [1/9, 9]"
+            )
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Sequence[float]]) -> "PairwiseComparisonMatrix":
+        """Build from explicit rows (validated)."""
+        return cls(np.asarray(rows, dtype=float))
+
+    @classmethod
+    def from_upper_triangle(cls, upper: Sequence[float]) -> "PairwiseComparisonMatrix":
+        """Build an n x n matrix from its strict upper triangle, row-major.
+
+        For n criteria, ``upper`` must have n(n-1)/2 entries; the diagonal
+        is set to 1 and the lower triangle to the reciprocals.
+
+        >>> PairwiseComparisonMatrix.from_upper_triangle([3, 5, 2]).values.shape
+        (3, 3)
+        """
+        count = len(upper)
+        # Solve n(n-1)/2 == count for integer n.
+        n = int((1 + np.sqrt(1 + 8 * count)) / 2)
+        if n * (n - 1) // 2 != count:
+            raise ValueError(
+                f"{count} entries do not form a strict upper triangle of any square matrix"
+            )
+        a = np.eye(n)
+        k = 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                a[i, j] = float(upper[k])
+                a[j, i] = 1.0 / float(upper[k])
+                k += 1
+        return cls(a)
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Number of criteria n."""
+        return int(self.values.shape[0])
+
+    def normalized(self) -> np.ndarray:
+        """The column-normalised matrix :math:`\\bar{A}` (Table II).
+
+        Each entry is :math:`\\bar{a}_{ij} = a_{ij} / \\sum_k a_{kj}`, so
+        every column sums to 1.
+        """
+        return self.values / self.values.sum(axis=0, keepdims=True)
+
+    # -- weight extraction --------------------------------------------------
+
+    def weights(self, method: str = "column-normalization") -> np.ndarray:
+        """The criteria weight vector W, non-negative and summing to 1.
+
+        Args:
+            method: ``"column-normalization"`` (the paper's Eq. 6: average
+                the rows of the normalised matrix) or ``"eigenvector"``
+                (Saaty's principal right eigenvector, the classical AHP
+                prescription).  For a perfectly consistent matrix the two
+                coincide.
+
+        Raises:
+            ValueError: for an unknown method name.
+        """
+        if method == "column-normalization":
+            return self.normalized().mean(axis=1)
+        if method == "eigenvector":
+            return self._eigenvector_weights()
+        raise ValueError(
+            f"unknown weight method {method!r}; "
+            "valid: 'column-normalization', 'eigenvector'"
+        )
+
+    def _eigenvector_weights(self) -> np.ndarray:
+        eigenvalues, eigenvectors = np.linalg.eig(self.values)
+        principal = int(np.argmax(eigenvalues.real))
+        vector = np.abs(eigenvectors[:, principal].real)
+        return vector / vector.sum()
+
+    # -- consistency ---------------------------------------------------------
+
+    def principal_eigenvalue(self) -> float:
+        """The largest eigenvalue :math:`\\lambda_{max}` (>= n always)."""
+        eigenvalues = np.linalg.eigvals(self.values)
+        return float(np.max(eigenvalues.real))
+
+    def consistency_index(self) -> float:
+        """Saaty's CI = (lambda_max - n) / (n - 1); 0 for perfectly consistent."""
+        n = self.order
+        if n <= 2:
+            return 0.0
+        return (self.principal_eigenvalue() - n) / (n - 1)
+
+    def consistency_ratio(self) -> float:
+        """Saaty's CR = CI / RI.
+
+        A matrix with CR <= 0.1 is conventionally acceptable.  For orders
+        1 and 2 (always consistent) the ratio is defined as 0.
+
+        Raises:
+            ValueError: for orders beyond the tabulated random index.
+        """
+        n = self.order
+        if n <= 2:
+            return 0.0
+        try:
+            random_index = RANDOM_CONSISTENCY_INDEX[n]
+        except KeyError:
+            raise ValueError(
+                f"no random consistency index tabulated for order {n}"
+            ) from None
+        return self.consistency_index() / random_index
+
+    def is_acceptably_consistent(self, threshold: float = 0.1) -> bool:
+        """Whether CR <= threshold (Saaty's standard 0.1 cut-off)."""
+        return self.consistency_ratio() <= threshold
+
+
+def example_comparison_matrix() -> PairwiseComparisonMatrix:
+    """The paper's Table I example matrix over (deadline, progress, neighbours).
+
+    Deadline is slightly more important than progress (3) and strongly
+    more important than neighbour count (5); progress is twice as
+    important as neighbour count.  Its Eq.-6 weights are
+    (0.648, 0.230, 0.122) as derived in Table II.
+    """
+    return PairwiseComparisonMatrix.from_rows(
+        [
+            [1.0, 3.0, 5.0],
+            [1.0 / 3.0, 1.0, 2.0],
+            [1.0 / 5.0, 1.0 / 2.0, 1.0],
+        ]
+    )

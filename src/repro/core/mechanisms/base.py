@@ -1,0 +1,96 @@
+"""The common interface every incentive mechanism implements.
+
+The platform side of Fig. 1 is deliberately thin: before each round it
+asks the mechanism for one number per active task — the per-measurement
+reward — and publishes those.  Mechanisms never see individual users'
+decisions, only the aggregate round state (task progress and current user
+positions), which is exactly the information the paper's platform has
+after "(4) Data Upload / (5) Demand Calculate".
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.world.generator import World
+from repro.world.task import SensingTask
+
+
+@dataclass(frozen=True)
+class RoundView:
+    """What the platform knows when pricing round ``round_no``.
+
+    Args:
+        round_no: the 1-based round about to start.
+        active_tasks: tasks still published (not completed, not expired).
+        user_locations: every user's position at the start of the round.
+    """
+
+    round_no: int
+    active_tasks: Sequence[SensingTask]
+    user_locations: Sequence[Point]
+
+    def __post_init__(self) -> None:
+        if self.round_no < 1:
+            raise ValueError(f"round_no must be >= 1, got {self.round_no}")
+
+
+class IncentiveMechanism(abc.ABC):
+    """Prices sensing tasks, once per round.
+
+    Lifecycle: the engine calls :meth:`initialize` exactly once with the
+    freshly generated world, then :meth:`rewards` at the start of every
+    round.  Mechanisms may keep state between rounds (the fixed baseline
+    freezes its round-1 prices; the steered baseline tracks nothing — it
+    reads progress off the tasks).
+    """
+
+    #: registry name, also used in experiment output rows
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def initialize(self, world: World, rng: np.random.Generator) -> None:
+        """Bind to a world before round 1 (derive budgets, draw any randomness)."""
+
+    @abc.abstractmethod
+    def rewards(self, view: RoundView) -> Dict[int, float]:
+        """Per-measurement reward for every *active* task, keyed by task id.
+
+        Must return a price for exactly the tasks in ``view.active_tasks``;
+        the engine validates this, so a missing or extra key is an error in
+        the mechanism, not a silent mispricing.
+        """
+
+    # -- helpers shared by concrete mechanisms ---------------------------
+
+    @staticmethod
+    def _require_all_tasks(
+        prices: Dict[int, float], tasks: Sequence[SensingTask]
+    ) -> Dict[int, float]:
+        """Validate that ``prices`` covers exactly ``tasks`` with finite, positive values."""
+        expected = {t.task_id for t in tasks}
+        got = set(prices)
+        if expected != got:
+            raise ValueError(
+                f"mechanism priced tasks {sorted(got)} but the round has "
+                f"{sorted(expected)}"
+            )
+        for task_id, price in prices.items():
+            if not np.isfinite(price) or price <= 0:
+                raise ValueError(
+                    f"reward for task {task_id} must be positive and finite, got {price}"
+                )
+        return prices
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def active_task_list(world: World) -> List[SensingTask]:
+    """The currently published tasks of a world (engine convenience)."""
+    return [t for t in world.tasks if t.is_active]

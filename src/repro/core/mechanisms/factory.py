@@ -1,0 +1,45 @@
+"""Mechanism registry: build a mechanism from its name + keyword overrides.
+
+Used by the CLI and the experiment harness so a mechanism is always
+addressable by the short name that appears in result rows
+("on-demand", "fixed", "steered", "proportional").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.core.mechanisms.adaptive import AdaptiveBudgetMechanism
+from repro.core.mechanisms.base import IncentiveMechanism
+from repro.core.mechanisms.fixed import FixedMechanism
+from repro.core.mechanisms.on_demand import OnDemandMechanism
+from repro.core.mechanisms.proportional import ProportionalDemandMechanism
+from repro.core.mechanisms.steered import SteeredMechanism
+
+_REGISTRY: Dict[str, Type[IncentiveMechanism]] = {
+    OnDemandMechanism.name: OnDemandMechanism,
+    FixedMechanism.name: FixedMechanism,
+    SteeredMechanism.name: SteeredMechanism,
+    ProportionalDemandMechanism.name: ProportionalDemandMechanism,
+    AdaptiveBudgetMechanism.name: AdaptiveBudgetMechanism,
+}
+
+#: The registered mechanism names, in a stable presentation order.
+MECHANISM_NAMES = ("on-demand", "fixed", "steered", "proportional", "adaptive")
+
+
+def make_mechanism(name: str, **kwargs) -> IncentiveMechanism:
+    """Instantiate a mechanism by registry name.
+
+    Keyword arguments are forwarded to the mechanism constructor, so e.g.
+    ``make_mechanism("on-demand", budget=2000.0)`` works.
+
+    Raises:
+        ValueError: for an unknown name (message lists the valid ones).
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        valid = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown mechanism {name!r}; valid: {valid}") from None
+    return cls(**kwargs)

@@ -1,0 +1,40 @@
+"""The experiment harness: one module per paper table/figure.
+
+Every public experiment function returns an
+:class:`~repro.analysis.series.ExperimentResult` whose rows are the same
+series the paper plots.  The registry maps experiment ids ("fig6a",
+"table1", ...) to those functions so the CLI and the benchmark harness
+can regenerate any panel by name — see DESIGN.md §4 for the full index.
+
+Repetition counts default to :func:`~repro.experiments.runner.default_repetitions`
+(environment variable ``REPRO_REPS``, else 20); the paper uses 100.
+"""
+
+from repro.experiments.runner import (
+    default_repetitions,
+    default_user_counts,
+    repeat_metric,
+    repeat_metrics,
+)
+from repro.experiments.comparison import mechanism_user_sweep, MECHANISMS_COMPARED
+from repro.experiments.registry import EXPERIMENTS, run_experiment, experiment_ids
+from repro.experiments import fig5, fig6, fig7, fig8, fig9, tables, ablations
+
+__all__ = [
+    "default_repetitions",
+    "default_user_counts",
+    "repeat_metric",
+    "repeat_metrics",
+    "mechanism_user_sweep",
+    "MECHANISMS_COMPARED",
+    "EXPERIMENTS",
+    "run_experiment",
+    "experiment_ids",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "tables",
+    "ablations",
+]

@@ -1,0 +1,316 @@
+"""Ablation studies on the design choices DESIGN.md §5 calls out.
+
+None of these appear in the paper; they answer the "why is the mechanism
+built this way" questions a reader is left with:
+
+- :func:`level_count_ablation` — how sensitive are coverage/completeness
+  to the number of demand levels N, including the level-free
+  (proportional) variant?
+- :func:`factor_ablation` — drop each demand factor (deadline, progress,
+  neighbour scarcity) by zeroing its weight and renormalising.
+- :func:`mobility_ablation` — are the headline results an artifact of
+  the inter-round mobility assumption?
+- :func:`weight_method_ablation` — paper's column-normalisation weights
+  vs the classical eigenvector weights.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.series import ExperimentResult, Series, SeriesPoint
+from repro.core.demand import DemandWeights
+from repro.core.mechanisms import OnDemandMechanism
+from repro.experiments.runner import default_repetitions
+from repro.metrics import overall_completeness, coverage
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import SimulationResult
+from repro.simulation.rng import child_seed
+
+#: Metrics every ablation reports, as (label, fn) pairs.
+ABLATION_METRICS: Tuple[Tuple[str, Callable[[SimulationResult], float]], ...] = (
+    ("coverage_pct", lambda result: 100.0 * coverage(result)),
+    ("completeness_pct", lambda result: 100.0 * overall_completeness(result)),
+)
+
+
+def _run_variants(
+    experiment_id: str,
+    title: str,
+    variants: Dict[str, Callable[[int], SimulationEngine]],
+    repetitions: int,
+    base_seed: int,
+) -> ExperimentResult:
+    """Shared scaffolding: a bar-chart-shaped result, one x per variant.
+
+    ``variants`` maps a label to an engine factory taking the repetition
+    seed; metrics are averaged over repetitions.
+    """
+    metric_series: Dict[str, List[SeriesPoint]] = {
+        label: [] for label, _fn in ABLATION_METRICS
+    }
+    labels = list(variants)
+    for position, label in enumerate(labels):
+        values: Dict[str, List[float]] = {name: [] for name, _fn in ABLATION_METRICS}
+        for rep in range(repetitions):
+            result = variants[label](child_seed(base_seed, rep)).run()
+            for name, fn in ABLATION_METRICS:
+                values[name].append(fn(result))
+        for name, _fn in ABLATION_METRICS:
+            metric_series[name].append(SeriesPoint.from_values(position, values[name]))
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        x_label="variant",
+        y_label="percent",
+        series=[
+            Series(label=name, points=tuple(points))
+            for name, points in metric_series.items()
+        ],
+        metadata={
+            "variants": labels,
+            "repetitions": repetitions,
+            "base_seed": base_seed,
+        },
+    )
+
+
+def level_count_ablation(
+    level_counts: Sequence[int] = (2, 5, 10),
+    repetitions: Optional[int] = None,
+    n_users: int = 100,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Coverage/completeness vs the number of demand levels N (+ level-free).
+
+    The reward *range* is held at the paper's [r0, r0 + 2.0] for every N
+    by scaling the per-level step to 2 / (N - 1); otherwise a larger N
+    under the same budget would push Eq. 9's base reward negative and
+    the comparison would conflate granularity with price range.
+    """
+    repetitions = repetitions if repetitions is not None else default_repetitions()
+    paper_span = 0.5 * (5 - 1)  # lambda * (N - 1) at the paper's constants
+    variants: Dict[str, Callable[[int], SimulationEngine]] = {}
+    for count in level_counts:
+        step = paper_span / (count - 1) if count > 1 else 0.0
+        config = SimulationConfig(
+            n_users=n_users, level_count=count, reward_step=step
+        )
+
+        def factory(seed: int, config: SimulationConfig = config) -> SimulationEngine:
+            return SimulationEngine(config.with_overrides(seed=seed))
+
+        variants[f"N={count}"] = factory
+    proportional = SimulationConfig(n_users=n_users, mechanism="proportional")
+
+    def proportional_factory(seed: int) -> SimulationEngine:
+        return SimulationEngine(proportional.with_overrides(seed=seed))
+
+    variants["level-free"] = proportional_factory
+    return _run_variants(
+        "ablation-levels",
+        "Demand-level count ablation",
+        variants,
+        repetitions,
+        base_seed,
+    )
+
+
+def factor_ablation(
+    repetitions: Optional[int] = None,
+    n_users: int = 100,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Drop each demand factor in turn by zeroing its AHP weight.
+
+    The remaining two weights are renormalised to sum to 1, keeping the
+    demand scale (and therefore the reward range) unchanged.
+    """
+    repetitions = repetitions if repetitions is not None else default_repetitions()
+    full = DemandWeights.from_ahp()
+    named = {
+        "full": (full.deadline, full.progress, full.scarcity),
+        "no-deadline": (0.0, full.progress, full.scarcity),
+        "no-progress": (full.deadline, 0.0, full.scarcity),
+        "no-scarcity": (full.deadline, full.progress, 0.0),
+    }
+    config = SimulationConfig(n_users=n_users)
+    variants: Dict[str, Callable[[int], SimulationEngine]] = {}
+    for label, raw in named.items():
+        total = sum(raw)
+        weights = DemandWeights(
+            deadline=raw[0] / total, progress=raw[1] / total, scarcity=raw[2] / total
+        )
+
+        def factory(seed: int, weights: DemandWeights = weights) -> SimulationEngine:
+            mechanism = OnDemandMechanism(
+                budget=config.budget,
+                step=config.reward_step,
+                neighbour_radius=config.neighbour_radius,
+                weights=weights,
+            )
+            return SimulationEngine(
+                config.with_overrides(seed=seed), mechanism=mechanism
+            )
+
+        variants[label] = factory
+    return _run_variants(
+        "ablation-factors",
+        "Demand-factor ablation",
+        variants,
+        repetitions,
+        base_seed,
+    )
+
+
+def mobility_ablation(
+    repetitions: Optional[int] = None,
+    n_users: int = 100,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """The on-demand headline metrics under each mobility policy."""
+    repetitions = repetitions if repetitions is not None else default_repetitions()
+    variants: Dict[str, Callable[[int], SimulationEngine]] = {}
+    for policy in ("stationary", "follow-path", "random-waypoint"):
+        config = SimulationConfig(n_users=n_users, mobility=policy)
+
+        def factory(seed: int, config: SimulationConfig = config) -> SimulationEngine:
+            return SimulationEngine(config.with_overrides(seed=seed))
+
+        variants[policy] = factory
+    return _run_variants(
+        "ablation-mobility",
+        "Mobility-policy ablation",
+        variants,
+        repetitions,
+        base_seed,
+    )
+
+
+def arrivals_ablation(
+    repetitions: Optional[int] = None,
+    n_users: int = 100,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Everything-at-round-1 (paper) vs staggered task arrivals.
+
+    With releases drawn from rounds 1–8, half the workload appears while
+    the campaign is already under way — the streaming setting of the
+    authors' companion work.  Variants pair the on-demand and fixed
+    mechanisms under both arrival patterns; the demand indicator adapts
+    to newly released tasks automatically (a fresh task has zero progress
+    and a near deadline, so its demand is born high).
+    """
+    repetitions = repetitions if repetitions is not None else default_repetitions()
+    variants: Dict[str, Callable[[int], SimulationEngine]] = {}
+    for label, release_range in (("batch", (1, 1)), ("staggered", (1, 8))):
+        for mechanism in ("on-demand", "fixed"):
+            config = SimulationConfig(
+                n_users=n_users,
+                mechanism=mechanism,
+                release_range=release_range,
+                deadline_range=(5, 8) if release_range != (1, 1) else (5, 15),
+            )
+
+            def factory(seed: int, config: SimulationConfig = config) -> SimulationEngine:
+                return SimulationEngine(config.with_overrides(seed=seed))
+
+            variants[f"{mechanism}/{label}"] = factory
+    return _run_variants(
+        "ablation-arrivals",
+        "Batch vs staggered task arrivals",
+        variants,
+        repetitions,
+        base_seed,
+    )
+
+
+def adaptive_budget_ablation(
+    user_counts: Sequence[int] = (40, 100),
+    repetitions: Optional[int] = None,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Static Eq. 9 pricing vs budget-recycling adaptive pricing.
+
+    The adaptive mechanism re-derives the reward ladder each round from
+    the remaining budget and remaining work (see
+    :class:`~repro.core.mechanisms.adaptive.AdaptiveBudgetMechanism`).
+    The interesting regime is low user counts, where the static schedule
+    leaves the most budget unspent.
+    """
+    repetitions = repetitions if repetitions is not None else default_repetitions()
+    variants: Dict[str, Callable[[int], SimulationEngine]] = {}
+    for n_users in user_counts:
+        for mechanism in ("on-demand", "adaptive"):
+            config = SimulationConfig(n_users=n_users, mechanism=mechanism)
+
+            def factory(seed: int, config: SimulationConfig = config) -> SimulationEngine:
+                return SimulationEngine(config.with_overrides(seed=seed))
+
+            variants[f"{mechanism}@{n_users}u"] = factory
+    return _run_variants(
+        "ablation-adaptive",
+        "Static vs budget-recycling pricing",
+        variants,
+        repetitions,
+        base_seed,
+    )
+
+
+def heterogeneity_ablation(
+    spreads: Sequence[float] = (0.0, 0.25, 0.5),
+    repetitions: Optional[int] = None,
+    n_users: int = 100,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Robustness to a heterogeneous user population.
+
+    The paper evaluates identical users (2 m/s, 0.002 $/m, one time
+    budget); real crowds are not.  Each variant draws per-user speed,
+    movement cost, and time budget uniformly within ±spread of the paper
+    constants and re-measures the headline metrics.
+    """
+    repetitions = repetitions if repetitions is not None else default_repetitions()
+    variants: Dict[str, Callable[[int], SimulationEngine]] = {}
+    for spread in spreads:
+        config = SimulationConfig(n_users=n_users, heterogeneity=spread)
+
+        def factory(seed: int, config: SimulationConfig = config) -> SimulationEngine:
+            return SimulationEngine(config.with_overrides(seed=seed))
+
+        variants[f"h={spread:g}"] = factory
+    return _run_variants(
+        "ablation-heterogeneity",
+        "User-heterogeneity ablation",
+        variants,
+        repetitions,
+        base_seed,
+    )
+
+
+def weight_method_ablation(
+    repetitions: Optional[int] = None,
+    n_users: int = 100,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """AHP weight extraction: column-normalisation (paper) vs eigenvector."""
+    repetitions = repetitions if repetitions is not None else default_repetitions()
+    variants: Dict[str, Callable[[int], SimulationEngine]] = {}
+    for method in ("column-normalization", "eigenvector"):
+        config = SimulationConfig(
+            n_users=n_users,
+            mechanism_kwargs={"weight_method": method},
+        )
+
+        def factory(seed: int, config: SimulationConfig = config) -> SimulationEngine:
+            return SimulationEngine(config.with_overrides(seed=seed))
+
+        variants[method] = factory
+    return _run_variants(
+        "ablation-weights",
+        "AHP weight-method ablation",
+        variants,
+        repetitions,
+        base_seed,
+    )

@@ -1,0 +1,122 @@
+"""The three-mechanism comparison harness behind Figs. 6–9.
+
+Every "(a)" panel of Figs. 6–9 is the same experiment skeleton — sweep
+the number of users over 40..140, run all three mechanisms on paired
+worlds, plot one scalar metric — so it lives here once and the figure
+modules supply only the metric and the labels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.series import ExperimentResult, Series, SeriesPoint
+from repro.experiments.runner import (
+    MetricFn,
+    default_repetitions,
+    default_user_counts,
+    repeat_metric,
+    repeat_series_metric,
+)
+from repro.simulation.config import SimulationConfig
+from repro.simulation.events import SimulationResult
+
+#: The mechanisms Section VI compares, in the paper's legend order.
+MECHANISMS_COMPARED = ("on-demand", "fixed", "steered")
+
+
+def mechanism_user_sweep(
+    experiment_id: str,
+    title: str,
+    y_label: str,
+    metric: MetricFn,
+    user_counts: Optional[Sequence[int]] = None,
+    mechanisms: Sequence[str] = MECHANISMS_COMPARED,
+    repetitions: Optional[int] = None,
+    base_config: Optional[SimulationConfig] = None,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Sweep #users x mechanisms, aggregating one scalar metric.
+
+    Repetition i of every (user count, mechanism) cell derives its seed
+    from (base_seed, i) alone, so all mechanisms see identical worlds —
+    the comparison is paired.
+    """
+    user_counts = list(user_counts if user_counts is not None else default_user_counts())
+    repetitions = repetitions if repetitions is not None else default_repetitions()
+    base_config = base_config if base_config is not None else SimulationConfig()
+
+    series = []
+    for mechanism in mechanisms:
+        points = []
+        for n_users in user_counts:
+            config = base_config.with_overrides(n_users=n_users, mechanism=mechanism)
+            values = repeat_metric(config, metric, repetitions, base_seed)
+            points.append(SeriesPoint.from_values(n_users, values))
+        series.append(Series(label=mechanism, points=tuple(points)))
+
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        x_label="users",
+        y_label=y_label,
+        series=series,
+        metadata={
+            "repetitions": repetitions,
+            "base_seed": base_seed,
+            "mechanisms": list(mechanisms),
+            "selector": base_config.selector,
+        },
+    )
+
+
+def mechanism_round_sweep(
+    experiment_id: str,
+    title: str,
+    y_label: str,
+    series_metric: Callable[[SimulationResult], Sequence[float]],
+    horizon: int,
+    first_round: int = 1,
+    n_users: int = 100,
+    mechanisms: Sequence[str] = MECHANISMS_COMPARED,
+    repetitions: Optional[int] = None,
+    base_config: Optional[SimulationConfig] = None,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Fixed user count, rounds on the x axis (the "(b)" panels).
+
+    ``series_metric`` must return one value per round 1..horizon; the
+    result keeps rounds ``first_round``..horizon (Fig. 7(b) starts its
+    axis at round 5).
+    """
+    if not 1 <= first_round <= horizon:
+        raise ValueError(
+            f"need 1 <= first_round <= horizon, got {first_round}, {horizon}"
+        )
+    repetitions = repetitions if repetitions is not None else default_repetitions()
+    base_config = base_config if base_config is not None else SimulationConfig()
+
+    series = []
+    for mechanism in mechanisms:
+        config = base_config.with_overrides(n_users=n_users, mechanism=mechanism)
+        per_round = repeat_series_metric(config, series_metric, repetitions, base_seed)
+        points = tuple(
+            SeriesPoint.from_values(round_no, per_round[round_no - 1])
+            for round_no in range(first_round, horizon + 1)
+        )
+        series.append(Series(label=mechanism, points=points))
+
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        x_label="round",
+        y_label=y_label,
+        series=series,
+        metadata={
+            "repetitions": repetitions,
+            "base_seed": base_seed,
+            "n_users": n_users,
+            "mechanisms": list(mechanisms),
+            "selector": base_config.selector,
+        },
+    )

@@ -1,0 +1,64 @@
+"""Fig. 7: overall completeness of the three incentive mechanisms.
+
+(a) overall completeness (%) vs number of users at the end of the run;
+(b) overall completeness (%) as of rounds 5..15 for 100 users (deadlines
+are drawn from [5, 15], so the axis starts where the first deadlines
+land).
+
+Expected shape: the on-demand mechanism dominates both baselines and
+approaches 100 %; the baselines plateau well below it because their
+rewards stop attracting users to unfinished far-away tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.series import ExperimentResult
+from repro.experiments.comparison import mechanism_round_sweep, mechanism_user_sweep
+from repro.metrics import completeness_by_round, overall_completeness
+from repro.simulation.config import SimulationConfig
+
+
+def fig7a(
+    user_counts: Optional[Sequence[int]] = None,
+    repetitions: Optional[int] = None,
+    base_config: Optional[SimulationConfig] = None,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Overall completeness (%) vs number of users (Fig. 7(a))."""
+    return mechanism_user_sweep(
+        experiment_id="fig7a",
+        title="Overall completeness vs number of users",
+        y_label="overall completeness (%)",
+        metric=lambda result: 100.0 * overall_completeness(result),
+        user_counts=user_counts,
+        repetitions=repetitions,
+        base_config=base_config,
+        base_seed=base_seed,
+    )
+
+
+def fig7b(
+    horizon: int = 15,
+    first_round: int = 5,
+    n_users: int = 100,
+    repetitions: Optional[int] = None,
+    base_config: Optional[SimulationConfig] = None,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Overall completeness (%) per round, rounds 5..15 (Fig. 7(b))."""
+    return mechanism_round_sweep(
+        experiment_id="fig7b",
+        title=f"Overall completeness vs sensing round ({n_users} users)",
+        y_label="overall completeness (%)",
+        series_metric=lambda result: [
+            100.0 * value for value in completeness_by_round(result, horizon)
+        ],
+        horizon=horizon,
+        first_round=first_round,
+        n_users=n_users,
+        repetitions=repetitions,
+        base_config=base_config,
+        base_seed=base_seed,
+    )

@@ -1,0 +1,62 @@
+"""Fig. 8: number of measurements under the three incentive mechanisms.
+
+(a) average accepted measurements per task vs number of users (the
+required number is 20, so the on-demand curve should approach 20);
+(b) total *new* measurements per round for 100 users.
+
+Expected (b) shape, straight from Section VI-D: the steered mechanism
+spikes highest in round 1 (its Eq. 13 rewards are maximal on untouched
+tasks), the fixed mechanism is relatively stronger in rounds 2–3 (its
+rewards do not decay), and "starting from the 4th round there is no more
+new measurement for the fixed and the steered incentive mechanisms"
+while the on-demand mechanism keeps producing measurements late.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.series import ExperimentResult
+from repro.experiments.comparison import mechanism_round_sweep, mechanism_user_sweep
+from repro.metrics import average_measurements, measurements_per_round
+from repro.simulation.config import SimulationConfig
+
+
+def fig8a(
+    user_counts: Optional[Sequence[int]] = None,
+    repetitions: Optional[int] = None,
+    base_config: Optional[SimulationConfig] = None,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Average measurements per task vs number of users (Fig. 8(a))."""
+    return mechanism_user_sweep(
+        experiment_id="fig8a",
+        title="Average measurements per task vs number of users",
+        y_label="average measurements",
+        metric=average_measurements,
+        user_counts=user_counts,
+        repetitions=repetitions,
+        base_config=base_config,
+        base_seed=base_seed,
+    )
+
+
+def fig8b(
+    horizon: int = 15,
+    n_users: int = 100,
+    repetitions: Optional[int] = None,
+    base_config: Optional[SimulationConfig] = None,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Total new measurements per round at 100 users (Fig. 8(b))."""
+    return mechanism_round_sweep(
+        experiment_id="fig8b",
+        title=f"New measurements per round ({n_users} users)",
+        y_label="measurements",
+        series_metric=lambda result: measurements_per_round(result, horizon),
+        horizon=horizon,
+        n_users=n_users,
+        repetitions=repetitions,
+        base_config=base_config,
+        base_seed=base_seed,
+    )

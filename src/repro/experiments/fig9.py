@@ -1,0 +1,56 @@
+"""Fig. 9: participation balance and platform welfare.
+
+(a) variance of per-task measurement counts vs number of users — the
+on-demand mechanism should sit lowest (best participation balance, given
+it also has the highest average in Fig. 8(a));
+(b) average reward per measurement vs number of users — the on-demand
+mechanism should pay the least per measurement and decrease as users
+grow ("the demand is stronger for less number of mobile users").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.series import ExperimentResult
+from repro.experiments.comparison import mechanism_user_sweep
+from repro.metrics import average_reward_per_measurement, variance_of_measurements
+from repro.simulation.config import SimulationConfig
+
+
+def fig9a(
+    user_counts: Optional[Sequence[int]] = None,
+    repetitions: Optional[int] = None,
+    base_config: Optional[SimulationConfig] = None,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Variance of measurements vs number of users (Fig. 9(a))."""
+    return mechanism_user_sweep(
+        experiment_id="fig9a",
+        title="Variance of measurements vs number of users",
+        y_label="variance of measurements",
+        metric=variance_of_measurements,
+        user_counts=user_counts,
+        repetitions=repetitions,
+        base_config=base_config,
+        base_seed=base_seed,
+    )
+
+
+def fig9b(
+    user_counts: Optional[Sequence[int]] = None,
+    repetitions: Optional[int] = None,
+    base_config: Optional[SimulationConfig] = None,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Average reward per measurement vs number of users (Fig. 9(b))."""
+    return mechanism_user_sweep(
+        experiment_id="fig9b",
+        title="Average reward per measurement vs number of users",
+        y_label="average reward per measurement ($)",
+        metric=average_reward_per_measurement,
+        user_counts=user_counts,
+        repetitions=repetitions,
+        base_config=base_config,
+        base_seed=base_seed,
+    )

@@ -1,0 +1,70 @@
+"""Experiment registry: every paper panel and ablation, by id.
+
+The ids match DESIGN.md §4's per-experiment index; the CLI's
+``repro run <id>`` and the benchmark harness both resolve through here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ablations,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    reward_dynamics,
+    sat_comparison,
+    sweeps,
+    welfare,
+)
+
+#: id -> zero-argument-callable returning an ExperimentResult (all
+#: experiment functions have keyword defaults, so bare calls run the
+#: paper configuration).
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig5a": fig5.fig5a,
+    "fig5b": fig5.fig5b,
+    "fig6a": fig6.fig6a,
+    "fig6b": fig6.fig6b,
+    "fig7a": fig7.fig7a,
+    "fig7b": fig7.fig7b,
+    "fig8a": fig8.fig8a,
+    "fig8b": fig8.fig8b,
+    "fig9a": fig9.fig9a,
+    "fig9b": fig9.fig9b,
+    "sat-vs-wst": sat_comparison.sat_vs_wst,
+    "ablation-levels": ablations.level_count_ablation,
+    "ablation-factors": ablations.factor_ablation,
+    "ablation-mobility": ablations.mobility_ablation,
+    "ablation-weights": ablations.weight_method_ablation,
+    "ablation-heterogeneity": ablations.heterogeneity_ablation,
+    "ablation-adaptive": ablations.adaptive_budget_ablation,
+    "ablation-arrivals": ablations.arrivals_ablation,
+    "sweep-budget": sweeps.budget_sweep,
+    "reward-dynamics": reward_dynamics.reward_dynamics,
+    "welfare": welfare.welfare_by_mechanism,
+}
+
+
+def experiment_ids() -> List[str]:
+    """All registered experiment ids, in registry order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, **kwargs):
+    """Run one experiment by id, forwarding keyword overrides.
+
+    Raises:
+        ValueError: for an unknown id (message lists the valid ones).
+    """
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        valid = ", ".join(experiment_ids())
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; valid: {valid}"
+        ) from None
+    return runner(**kwargs)

@@ -1,0 +1,47 @@
+"""Price trajectories: what each mechanism *offers* round by round.
+
+Not a paper panel, but the clearest picture of the mechanisms' characters:
+
+- **on-demand** starts mid-ladder, dips as tasks fill (progress pushes
+  demand down), then climbs for the stragglers as deadlines close in;
+- **fixed** is a flat line by construction;
+- **steered** starts at its ceiling and decays monotonically — the
+  disengagement dynamic Section VI blames for its late-round silence.
+
+Also sensitive to the extension knobs: under the adaptive mechanism the
+trajectory ramps up as unspent budget is recycled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.series import ExperimentResult
+from repro.experiments.comparison import MECHANISMS_COMPARED, mechanism_round_sweep
+from repro.metrics.rewards import average_published_reward_per_round
+from repro.simulation.config import SimulationConfig
+
+
+def reward_dynamics(
+    horizon: int = 15,
+    n_users: int = 100,
+    mechanisms: Sequence[str] = MECHANISMS_COMPARED,
+    repetitions: Optional[int] = None,
+    base_config: Optional[SimulationConfig] = None,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Average published reward per round, one series per mechanism."""
+    return mechanism_round_sweep(
+        experiment_id="reward-dynamics",
+        title=f"Average published reward per round ({n_users} users)",
+        y_label="average published reward ($)",
+        series_metric=lambda result: average_published_reward_per_round(
+            result, horizon
+        ),
+        horizon=horizon,
+        n_users=n_users,
+        mechanisms=mechanisms,
+        repetitions=repetitions,
+        base_config=base_config,
+        base_seed=base_seed,
+    )

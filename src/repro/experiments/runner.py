@@ -1,0 +1,116 @@
+"""Repetition running and aggregation.
+
+The paper runs every configuration 100 times and reports the mean.  The
+runner reproduces that protocol with deterministic per-repetition seeds
+(:func:`repro.simulation.rng.child_seed`), so repetition i of any
+experiment is replayable in isolation and mechanisms compared at the
+same (base_seed, i) see the *same generated world* — the comparisons are
+paired, which slashes between-mechanism variance.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Sequence
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+from repro.simulation.events import SimulationResult
+from repro.simulation.rng import child_seed
+
+#: A metric is any scalar function of a finished run.
+MetricFn = Callable[[SimulationResult], float]
+
+#: The paper's Section VI sweep axis.
+PAPER_USER_COUNTS = (40, 60, 80, 100, 120, 140)
+
+#: The paper's repetition count; our default is lower for iteration speed.
+PAPER_REPETITIONS = 100
+
+
+def default_repetitions(fallback: int = 20) -> int:
+    """Repetitions per configuration: ``REPRO_REPS`` env var, else ``fallback``.
+
+    Raises:
+        ValueError: if the env var is set but not a positive integer.
+    """
+    raw = os.environ.get("REPRO_REPS")
+    if raw is None:
+        return fallback
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_REPS must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise ValueError(f"REPRO_REPS must be >= 1, got {value}")
+    return value
+
+
+def default_user_counts() -> Sequence[int]:
+    """The user-count sweep axis (the paper's 40..140 step 20)."""
+    return PAPER_USER_COUNTS
+
+
+def repeat_metrics(
+    config: SimulationConfig,
+    metrics: Dict[str, MetricFn],
+    repetitions: int,
+    base_seed: int = 0,
+) -> Dict[str, List[float]]:
+    """Run ``repetitions`` seeded simulations; collect each metric's values.
+
+    Args:
+        config: the configuration to repeat (its own ``seed`` is ignored —
+            repetition seeds come from ``base_seed``).
+        metrics: named scalar metrics evaluated on every run.
+        repetitions: how many runs.
+        base_seed: root of the per-repetition seed derivation.
+
+    Raises:
+        ValueError: for a non-positive repetition count.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    values: Dict[str, List[float]] = {name: [] for name in metrics}
+    for rep in range(repetitions):
+        run_config = config.with_overrides(seed=child_seed(base_seed, rep))
+        result = simulate(run_config)
+        for name, metric in metrics.items():
+            values[name].append(metric(result))
+    return values
+
+
+def repeat_metric(
+    config: SimulationConfig,
+    metric: MetricFn,
+    repetitions: int,
+    base_seed: int = 0,
+) -> List[float]:
+    """Single-metric convenience wrapper over :func:`repeat_metrics`."""
+    return repeat_metrics(config, {"metric": metric}, repetitions, base_seed)["metric"]
+
+
+def repeat_series_metric(
+    config: SimulationConfig,
+    series_metric: Callable[[SimulationResult], Sequence[float]],
+    repetitions: int,
+    base_seed: int = 0,
+) -> List[List[float]]:
+    """Like :func:`repeat_metric` for metrics that return a whole series
+    (e.g. coverage-by-round).  Result is ``[per-position values][rep]``-
+    transposed: one list of repetition values per series position.
+
+    Raises:
+        ValueError: if repetitions disagree on the series length.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    collected: List[Sequence[float]] = []
+    for rep in range(repetitions):
+        run_config = config.with_overrides(seed=child_seed(base_seed, rep))
+        collected.append(list(series_metric(simulate(run_config))))
+    lengths = {len(entry) for entry in collected}
+    if len(lengths) != 1:
+        raise ValueError(f"series metric returned inconsistent lengths: {lengths}")
+    length = lengths.pop()
+    return [[entry[i] for entry in collected] for i in range(length)]

@@ -1,0 +1,120 @@
+"""Generic parameter sweeps over any SimulationConfig field.
+
+The paper sweeps one axis (the number of users); downstream users of the
+library usually want to sweep *their* knob — budget, neighbour radius,
+level count — against the same metrics.  :func:`config_sweep` does that
+for any numeric config field, and :func:`budget_sweep` instantiates the
+one question every deployment asks first: **how much budget does a given
+completeness level cost?**
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.series import ExperimentResult, Series, SeriesPoint
+from repro.experiments.runner import MetricFn, default_repetitions, repeat_metrics
+from repro.metrics import coverage, overall_completeness
+from repro.simulation.config import SimulationConfig
+
+#: Default metrics for sweeps, as (label, fn) pairs.
+DEFAULT_METRICS: Dict[str, MetricFn] = {
+    "coverage_pct": lambda result: 100.0 * coverage(result),
+    "completeness_pct": lambda result: 100.0 * overall_completeness(result),
+}
+
+_CONFIG_FIELDS = {f.name for f in fields(SimulationConfig)}
+
+
+def config_sweep(
+    field: str,
+    values: Sequence[float],
+    metrics: Optional[Dict[str, MetricFn]] = None,
+    repetitions: Optional[int] = None,
+    base_config: Optional[SimulationConfig] = None,
+    base_seed: int = 0,
+    experiment_id: Optional[str] = None,
+) -> ExperimentResult:
+    """Sweep one config field; one series per metric, x = field value.
+
+    Args:
+        field: a :class:`SimulationConfig` field name (validated).
+        values: the x axis, in any order (sorted into the result).
+
+    Raises:
+        ValueError: for an unknown field or an empty value list.
+    """
+    if field not in _CONFIG_FIELDS:
+        raise ValueError(
+            f"unknown config field {field!r}; valid: {sorted(_CONFIG_FIELDS)}"
+        )
+    if not values:
+        raise ValueError("values must be non-empty")
+    metrics = metrics if metrics is not None else dict(DEFAULT_METRICS)
+    repetitions = repetitions if repetitions is not None else default_repetitions()
+    base_config = base_config if base_config is not None else SimulationConfig()
+
+    per_metric: Dict[str, list] = {name: [] for name in metrics}
+    for value in sorted(values):
+        config = base_config.with_overrides(**{field: value})
+        collected = repeat_metrics(config, metrics, repetitions, base_seed)
+        for name in metrics:
+            per_metric[name].append(SeriesPoint.from_values(value, collected[name]))
+
+    return ExperimentResult(
+        experiment_id=experiment_id if experiment_id else f"sweep-{field}",
+        title=f"Sweep over {field}",
+        x_label=field,
+        y_label=" / ".join(metrics),
+        series=[
+            Series(label=name, points=tuple(points))
+            for name, points in per_metric.items()
+        ],
+        metadata={
+            "repetitions": repetitions,
+            "base_seed": base_seed,
+            "field": field,
+        },
+    )
+
+
+def budget_sweep(
+    budgets: Sequence[float] = (400.0, 600.0, 800.0, 1000.0, 1500.0, 2000.0),
+    n_users: int = 100,
+    repetitions: Optional[int] = None,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Coverage/completeness vs platform budget B at fixed crowd size.
+
+    Budgets below :math:`\\sum \\varphi_i \\cdot \\lambda (N-1)` cannot
+    satisfy Eq. 9 at the paper's step/levels, so the default axis starts
+    at 400 $ (where :math:`r_0` is exactly 0 would be 800 with step 0.5 —
+    smaller budgets shrink the step to keep Eq. 9 feasible).
+    """
+    metrics = dict(DEFAULT_METRICS)
+    repetitions = repetitions if repetitions is not None else default_repetitions()
+
+    per_metric: Dict[str, list] = {name: [] for name in metrics}
+    for budget in sorted(budgets):
+        # Keep Eq. 9 feasible at small budgets: cap the step so r0 > 0.
+        base = SimulationConfig(n_users=n_users)
+        max_step = budget / base.total_required_measurements / (base.level_count - 1)
+        step = min(base.reward_step, 0.8 * max_step)
+        config = base.with_overrides(budget=budget, reward_step=step)
+        collected = repeat_metrics(config, metrics, repetitions, base_seed)
+        for name in metrics:
+            per_metric[name].append(SeriesPoint.from_values(budget, collected[name]))
+
+    return ExperimentResult(
+        experiment_id="sweep-budget",
+        title=f"Coverage/completeness vs platform budget ({n_users} users)",
+        x_label="budget ($)",
+        y_label="percent",
+        series=[
+            Series(label=name, points=tuple(points))
+            for name, points in per_metric.items()
+        ],
+        metadata={"repetitions": repetitions, "base_seed": base_seed,
+                  "n_users": n_users},
+    )

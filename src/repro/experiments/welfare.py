@@ -1,0 +1,40 @@
+"""Platform welfare by mechanism — the Section III-B objective directly.
+
+Fig. 9(b) approximates welfare by the price per measurement; this panel
+computes the welfare itself (value of on-time data minus payments, see
+:mod:`repro.metrics.welfare`) across the user sweep.  Expected shape:
+on-demand on top — it both buys the most on-time measurements *and* pays
+the least for them — with steered penalised hardest because it buys
+deadline-blind.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.series import ExperimentResult
+from repro.experiments.comparison import mechanism_user_sweep
+from repro.metrics.welfare import platform_welfare
+from repro.simulation.config import SimulationConfig
+
+
+def welfare_by_mechanism(
+    user_counts: Optional[Sequence[int]] = None,
+    value_per_measurement: float = 2.5,
+    repetitions: Optional[int] = None,
+    base_config: Optional[SimulationConfig] = None,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Platform welfare ($) vs number of users, three mechanisms."""
+    result = mechanism_user_sweep(
+        experiment_id="welfare",
+        title="Platform welfare vs number of users",
+        y_label="platform welfare ($)",
+        metric=lambda r: platform_welfare(r, value_per_measurement),
+        user_counts=user_counts,
+        repetitions=repetitions,
+        base_config=base_config,
+        base_seed=base_seed,
+    )
+    result.metadata["value_per_measurement"] = value_per_measurement
+    return result

@@ -1,0 +1,37 @@
+"""Planar geometry substrate for location-dependent crowdsensing.
+
+Everything in the simulation lives on a 2-D Euclidean plane measured in
+meters.  This package provides the small set of geometric primitives the
+rest of the library is built on:
+
+- :class:`~repro.geometry.point.Point` — an immutable 2-D point.
+- :mod:`~repro.geometry.distances` — vectorised pairwise-distance helpers
+  built on numpy, used by the task-selection solvers.
+- :class:`~repro.geometry.region.RectRegion` — the rectangular deployment
+  area, with uniform random sampling.
+- :class:`~repro.geometry.grid_index.GridIndex` — a uniform-grid spatial
+  index used to count the neighbouring mobile users of each task
+  (the X3 demand factor, Eq. 5 of the paper).
+"""
+
+from repro.geometry.point import Point, euclidean, manhattan
+from repro.geometry.distances import (
+    pairwise_distances,
+    cross_distances,
+    path_length,
+    distances_from,
+)
+from repro.geometry.region import RectRegion
+from repro.geometry.grid_index import GridIndex
+
+__all__ = [
+    "Point",
+    "euclidean",
+    "manhattan",
+    "pairwise_distances",
+    "cross_distances",
+    "path_length",
+    "distances_from",
+    "RectRegion",
+    "GridIndex",
+]

@@ -1,0 +1,26 @@
+"""Result persistence and table rendering.
+
+- :mod:`~repro.io.results` — save/load experiment results as JSON.
+- :mod:`~repro.io.csvio` — export series as CSV for external plotting.
+- :mod:`~repro.io.tables` — render results as aligned ASCII / markdown
+  tables (what the CLI and the benchmark harness print).
+"""
+
+from repro.io.results import save_result, load_result
+from repro.io.csvio import write_series_csv, read_series_csv
+from repro.io.tables import render_table, render_experiment, render_markdown
+from repro.io.ascii_chart import render_chart, render_sparkline
+from repro.io.worldmap import render_world
+
+__all__ = [
+    "save_result",
+    "load_result",
+    "write_series_csv",
+    "read_series_csv",
+    "render_table",
+    "render_experiment",
+    "render_markdown",
+    "render_chart",
+    "render_sparkline",
+    "render_world",
+]

@@ -1,0 +1,111 @@
+"""Plain-text line charts for experiment series.
+
+There is no plotting stack in this environment (and none is needed to
+*read* a reproduction), but eyeballing a curve beats scanning a table.
+``repro run fig6a --chart`` renders the panel as a fixed-size character
+grid: one marker per series, shared y-scale, labelled extremes.
+
+Marker collisions (two series on the same cell) render as ``*`` — with
+three mechanisms whose curves overlap at 100 % this happens a lot, and
+hiding one of them silently would misread as divergence.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.series import ExperimentResult, Series
+
+#: Per-series markers, assigned in series order.
+MARKERS = "ox+#@%"
+
+#: Marker used when several series land on the same cell.
+COLLISION = "*"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    """Map ``value`` in [low, high] to a row/column index in [0, size-1]."""
+    if high <= low:
+        return 0
+    fraction = (value - low) / (high - low)
+    return min(size - 1, max(0, int(round(fraction * (size - 1)))))
+
+
+def render_chart(
+    result: ExperimentResult,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Render every series of ``result`` on one character grid.
+
+    Args:
+        width / height: grid size in characters (axes excluded).
+
+    Raises:
+        ValueError: for a degenerate grid or a result with no points.
+    """
+    if width < 8 or height < 4:
+        raise ValueError(f"grid too small: {width}x{height}")
+    points = [(s, p) for s in result.series for p in s.points]
+    if not points:
+        raise ValueError(f"{result.experiment_id} has no points to chart")
+
+    xs = [p.x for _s, p in points]
+    ys = [p.mean for _s, p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if y_high == y_low:  # flat chart: pad so the line sits mid-grid
+        y_low -= 1.0
+        y_high += 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(result.series):
+        marker = MARKERS[index % len(MARKERS)]
+        for point in series.points:
+            column = _scale(point.x, x_low, x_high, width)
+            row = height - 1 - _scale(point.mean, y_low, y_high, height)
+            cell = grid[row][column]
+            grid[row][column] = marker if cell == " " else COLLISION
+
+    y_label_width = max(len(f"{y_high:.4g}"), len(f"{y_low:.4g}"))
+    lines = [f"{result.experiment_id}: {result.title}"]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_high:.4g}".rjust(y_label_width)
+        elif row_index == height - 1:
+            label = f"{y_low:.4g}".rjust(y_label_width)
+        else:
+            label = " " * y_label_width
+        lines.append(f"{label} |{''.join(row)}|")
+    x_axis = f"{x_low:.4g}".ljust(width - len(f"{x_high:.4g}")) + f"{x_high:.4g}"
+    lines.append(" " * y_label_width + "  " + x_axis)
+    legend = "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={series.label}"
+        for i, series in enumerate(result.series)
+    )
+    lines.append(f"{' ' * y_label_width}  [{legend}; {COLLISION}=overlap]"
+                 f"  y: {result.y_label}, x: {result.x_label}")
+    return "\n".join(lines)
+
+
+def render_sparkline(series: Series, width: int = 40) -> str:
+    """A one-line unicode sparkline of a series' means.
+
+    Resamples to ``width`` columns by nearest-point lookup; constant
+    series render as a flat mid-height bar.
+    """
+    if not series.points:
+        raise ValueError(f"series {series.label!r} is empty")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    blocks = "▁▂▃▄▅▆▇█"
+    means = series.means
+    low, high = min(means), max(means)
+    columns = []
+    for i in range(min(width, len(means))):
+        value = means[round(i * (len(means) - 1) / max(1, min(width, len(means)) - 1))]
+        if high == low:
+            columns.append(blocks[3])
+        else:
+            columns.append(blocks[_scale(value, low, high, len(blocks))])
+    return f"{series.label} {''.join(columns)} [{low:.4g}..{high:.4g}]"

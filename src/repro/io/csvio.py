@@ -1,0 +1,65 @@
+"""CSV export/import of experiment series (for external plotting tools)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.series import ExperimentResult, Series, SeriesPoint
+
+_COLUMNS = ("series", "x", "mean", "std", "n")
+
+
+def write_series_csv(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Write every (series, x, mean, std, n) observation as one CSV row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_COLUMNS)
+        for series in result.series:
+            for point in series.points:
+                writer.writerow([series.label, point.x, point.mean, point.std, point.n])
+    return path
+
+
+def read_series_csv(
+    path: Union[str, Path],
+    experiment_id: str = "imported",
+    title: str = "imported",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> ExperimentResult:
+    """Read a CSV written by :func:`write_series_csv` back into a result.
+
+    The axis labels are not stored in the CSV (it is a plotting export),
+    so callers may re-supply them.
+
+    Raises:
+        ValueError: if the header does not match the expected columns.
+    """
+    rows = []
+    with Path(path).open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = tuple(next(reader))
+        if header != _COLUMNS:
+            raise ValueError(f"{path}: unexpected CSV header {header}")
+        rows = list(reader)
+
+    by_label: dict = {}
+    for label, x, mean, std, n in rows:
+        by_label.setdefault(label, []).append(
+            SeriesPoint(x=float(x), mean=float(mean), std=float(std), n=int(n))
+        )
+    series = [
+        Series(label=label, points=tuple(sorted(points, key=lambda p: p.x)))
+        for label, points in by_label.items()
+    ]
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        x_label=x_label,
+        y_label=y_label,
+        series=series,
+    )

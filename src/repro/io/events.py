@@ -1,0 +1,159 @@
+"""JSONL export/import of full simulation histories.
+
+A :class:`~repro.simulation.events.SimulationResult` is the library's
+in-memory truth; this module flattens it to one JSON object per line —
+one ``meta`` line, one line per round — so external tooling (pandas,
+jq, spreadsheets) can consume runs without importing the library, and so
+runs can be archived next to the experiment results they produced.
+
+The loader rebuilds a *replay*: the structured history and the task
+outcomes, sufficient for every metric in :mod:`repro.metrics` that reads
+rounds (coverage, measurements, rewards, profits).  It does not rebuild
+live ``World`` objects — replays are for analysis, not resumption.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.simulation.events import (
+    MeasurementEvent,
+    RejectedContribution,
+    RoundRecord,
+    SimulationResult,
+    UserRoundRecord,
+)
+
+FORMAT_VERSION = 1
+
+
+def _round_payload(record: RoundRecord) -> Dict:
+    return {
+        "kind": "round",
+        "round_no": record.round_no,
+        "published_rewards": {str(k): v for k, v in record.published_rewards.items()},
+        "user_records": [
+            {
+                "user_id": r.user_id,
+                "selected_task_ids": list(r.selected_task_ids),
+                "distance": r.distance,
+                "reward": r.reward,
+                "cost": r.cost,
+            }
+            for r in record.user_records
+        ],
+        "measurements": [
+            [e.round_no, e.task_id, e.user_id, e.reward] for e in record.measurements
+        ],
+        "rejections": [
+            [e.round_no, e.task_id, e.user_id, e.reason] for e in record.rejections
+        ],
+        "completed_task_ids": list(record.completed_task_ids),
+        "expired_task_ids": list(record.expired_task_ids),
+    }
+
+
+def write_events_jsonl(result: SimulationResult, path: Union[str, Path]) -> Path:
+    """Write one meta line plus one line per round (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "kind": "meta",
+        "format_version": FORMAT_VERSION,
+        "rounds_played": result.rounds_played,
+        "n_tasks": len(result.world.tasks),
+        "n_users": len(result.world.users),
+        "task_deadlines": {
+            str(t.task_id): t.deadline for t in result.world.tasks
+        },
+        "task_required": {
+            str(t.task_id): t.required_measurements for t in result.world.tasks
+        },
+    }
+    with path.open("w") as handle:
+        handle.write(json.dumps(meta) + "\n")
+        for record in result.rounds:
+            handle.write(json.dumps(_round_payload(record)) + "\n")
+    return path
+
+
+@dataclass
+class SimulationReplay:
+    """A loaded history: rounds + the task parameters metrics need."""
+
+    rounds: List[RoundRecord]
+    n_tasks: int
+    n_users: int
+    task_deadlines: Dict[int, int]
+    task_required: Dict[int, int]
+
+    @property
+    def total_measurements(self) -> int:
+        return sum(r.measurement_count for r in self.rounds)
+
+    @property
+    def total_paid(self) -> float:
+        return sum(r.total_paid for r in self.rounds)
+
+    def measurements_by_task(self) -> Dict[int, int]:
+        counts = {task_id: 0 for task_id in self.task_deadlines}
+        for record in self.rounds:
+            for event in record.measurements:
+                counts[event.task_id] += 1
+        return counts
+
+
+def read_events_jsonl(path: Union[str, Path]) -> SimulationReplay:
+    """Load a history written by :func:`write_events_jsonl`.
+
+    Raises:
+        ValueError: for a missing meta line or foreign format version.
+    """
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty event log")
+    meta = json.loads(lines[0])
+    if meta.get("kind") != "meta" or meta.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: not a version-{FORMAT_VERSION} event log (got {meta.get('kind')!r})"
+        )
+    rounds: List[RoundRecord] = []
+    for line in lines[1:]:
+        payload = json.loads(line)
+        if payload.get("kind") != "round":
+            raise ValueError(f"{path}: unexpected line kind {payload.get('kind')!r}")
+        rounds.append(RoundRecord(
+            round_no=payload["round_no"],
+            published_rewards={
+                int(k): v for k, v in payload["published_rewards"].items()
+            },
+            user_records=tuple(
+                UserRoundRecord(
+                    round_no=payload["round_no"],
+                    user_id=r["user_id"],
+                    selected_task_ids=tuple(r["selected_task_ids"]),
+                    distance=r["distance"],
+                    reward=r["reward"],
+                    cost=r["cost"],
+                )
+                for r in payload["user_records"]
+            ),
+            measurements=tuple(
+                MeasurementEvent(*entry) for entry in payload["measurements"]
+            ),
+            rejections=tuple(
+                RejectedContribution(*entry) for entry in payload["rejections"]
+            ),
+            completed_task_ids=tuple(payload["completed_task_ids"]),
+            expired_task_ids=tuple(payload["expired_task_ids"]),
+        ))
+    return SimulationReplay(
+        rounds=rounds,
+        n_tasks=meta["n_tasks"],
+        n_users=meta["n_users"],
+        task_deadlines={int(k): v for k, v in meta["task_deadlines"].items()},
+        task_required={int(k): v for k, v in meta["task_required"].items()},
+    )

@@ -1,0 +1,44 @@
+"""JSON persistence for experiment results.
+
+Files carry a format version so a result written by one release can be
+rejected loudly (not mis-parsed silently) by an incompatible one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.series import ExperimentResult
+
+FORMAT_VERSION = 1
+
+
+def save_result(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Write an experiment result to ``path`` as JSON (parents created).
+
+    Returns the resolved path for logging convenience.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"format_version": FORMAT_VERSION, "result": result.as_dict()}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_result(path: Union[str, Path]) -> ExperimentResult:
+    """Read an experiment result written by :func:`save_result`.
+
+    Raises:
+        ValueError: for a missing/foreign format version.
+        FileNotFoundError: if the file does not exist.
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: format version {version!r} not supported "
+            f"(this release reads {FORMAT_VERSION})"
+        )
+    return ExperimentResult.from_dict(payload["result"])

@@ -1,0 +1,84 @@
+"""Aligned ASCII and markdown rendering of tabular results.
+
+This is how the CLI and the benchmark harness print "the same rows the
+paper reports": one row per x value, one column per compared series.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.analysis.series import ExperimentResult
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    header: Sequence[str], rows: Sequence[Sequence[Any]], precision: int = 2
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Raises:
+        ValueError: if any row's width differs from the header's.
+    """
+    width = len(header)
+    for row in rows:
+        if len(row) != width:
+            raise ValueError(
+                f"row width {len(row)} != header width {width}: {row}"
+            )
+    text_rows: List[List[str]] = [
+        [_format_cell(value, precision) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(str(header[col])), *(len(row[col]) for row in text_rows))
+        if text_rows
+        else len(str(header[col]))
+        for col in range(width)
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_experiment(result: ExperimentResult, precision: int = 2) -> str:
+    """Title + metadata line + the aligned series table."""
+    meta_bits = [f"{key}={value}" for key, value in sorted(result.metadata.items())]
+    lines = [
+        f"{result.experiment_id}: {result.title}",
+        f"  [{', '.join(meta_bits)}]" if meta_bits else "",
+        "",
+        render_table(result.header(), result.rows(), precision),
+    ]
+    return "\n".join(line for line in lines if line != "")
+
+
+def render_markdown(
+    header: Sequence[str], rows: Sequence[Sequence[Any]], precision: int = 2
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    width = len(header)
+    for row in rows:
+        if len(row) != width:
+            raise ValueError(
+                f"row width {len(row)} != header width {width}: {row}"
+            )
+    lines = [
+        "| " + " | ".join(str(h) for h in header) + " |",
+        "|" + "|".join(["---"] * width) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_format_cell(v, precision) for v in row) + " |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""The Section VI evaluation metrics, as pure functions of a result.
+
+Each module implements one family of metrics from the paper's
+evaluation, computed from a finished
+:class:`~repro.simulation.events.SimulationResult`:
+
+- :mod:`~repro.metrics.coverage` — Fig. 6: the fraction of tasks selected
+  at least once ("how good the algorithm balances the popularity").
+- :mod:`~repro.metrics.completeness` — Fig. 7: how complete tasks are
+  *by their deadlines*.
+- :mod:`~repro.metrics.measurements` — Fig. 8 and Fig. 9(a): measurement
+  counts per task/round and their variance.
+- :mod:`~repro.metrics.rewards` — Fig. 9(b): the platform's average
+  reward per measurement (its welfare proxy).
+- :mod:`~repro.metrics.profit` — Fig. 5: per-user profits.
+- :class:`~repro.metrics.summary.MetricsSummary` — everything at once,
+  for result files and the CLI.
+"""
+
+from repro.metrics.coverage import coverage, coverage_by_round
+from repro.metrics.completeness import (
+    overall_completeness,
+    completed_fraction,
+    completeness_at_round,
+    completeness_by_round,
+    per_task_completeness,
+)
+from repro.metrics.measurements import (
+    measurements_per_task,
+    average_measurements,
+    variance_of_measurements,
+    measurements_per_round,
+)
+from repro.metrics.rewards import (
+    average_reward_per_measurement,
+    average_published_reward_per_round,
+    total_paid,
+)
+from repro.metrics.welfare import (
+    on_time_measurements,
+    platform_welfare,
+    welfare_margin,
+)
+from repro.metrics.profit import (
+    average_profit_per_user,
+    user_profits,
+    profit_difference,
+)
+from repro.metrics.summary import MetricsSummary
+
+__all__ = [
+    "coverage",
+    "coverage_by_round",
+    "overall_completeness",
+    "completed_fraction",
+    "completeness_at_round",
+    "completeness_by_round",
+    "per_task_completeness",
+    "measurements_per_task",
+    "average_measurements",
+    "variance_of_measurements",
+    "measurements_per_round",
+    "average_reward_per_measurement",
+    "average_published_reward_per_round",
+    "total_paid",
+    "on_time_measurements",
+    "platform_welfare",
+    "welfare_margin",
+    "average_profit_per_user",
+    "user_profits",
+    "profit_difference",
+    "MetricsSummary",
+]

@@ -1,0 +1,76 @@
+"""Overall completeness: the deadline-sensitive metric of Fig. 7.
+
+"Each sensing task is expected to be completed before its deadline and
+the overall completeness measures how good of task completeness before
+their deadlines."
+
+We report the mean, over tasks, of the fraction of required measurements
+received *by the deadline* (capped at 1).  :func:`completed_fraction`
+additionally reports the stricter all-or-nothing variant (fraction of
+tasks fully complete by their deadline); both appear in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.simulation.events import SimulationResult
+
+
+def per_task_completeness(result: SimulationResult) -> Dict[int, float]:
+    """Per task: received-by-deadline / required, capped at 1."""
+    return {
+        task.task_id: min(1.0, task.received_by_deadline() / task.required_measurements)
+        for task in result.world.tasks
+    }
+
+
+def overall_completeness(result: SimulationResult) -> float:
+    """Mean per-task completeness in [0, 1] (Fig. 7's y-axis, /100)."""
+    fractions = per_task_completeness(result)
+    if not fractions:
+        return 1.0
+    return sum(fractions.values()) / len(fractions)
+
+
+def completeness_at_round(result: SimulationResult, round_no: int) -> float:
+    """Overall completeness as it stood after round ``round_no``.
+
+    A task's contribution is the fraction of its required measurements
+    received by ``min(deadline, round_no)`` — i.e. the metric the paper
+    would have reported had the experiment stopped at that round.
+
+    Raises:
+        ValueError: for a non-positive round number.
+    """
+    if round_no < 1:
+        raise ValueError(f"round_no must be >= 1, got {round_no}")
+    tasks = result.world.tasks
+    if not tasks:
+        return 1.0
+    total = 0.0
+    for task in tasks:
+        cutoff = min(task.deadline, round_no)
+        received = sum(
+            count
+            for completed_round, count in task.measurements_by_round.items()
+            if completed_round <= cutoff
+        )
+        total += min(1.0, received / task.required_measurements)
+    return total / len(tasks)
+
+
+def completeness_by_round(result: SimulationResult, horizon: int) -> List[float]:
+    """:func:`completeness_at_round` for every round 1..horizon (Fig. 7(b))."""
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    return [completeness_at_round(result, r) for r in range(1, horizon + 1)]
+
+
+def completed_fraction(result: SimulationResult) -> float:
+    """Fraction of tasks *fully* complete by their deadline (strict variant)."""
+    fractions = per_task_completeness(result)
+    if not fractions:
+        return 1.0
+    complete = sum(1 for value in fractions.values() if value >= 1.0 - 1e-12)
+    return complete / len(fractions)

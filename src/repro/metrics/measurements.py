@@ -1,0 +1,56 @@
+"""Measurement-count metrics: Fig. 8 and Fig. 9(a).
+
+- Fig. 8(a): average accepted measurements per task at the end of the run.
+- Fig. 8(b): total *new* measurements per round.
+- Fig. 9(a): the variance of per-task measurement counts — "the balance
+  of users' participation among sensing tasks"; smaller is more balanced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.simulation.events import SimulationResult
+
+
+def measurements_per_task(result: SimulationResult) -> Dict[int, int]:
+    """Accepted measurements per task id over the whole run."""
+    return result.measurements_by_task()
+
+
+def average_measurements(result: SimulationResult) -> float:
+    """Mean accepted measurements per task (Fig. 8(a) y-axis)."""
+    counts = measurements_per_task(result)
+    if not counts:
+        return 0.0
+    return float(np.mean(list(counts.values())))
+
+
+def variance_of_measurements(result: SimulationResult) -> float:
+    """Population variance of per-task measurement counts (Fig. 9(a) y-axis)."""
+    counts = measurements_per_task(result)
+    if not counts:
+        return 0.0
+    return float(np.var(list(counts.values())))
+
+
+def measurements_per_round(result: SimulationResult, horizon: int) -> List[int]:
+    """New accepted measurements in each of rounds 1..horizon (Fig. 8(b) series).
+
+    Rounds beyond the played history contribute 0 — the run ended, no
+    more data arrives.
+
+    Raises:
+        ValueError: for a non-positive horizon.
+    """
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    series: List[int] = []
+    for round_no in range(1, horizon + 1):
+        if round_no <= result.rounds_played:
+            series.append(result.rounds[round_no - 1].measurement_count)
+        else:
+            series.append(0)
+    return series

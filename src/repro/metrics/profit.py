@@ -1,0 +1,54 @@
+"""User-profit metrics: Fig. 5.
+
+Fig. 5(a) plots the *average profit per user* at sensing round 2 — "the
+total profits of all users divided by the total number of users" —
+for the DP and greedy selectors; Fig. 5(b) boxplots the per-experiment
+difference between the two.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.simulation.events import SimulationResult
+
+
+def user_profits(
+    result: SimulationResult, round_no: Optional[int] = None
+) -> List[float]:
+    """Per-user profit for one round (1-based) or the whole run (None)."""
+    return result.user_profits(round_no)
+
+
+def average_profit_per_user(
+    result: SimulationResult, round_no: Optional[int] = None
+) -> float:
+    """Total profit divided by the number of users (Fig. 5(a) y-axis).
+
+    If ``round_no`` exceeds the rounds actually played (the run ended
+    early), the round contributed no profit, so the average is 0.
+    """
+    if round_no is not None and round_no > result.rounds_played:
+        return 0.0
+    profits = user_profits(result, round_no)
+    if not profits:
+        return 0.0
+    return float(np.mean(profits))
+
+
+def profit_difference(
+    dp_result: SimulationResult,
+    greedy_result: SimulationResult,
+    round_no: Optional[int] = None,
+) -> float:
+    """Average-profit gap (DP minus greedy) between two paired runs.
+
+    The Fig. 5(b) experiment pairs runs on the *same* world seed so the
+    difference isolates the selector; callers are responsible for that
+    pairing.
+    """
+    return average_profit_per_user(dp_result, round_no) - average_profit_per_user(
+        greedy_result, round_no
+    )

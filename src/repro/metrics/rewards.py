@@ -1,0 +1,55 @@
+"""Platform-welfare metrics: Fig. 9(b).
+
+"The platform will have a larger welfare if it pays smaller reward per
+measurement."  The average reward per measurement is the total payout
+divided by the number of accepted measurements.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.simulation.events import SimulationResult
+
+
+def total_paid(result: SimulationResult) -> float:
+    """Total rewards the platform paid over the run (bounded by Eq. 8)."""
+    return result.total_paid
+
+
+def average_reward_per_measurement(result: SimulationResult) -> float:
+    """Mean price paid per accepted measurement (Fig. 9(b) y-axis).
+
+    Defined as 0 for a run with no measurements at all (nothing was
+    bought, nothing was paid) — callers comparing mechanisms treat that
+    as "no participation", which the other metrics expose too.
+    """
+    count = result.total_measurements
+    if count == 0:
+        return 0.0
+    return result.total_paid / count
+
+
+def average_published_reward_per_round(
+    result: SimulationResult, horizon: int
+) -> List[float]:
+    """Mean *published* (offered) reward per round, for rounds 1..horizon.
+
+    This is the price dynamics view: what the platform offered, not what
+    it paid.  Rounds with no published task — and rounds past the played
+    history — contribute 0, so mechanism trajectories stay comparable
+    across early-stopping runs.
+
+    Raises:
+        ValueError: for a non-positive horizon.
+    """
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    series: List[float] = []
+    for round_no in range(1, horizon + 1):
+        if round_no <= result.rounds_played:
+            prices = result.rounds[round_no - 1].published_rewards
+            series.append(sum(prices.values()) / len(prices) if prices else 0.0)
+        else:
+            series.append(0.0)
+    return series

@@ -1,0 +1,62 @@
+"""One-shot metrics summary of a finished simulation.
+
+Bundles every Section VI metric into a single flat record, which is what
+the experiment runner aggregates across repetitions and what the CLI and
+result files serialise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Dict
+
+from repro.metrics.completeness import completed_fraction, overall_completeness
+from repro.metrics.coverage import coverage
+from repro.metrics.measurements import average_measurements, variance_of_measurements
+from repro.metrics.profit import average_profit_per_user
+from repro.metrics.rewards import average_reward_per_measurement, total_paid
+from repro.simulation.events import SimulationResult
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """Every headline metric of one run, as plain floats.
+
+    Fields map to the paper's figures: ``coverage`` (Fig. 6),
+    ``overall_completeness`` (Fig. 7), ``average_measurements``
+    (Fig. 8(a)), ``variance_of_measurements`` (Fig. 9(a)),
+    ``average_reward_per_measurement`` (Fig. 9(b)),
+    ``average_profit_per_user`` over the whole run (Fig. 5 uses the
+    per-round variant directly).
+    """
+
+    coverage: float
+    overall_completeness: float
+    completed_fraction: float
+    average_measurements: float
+    variance_of_measurements: float
+    average_reward_per_measurement: float
+    average_profit_per_user: float
+    total_measurements: int
+    total_paid: float
+    rounds_played: int
+
+    @classmethod
+    def from_result(cls, result: SimulationResult) -> "MetricsSummary":
+        """Compute the full summary from one finished run."""
+        return cls(
+            coverage=coverage(result),
+            overall_completeness=overall_completeness(result),
+            completed_fraction=completed_fraction(result),
+            average_measurements=average_measurements(result),
+            variance_of_measurements=variance_of_measurements(result),
+            average_reward_per_measurement=average_reward_per_measurement(result),
+            average_profit_per_user=average_profit_per_user(result),
+            total_measurements=result.total_measurements,
+            total_paid=total_paid(result),
+            rounds_played=result.rounds_played,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict form for serialisation and aggregation."""
+        return asdict(self)

@@ -1,0 +1,48 @@
+"""Distributed task selection: Section V of the paper.
+
+Each round, each user solves (Eq. 1)
+
+.. math::
+    \\max_{S} \\; \\sum_{t \\in S} r_t - C(S)
+    \\quad \\text{s.t.} \\quad \\Gamma_S \\le B_u
+
+where :math:`C(S)` is the movement cost of the shortest origin-anchored
+path through the selected task locations and :math:`\\Gamma_S` the
+corresponding travel time.  The problem is NP-hard (orienteering,
+Theorem 1), so the package offers:
+
+- :class:`~repro.selection.dp.DynamicProgrammingSelector` — exact bitmask
+  DP over (subset, last-task) states (the paper's Eq. 11–12), explored
+  label-setting style so subsets unreachable within the travel budget are
+  never expanded.
+- :class:`~repro.selection.greedy.GreedySelector` — the paper's
+  :math:`O(m^2)` marginal-profit greedy.
+- :class:`~repro.selection.two_opt.GreedyTwoOptSelector` — extension:
+  greedy + 2-opt path improvement + opportunistic re-insertion.
+- :class:`~repro.selection.brute_force.BruteForceSelector` — exhaustive
+  permutation search, the test oracle for small instances.
+"""
+
+from repro.selection.base import CandidateTask, Selection, Selector
+from repro.selection.problem import TaskSelectionProblem
+from repro.selection.dp import DynamicProgrammingSelector
+from repro.selection.greedy import GreedySelector
+from repro.selection.brute_force import BruteForceSelector
+from repro.selection.branch_and_bound import BranchAndBoundSelector
+from repro.selection.two_opt import GreedyTwoOptSelector, improve_order
+from repro.selection.factory import make_selector, SELECTOR_NAMES
+
+__all__ = [
+    "CandidateTask",
+    "Selection",
+    "Selector",
+    "TaskSelectionProblem",
+    "DynamicProgrammingSelector",
+    "GreedySelector",
+    "BruteForceSelector",
+    "BranchAndBoundSelector",
+    "GreedyTwoOptSelector",
+    "improve_order",
+    "make_selector",
+    "SELECTOR_NAMES",
+]

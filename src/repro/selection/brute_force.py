@@ -1,0 +1,57 @@
+"""Exhaustive task selection — the correctness oracle for small instances.
+
+Enumerates every subset of candidates and every visit order of each
+subset, keeping the best feasible profit.  Factorial in the instance
+size, so it refuses instances beyond ``max_tasks`` (default 8: 8! x 2^8
+≈ 10M orders is already seconds).  Used by the property tests to verify
+that the DP selector is exactly optimal and that greedy never beats it.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Optional, Tuple
+
+from repro.selection.base import Selection, Selector
+from repro.selection.problem import TaskSelectionProblem
+
+
+class BruteForceSelector(Selector):
+    """Optimal-by-enumeration solver for Eq. 1 (test oracle).
+
+    Args:
+        max_tasks: hard size limit; larger instances raise instead of
+            silently taking hours.
+        min_profit: same rational-user threshold as the other solvers.
+    """
+
+    name = "brute-force"
+
+    def __init__(self, max_tasks: int = 8, min_profit: float = 0.0):
+        if max_tasks < 1:
+            raise ValueError(f"max_tasks must be >= 1, got {max_tasks}")
+        self.max_tasks = max_tasks
+        self.min_profit = min_profit
+
+    def select(self, problem: TaskSelectionProblem) -> Selection:
+        if problem.size > self.max_tasks:
+            raise ValueError(
+                f"brute force refuses {problem.size} tasks (limit {self.max_tasks})"
+            )
+        best: Optional[Tuple[float, Selection]] = None
+        indices = range(problem.size)
+        # Enumerate orders directly: every non-empty subset appears as the
+        # set of elements of some permutation prefix, so permutations of
+        # all sizes cover the whole subset lattice.
+        for size in range(1, problem.size + 1):
+            for order in permutations(indices, size):
+                if not problem.is_feasible(order):
+                    continue
+                selection = problem.evaluate(order)
+                if selection.profit <= self.min_profit:
+                    continue
+                if best is None or selection.profit > best[0] + 1e-12:
+                    best = (selection.profit, selection)
+        if best is None:
+            return Selection.empty()
+        return best[1]

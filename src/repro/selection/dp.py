@@ -1,0 +1,164 @@
+"""Exact dynamic-programming task selection (Section V-A of the paper).
+
+The paper's recurrence (Eq. 12) fills the full ``2^m x (m+1)`` matrix
+``dp[subset][last]`` = shortest origin-anchored path visiting ``subset``
+and ending at ``last``.  We compute the same values but *label-setting*
+style: states are expanded layer by layer (by subset cardinality) and a
+state is expanded only if its path length is within the travel budget.
+Any super-path of an infeasible path is infeasible (distances are
+non-negative), so the pruning is lossless — with realistic budgets the
+explored state count collapses from :math:`2^m` to the few thousand
+subsets actually reachable.
+
+Instance-size cap: the exact DP is still exponential in the worst case,
+so instances with more than ``max_exact_tasks`` reachable candidates are
+first restricted to the ``max_exact_tasks`` candidates with the highest
+direct-profit potential (reward minus the cost of walking straight to
+the task).  With the paper's Section VI constants the cap almost never
+binds; tests cover both regimes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.selection.base import Selection, Selector
+from repro.selection.problem import TaskSelectionProblem
+
+
+class DynamicProgrammingSelector(Selector):
+    """Optimal Eq. 1 solver via budget-pruned bitmask DP.
+
+    Args:
+        max_exact_tasks: largest candidate count solved exactly; bigger
+            instances are restricted to that many highest-potential
+            candidates first (see module docstring).
+        min_profit: selections must beat this profit to be worth leaving
+            home; the paper's rational user uses 0.
+    """
+
+    name = "dp"
+
+    def __init__(self, max_exact_tasks: int = 18, min_profit: float = 0.0):
+        if max_exact_tasks < 1:
+            raise ValueError(f"max_exact_tasks must be >= 1, got {max_exact_tasks}")
+        self.max_exact_tasks = max_exact_tasks
+        self.min_profit = min_profit
+
+    def select(self, problem: TaskSelectionProblem) -> Selection:
+        if problem.size == 0:
+            return Selection.empty()
+        problem = self._capped(problem)
+        order = self._best_order(problem)
+        if order is None:
+            return Selection.empty()
+        return problem.evaluate(order)
+
+    # -- candidate capping -------------------------------------------------
+
+    def _capped(self, problem: TaskSelectionProblem) -> TaskSelectionProblem:
+        if problem.size <= self.max_exact_tasks:
+            return problem
+        direct = problem.distance_matrix[0, 1:]
+        potential = problem.rewards - problem.cost_per_meter * direct
+        keep = np.argsort(-potential)[: self.max_exact_tasks]
+        return problem.restricted_to([int(i) for i in keep])
+
+    # -- the DP itself -----------------------------------------------------------
+
+    def _best_order(self, problem: TaskSelectionProblem) -> Optional[List[int]]:
+        """The profit-optimal feasible visit order, or None to sit out.
+
+        States are ``(mask, last)`` with ``mask`` a bitmask over candidate
+        indices and ``last`` the index of the final task on the path.
+        ``dist[mask][last]`` is the shortest such path from the origin
+        (the paper's ``dp[l][j]``); parents reconstruct the visit order.
+        """
+        m = problem.size
+        matrix = problem.distance_matrix
+        rewards = problem.rewards
+        budget = problem.max_distance + 1e-9
+        cost_rate = problem.cost_per_meter
+
+        # dist[mask] is a list over last-index 0..m-1 (np.inf = unreachable).
+        dist: Dict[int, List[float]] = {}
+        parent: Dict[Tuple[int, int], Tuple[int, int]] = {}
+
+        # Seed: single-task paths straight from the origin.
+        frontier: List[int] = []
+        for j in range(m):
+            d0 = float(matrix[0, j + 1])
+            if d0 <= budget:
+                mask = 1 << j
+                dist.setdefault(mask, [np.inf] * m)[j] = d0
+                parent[(mask, j)] = (0, -1)
+                if mask not in frontier:
+                    frontier.append(mask)
+
+        best_profit = self.min_profit
+        best_state: Tuple[int, int] = (0, -1)
+        reward_of_mask: Dict[int, float] = {0: 0.0}
+
+        def mask_reward(mask: int) -> float:
+            cached = reward_of_mask.get(mask)
+            if cached is None:
+                cached = float(
+                    sum(rewards[j] for j in range(m) if mask & (1 << j))
+                )
+                reward_of_mask[mask] = cached
+            return cached
+
+        # Expand layer by layer (masks in a frontier all have equal popcount).
+        while frontier:
+            next_frontier: List[int] = []
+            seen_next = set()
+            for mask in frontier:
+                dists = dist[mask]
+                total_reward = mask_reward(mask)
+                for last in range(m):
+                    d = dists[last]
+                    if not np.isfinite(d):
+                        continue
+                    profit = total_reward - cost_rate * d
+                    if profit > best_profit:
+                        best_profit = profit
+                        best_state = (mask, last)
+                    # Extend to every task not yet on the path.
+                    row = matrix[last + 1]
+                    for nxt in range(m):
+                        bit = 1 << nxt
+                        if mask & bit:
+                            continue
+                        nd = d + float(row[nxt + 1])
+                        if nd > budget:
+                            continue
+                        nmask = mask | bit
+                        slot = dist.get(nmask)
+                        if slot is None:
+                            slot = [np.inf] * m
+                            dist[nmask] = slot
+                        if nd < slot[nxt]:
+                            slot[nxt] = nd
+                            parent[(nmask, nxt)] = (mask, last)
+                            if nmask not in seen_next:
+                                seen_next.add(nmask)
+                                next_frontier.append(nmask)
+            frontier = next_frontier
+
+        if best_state[0] == 0:
+            return None
+        return self._reconstruct(best_state, parent)
+
+    @staticmethod
+    def _reconstruct(
+        state: Tuple[int, int], parent: Dict[Tuple[int, int], Tuple[int, int]]
+    ) -> List[int]:
+        order: List[int] = []
+        mask, last = state
+        while mask:
+            order.append(last)
+            mask, last = parent[(mask, last)]
+        order.reverse()
+        return order

@@ -1,0 +1,41 @@
+"""Selector registry: build a selector from its short name.
+
+Mirrors :mod:`repro.core.mechanisms.factory`; the CLI and experiment
+configs refer to selectors by these names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.selection.base import Selector
+from repro.selection.branch_and_bound import BranchAndBoundSelector
+from repro.selection.brute_force import BruteForceSelector
+from repro.selection.dp import DynamicProgrammingSelector
+from repro.selection.greedy import GreedySelector
+from repro.selection.two_opt import GreedyTwoOptSelector
+
+_REGISTRY: Dict[str, Type[Selector]] = {
+    DynamicProgrammingSelector.name: DynamicProgrammingSelector,
+    GreedySelector.name: GreedySelector,
+    GreedyTwoOptSelector.name: GreedyTwoOptSelector,
+    BruteForceSelector.name: BruteForceSelector,
+    BranchAndBoundSelector.name: BranchAndBoundSelector,
+}
+
+#: Registered selector names in presentation order.
+SELECTOR_NAMES = ("dp", "branch-and-bound", "greedy", "greedy-2opt", "brute-force")
+
+
+def make_selector(name: str, **kwargs) -> Selector:
+    """Instantiate a selector by registry name, forwarding keyword args.
+
+    Raises:
+        ValueError: for an unknown name (message lists the valid ones).
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        valid = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown selector {name!r}; valid: {valid}") from None
+    return cls(**kwargs)

@@ -1,0 +1,137 @@
+"""Greedy + 2-opt: an extension selector between greedy and exact DP.
+
+The paper stops at greedy for large instances.  A classical cheap
+improvement is 2-opt on the visit order: reversing a segment of an
+origin-anchored open path never changes *which* tasks are performed,
+only the travel distance, so every improvement strictly increases
+profit and frees budget.  :class:`GreedyTwoOptSelector` alternates
+
+1. the paper's greedy construction,
+2. 2-opt re-ordering of the selected path,
+3. another greedy pass that tries to spend the freed budget on
+   additional tasks,
+
+until a fixed point.  The selector bench (``benchmarks/bench_selectors.py``)
+quantifies how much of the greedy-to-DP profit gap this closes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.selection.base import Selection, Selector
+from repro.selection.greedy import GreedySelector
+from repro.selection.problem import TaskSelectionProblem
+
+
+def improve_order(problem: TaskSelectionProblem, order: Sequence[int]) -> List[int]:
+    """2-opt improve an origin-anchored open path over candidate indices.
+
+    Repeatedly reverses the sub-path ``order[i:j]`` whenever that shortens
+    the total distance, until no reversal helps.  For an *open* path the
+    distance delta of reversing ``[i, j)`` is::
+
+        d(prev_i, node_{j-1}) + d(node_i, next_j) - d(prev_i, node_i) - d(node_{j-1}, next_j)
+
+    where the segment after the path end contributes nothing.
+
+    Returns a new order with distance <= the input order's distance.
+    """
+    order = list(order)
+    if len(order) < 2:
+        return order
+    matrix = problem.distance_matrix
+
+    def node(k: int) -> int:
+        """Matrix index of the k-th path position (-1 means the origin)."""
+        return 0 if k < 0 else order[k] + 1
+
+    improved = True
+    while improved:
+        improved = False
+        n = len(order)
+        for i in range(n - 1):
+            for j in range(i + 2, n + 1):
+                # Reverse order[i:j]; positions i-1 and j are the fixed ends.
+                before = float(matrix[node(i - 1), node(i)])
+                after = float(matrix[node(i - 1), node(j - 1)])
+                if j < n:
+                    before += float(matrix[node(j - 1), node(j)])
+                    after += float(matrix[node(i), node(j)])
+                if after < before - 1e-12:
+                    order[i:j] = reversed(order[i:j])
+                    improved = True
+    return order
+
+
+class GreedyTwoOptSelector(Selector):
+    """Greedy construction with 2-opt improvement and re-insertion passes.
+
+    Args:
+        max_rounds: safety bound on improve/extend alternations (each
+            alternation strictly increases profit, so this rarely binds).
+        min_step_profit: forwarded to the inner greedy.
+    """
+
+    name = "greedy-2opt"
+
+    def __init__(self, max_rounds: int = 10, min_step_profit: float = 0.0):
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.max_rounds = max_rounds
+        self._greedy = GreedySelector(min_step_profit=min_step_profit)
+        self.min_step_profit = min_step_profit
+
+    def select(self, problem: TaskSelectionProblem) -> Selection:
+        selection = self._greedy.select(problem)
+        if selection.is_empty:
+            return selection
+        id_to_index = {c.task_id: i for i, c in enumerate(problem.candidates)}
+        order = [id_to_index[t] for t in selection.task_ids]
+
+        for _ in range(self.max_rounds):
+            order = improve_order(problem, order)
+            extended = self._extend(problem, order)
+            if extended == order:
+                break
+            order = extended
+        return problem.evaluate(order)
+
+    def _extend(self, problem: TaskSelectionProblem, order: List[int]) -> List[int]:
+        """Greedy append pass from the end of the improved path."""
+        matrix = problem.distance_matrix
+        rewards = problem.rewards
+        cost_rate = problem.cost_per_meter
+        budget = problem.max_distance + 1e-9
+        order = list(order)
+        chosen = set(order)
+        traveled = problem.path_distance(order)
+        current = order[-1] + 1 if order else 0
+
+        while True:
+            best_idx = -1
+            best_gain = self.min_step_profit
+            row = matrix[current]
+            for j in range(problem.size):
+                if j in chosen:
+                    continue
+                leg = float(row[j + 1])
+                if traveled + leg > budget:
+                    continue
+                gain = float(rewards[j]) - cost_rate * leg
+                if gain > best_gain:
+                    best_gain = gain
+                    best_idx = j
+            if best_idx < 0:
+                return order
+            order.append(best_idx)
+            chosen.add(best_idx)
+            traveled += float(matrix[current, best_idx + 1])
+            current = best_idx + 1
+
+
+def order_distance_gap(problem: TaskSelectionProblem, order: Sequence[int]) -> float:
+    """Distance saved by 2-opt on ``order`` (diagnostic used in benches)."""
+    original = problem.path_distance(order)
+    improved = problem.path_distance(improve_order(problem, order))
+    return original - improved

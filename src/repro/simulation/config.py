@@ -1,0 +1,154 @@
+"""The full parameterisation of one simulation run.
+
+Defaults reproduce the paper's Section VI setup exactly where the paper
+states a value, and DESIGN.md §3 documents the choices where it does not
+(per-user time budget, neighbour radius, mobility, steered scaling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Tuple
+
+from repro.geometry.region import RectRegion
+from repro.world.generator import WorldGenerator
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Every knob of one simulation run.
+
+    Args:
+        n_users: number of mobile users (the paper sweeps 40–140).
+        n_tasks: number of sensing tasks m (paper: 20).
+        area_side: side of the square deployment area in meters (paper: 3000).
+        required_measurements: measurements per task :math:`\\varphi` (paper: 20).
+        deadline_range: inclusive deadline range in rounds (paper: [5, 15]).
+        rounds: the simulated horizon in rounds (paper plots up to 15).
+        budget: platform reward budget B in $ (paper: 1000).
+        reward_step: the per-level increment :math:`\\lambda` in $ (paper: 0.5).
+        level_count: number of demand levels N (paper: 5).
+        neighbour_radius: the R of the X3 factor in meters (DESIGN.md §3).
+        user_speed: walking speed in m/s (paper: 2).
+        cost_per_meter: movement cost in $/m (paper: 0.002).
+        user_time_budget: per-round time budget in seconds (DESIGN.md §3).
+        heterogeneity: relative spread of per-user speed/cost/time budget
+            (0 = the paper's identical users; see
+            :class:`~repro.world.generator.WorldGenerator`).
+        release_range: inclusive range of task release rounds ((1, 1) =
+            the paper's everything-at-round-1; wider ranges stagger task
+            arrivals, see :class:`~repro.world.generator.WorldGenerator`).
+        participation_rate: probability that a given user is available in
+            a given round (1.0 = the paper's always-available crowd).
+            Unavailable users neither select nor perform tasks that round
+            but still count as potential neighbours for the X3 factor —
+            the platform sees phones, not intentions.
+        mechanism: incentive mechanism registry name.
+        mechanism_kwargs: extra constructor arguments for the mechanism.
+        selector: task-selection registry name ("dp" or "greedy" in the paper).
+        selector_kwargs: extra constructor arguments for the selector.
+        mobility: mobility policy registry name.
+        layout: world layout, "uniform" (paper) or "clustered".
+        seed: root seed for all random streams.
+    """
+
+    n_users: int = 100
+    n_tasks: int = 20
+    area_side: float = 3000.0
+    required_measurements: int = 20
+    deadline_range: Tuple[int, int] = (5, 15)
+    rounds: int = 15
+    budget: float = 1000.0
+    reward_step: float = 0.5
+    level_count: int = 5
+    neighbour_radius: float = 500.0
+    user_speed: float = 2.0
+    cost_per_meter: float = 0.002
+    user_time_budget: float = 900.0
+    heterogeneity: float = 0.0
+    release_range: Tuple[int, int] = (1, 1)
+    participation_rate: float = 1.0
+    mechanism: str = "on-demand"
+    mechanism_kwargs: Dict[str, Any] = field(default_factory=dict)
+    selector: str = "dp"
+    selector_kwargs: Dict[str, Any] = field(default_factory=dict)
+    mobility: str = "follow-path"
+    layout: str = "uniform"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise ValueError(f"n_users must be >= 1, got {self.n_users}")
+        if self.n_tasks < 1:
+            raise ValueError(f"n_tasks must be >= 1, got {self.n_tasks}")
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if self.area_side <= 0:
+            raise ValueError(f"area_side must be positive, got {self.area_side}")
+        if self.budget <= 0:
+            raise ValueError(f"budget must be positive, got {self.budget}")
+        if self.level_count < 1:
+            raise ValueError(f"level_count must be >= 1, got {self.level_count}")
+        if not 0.0 < self.participation_rate <= 1.0:
+            raise ValueError(
+                f"participation_rate must be in (0, 1], got {self.participation_rate}"
+            )
+        if self.layout not in ("uniform", "clustered"):
+            raise ValueError(
+                f"layout must be 'uniform' or 'clustered', got {self.layout!r}"
+            )
+        low, high = self.deadline_range
+        if low < 1 or high < low:
+            raise ValueError(f"bad deadline_range {self.deadline_range}")
+
+    # -- derived helpers ---------------------------------------------------
+
+    @property
+    def region(self) -> RectRegion:
+        return RectRegion.square(self.area_side)
+
+    @property
+    def total_required_measurements(self) -> int:
+        """:math:`\\sum_i \\varphi_i` for the Eq. 9 base-reward derivation."""
+        return self.n_tasks * self.required_measurements
+
+    def world_generator(self) -> WorldGenerator:
+        """The :class:`WorldGenerator` implied by this config."""
+        return WorldGenerator(
+            region=self.region,
+            n_tasks=self.n_tasks,
+            n_users=self.n_users,
+            required_measurements=self.required_measurements,
+            deadline_range=self.deadline_range,
+            user_speed=self.user_speed,
+            user_cost_per_meter=self.cost_per_meter,
+            user_time_budget=self.user_time_budget,
+            heterogeneity=self.heterogeneity,
+            release_range=self.release_range,
+        )
+
+    def with_overrides(self, **changes: Any) -> "SimulationConfig":
+        """A copy of this config with fields replaced (sweep helper)."""
+        return replace(self, **changes)
+
+    def mechanism_arguments(self) -> Dict[str, Any]:
+        """Constructor kwargs for the configured mechanism.
+
+        Demand-driven mechanisms receive the budget/step/level/radius
+        knobs from the config; the steered baseline takes none of those,
+        so only explicit ``mechanism_kwargs`` reach it.
+        """
+        if self.mechanism in ("on-demand", "fixed", "proportional", "adaptive"):
+            from repro.core.levels import DemandLevels
+
+            base: Dict[str, Any] = {
+                "budget": self.budget,
+                "step": self.reward_step,
+                "levels": DemandLevels(self.level_count),
+            }
+            if self.mechanism in ("on-demand", "proportional", "adaptive"):
+                base["neighbour_radius"] = self.neighbour_radius
+        else:
+            base = {}
+        base.update(self.mechanism_kwargs)
+        return base

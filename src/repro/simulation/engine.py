@@ -1,0 +1,375 @@
+"""The sensing-round loop: Fig. 1 of the paper, executable.
+
+Per round k:
+
+1. **Reward update / task publish** — the incentive mechanism prices
+   every active task from the platform's view of the round (task
+   progress + current user positions).
+2. **Task select** — each user independently solves its Eq. 1 instance
+   over the tasks it has not yet contributed to, using the configured
+   selector (exact DP or greedy).  Users decide simultaneously against
+   the same published prices.
+3. **Data upload** — users travel their chosen paths.  A task accepts at
+   most :math:`\\varphi_i` measurements and at most one per user; users
+   arriving after a task fills are rejected unpaid (the WST redundancy
+   drawback — their travel cost is sunk).  Arrival order within a round
+   is a uniformly random permutation per round.
+4. **Demand calculate** — implicit: the next round's step 1 reads the
+   updated task state.
+
+Between rounds the mobility policy moves users, tasks past their
+deadline expire, and the loop ends at the configured horizon or as soon
+as no task is active.
+
+The engine is steppable: :meth:`SimulationEngine.step` plays exactly one
+round, which lets experiments freeze the world mid-run and hand the *same*
+selection problems to several solvers (the Fig. 5 paired comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.allocation.base import Coordinator
+
+from repro.core.mechanisms import IncentiveMechanism, RoundView, make_mechanism
+from repro.selection import (
+    CandidateTask,
+    Selection,
+    Selector,
+    TaskSelectionProblem,
+    make_selector,
+)
+from repro.simulation.config import SimulationConfig
+from repro.simulation.events import (
+    MeasurementEvent,
+    RejectedContribution,
+    RoundRecord,
+    SimulationResult,
+    UserRoundRecord,
+)
+from repro.simulation.rng import spawn_streams
+from repro.world.generator import World
+from repro.world.mobility import MobilityPolicy, make_mobility
+from repro.world.task import SensingTask
+from repro.world.user import MobileUser
+
+#: Observer callback invoked with each finished RoundRecord.
+RoundObserver = Callable[[RoundRecord], None]
+
+
+class SimulationEngine:
+    """Runs one seeded simulation, either whole (:meth:`run`) or round by
+    round (:meth:`step`).
+
+    Args:
+        config: the full parameterisation.
+        mechanism: optional pre-built mechanism (overrides the config's
+            registry name — used by ablations injecting custom pricing).
+        selector: optional pre-built selector, same idea.
+        world: optional pre-built world (overrides generation — used by
+            tests pinning exact geometry).
+        observers: callables invoked with every finished round record.
+        coordinator: optional server-side task allocator.  When given,
+            the engine runs in the Server-Assigned-Tasks (SAT) mode: the
+            coordinator decides every user's selection for the round
+            instead of the users solving Eq. 1 themselves (see
+            :mod:`repro.allocation`).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        mechanism: Optional[IncentiveMechanism] = None,
+        selector: Optional[Selector] = None,
+        world: Optional[World] = None,
+        observers: Sequence[RoundObserver] = (),
+        coordinator: Optional["Coordinator"] = None,
+    ):
+        self.config = config
+        self._streams = spawn_streams(config.seed)
+        self.mechanism = mechanism if mechanism is not None else make_mechanism(
+            config.mechanism, **config.mechanism_arguments()
+        )
+        self.selector = selector if selector is not None else make_selector(
+            config.selector, **config.selector_kwargs
+        )
+        self.mobility: MobilityPolicy = make_mobility(config.mobility)
+        self.world = world if world is not None else self._generate_world()
+        self.observers = list(observers)
+        self.coordinator = coordinator
+        self.result = SimulationResult(config=self.config, world=self.world)
+        self._next_round = 1
+        self._mechanism_ready = False
+
+    # -- setup -----------------------------------------------------------
+
+    def _generate_world(self) -> World:
+        generator = self.config.world_generator()
+        rng = self._streams["world"]
+        if self.config.layout == "clustered":
+            return generator.clustered(rng)
+        return generator.uniform(rng)
+
+    def _ensure_mechanism(self) -> None:
+        if not self._mechanism_ready:
+            self.mechanism.initialize(self.world, self._streams["mechanism"])
+            self._mechanism_ready = True
+
+    # -- round state -----------------------------------------------------------
+
+    @property
+    def current_round(self) -> int:
+        """The 1-based round :meth:`step` would play next."""
+        return self._next_round
+
+    @property
+    def finished(self) -> bool:
+        """Whether the horizon is exhausted or no task remains active."""
+        if self._next_round > self.config.rounds:
+            return True
+        return not any(t.is_active for t in self.world.tasks)
+
+    def active_tasks(self) -> List[SensingTask]:
+        """Tasks neither completed nor expired (published or not)."""
+        return [t for t in self.world.tasks if t.is_active]
+
+    def published_tasks(self) -> List[SensingTask]:
+        """Tasks the platform offers in the upcoming round.
+
+        A task is published once its release round arrives (the paper
+        releases everything at round 1) and until it completes/expires.
+        """
+        return [
+            t for t in self.world.tasks if t.is_published(self._next_round)
+        ]
+
+    def published_rewards(self) -> Dict[int, float]:
+        """The prices the mechanism would publish for the upcoming round.
+
+        Safe to call repeatedly: mechanisms are pure functions of the
+        round view (any internal caches are keyed on task ids).
+        """
+        self._ensure_mechanism()
+        view = RoundView(
+            round_no=self._next_round,
+            active_tasks=self.published_tasks(),
+            user_locations=[u.location for u in self.world.users],
+        )
+        return self.mechanism.rewards(view)
+
+    def build_problems(
+        self, prices: Optional[Dict[int, float]] = None
+    ) -> List[Tuple[MobileUser, TaskSelectionProblem]]:
+        """The Eq. 1 instance every user faces in the upcoming round.
+
+        Used by the paired Fig. 5 experiment: freeze the round, hand the
+        identical problems to both solvers, compare profits.
+
+        Args:
+            prices: published rewards to use; defaults to
+                :meth:`published_rewards`.
+        """
+        if prices is None:
+            prices = self.published_rewards()
+        published = self.published_tasks()
+        return [
+            (user, self._problem_for(user, published, prices))
+            for user in self.world.users
+        ]
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Play every remaining round and return the accumulated result."""
+        while not self.finished:
+            self.step()
+        return self.result
+
+    def step(self) -> RoundRecord:
+        """Play exactly one round and return its record.
+
+        Raises:
+            RuntimeError: if the simulation is already finished.
+        """
+        if self.finished:
+            raise RuntimeError(
+                f"simulation finished after round {self._next_round - 1}"
+            )
+        self._ensure_mechanism()
+        record = self._play_round(self._next_round, self.published_tasks())
+        self.result.rounds.append(record)
+        self._next_round += 1
+        for observer in self.observers:
+            observer(record)
+        return record
+
+    # -- one round ----------------------------------------------------------------
+
+    def _play_round(self, round_no: int, active: List[SensingTask]) -> RoundRecord:
+        prices = self.published_rewards()
+        available = self._available_user_ids()
+
+        # Step 2: either WST (each user solves Eq. 1 independently) or
+        # SAT (the coordinator assigns selections centrally).  Users who
+        # sit this round out (participation_rate < 1) select nothing.
+        if self.coordinator is not None:
+            present = [u for u in self.world.users if u.user_id in available]
+            assigned = self.coordinator.assign(round_no, active, present, prices)
+            selections = [
+                (user, assigned.get(user.user_id, Selection.empty()))
+                for user in self.world.users
+            ]
+        else:
+            selections = [
+                (
+                    user,
+                    self.selector.select(self._problem_for(user, active, prices))
+                    if user.user_id in available
+                    else Selection.empty(),
+                )
+                for user in self.world.users
+            ]
+
+        # Step 3: uploads processed in a random arrival order.
+        arrival = self._streams["arrival"].permutation(len(selections))
+        measurements: List[MeasurementEvent] = []
+        rejections: List[RejectedContribution] = []
+        user_records: List[UserRoundRecord] = []
+        completed: List[int] = []
+        tasks_by_id = {t.task_id: t for t in active}
+
+        for idx in arrival:
+            user, selection = selections[idx]
+            reward = self._perform(
+                user, selection, tasks_by_id, prices, round_no,
+                measurements, rejections, completed,
+            )
+            if not selection.is_empty:
+                user.record_round(round_no, reward, selection.cost)
+            user_records.append(
+                UserRoundRecord(
+                    round_no=round_no,
+                    user_id=user.user_id,
+                    selected_task_ids=selection.task_ids,
+                    distance=selection.distance,
+                    reward=reward,
+                    cost=selection.cost,
+                )
+            )
+            self._move_user(user, selection, tasks_by_id)
+
+        # Step 4 prep: expire tasks whose deadline has passed.
+        expired = [
+            t.task_id for t in active if t.expire_if_due(next_round=round_no + 1)
+        ]
+        return RoundRecord(
+            round_no=round_no,
+            published_rewards=dict(prices),
+            user_records=tuple(sorted(user_records, key=lambda r: r.user_id)),
+            measurements=tuple(measurements),
+            rejections=tuple(rejections),
+            completed_task_ids=tuple(completed),
+            expired_task_ids=tuple(expired),
+        )
+
+    def _available_user_ids(self) -> set:
+        """Users willing to work this round (all, at the paper's rate 1.0).
+
+        Draws one Bernoulli per user from the dedicated participation
+        stream; at rate 1.0 no randomness is consumed, so legacy seeds
+        replay bit-exactly.
+        """
+        if self.config.participation_rate >= 1.0:
+            return {user.user_id for user in self.world.users}
+        draws = self._streams["participation"].random(len(self.world.users))
+        return {
+            user.user_id
+            for user, draw in zip(self.world.users, draws)
+            if draw < self.config.participation_rate
+        }
+
+    def _problem_for(
+        self,
+        user: MobileUser,
+        active: Sequence[SensingTask],
+        prices: Dict[int, float],
+    ) -> TaskSelectionProblem:
+        candidates = [
+            CandidateTask(
+                task_id=task.task_id,
+                location=task.location,
+                reward=prices[task.task_id],
+            )
+            for task in active
+            if user.user_id not in task.contributors
+        ]
+        return TaskSelectionProblem.build(
+            origin=user.location,
+            candidates=candidates,
+            max_distance=user.max_travel_distance,
+            cost_per_meter=user.cost_per_meter,
+        )
+
+    def _perform(
+        self,
+        user: MobileUser,
+        selection: Selection,
+        tasks_by_id: Dict[int, SensingTask],
+        prices: Dict[int, float],
+        round_no: int,
+        measurements: List[MeasurementEvent],
+        rejections: List[RejectedContribution],
+        completed: List[int],
+    ) -> float:
+        """Walk the selected path; return the rewards actually earned."""
+        earned = 0.0
+        for task_id in selection.task_ids:
+            task = tasks_by_id[task_id]
+            if task.can_accept(user.user_id):
+                task.record_measurement(user.user_id, round_no)
+                price = prices[task_id]
+                earned += price
+                measurements.append(
+                    MeasurementEvent(
+                        round_no=round_no,
+                        task_id=task_id,
+                        user_id=user.user_id,
+                        reward=price,
+                    )
+                )
+                if not task.is_active:
+                    completed.append(task_id)
+            else:
+                reason = "full" if task.remaining == 0 else "duplicate"
+                rejections.append(
+                    RejectedContribution(
+                        round_no=round_no,
+                        task_id=task_id,
+                        user_id=user.user_id,
+                        reason=reason,
+                    )
+                )
+        return earned
+
+    def _move_user(
+        self,
+        user: MobileUser,
+        selection: Selection,
+        tasks_by_id: Dict[int, SensingTask],
+    ) -> None:
+        path = [tasks_by_id[task_id].location for task_id in selection.task_ids]
+        user.location = self.mobility.next_position(
+            user, path, self.world.region, self._streams["mobility"]
+        )
+
+
+def simulate(config: SimulationConfig, **engine_kwargs) -> SimulationResult:
+    """Build an engine for ``config`` and run it (the one-call entry point).
+
+    >>> result = simulate(SimulationConfig(n_users=40, seed=7))
+    >>> result.rounds_played >= 1
+    True
+    """
+    return SimulationEngine(config, **engine_kwargs).run()

@@ -1,0 +1,166 @@
+"""Structured simulation history: what happened, round by round.
+
+The engine emits one :class:`RoundRecord` per simulated round; a full
+run is a :class:`SimulationResult`.  The metrics suite
+(:mod:`repro.metrics`) is a pure function of these records plus the
+final world state — nothing in the engine computes a metric, which keeps
+the measurement definitions in one reviewable place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.config import SimulationConfig
+    from repro.world.generator import World
+
+
+@dataclass(frozen=True)
+class MeasurementEvent:
+    """One accepted measurement: who sensed what, when, for how much."""
+
+    round_no: int
+    task_id: int
+    user_id: int
+    reward: float
+
+
+@dataclass(frozen=True)
+class RejectedContribution:
+    """A user reached a task but the measurement was not accepted.
+
+    This is the WST redundancy drawback from Section II: the task filled
+    up (or expired) after the user committed to its path.  The user's
+    travel cost is already sunk; no reward is paid.
+    """
+
+    round_no: int
+    task_id: int
+    user_id: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class UserRoundRecord:
+    """One user's round: the selection it made and what it got."""
+
+    round_no: int
+    user_id: int
+    selected_task_ids: Tuple[int, ...]
+    distance: float
+    reward: float
+    cost: float
+
+    @property
+    def profit(self) -> float:
+        return self.reward - self.cost
+
+    @property
+    def participated(self) -> bool:
+        """Whether the user left home at all this round."""
+        return bool(self.selected_task_ids)
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything that happened in one sensing round.
+
+    Args:
+        round_no: 1-based round number.
+        published_rewards: the mechanism's price per active task id.
+        user_records: one record per user (including sit-outs).
+        measurements: accepted measurements, in acceptance order.
+        rejections: contributions that arrived too late.
+        completed_task_ids: tasks that reached :math:`\\varphi` this round.
+        expired_task_ids: tasks whose deadline passed at the end of this round.
+    """
+
+    round_no: int
+    published_rewards: Dict[int, float]
+    user_records: Tuple[UserRoundRecord, ...]
+    measurements: Tuple[MeasurementEvent, ...]
+    rejections: Tuple[RejectedContribution, ...]
+    completed_task_ids: Tuple[int, ...]
+    expired_task_ids: Tuple[int, ...]
+
+    @property
+    def measurement_count(self) -> int:
+        return len(self.measurements)
+
+    @property
+    def total_paid(self) -> float:
+        """Rewards the platform paid out this round."""
+        return sum(event.reward for event in self.measurements)
+
+    @property
+    def participating_users(self) -> int:
+        return sum(1 for record in self.user_records if record.participated)
+
+
+@dataclass
+class SimulationResult:
+    """A finished run: the config, the final world, and the full history."""
+
+    config: "SimulationConfig"
+    world: "World"
+    rounds: List[RoundRecord] = field(default_factory=list)
+
+    @property
+    def rounds_played(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def total_measurements(self) -> int:
+        return sum(record.measurement_count for record in self.rounds)
+
+    @property
+    def total_paid(self) -> float:
+        """Total platform payout over the whole run (must respect Eq. 8)."""
+        return sum(record.total_paid for record in self.rounds)
+
+    def round(self, round_no: int) -> RoundRecord:
+        """The record for a 1-based round number.
+
+        Raises:
+            IndexError: if that round was not played (e.g. early stop).
+        """
+        if not 1 <= round_no <= len(self.rounds):
+            raise IndexError(
+                f"round {round_no} not played (history has {len(self.rounds)})"
+            )
+        return self.rounds[round_no - 1]
+
+    def measurements_by_task(self) -> Dict[int, int]:
+        """Accepted measurement counts per task over the whole run."""
+        counts: Dict[int, int] = {task.task_id: 0 for task in self.world.tasks}
+        for record in self.rounds:
+            for event in record.measurements:
+                counts[event.task_id] += 1
+        return counts
+
+    def user_profits(self, round_no: int = None) -> List[float]:
+        """Per-user profit, either for one round or the whole run.
+
+        Args:
+            round_no: restrict to one 1-based round; None sums all rounds.
+        """
+        if round_no is not None:
+            return [r.profit for r in self.round(round_no).user_records]
+        totals: Dict[int, float] = {u.user_id: 0.0 for u in self.world.users}
+        for record in self.rounds:
+            for user_record in record.user_records:
+                totals[user_record.user_id] += user_record.profit
+        return [totals[u.user_id] for u in self.world.users]
+
+
+def merge_user_records(
+    records: Sequence[UserRoundRecord],
+) -> Dict[int, Tuple[float, float]]:
+    """Aggregate (reward, cost) per user over a batch of records."""
+    merged: Dict[int, Tuple[float, float]] = {}
+    for record in records:
+        reward, cost = merged.get(record.user_id, (0.0, 0.0))
+        merged[record.user_id] = (reward + record.reward, cost + record.cost)
+    return merged

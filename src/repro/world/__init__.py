@@ -1,0 +1,41 @@
+"""World model: sensing tasks, mobile users, and world generation.
+
+This package models the physical side of the crowdsensing system from
+Section III of the paper:
+
+- :class:`~repro.world.task.SensingTask` — a location-dependent task
+  :math:`t_i` with location :math:`L_{t_i}`, deadline :math:`\\tau_i`
+  (in rounds), and a required number of measurements :math:`\\varphi_i`.
+- :class:`~repro.world.user.MobileUser` — a user :math:`u_i` with a
+  current position, walking speed, movement cost, and per-round time
+  budget :math:`B^k_{u_i}`.
+- :class:`~repro.world.generator.WorldGenerator` — seeded generators for
+  the uniform layout the paper evaluates and a clustered layout that
+  exaggerates the "remote task" inequality the paper motivates.
+- :mod:`~repro.world.mobility` — policies controlling where a user starts
+  the next round (the paper leaves this unspecified; see DESIGN.md §3).
+"""
+
+from repro.world.task import SensingTask, TaskStatus
+from repro.world.user import MobileUser
+from repro.world.generator import WorldGenerator, World
+from repro.world.mobility import (
+    MobilityPolicy,
+    StationaryMobility,
+    FollowPathMobility,
+    RandomWaypointMobility,
+    make_mobility,
+)
+
+__all__ = [
+    "SensingTask",
+    "TaskStatus",
+    "MobileUser",
+    "WorldGenerator",
+    "World",
+    "MobilityPolicy",
+    "StationaryMobility",
+    "FollowPathMobility",
+    "RandomWaypointMobility",
+    "make_mobility",
+]

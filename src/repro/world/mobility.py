@@ -1,0 +1,139 @@
+"""Mobility policies: where a user starts the next sensing round.
+
+The paper never states how users move *between* rounds (Section VI fixes
+walking speed and cost but not the inter-round dynamics), so the engine
+delegates to a pluggable policy:
+
+- :class:`FollowPathMobility` (default) — the user starts the next round
+  wherever its selected path ended, which keeps the population spatially
+  coherent over time and lets the demand mechanism pull users toward
+  neglected regions.
+- :class:`StationaryMobility` — the user snaps back to its home location
+  every round (commuters sensing from a fixed spot).
+- :class:`RandomWaypointMobility` — the user walks toward a random
+  waypoint for the travel distance it did not spend on tasks, a standard
+  mobility model for crowdsensing simulations.
+
+The ablation bench (``benchmarks/bench_ablations.py``) shows the headline
+comparisons are insensitive to this choice.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.region import RectRegion
+from repro.world.user import MobileUser
+
+
+class MobilityPolicy(abc.ABC):
+    """Decides a user's position at the start of the next round."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def next_position(
+        self,
+        user: MobileUser,
+        path: Sequence[Point],
+        region: RectRegion,
+        rng: np.random.Generator,
+    ) -> Point:
+        """Return where ``user`` stands when the next round begins.
+
+        Args:
+            user: the user, positioned where this round started.
+            path: the points the user visited this round, in order,
+                *excluding* the starting position; empty if it sat out.
+            region: the deployment area (positions must stay inside).
+            rng: the engine's mobility random stream.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class StationaryMobility(MobilityPolicy):
+    """The user returns to its home location after every round."""
+
+    name = "stationary"
+
+    def next_position(
+        self,
+        user: MobileUser,
+        path: Sequence[Point],
+        region: RectRegion,
+        rng: np.random.Generator,
+    ) -> Point:
+        return user.home
+
+
+class FollowPathMobility(MobilityPolicy):
+    """The user stays wherever its task path ended (paper-default here)."""
+
+    name = "follow-path"
+
+    def next_position(
+        self,
+        user: MobileUser,
+        path: Sequence[Point],
+        region: RectRegion,
+        rng: np.random.Generator,
+    ) -> Point:
+        if path:
+            return path[-1]
+        return user.location
+
+
+class RandomWaypointMobility(MobilityPolicy):
+    """The user wanders toward a random waypoint between rounds.
+
+    After finishing its tasks (or sitting out), the user picks a uniform
+    random waypoint in the region and walks toward it using a fraction of
+    one round's travel allowance.
+    """
+
+    name = "random-waypoint"
+
+    def __init__(self, wander_fraction: float = 0.5):
+        if not 0.0 <= wander_fraction <= 1.0:
+            raise ValueError(
+                f"wander_fraction must be in [0, 1], got {wander_fraction}"
+            )
+        self.wander_fraction = wander_fraction
+
+    def next_position(
+        self,
+        user: MobileUser,
+        path: Sequence[Point],
+        region: RectRegion,
+        rng: np.random.Generator,
+    ) -> Point:
+        start = path[-1] if path else user.location
+        waypoint = region.sample(rng, 1)[0]
+        stride = user.max_travel_distance * self.wander_fraction
+        return region.clamp(start.towards(waypoint, stride))
+
+
+_POLICIES = {
+    StationaryMobility.name: StationaryMobility,
+    FollowPathMobility.name: FollowPathMobility,
+    RandomWaypointMobility.name: RandomWaypointMobility,
+}
+
+
+def make_mobility(name: str) -> MobilityPolicy:
+    """Instantiate a mobility policy by its registry name.
+
+    Raises:
+        ValueError: for an unknown name (lists the valid ones).
+    """
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        valid = ", ".join(sorted(_POLICIES))
+        raise ValueError(f"unknown mobility policy {name!r}; valid: {valid}") from None

@@ -1,0 +1,99 @@
+"""The mobile user (worker) of the crowdsensing system.
+
+A user owns its movement parameters (walking speed, movement cost per
+meter) and a per-round time budget — the constraint side of the task
+selection problem (Eq. 1).  Profit accounting lives here too so the
+Fig. 5 experiment can read per-user profits directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.geometry.point import Point
+
+
+@dataclass
+class MobileUser:
+    """A mobile user :math:`u_i`.
+
+    Args:
+        user_id: unique non-negative integer id.
+        location: current position; updated by the mobility policy.
+        speed: walking speed in m/s (paper default 2 m/s).
+        cost_per_meter: movement cost in $/m (paper default 0.002 $/m).
+        time_budget: per-round time budget :math:`B^k_{u_i}` in seconds.
+    """
+
+    user_id: int
+    location: Point
+    speed: float
+    cost_per_meter: float
+    time_budget: float
+    # --- mutable accounting state --------------------------------------
+    home: Point = None  # type: ignore[assignment]  # set in __post_init__
+    total_reward: float = 0.0
+    total_cost: float = 0.0
+    profit_by_round: Dict[int, float] = field(default_factory=dict)
+    tasks_performed: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.user_id < 0:
+            raise ValueError(f"user_id must be non-negative, got {self.user_id}")
+        if self.speed <= 0:
+            raise ValueError(f"speed must be positive, got {self.speed}")
+        if self.cost_per_meter < 0:
+            raise ValueError(
+                f"cost_per_meter must be non-negative, got {self.cost_per_meter}"
+            )
+        if self.time_budget < 0:
+            raise ValueError(f"time_budget must be non-negative, got {self.time_budget}")
+        if self.home is None:
+            self.home = self.location
+
+    # -- budget geometry -------------------------------------------------
+
+    @property
+    def max_travel_distance(self) -> float:
+        """Farthest total distance reachable in one round: speed x budget."""
+        return self.speed * self.time_budget
+
+    def travel_time(self, distance: float) -> float:
+        """Seconds needed to walk ``distance`` meters."""
+        return distance / self.speed
+
+    def travel_cost(self, distance: float) -> float:
+        """Dollar cost of walking ``distance`` meters."""
+        return distance * self.cost_per_meter
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def total_profit(self) -> float:
+        """Lifetime profit: rewards earned minus movement cost."""
+        return self.total_reward - self.total_cost
+
+    def record_round(self, round_no: int, reward: float, cost: float) -> None:
+        """Record the outcome of one round for this user.
+
+        Args:
+            round_no: 1-based round number.
+            reward: total rewards received this round.
+            cost: total movement cost incurred this round.
+        """
+        if round_no < 1:
+            raise ValueError(f"round_no must be >= 1, got {round_no}")
+        if reward < 0 or cost < 0:
+            raise ValueError(
+                f"reward and cost must be non-negative, got {reward}, {cost}"
+            )
+        self.total_reward += reward
+        self.total_cost += cost
+        self.profit_by_round[round_no] = (
+            self.profit_by_round.get(round_no, 0.0) + reward - cost
+        )
+
+    def profit_in_round(self, round_no: int) -> float:
+        """Profit earned in round ``round_no`` (0.0 if the user sat out)."""
+        return self.profit_by_round.get(round_no, 0.0)

@@ -1,0 +1,72 @@
+"""Unit tests for repro.analysis.series."""
+
+import pytest
+
+from repro.analysis.series import ExperimentResult, Series, SeriesPoint
+
+
+def simple_result():
+    return ExperimentResult(
+        experiment_id="test",
+        title="A test experiment",
+        x_label="users",
+        y_label="metric",
+        series=[
+            Series("a", (SeriesPoint(1, 10.0), SeriesPoint(2, 20.0))),
+            Series("b", (SeriesPoint(1, 5.0), SeriesPoint(3, 15.0))),
+        ],
+        metadata={"reps": 3},
+    )
+
+
+class TestSeriesPoint:
+    def test_from_values(self):
+        point = SeriesPoint.from_values(40, [1.0, 2.0, 3.0])
+        assert point.x == 40.0
+        assert point.mean == pytest.approx(2.0)
+        assert point.std == pytest.approx(1.0)
+        assert point.n == 3
+
+
+class TestSeries:
+    def test_sorted_enforced(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Series("bad", (SeriesPoint(2, 1.0), SeriesPoint(1, 1.0)))
+
+    def test_accessors(self):
+        series = Series("a", (SeriesPoint(1, 10.0), SeriesPoint(2, 20.0)))
+        assert series.xs == [1, 2]
+        assert series.means == [10.0, 20.0]
+        assert series.point_at(2).mean == 20.0
+
+    def test_point_at_missing(self):
+        series = Series("a", (SeriesPoint(1, 10.0),))
+        with pytest.raises(KeyError, match="no point"):
+            series.point_at(9)
+
+
+class TestExperimentResult:
+    def test_series_by_label(self):
+        result = simple_result()
+        assert result.series_by_label("b").points[0].mean == 5.0
+        with pytest.raises(KeyError, match="available"):
+            result.series_by_label("c")
+
+    def test_rows_union_of_xs(self):
+        rows = simple_result().rows()
+        assert [row[0] for row in rows] == [1, 2, 3]
+        # Missing cells are None.
+        assert rows[1] == [2, 20.0, None]
+        assert rows[2] == [3, None, 15.0]
+
+    def test_header(self):
+        assert simple_result().header() == ["users", "a", "b"]
+
+    def test_dict_roundtrip(self):
+        result = simple_result()
+        clone = ExperimentResult.from_dict(result.as_dict())
+        assert clone.experiment_id == result.experiment_id
+        assert clone.labels == result.labels
+        assert clone.metadata == result.metadata
+        for original, copied in zip(result.series, clone.series):
+            assert original.points == copied.points

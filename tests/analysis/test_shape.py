@@ -1,0 +1,93 @@
+"""Unit tests for repro.analysis.shape."""
+
+import pytest
+
+from repro.analysis.series import Series, SeriesPoint
+from repro.analysis.shape import (
+    crossover_points,
+    dominates,
+    final_value,
+    is_monotonic,
+)
+
+
+def series(label, values, xs=None):
+    xs = xs if xs is not None else list(range(len(values)))
+    return Series(label, tuple(SeriesPoint(x, v) for x, v in zip(xs, values)))
+
+
+class TestMonotonic:
+    def test_increasing(self):
+        assert is_monotonic([1, 2, 3])
+        assert not is_monotonic([1, 3, 2])
+
+    def test_decreasing(self):
+        assert is_monotonic([3, 2, 1], increasing=False)
+        assert not is_monotonic([1, 2], increasing=False)
+
+    def test_tolerance_forgives_noise(self):
+        assert is_monotonic([1.0, 0.95, 2.0], tolerance=0.1)
+        assert not is_monotonic([1.0, 0.5, 2.0], tolerance=0.1)
+
+    def test_short_sequences(self):
+        assert is_monotonic([])
+        assert is_monotonic([5])
+
+    def test_negative_tolerance(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            is_monotonic([1, 2], tolerance=-1.0)
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates(series("hi", [3, 4, 5]), series("lo", [1, 2, 3]))
+
+    def test_violated_dominance(self):
+        assert not dominates(series("a", [3, 1]), series("b", [2, 2]))
+
+    def test_tolerance(self):
+        assert dominates(series("a", [2.0, 1.95]), series("b", [2.0, 2.0]),
+                         tolerance=0.1)
+
+    def test_disjoint_xs_vacuous(self):
+        a = series("a", [1.0], xs=[0])
+        b = series("b", [99.0], xs=[1])
+        assert dominates(a, b)
+
+    def test_partial_overlap_compares_only_shared_xs(self):
+        # Only x=1 is shared: a=5 >= b=1 there, so b's huge x=2 value
+        # (outside the overlap) cannot break dominance.
+        a = series("a", [5.0, 5.0], xs=[0, 1])
+        b = series("b", [1.0, 99.0], xs=[1, 2])
+        assert dominates(a, b)
+
+
+class TestFinalValue:
+    def test_last_point(self):
+        assert final_value(series("a", [1, 2, 9])) == 9
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            final_value(Series("a", ()))
+
+
+class TestCrossover:
+    def test_single_crossover(self):
+        a = series("a", [1, 2, 3, 4])
+        b = series("b", [4, 3, 2, 1])
+        assert crossover_points(a, b) == [(1, 2)]
+
+    def test_no_crossover(self):
+        a = series("a", [5, 6, 7])
+        b = series("b", [1, 2, 3])
+        assert crossover_points(a, b) == []
+
+    def test_tie_does_not_count(self):
+        a = series("a", [1, 2, 3])
+        b = series("b", [1, 2, 3])
+        assert crossover_points(a, b) == []
+
+    def test_multiple_crossovers(self):
+        a = series("a", [1, 3, 1, 3])
+        b = series("b", [2, 2, 2, 2])
+        assert crossover_points(a, b) == [(0, 1), (1, 2), (2, 3)]

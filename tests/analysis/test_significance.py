@@ -1,0 +1,133 @@
+"""Unit tests for repro.analysis.significance."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.significance import (
+    PairedComparison,
+    bootstrap_mean_ci,
+    compare_paired,
+    paired_permutation_pvalue,
+    sign_test_pvalue,
+)
+
+
+class TestBootstrap:
+    def test_ci_contains_sample_mean_usually(self):
+        rng = np.random.default_rng(0)
+        data = list(rng.normal(5.0, 1.0, 40))
+        low, high = bootstrap_mean_ci(data)
+        assert low <= np.mean(data) <= high
+
+    def test_ci_narrows_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = list(rng.normal(0, 1, 10))
+        large = list(rng.normal(0, 1, 400))
+        low_s, high_s = bootstrap_mean_ci(small)
+        low_l, high_l = bootstrap_mean_ci(large)
+        assert (high_l - low_l) < (high_s - low_s)
+
+    def test_constant_data_degenerate(self):
+        low, high = bootstrap_mean_ci([3.0] * 10)
+        assert low == high == 3.0
+
+    def test_deterministic(self):
+        data = [1.0, 2.0, 5.0, 3.0]
+        assert bootstrap_mean_ci(data, seed=7) == bootstrap_mean_ci(data, seed=7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            bootstrap_mean_ci([])
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_mean_ci([1.0], confidence=0.0)
+        with pytest.raises(ValueError, match="resamples"):
+            bootstrap_mean_ci([1.0], resamples=0)
+
+
+class TestSignTest:
+    def test_all_wins_is_significant(self):
+        a = [2.0] * 12
+        b = [1.0] * 12
+        assert sign_test_pvalue(a, b) < 0.001
+
+    def test_balanced_is_not_significant(self):
+        a = [1, 2, 1, 2, 1, 2]
+        b = [2, 1, 2, 1, 2, 1]
+        assert sign_test_pvalue(a, b) == pytest.approx(1.0, abs=0.3)
+
+    def test_all_ties(self):
+        assert sign_test_pvalue([1.0, 2.0], [1.0, 2.0]) == 1.0
+
+    def test_known_binomial_value(self):
+        # 5 wins of 5: two-sided p = 2 * (1/32) = 1/16.
+        assert sign_test_pvalue([1] * 5, [0] * 5) == pytest.approx(2 / 32)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            sign_test_pvalue([1.0], [1.0, 2.0])
+
+
+class TestPermutation:
+    def test_clear_difference_significant(self):
+        rng = np.random.default_rng(2)
+        b = list(rng.normal(0.0, 0.5, 30))
+        a = [x + 2.0 for x in b]
+        assert paired_permutation_pvalue(a, b) < 0.01
+
+    def test_no_difference_not_significant(self):
+        rng = np.random.default_rng(3)
+        a = list(rng.normal(0.0, 1.0, 30))
+        noise = list(rng.normal(0.0, 1.0, 30))
+        b = [x + 0.01 * e for x, e in zip(a, noise)]
+        assert paired_permutation_pvalue(a, b) > 0.05
+
+    def test_identical_samples(self):
+        assert paired_permutation_pvalue([1.0, 2.0], [1.0, 2.0]) == 1.0
+
+    def test_deterministic(self):
+        a, b = [1.0, 3.0, 2.0, 4.0], [0.5, 2.5, 2.5, 3.0]
+        assert paired_permutation_pvalue(a, b, seed=4) == paired_permutation_pvalue(
+            a, b, seed=4
+        )
+
+    def test_never_returns_zero(self):
+        a = [10.0] * 20
+        b = [0.0] * 20
+        assert paired_permutation_pvalue(a, b) > 0.0
+
+
+class TestComparePaired:
+    def test_full_readout(self):
+        a = [2.0, 3.0, 4.0, 5.0, 2.5, 3.5]
+        b = [1.0, 2.5, 4.0, 4.0, 2.0, 3.0]
+        comparison = compare_paired(a, b)
+        assert isinstance(comparison, PairedComparison)
+        assert comparison.mean_difference == pytest.approx(
+            float(np.mean(np.array(a) - np.array(b)))
+        )
+        assert comparison.wins == 5
+        assert comparison.ties == 1
+        assert comparison.losses == 0
+        assert comparison.n == 6
+        assert comparison.ci_low <= comparison.mean_difference <= comparison.ci_high
+
+    def test_significance_threshold(self):
+        b = list(np.random.default_rng(5).normal(0, 0.1, 25))
+        a = [x + 1.0 for x in b]
+        assert compare_paired(a, b).significant()
+
+    def test_on_simulation_metrics(self, fast_config):
+        """End-to-end: on-demand vs fixed completeness on paired worlds."""
+        from repro.experiments.runner import repeat_metric
+        from repro.metrics import overall_completeness
+
+        on_demand = repeat_metric(
+            fast_config.with_overrides(mechanism="on-demand"),
+            overall_completeness, repetitions=6,
+        )
+        fixed = repeat_metric(
+            fast_config.with_overrides(mechanism="fixed"),
+            overall_completeness, repetitions=6,
+        )
+        comparison = compare_paired(on_demand, fixed)
+        assert comparison.mean_difference >= -0.05

@@ -1,0 +1,124 @@
+"""Unit tests for repro.analysis.stats."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    BoxplotSummary,
+    confidence_interval,
+    mean_std,
+    summarize_box,
+    _normal_quantile,
+)
+
+
+class TestMeanStd:
+    def test_basic(self):
+        mean, std = mean_std([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(1.0)
+
+    def test_single_value(self):
+        assert mean_std([5.0]) == (5.0, 0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            mean_std([])
+
+    def test_constant_sequence(self):
+        mean, std = mean_std([7.0] * 10)
+        assert mean == 7.0
+        assert std == 0.0
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        low, high = confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert low <= 2.5 <= high
+
+    def test_wider_at_higher_confidence(self):
+        data = list(np.random.default_rng(0).normal(0, 1, 30))
+        low95, high95 = confidence_interval(data, 0.95)
+        low99, high99 = confidence_interval(data, 0.99)
+        assert high99 - low99 > high95 - low95
+
+    def test_degenerate_single_point(self):
+        assert confidence_interval([3.0]) == (3.0, 3.0)
+
+    def test_zero_variance(self):
+        assert confidence_interval([2.0, 2.0, 2.0]) == (2.0, 2.0)
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError, match="confidence"):
+            confidence_interval([1.0, 2.0], confidence=1.0)
+
+    def test_coverage_simulation(self):
+        """~95% of intervals should contain the true mean."""
+        rng = np.random.default_rng(1)
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            sample = rng.normal(10.0, 2.0, size=25)
+            low, high = confidence_interval(list(sample), 0.95)
+            if low <= 10.0 <= high:
+                hits += 1
+        assert 0.88 <= hits / trials <= 0.99
+
+
+class TestNormalQuantile:
+    @pytest.mark.parametrize("p,z", [(0.5, 0.0), (0.975, 1.959964), (0.995, 2.575829)])
+    def test_known_quantiles(self, p, z):
+        assert _normal_quantile(p) == pytest.approx(z, abs=1e-5)
+
+    def test_symmetry(self):
+        assert _normal_quantile(0.25) == pytest.approx(-_normal_quantile(0.75), abs=1e-9)
+
+    def test_tails(self):
+        assert _normal_quantile(1e-6) < -4.5
+        assert _normal_quantile(1 - 1e-6) > 4.5
+
+    def test_domain(self):
+        with pytest.raises(ValueError, match="quantile"):
+            _normal_quantile(0.0)
+
+
+class TestBoxplot:
+    def test_five_numbers(self):
+        summary = summarize_box(list(range(1, 101)))
+        assert summary.median == pytest.approx(50.5)
+        assert summary.q1 == pytest.approx(25.75)
+        assert summary.q3 == pytest.approx(75.25)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 100.0
+        assert summary.n == 100
+        assert summary.outliers == ()
+
+    def test_outlier_detection(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0, 100.0]
+        summary = summarize_box(data)
+        assert 100.0 in summary.outliers
+        assert summary.maximum < 100.0
+
+    def test_iqr(self):
+        summary = summarize_box([0.0, 25.0, 50.0, 75.0, 100.0])
+        assert summary.iqr == pytest.approx(summary.q3 - summary.q1)
+
+    def test_single_value(self):
+        summary = summarize_box([3.0])
+        assert summary.minimum == summary.maximum == summary.median == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            summarize_box([])
+
+    def test_whiskers_inside_fences(self):
+        rng = np.random.default_rng(2)
+        data = list(rng.normal(0, 1, 200))
+        summary = summarize_box(data)
+        low_fence = summary.q1 - 1.5 * summary.iqr
+        high_fence = summary.q3 + 1.5 * summary.iqr
+        assert low_fence <= summary.minimum
+        assert summary.maximum <= high_fence
+        assert all(v < low_fence or v > high_fence for v in summary.outliers)

@@ -1,0 +1,112 @@
+"""Tests for the budget-recycling adaptive mechanism (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanisms import AdaptiveBudgetMechanism, OnDemandMechanism, RoundView
+from repro.geometry.region import RectRegion
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+from repro.world.generator import World
+from repro.world.task import TaskStatus
+from tests.conftest import make_task, make_user
+
+
+@pytest.fixture
+def world():
+    region = RectRegion.square(1000.0)
+    tasks = [
+        make_task(0, 200.0, 200.0, deadline=6, required=4),
+        make_task(1, 800.0, 800.0, deadline=10, required=4),
+    ]
+    users = [make_user(i, 250.0 + 20 * i, 250.0) for i in range(3)]
+    return World(region=region, tasks=tasks, users=users)
+
+
+def init(mechanism, world, seed=0):
+    mechanism.initialize(world, np.random.Generator(np.random.PCG64(seed)))
+    return mechanism
+
+
+def view_of(world, round_no):
+    return RoundView(
+        round_no=round_no,
+        active_tasks=[t for t in world.tasks if t.is_active],
+        user_locations=[u.location for u in world.users],
+    )
+
+
+class TestPricing:
+    def test_round_one_matches_static_on_demand(self, world):
+        """With nothing spent, adaptive re-derivation reproduces Eq. 9."""
+        adaptive = init(AdaptiveBudgetMechanism(budget=20.0), world)
+        static = init(OnDemandMechanism(budget=20.0), world)
+        assert adaptive.rewards(view_of(world, 1)) == static.rewards(view_of(world, 1))
+
+    def test_prices_never_below_static(self, world):
+        adaptive = init(AdaptiveBudgetMechanism(budget=20.0), world)
+        static_base = adaptive.schedule.base_reward
+        adaptive.rewards(view_of(world, 1))
+        # Burn some task progress, then reprice repeatedly.
+        world.tasks[0].record_measurement(0, round_no=1)
+        for round_no in range(2, 6):
+            prices = adaptive.rewards(view_of(world, round_no))
+            assert all(p >= static_base - 1e-9 for p in prices.values())
+
+    def test_expired_work_recycles_into_higher_prices(self, world):
+        """Expiring a task frees its worst-case reserve for the survivor."""
+        adaptive = init(AdaptiveBudgetMechanism(budget=20.0), world)
+        before = adaptive.rewards(view_of(world, 1))[1]
+        world.tasks[0].status = TaskStatus.EXPIRED
+        adaptive.rewards(view_of(world, 2))
+        # Base reward rose: half the work vanished, no money spent.
+        assert adaptive.schedule.base_reward > 20.0 / 8.0 - 2.0  # sanity
+        after = adaptive.rewards(view_of(world, 3))[1]
+        assert after >= before
+
+    def test_settlement_counts_completed_tasks(self, world):
+        """Measurements on a task that completes must still be charged."""
+        adaptive = init(AdaptiveBudgetMechanism(budget=20.0), world)
+        prices = adaptive.rewards(view_of(world, 1))
+        for user_id in range(4):
+            world.tasks[0].record_measurement(user_id, round_no=1)
+        assert not world.tasks[0].is_active  # completed -> leaves the view
+        adaptive.rewards(view_of(world, 2))
+        assert adaptive.committed_spend == pytest.approx(4 * prices[0])
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return SimulationConfig(
+            n_users=25, n_tasks=8, rounds=10, required_measurements=4,
+            area_side=2000.0, budget=200.0, mechanism="adaptive", seed=3,
+        )
+
+    def test_budget_never_exceeded(self, config):
+        """The recycling must preserve the Eq. 8 guarantee."""
+        for seed in range(8):
+            result = simulate(config.with_overrides(seed=seed))
+            assert result.total_paid <= config.budget + 1e-9
+
+    def test_runs_and_collects(self, config):
+        result = simulate(config)
+        assert result.total_measurements > 0
+
+    def test_spends_at_least_as_much_as_static(self, config):
+        """Recycling exists to spend the slack: payouts should not shrink."""
+        paid_adaptive = []
+        paid_static = []
+        for seed in range(5):
+            paid_adaptive.append(
+                simulate(config.with_overrides(seed=seed)).total_paid
+            )
+            paid_static.append(
+                simulate(config.with_overrides(seed=seed, mechanism="on-demand")).total_paid
+            )
+        assert np.mean(paid_adaptive) >= np.mean(paid_static) - 1e-9
+
+    def test_registered_in_factory(self):
+        from repro.core.mechanisms import make_mechanism
+
+        assert make_mechanism("adaptive").name == "adaptive"

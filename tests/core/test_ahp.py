@@ -1,0 +1,145 @@
+"""Unit tests for repro.core.ahp — pinned to the paper's Tables I/II."""
+
+import numpy as np
+import pytest
+
+from repro.core.ahp import (
+    PairwiseComparisonMatrix,
+    RANDOM_CONSISTENCY_INDEX,
+    example_comparison_matrix,
+)
+
+
+class TestValidation:
+    def test_table1_matrix_is_valid(self):
+        matrix = example_comparison_matrix()
+        assert matrix.order == 3
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            PairwiseComparisonMatrix.from_rows([[1.0, 2.0, 3.0]])
+
+    def test_non_reciprocal_rejected(self):
+        with pytest.raises(ValueError, match="reciprocal"):
+            PairwiseComparisonMatrix.from_rows([[1.0, 2.0], [2.0, 1.0]])
+
+    def test_bad_diagonal_rejected(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            PairwiseComparisonMatrix.from_rows([[2.0, 1.0], [1.0, 0.5]])
+
+    def test_non_positive_entry_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            PairwiseComparisonMatrix.from_rows([[1.0, -3.0], [-1.0 / 3.0, 1.0]])
+
+    def test_saaty_scale_enforced(self):
+        with pytest.raises(ValueError, match="Saaty"):
+            PairwiseComparisonMatrix.from_rows([[1.0, 10.0], [0.1, 1.0]])
+
+    def test_all_equal_matrix_is_valid_for_any_order(self):
+        matrix = PairwiseComparisonMatrix(np.ones((4, 4)))
+        assert matrix.order == 4
+
+    def test_identity_rejected_off_diagonal_zeros(self):
+        with pytest.raises(ValueError, match="positive"):
+            PairwiseComparisonMatrix(np.eye(3))
+
+
+class TestUpperTriangleConstructor:
+    def test_three_criteria(self):
+        matrix = PairwiseComparisonMatrix.from_upper_triangle([3.0, 5.0, 2.0])
+        assert np.allclose(matrix.values, example_comparison_matrix().values)
+
+    def test_two_criteria(self):
+        matrix = PairwiseComparisonMatrix.from_upper_triangle([4.0])
+        assert matrix.values[1, 0] == pytest.approx(0.25)
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValueError, match="upper triangle"):
+            PairwiseComparisonMatrix.from_upper_triangle([1.0, 2.0])
+
+
+class TestNormalization:
+    def test_columns_sum_to_one(self):
+        normalized = example_comparison_matrix().normalized()
+        assert np.allclose(normalized.sum(axis=0), 1.0)
+
+    def test_table2_values(self):
+        """The paper's Table II, to its printed 3 decimals."""
+        normalized = example_comparison_matrix().normalized()
+        expected = np.array(
+            [
+                [0.652, 0.667, 0.625],
+                [0.217, 0.222, 0.250],
+                [0.130, 0.111, 0.125],  # paper prints 0.131; 0.2/1.533 = 0.1304
+            ]
+        )
+        assert np.allclose(normalized, expected, atol=1.5e-3)
+
+
+class TestWeights:
+    def test_paper_weight_vector(self):
+        """Section IV-B: W = (0.648, 0.230, 0.122)."""
+        weights = example_comparison_matrix().weights()
+        assert np.allclose(weights, [0.648, 0.230, 0.122], atol=1e-3)
+
+    def test_weights_sum_to_one_both_methods(self):
+        matrix = example_comparison_matrix()
+        for method in ("column-normalization", "eigenvector"):
+            assert matrix.weights(method).sum() == pytest.approx(1.0)
+
+    def test_methods_agree_for_consistent_matrix(self):
+        # A perfectly consistent matrix built from weights (2, 1, 0.5).
+        w = np.array([2.0, 1.0, 0.5])
+        matrix = PairwiseComparisonMatrix(w[:, None] / w[None, :])
+        a = matrix.weights("column-normalization")
+        b = matrix.weights("eigenvector")
+        assert np.allclose(a, b, atol=1e-9)
+        assert np.allclose(a, w / w.sum())
+
+    def test_methods_close_for_table1(self):
+        matrix = example_comparison_matrix()
+        a = matrix.weights("column-normalization")
+        b = matrix.weights("eigenvector")
+        assert np.allclose(a, b, atol=0.01)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown weight method"):
+            example_comparison_matrix().weights("averaging")
+
+    def test_all_equal_matrix_gives_equal_weights(self):
+        matrix = PairwiseComparisonMatrix(np.ones((3, 3)))
+        assert np.allclose(matrix.weights(), [1 / 3] * 3)
+
+
+class TestConsistency:
+    def test_principal_eigenvalue_at_least_order(self):
+        assert example_comparison_matrix().principal_eigenvalue() >= 3.0
+
+    def test_consistent_matrix_has_zero_ci(self):
+        w = np.array([3.0, 1.0, 0.5])
+        matrix = PairwiseComparisonMatrix(w[:, None] / w[None, :])
+        assert matrix.consistency_index() == pytest.approx(0.0, abs=1e-9)
+        assert matrix.consistency_ratio() == pytest.approx(0.0, abs=1e-9)
+
+    def test_table1_is_acceptably_consistent(self):
+        matrix = example_comparison_matrix()
+        assert matrix.consistency_ratio() < 0.01
+        assert matrix.is_acceptably_consistent()
+
+    def test_wild_matrix_is_inconsistent(self):
+        # a12 = 9, a23 = 9, but a13 = 1/9: maximally incoherent.
+        matrix = PairwiseComparisonMatrix.from_upper_triangle([9.0, 1.0 / 9.0, 9.0])
+        assert matrix.consistency_ratio() > 0.1
+        assert not matrix.is_acceptably_consistent()
+
+    def test_order_two_always_consistent(self):
+        matrix = PairwiseComparisonMatrix.from_upper_triangle([7.0])
+        assert matrix.consistency_ratio() == 0.0
+
+    def test_random_index_table_covers_usual_orders(self):
+        assert set(range(1, 11)) <= set(RANDOM_CONSISTENCY_INDEX)
+
+    def test_untabulated_order_raises(self):
+        matrix = PairwiseComparisonMatrix(np.ones((11, 11)))
+        with pytest.raises(ValueError, match="no random consistency index"):
+            matrix.consistency_ratio()

@@ -1,0 +1,166 @@
+"""Property-based tests for the demand/levels/rewards core (hypothesis)."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ahp import PairwiseComparisonMatrix
+from repro.core.demand import (
+    DemandCalculator,
+    DemandWeights,
+    TaskDemandInputs,
+    deadline_factor,
+    progress_factor,
+    scarcity_factor,
+)
+from repro.core.levels import DemandLevels
+from repro.core.rewards import RewardSchedule
+
+LN2 = math.log(2.0)
+
+weights_strategy = st.tuples(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+).filter(lambda w: sum(w) > 1e-6).map(
+    lambda w: DemandWeights(w[0] / sum(w), w[1] / sum(w), w[2] / sum(w))
+)
+
+
+@given(
+    st.integers(min_value=1, max_value=50),
+    st.integers(min_value=1, max_value=50),
+)
+def test_deadline_factor_bounded(round_no, slack):
+    deadline = round_no + slack - 1  # always >= round_no
+    value = deadline_factor(round_no, deadline)
+    assert 0.0 < value <= LN2 + 1e-12
+
+
+@given(st.integers(min_value=0, max_value=100), st.integers(min_value=1, max_value=100))
+def test_progress_factor_bounded(received, required):
+    value = progress_factor(received, required)
+    assert 0.0 <= value <= LN2 + 1e-12
+
+
+@given(st.integers(min_value=0, max_value=100), st.integers(min_value=0, max_value=100))
+def test_scarcity_factor_bounded(neighbours, extra):
+    value = scarcity_factor(neighbours, neighbours + extra)
+    assert 0.0 <= value <= LN2 + 1e-12
+
+
+@given(
+    weights_strategy,
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=0, max_value=15),
+)
+def test_normalized_demand_always_in_unit_interval(weights, slack, received, neighbours):
+    calculator = DemandCalculator(weights=weights)
+    inputs = TaskDemandInputs(
+        round_no=1, deadline=slack, received=received, required=30,
+        neighbours=neighbours,
+    )
+    demand = calculator.normalized_demand(inputs, max_neighbours=max(neighbours, 15))
+    assert 0.0 <= demand <= 1.0
+
+
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_level_always_in_range(count, demand):
+    level = DemandLevels(count).level_of(demand)
+    assert 1 <= level <= count
+
+
+@given(
+    st.integers(min_value=2, max_value=20),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_level_is_monotone_in_demand(count, a, b):
+    levels = DemandLevels(count)
+    low, high = min(a, b), max(a, b)
+    assert levels.level_of(low) <= levels.level_of(high)
+
+
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_level_consistent_with_bounds(count, demand):
+    levels = DemandLevels(count)
+    level = levels.level_of(demand)
+    low, high = levels.bounds(level)
+    assert low - 1e-9 <= demand <= high + 1e-9
+
+
+@given(
+    st.floats(min_value=10.0, max_value=10_000.0),
+    st.integers(min_value=1, max_value=500),
+    st.floats(min_value=0.0, max_value=2.0),
+    st.integers(min_value=1, max_value=10),
+)
+def test_eq8_holds_whenever_eq9_is_feasible(budget, total, step, level_count):
+    """Eq. 9's r0 always satisfies Eq. 8 when it is positive at all."""
+    levels = DemandLevels(level_count)
+    base = budget / total - step * (level_count - 1)
+    if base <= 0:
+        return  # infeasible budget; constructor rejects it (tested elsewhere)
+    schedule = RewardSchedule.from_budget(budget, total, step, levels)
+    assert schedule.respects_budget(budget, total)
+    assert schedule.worst_case_payout(total) <= budget + 1e-6
+
+
+saaty_values = st.sampled_from(
+    [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0,
+     1 / 2, 1 / 3, 1 / 4, 1 / 5, 1 / 6, 1 / 7, 1 / 8, 1 / 9]
+)
+reciprocal_matrices = st.tuples(saaty_values, saaty_values, saaty_values).map(
+    lambda upper: PairwiseComparisonMatrix.from_upper_triangle(list(upper))
+)
+
+
+@given(reciprocal_matrices)
+def test_ahp_weights_valid_for_any_reciprocal_matrix(matrix):
+    """Both weight methods: non-negative, sum to 1, order preserved."""
+    for method in ("column-normalization", "eigenvector"):
+        weights = matrix.weights(method)
+        assert (weights >= -1e-12).all()
+        assert abs(float(weights.sum()) - 1.0) < 1e-9
+
+
+@given(reciprocal_matrices)
+def test_ahp_consistency_metrics_defined(matrix):
+    """lambda_max >= n and CI/CR are finite and non-negative."""
+    assert matrix.principal_eigenvalue() >= matrix.order - 1e-9
+    assert matrix.consistency_index() >= -1e-9
+    assert matrix.consistency_ratio() >= -1e-9
+
+
+@given(
+    weights_strategy,
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=12),   # deadline slack
+            st.integers(min_value=0, max_value=20),   # received
+            st.integers(min_value=0, max_value=25),   # neighbours
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+)
+def test_population_demands_all_bounded(weights, raw_tasks):
+    calculator = DemandCalculator(weights=weights)
+    inputs = [
+        TaskDemandInputs(
+            round_no=1, deadline=slack, received=received, required=20,
+            neighbours=neighbours,
+        )
+        for slack, received, neighbours in raw_tasks
+    ]
+    demands = calculator.demands(inputs)
+    assert len(demands) == len(inputs)
+    assert all(0.0 <= d <= 1.0 for d in demands)

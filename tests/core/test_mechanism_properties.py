@@ -1,0 +1,132 @@
+"""Property-based tests on the mechanism contract (hypothesis).
+
+Random task states and user clouds; for every mechanism the returned
+price map must cover exactly the active tasks, stay positive/finite, and
+(for ladder-based mechanisms) land on the Eq. 7 ladder within range.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mechanisms import (
+    FixedMechanism,
+    OnDemandMechanism,
+    ProportionalDemandMechanism,
+    RoundView,
+    SteeredMechanism,
+)
+from repro.geometry.point import Point
+from repro.geometry.region import RectRegion
+from repro.world.generator import World
+from repro.world.task import SensingTask
+from repro.world.user import MobileUser
+
+REGION = RectRegion.square(1000.0)
+
+coordinates = st.floats(min_value=0.0, max_value=1000.0)
+
+task_states = st.lists(
+    st.tuples(
+        coordinates, coordinates,
+        st.integers(min_value=1, max_value=12),   # deadline
+        st.integers(min_value=1, max_value=10),   # required
+        st.integers(min_value=0, max_value=10),   # received (capped below)
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+user_clouds = st.lists(
+    st.tuples(coordinates, coordinates), min_size=0, max_size=15
+)
+
+rounds = st.integers(min_value=1, max_value=12)
+
+
+def build_world(raw_tasks, raw_users):
+    tasks = []
+    for i, (x, y, deadline, required, received) in enumerate(raw_tasks):
+        task = SensingTask(
+            task_id=i, location=Point(x, y), deadline=deadline,
+            required_measurements=required,
+        )
+        # Mark partial progress without completing the task.
+        for user_id in range(min(received, required - 1)):
+            task.record_measurement(1000 + user_id, round_no=1)
+        tasks.append(task)
+    users = [
+        MobileUser(user_id=i, location=Point(x, y), speed=2.0,
+                   cost_per_meter=0.002, time_budget=900.0)
+        for i, (x, y) in enumerate(raw_users)
+    ]
+    if not users:
+        users = [MobileUser(user_id=0, location=Point(0.0, 0.0), speed=2.0,
+                            cost_per_meter=0.002, time_budget=900.0)]
+    return World(region=REGION, tasks=tasks, users=users)
+
+
+def view_for(world, round_no):
+    active = [t for t in world.tasks if t.is_active and round_no <= t.deadline]
+    return RoundView(
+        round_no=round_no,
+        active_tasks=active,
+        user_locations=[u.location for u in world.users],
+    ), active
+
+
+def mechanisms_for(world):
+    budget = 10.0 * sum(t.required_measurements for t in world.tasks)
+    return [
+        OnDemandMechanism(budget=budget),
+        FixedMechanism(budget=budget),
+        SteeredMechanism(),
+        ProportionalDemandMechanism(budget=budget),
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(task_states, user_clouds, rounds)
+def test_price_maps_cover_exactly_active_tasks(raw_tasks, raw_users, round_no):
+    world = build_world(raw_tasks, raw_users)
+    view, active = view_for(world, round_no)
+    for mechanism in mechanisms_for(world):
+        mechanism.initialize(world, np.random.Generator(np.random.PCG64(0)))
+        prices = mechanism.rewards(view)
+        assert set(prices) == {t.task_id for t in active}
+        for price in prices.values():
+            assert np.isfinite(price)
+            assert price > 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(task_states, user_clouds, rounds)
+def test_ladder_mechanisms_price_on_the_ladder(raw_tasks, raw_users, round_no):
+    world = build_world(raw_tasks, raw_users)
+    view, active = view_for(world, round_no)
+    if not active:
+        return
+    budget = 10.0 * sum(t.required_measurements for t in world.tasks)
+    for mechanism in (OnDemandMechanism(budget=budget), FixedMechanism(budget=budget)):
+        mechanism.initialize(world, np.random.Generator(np.random.PCG64(1)))
+        prices = mechanism.rewards(view)
+        schedule = mechanism.schedule
+        ladder = [schedule.reward_for_level(l) for l in range(1, 6)]
+        for price in prices.values():
+            assert any(abs(price - rung) < 1e-9 for rung in ladder)
+
+
+@settings(max_examples=40, deadline=None)
+@given(task_states, user_clouds, rounds)
+def test_proportional_prices_within_ladder_range(raw_tasks, raw_users, round_no):
+    world = build_world(raw_tasks, raw_users)
+    view, active = view_for(world, round_no)
+    if not active:
+        return
+    budget = 10.0 * sum(t.required_measurements for t in world.tasks)
+    mechanism = ProportionalDemandMechanism(budget=budget)
+    mechanism.initialize(world, np.random.Generator(np.random.PCG64(2)))
+    prices = mechanism.rewards(view)
+    schedule = mechanism.schedule
+    for price in prices.values():
+        assert schedule.base_reward - 1e-9 <= price <= schedule.max_reward + 1e-9

@@ -1,0 +1,51 @@
+"""Smoke + structure tests for the ablation experiments.
+
+Ablations are exploratory, so these tests pin structure (one variant per
+x position, both headline metrics present, determinism) rather than
+outcomes; outcome-level readings live in the ablation bench output.
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.mark.parametrize(
+    "runner,expected_variants",
+    [
+        (lambda: ablations.level_count_ablation(
+            level_counts=(2, 5), repetitions=1, n_users=10),
+         ["N=2", "N=5", "level-free"]),
+        (lambda: ablations.factor_ablation(repetitions=1, n_users=10),
+         ["full", "no-deadline", "no-progress", "no-scarcity"]),
+        (lambda: ablations.mobility_ablation(repetitions=1, n_users=10),
+         ["stationary", "follow-path", "random-waypoint"]),
+        (lambda: ablations.weight_method_ablation(repetitions=1, n_users=10),
+         ["column-normalization", "eigenvector"]),
+    ],
+)
+def test_ablation_structure(runner, expected_variants):
+    result = runner()
+    assert result.metadata["variants"] == expected_variants
+    assert set(result.labels) == {"coverage_pct", "completeness_pct"}
+    for series in result.series:
+        assert len(series.points) == len(expected_variants)
+        assert all(0.0 <= p.mean <= 100.0 for p in series.points)
+
+
+def test_ablations_deterministic():
+    a = ablations.factor_ablation(repetitions=1, n_users=10, base_seed=3)
+    b = ablations.factor_ablation(repetitions=1, n_users=10, base_seed=3)
+    assert a.rows() == b.rows()
+
+
+def test_factor_weights_renormalised():
+    """The dropped-factor variants must still sum their weights to 1
+    (enforced by DemandWeights itself; this pins the renormalisation)."""
+    from repro.core.demand import DemandWeights
+
+    full = DemandWeights.from_ahp()
+    total = full.progress + full.scarcity
+    dropped = DemandWeights(0.0, full.progress / total, full.scarcity / total)
+    assert dropped.deadline == 0.0
+    assert dropped.progress + dropped.scarcity == pytest.approx(1.0)

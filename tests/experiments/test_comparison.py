@@ -1,0 +1,85 @@
+"""Unit tests for the mechanism comparison harness."""
+
+import pytest
+
+from repro.experiments.comparison import (
+    MECHANISMS_COMPARED,
+    mechanism_round_sweep,
+    mechanism_user_sweep,
+)
+from repro.metrics import coverage, measurements_per_round
+from repro.simulation.config import SimulationConfig
+
+
+@pytest.fixture
+def base_config():
+    return SimulationConfig(
+        n_tasks=6, rounds=6, required_measurements=3,
+        area_side=1500.0, budget=150.0,
+    )
+
+
+class TestUserSweep:
+    def test_structure(self, base_config):
+        result = mechanism_user_sweep(
+            "figT", "Test", "coverage", coverage,
+            user_counts=(10, 20), repetitions=2, base_config=base_config,
+        )
+        assert result.labels == list(MECHANISMS_COMPARED)
+        for series in result.series:
+            assert series.xs == [10, 20]
+            assert all(point.n == 2 for point in series.points)
+
+    def test_metadata_provenance(self, base_config):
+        result = mechanism_user_sweep(
+            "figT", "Test", "coverage", coverage,
+            user_counts=(10,), repetitions=2, base_config=base_config, base_seed=9,
+        )
+        assert result.metadata["repetitions"] == 2
+        assert result.metadata["base_seed"] == 9
+        assert result.metadata["selector"] == "dp"
+
+    def test_mechanism_subset(self, base_config):
+        result = mechanism_user_sweep(
+            "figT", "Test", "coverage", coverage,
+            user_counts=(10,), mechanisms=("fixed",), repetitions=2,
+            base_config=base_config,
+        )
+        assert result.labels == ["fixed"]
+
+    def test_deterministic(self, base_config):
+        def run():
+            return mechanism_user_sweep(
+                "figT", "Test", "coverage", coverage,
+                user_counts=(12,), repetitions=2, base_config=base_config,
+            )
+
+        assert run().rows() == run().rows()
+
+
+class TestRoundSweep:
+    def test_structure(self, base_config):
+        result = mechanism_round_sweep(
+            "figT", "Test", "measurements",
+            lambda r: measurements_per_round(r, 6),
+            horizon=6, n_users=12, repetitions=2, base_config=base_config,
+        )
+        for series in result.series:
+            assert series.xs == [1, 2, 3, 4, 5, 6]
+
+    def test_first_round_trimming(self, base_config):
+        result = mechanism_round_sweep(
+            "figT", "Test", "measurements",
+            lambda r: measurements_per_round(r, 6),
+            horizon=6, first_round=3, n_users=12, repetitions=2,
+            base_config=base_config,
+        )
+        for series in result.series:
+            assert series.xs == [3, 4, 5, 6]
+
+    def test_bad_first_round(self, base_config):
+        with pytest.raises(ValueError, match="first_round"):
+            mechanism_round_sweep(
+                "figT", "Test", "y", lambda r: [0.0], horizon=1, first_round=2,
+                repetitions=1, base_config=base_config,
+            )

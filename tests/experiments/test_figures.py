@@ -1,0 +1,122 @@
+"""Structural tests for the per-figure experiment modules.
+
+These run each experiment at toy scale and check the returned panel has
+the right axes, labels, and internal consistency.  The *shape* claims
+versus the paper (who wins where) live in tests/integration/test_paper_claims.py
+at a more trustworthy scale.
+"""
+
+import pytest
+
+from repro.experiments import fig5, fig6, fig7, fig8, fig9
+from repro.simulation.config import SimulationConfig
+
+TOY_USERS = (10, 20)
+REPS = 2
+
+
+@pytest.fixture(scope="module")
+def toy_config():
+    return SimulationConfig(
+        n_tasks=6, rounds=6, required_measurements=3,
+        deadline_range=(3, 6), area_side=1500.0, budget=150.0,
+    )
+
+
+class TestFig5:
+    def test_fig5a_series(self, toy_config):
+        result = fig5.fig5a(user_counts=TOY_USERS, repetitions=REPS,
+                            base_config=toy_config)
+        assert result.experiment_id == "fig5a"
+        assert result.labels == ["dp", "greedy"]
+        assert result.series_by_label("dp").xs == list(TOY_USERS)
+
+    def test_fig5a_dp_dominates_greedy(self, toy_config):
+        from repro.analysis.shape import dominates
+
+        result = fig5.fig5a(user_counts=TOY_USERS, repetitions=REPS,
+                            base_config=toy_config)
+        assert dominates(result.series_by_label("dp"),
+                         result.series_by_label("greedy"), tolerance=1e-9)
+
+    def test_fig5b_boxplot_series(self, toy_config):
+        result = fig5.fig5b(user_counts=TOY_USERS, repetitions=REPS,
+                            base_config=toy_config)
+        assert result.labels == ["minimum", "q1", "median", "q3", "maximum"]
+        # Quartiles ordered at every x.
+        for x in TOY_USERS:
+            values = [result.series_by_label(l).point_at(x).mean
+                      for l in result.labels]
+            assert values == sorted(values)
+
+    def test_fig5b_differences_non_negative(self, toy_config):
+        result = fig5.fig5b(user_counts=TOY_USERS, repetitions=REPS,
+                            base_config=toy_config)
+        minimum = result.series_by_label("minimum")
+        assert all(point.mean >= -1e-9 for point in minimum.points)
+
+    def test_paired_profits_shapes(self, toy_config):
+        dp_means, greedy_means, diffs = fig5.paired_round2_profits(
+            toy_config.with_overrides(n_users=10), repetitions=2
+        )
+        assert len(dp_means) == len(greedy_means) == 2
+        assert all(d >= -1e-9 for d in diffs)
+
+
+@pytest.mark.parametrize(
+    "module,func,experiment_id,y_fragment",
+    [
+        (fig6, "fig6a", "fig6a", "coverage"),
+        (fig7, "fig7a", "fig7a", "completeness"),
+        (fig8, "fig8a", "fig8a", "measurements"),
+        (fig9, "fig9a", "fig9a", "variance"),
+        (fig9, "fig9b", "fig9b", "reward"),
+    ],
+)
+def test_user_sweep_panels(module, func, experiment_id, y_fragment, toy_config):
+    result = getattr(module, func)(
+        user_counts=TOY_USERS, repetitions=REPS, base_config=toy_config
+    )
+    assert result.experiment_id == experiment_id
+    assert y_fragment in result.y_label
+    assert result.labels == ["on-demand", "fixed", "steered"]
+    assert result.x_label == "users"
+
+
+@pytest.mark.parametrize(
+    "module,func,experiment_id,first_x",
+    [
+        (fig6, "fig6b", "fig6b", 1),
+        (fig7, "fig7b", "fig7b", 5),
+        (fig8, "fig8b", "fig8b", 1),
+    ],
+)
+def test_round_sweep_panels(module, func, experiment_id, first_x, toy_config):
+    result = getattr(module, func)(
+        horizon=6, n_users=10, repetitions=REPS, base_config=toy_config
+    )
+    assert result.experiment_id == experiment_id
+    assert result.x_label == "round"
+    for series in result.series:
+        assert series.xs[0] == first_x
+        assert series.xs[-1] == 6
+
+
+class TestPanelSemantics:
+    def test_fig6b_series_cumulative(self, toy_config):
+        result = fig6.fig6b(horizon=6, n_users=10, repetitions=REPS,
+                            base_config=toy_config)
+        for series in result.series:
+            assert all(a <= b + 1e-9 for a, b in zip(series.means, series.means[1:]))
+
+    def test_fig6a_percent_scale(self, toy_config):
+        result = fig6.fig6a(user_counts=TOY_USERS, repetitions=REPS,
+                            base_config=toy_config)
+        for series in result.series:
+            assert all(0.0 <= p.mean <= 100.0 for p in series.points)
+
+    def test_fig8b_counts_non_negative(self, toy_config):
+        result = fig8.fig8b(horizon=6, n_users=10, repetitions=REPS,
+                            base_config=toy_config)
+        for series in result.series:
+            assert all(p.mean >= 0 for p in series.points)

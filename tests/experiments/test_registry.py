@@ -1,0 +1,39 @@
+"""Unit tests for the experiment registry."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from repro.simulation.config import SimulationConfig
+
+#: DESIGN.md §4 requires one regenerable target per paper panel.
+PAPER_PANELS = [
+    "fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b",
+    "fig8a", "fig8b", "fig9a", "fig9b",
+]
+
+
+class TestRegistry:
+    def test_every_paper_panel_registered(self):
+        assert set(PAPER_PANELS) <= set(experiment_ids())
+
+    def test_ablations_registered(self):
+        ids = experiment_ids()
+        assert {"ablation-levels", "ablation-factors",
+                "ablation-mobility", "ablation-weights"} <= set(ids)
+
+    def test_callables(self):
+        assert all(callable(fn) for fn in EXPERIMENTS.values())
+
+    def test_run_experiment_forwards_kwargs(self):
+        config = SimulationConfig(
+            n_tasks=5, rounds=5, required_measurements=3,
+            area_side=1200.0, budget=120.0,
+        )
+        result = run_experiment(
+            "fig6a", user_counts=(8,), repetitions=1, base_config=config
+        )
+        assert result.experiment_id == "fig6a"
+
+    def test_unknown_id(self):
+        with pytest.raises(ValueError, match="fig6a"):
+            run_experiment("fig99z")

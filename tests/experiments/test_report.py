@@ -1,0 +1,116 @@
+"""Tests for the reproduction-report generator."""
+
+import pytest
+
+from repro.analysis.series import ExperimentResult, Series, SeriesPoint
+from repro.experiments.report import CLAIMS, REPORT_PANELS, build_report, evaluate_claims
+
+
+def fake_panel(experiment_id, series_values):
+    series = [
+        Series(label, tuple(SeriesPoint(x, v) for x, v in enumerate(values, start=1)))
+        for label, values in series_values.items()
+    ]
+    return ExperimentResult(experiment_id, experiment_id, "x", "y", series)
+
+
+class TestClaims:
+    def test_every_report_panel_has_a_claim(self):
+        claimed = {claim.panel for claim in CLAIMS}
+        assert set(REPORT_PANELS) <= claimed
+
+    def test_passing_fig6a(self):
+        panel = fake_panel("fig6a", {
+            "on-demand": [100.0, 100.0],
+            "fixed": [90.0, 95.0],
+            "steered": [100.0, 100.0],
+        })
+        rows = evaluate_claims({"fig6a": panel})
+        assert rows and all(row["passed"] for row in rows)
+
+    def test_failing_fig6a_dominance(self):
+        panel = fake_panel("fig6a", {
+            "on-demand": [80.0, 80.0],
+            "fixed": [90.0, 95.0],
+            "steered": [100.0, 100.0],
+        })
+        rows = evaluate_claims({"fig6a": panel})
+        assert any(not row["passed"] for row in rows)
+
+    def test_missing_series_fails_gracefully(self):
+        panel = fake_panel("fig9b", {"on-demand": [1.0, 0.9]})
+        rows = evaluate_claims({"fig9b": panel})
+        assert rows
+        # The dominance claim needs the baselines -> FAIL, not crash.
+        assert any(not row["passed"] for row in rows)
+
+    def test_unrun_panels_skipped(self):
+        assert evaluate_claims({}) == []
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # A two-panel report at repetitions=1 keeps this test quick while
+        # exercising the real experiment path end to end.
+        return build_report(repetitions=1, panels=("fig6a", "fig9b"))
+
+    def test_contains_claim_matrix(self, report):
+        assert "## Claim matrix" in report
+        assert "| panel | claim | verdict |" in report
+        assert "PASS" in report or "FAIL" in report
+
+    def test_contains_panel_tables(self, report):
+        assert "## fig6a:" in report
+        assert "## fig9b:" in report
+        assert "on-demand" in report
+
+    def test_summary_line(self, report):
+        assert "claims reproduced" in report
+
+
+class TestClaimStability:
+    def test_stable_panel(self, monkeypatch):
+        from repro.experiments import report as report_module
+
+        result = fake_panel("fig5a", {"dp": [3.0, 2.0], "greedy": [1.0, 1.0]})
+        monkeypatch.setattr(
+            report_module, "run_experiment", lambda panel, **kw: result
+        )
+        rows = report_module.claim_stability("fig5a", seeds=(0, 1))
+        assert rows
+        assert all(row["stable"] for row in rows)
+        assert all(row["passes"] == 2 for row in rows)
+
+    def test_unknown_panel(self):
+        from repro.experiments.report import claim_stability
+
+        with pytest.raises(ValueError, match="no claims registered"):
+            claim_stability("fig0x")
+
+    def test_empty_seeds(self):
+        from repro.experiments.report import claim_stability
+
+        with pytest.raises(ValueError, match="seeds"):
+            claim_stability("fig5a", seeds=())
+
+    def test_real_panel_stability(self):
+        from repro.experiments.report import claim_stability
+
+        rows = claim_stability("fig5a", seeds=(0, 1), repetitions=2)
+        # DP >= greedy is a per-instance optimality fact: stable always.
+        assert all(row["stable"] for row in rows)
+
+
+class TestCli:
+    def test_report_command_writes_file(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_REPS", "1")
+        monkeypatch.setattr(
+            "repro.experiments.report.REPORT_PANELS", ("fig6a",)
+        )
+        out = tmp_path / "report.md"
+        assert main(["report", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "Reproduction report" in out.read_text()

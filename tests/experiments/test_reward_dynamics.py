@@ -1,0 +1,60 @@
+"""Tests for the reward-dynamics experiment and its metric."""
+
+import pytest
+
+from repro.experiments.reward_dynamics import reward_dynamics
+from repro.metrics.rewards import average_published_reward_per_round
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+
+
+@pytest.fixture(scope="module")
+def toy_config():
+    return SimulationConfig(
+        n_tasks=6, rounds=6, required_measurements=3,
+        area_side=1500.0, budget=150.0,
+    )
+
+
+class TestMetric:
+    def test_matches_round_records(self, toy_config):
+        result = simulate(toy_config.with_overrides(n_users=10, seed=3))
+        series = average_published_reward_per_round(result, result.rounds_played)
+        for round_no, value in enumerate(series, start=1):
+            prices = result.round(round_no).published_rewards
+            expected = sum(prices.values()) / len(prices) if prices else 0.0
+            assert value == pytest.approx(expected)
+
+    def test_pads_past_history(self, toy_config):
+        result = simulate(toy_config.with_overrides(n_users=10, seed=3))
+        series = average_published_reward_per_round(result, 20)
+        assert len(series) == 20
+        assert all(v == 0.0 for v in series[result.rounds_played:])
+
+    def test_bad_horizon(self, toy_config):
+        result = simulate(toy_config.with_overrides(n_users=10, seed=3))
+        with pytest.raises(ValueError, match="horizon"):
+            average_published_reward_per_round(result, 0)
+
+
+class TestExperiment:
+    def test_structure(self, toy_config):
+        result = reward_dynamics(
+            horizon=6, n_users=10, repetitions=2, base_config=toy_config
+        )
+        assert result.experiment_id == "reward-dynamics"
+        assert result.labels == ["on-demand", "fixed", "steered"]
+        for series in result.series:
+            assert series.xs == [1, 2, 3, 4, 5, 6]
+
+    def test_steered_prices_decay(self, toy_config):
+        result = reward_dynamics(
+            horizon=3, n_users=15, repetitions=3, base_config=toy_config
+        )
+        steered = result.series_by_label("steered").means
+        assert steered[0] > steered[1] or steered[1] == 0.0
+
+    def test_registered(self):
+        from repro.experiments.registry import experiment_ids
+
+        assert "reward-dynamics" in experiment_ids()

@@ -1,0 +1,92 @@
+"""Unit tests for repro.experiments.runner."""
+
+import pytest
+
+from repro.experiments.runner import (
+    PAPER_REPETITIONS,
+    PAPER_USER_COUNTS,
+    default_repetitions,
+    default_user_counts,
+    repeat_metric,
+    repeat_metrics,
+    repeat_series_metric,
+)
+from repro.metrics import coverage
+from repro.simulation.config import SimulationConfig
+
+
+@pytest.fixture
+def config(fast_config):
+    return fast_config
+
+
+class TestDefaults:
+    def test_paper_axis(self):
+        assert default_user_counts() == PAPER_USER_COUNTS == (40, 60, 80, 100, 120, 140)
+        assert PAPER_REPETITIONS == 100
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPS", "7")
+        assert default_repetitions() == 7
+
+    def test_env_absent_uses_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPS", raising=False)
+        assert default_repetitions(fallback=4) == 4
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPS", "many")
+        with pytest.raises(ValueError, match="REPRO_REPS"):
+            default_repetitions()
+        monkeypatch.setenv("REPRO_REPS", "0")
+        with pytest.raises(ValueError, match="REPRO_REPS"):
+            default_repetitions()
+
+
+class TestRepeat:
+    def test_collects_per_metric_values(self, config):
+        values = repeat_metrics(
+            config,
+            {"coverage": coverage, "constant": lambda _r: 1.0},
+            repetitions=3,
+        )
+        assert len(values["coverage"]) == 3
+        assert values["constant"] == [1.0, 1.0, 1.0]
+
+    def test_reps_validated(self, config):
+        with pytest.raises(ValueError, match="repetitions"):
+            repeat_metrics(config, {}, repetitions=0)
+
+    def test_deterministic_given_base_seed(self, config):
+        a = repeat_metric(config, coverage, repetitions=3, base_seed=5)
+        b = repeat_metric(config, coverage, repetitions=3, base_seed=5)
+        assert a == b
+
+    def test_config_seed_is_ignored(self, config):
+        a = repeat_metric(config.with_overrides(seed=1), coverage, 3, base_seed=5)
+        b = repeat_metric(config.with_overrides(seed=2), coverage, 3, base_seed=5)
+        assert a == b
+
+    def test_repetitions_vary(self, config):
+        """Different repetitions see different worlds (not copies)."""
+        values = repeat_metric(config, lambda r: r.total_paid, repetitions=6)
+        assert len(set(values)) > 1
+
+
+class TestSeriesMetric:
+    def test_transposed_shape(self, config):
+        from repro.metrics import measurements_per_round
+
+        per_position = repeat_series_metric(
+            config, lambda r: measurements_per_round(r, 5), repetitions=3
+        )
+        assert len(per_position) == 5
+        assert all(len(reps) == 3 for reps in per_position)
+
+    def test_inconsistent_lengths_rejected(self, config):
+        lengths = iter([2, 3, 2])
+
+        def ragged(_result):
+            return [0.0] * next(lengths)
+
+        with pytest.raises(ValueError, match="inconsistent"):
+            repeat_series_metric(config, ragged, repetitions=3)

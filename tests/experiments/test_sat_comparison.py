@@ -1,0 +1,55 @@
+"""Tests for the SAT vs WST comparison experiment."""
+
+import pytest
+
+from repro.experiments.sat_comparison import MODES, sat_vs_wst
+from repro.simulation.config import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def toy_config():
+    return SimulationConfig(
+        n_tasks=6, rounds=6, required_measurements=3,
+        deadline_range=(3, 6), area_side=1500.0, budget=150.0,
+    )
+
+
+class TestStructure:
+    def test_modes_and_axes(self, toy_config):
+        result = sat_vs_wst(user_counts=(10, 20), repetitions=2,
+                            base_config=toy_config)
+        assert result.labels == list(MODES)
+        assert result.experiment_id == "sat-vs-wst-completeness"
+        for series in result.series:
+            assert series.xs == [10, 20]
+
+    def test_coverage_metric_variant(self, toy_config):
+        result = sat_vs_wst(user_counts=(10,), repetitions=1,
+                            base_config=toy_config, metric="coverage")
+        assert result.experiment_id == "sat-vs-wst-coverage"
+        assert "coverage" in result.y_label
+
+    def test_unknown_metric(self, toy_config):
+        with pytest.raises(ValueError, match="metric"):
+            sat_vs_wst(user_counts=(10,), repetitions=1,
+                       base_config=toy_config, metric="latency")
+
+    def test_registered(self):
+        from repro.experiments.registry import experiment_ids
+
+        assert "sat-vs-wst" in experiment_ids()
+
+
+class TestOutcome:
+    def test_incentive_aware_modes_beat_fixed(self, toy_config):
+        """Both demand-aware modes should out-complete fixed-reward WST."""
+        result = sat_vs_wst(user_counts=(15,), repetitions=3,
+                            base_config=toy_config)
+        fixed = result.series_by_label("wst-fixed").points[0].mean
+        on_demand = result.series_by_label("wst-on-demand").points[0].mean
+        assert on_demand >= fixed - 5.0
+
+    def test_deterministic(self, toy_config):
+        a = sat_vs_wst(user_counts=(10,), repetitions=2, base_config=toy_config)
+        b = sat_vs_wst(user_counts=(10,), repetitions=2, base_config=toy_config)
+        assert a.rows() == b.rows()

@@ -1,0 +1,73 @@
+"""Tests for the generic config sweep and the budget sweep."""
+
+import pytest
+
+from repro.experiments.sweeps import budget_sweep, config_sweep
+from repro.metrics import coverage
+from repro.simulation.config import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def toy_config():
+    return SimulationConfig(
+        n_users=12, n_tasks=5, rounds=6, required_measurements=3,
+        area_side=1500.0, budget=150.0,
+    )
+
+
+class TestConfigSweep:
+    def test_structure(self, toy_config):
+        result = config_sweep(
+            "n_users", [8, 16], repetitions=2, base_config=toy_config
+        )
+        assert result.experiment_id == "sweep-n_users"
+        assert set(result.labels) == {"coverage_pct", "completeness_pct"}
+        for series in result.series:
+            assert series.xs == [8, 16]
+
+    def test_values_sorted_into_result(self, toy_config):
+        result = config_sweep(
+            "n_users", [16, 8], repetitions=1, base_config=toy_config
+        )
+        assert result.series[0].xs == [8, 16]
+
+    def test_custom_metrics(self, toy_config):
+        result = config_sweep(
+            "rounds", [4, 6],
+            metrics={"cov": coverage},
+            repetitions=1, base_config=toy_config,
+        )
+        assert result.labels == ["cov"]
+
+    def test_unknown_field_rejected(self, toy_config):
+        with pytest.raises(ValueError, match="unknown config field"):
+            config_sweep("n_user", [8], repetitions=1, base_config=toy_config)
+
+    def test_empty_values_rejected(self, toy_config):
+        with pytest.raises(ValueError, match="non-empty"):
+            config_sweep("n_users", [], repetitions=1, base_config=toy_config)
+
+    def test_more_rounds_never_hurts_coverage(self, toy_config):
+        result = config_sweep(
+            "rounds", [2, 8], repetitions=3, base_config=toy_config
+        )
+        series = result.series_by_label("coverage_pct")
+        assert series.point_at(8).mean >= series.point_at(2).mean - 1e-9
+
+
+class TestBudgetSweep:
+    def test_structure_and_registration(self):
+        from repro.experiments.registry import experiment_ids
+
+        assert "sweep-budget" in experiment_ids()
+
+    def test_small_budgets_keep_eq9_feasible(self):
+        # 200 $ at the paper's step would make r0 negative; the sweep must
+        # shrink the step instead of crashing.
+        result = budget_sweep(budgets=(200.0, 1000.0), n_users=15, repetitions=1)
+        assert result.series_by_label("coverage_pct").xs == [200.0, 1000.0]
+
+    def test_more_budget_never_hurts_completeness(self):
+        result = budget_sweep(budgets=(300.0, 2000.0), n_users=40, repetitions=3)
+        series = result.series_by_label("completeness_pct")
+        assert series.point_at(2000.0).mean >= series.point_at(300.0).mean - 2.0

@@ -1,0 +1,41 @@
+"""Tests for the platform-welfare experiment panel."""
+
+import pytest
+
+from repro.experiments.welfare import welfare_by_mechanism
+from repro.simulation.config import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def toy_config():
+    return SimulationConfig(
+        n_tasks=6, rounds=6, required_measurements=3,
+        area_side=1500.0, budget=150.0,
+    )
+
+
+class TestStructure:
+    def test_panel_shape(self, toy_config):
+        result = welfare_by_mechanism(
+            user_counts=(10, 20), repetitions=2, base_config=toy_config,
+            value_per_measurement=150.0 / 18.0,
+        )
+        assert result.experiment_id == "welfare"
+        assert result.labels == ["on-demand", "fixed", "steered"]
+        assert result.metadata["value_per_measurement"] == pytest.approx(150.0 / 18.0)
+
+    def test_registered(self):
+        from repro.experiments.registry import experiment_ids
+
+        assert "welfare" in experiment_ids()
+
+
+class TestOrdering:
+    def test_on_demand_top_at_scale(self):
+        """At the paper constants, on-demand wins welfare decisively."""
+        from repro.analysis.shape import dominates
+
+        result = welfare_by_mechanism(user_counts=(100,), repetitions=3)
+        on_demand = result.series_by_label("on-demand")
+        assert dominates(on_demand, result.series_by_label("fixed"))
+        assert dominates(on_demand, result.series_by_label("steered"))

@@ -1,0 +1,99 @@
+"""Unit tests for repro.geometry.distances."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.distances import (
+    cross_distances,
+    distances_from,
+    nearest_index,
+    pairwise_distances,
+    path_length,
+)
+from repro.geometry.point import Point
+
+SQUARE = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+
+
+class TestPairwise:
+    def test_shape_and_diagonal(self):
+        matrix = pairwise_distances(SQUARE)
+        assert matrix.shape == (4, 4)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_symmetry(self):
+        matrix = pairwise_distances(SQUARE)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_known_values(self):
+        matrix = pairwise_distances(SQUARE)
+        assert math.isclose(matrix[0, 1], 1.0)
+        assert math.isclose(matrix[0, 2], math.sqrt(2.0))
+
+    def test_empty(self):
+        assert pairwise_distances([]).shape == (0, 0)
+
+    def test_matches_point_method(self):
+        pts = [Point(3.3, -1.2), Point(0.5, 9.9), Point(-7.0, 2.0)]
+        matrix = pairwise_distances(pts)
+        for i, a in enumerate(pts):
+            for j, b in enumerate(pts):
+                assert math.isclose(matrix[i, j], a.distance_to(b), abs_tol=1e-9)
+
+    def test_triangle_inequality(self):
+        matrix = pairwise_distances(SQUARE)
+        n = len(SQUARE)
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert matrix[i, j] <= matrix[i, k] + matrix[k, j] + 1e-9
+
+
+class TestCrossAndFrom:
+    def test_cross_shape(self):
+        matrix = cross_distances(SQUARE[:2], SQUARE)
+        assert matrix.shape == (2, 4)
+
+    def test_cross_values(self):
+        matrix = cross_distances([Point(0, 0)], [Point(3, 4), Point(6, 8)])
+        assert np.allclose(matrix, [[5.0, 10.0]])
+
+    def test_cross_empty_either_side(self):
+        assert cross_distances([], SQUARE).shape == (0, 4)
+        assert cross_distances(SQUARE, []).shape == (4, 0)
+
+    def test_distances_from(self):
+        out = distances_from(Point(0, 0), [Point(3, 4), Point(0, 2)])
+        assert np.allclose(out, [5.0, 2.0])
+
+    def test_distances_from_empty(self):
+        assert distances_from(Point(0, 0), []).shape == (0,)
+
+
+class TestPathLength:
+    def test_empty_and_single(self):
+        assert path_length([]) == 0.0
+        assert path_length([Point(5, 5)]) == 0.0
+
+    def test_two_points(self):
+        assert math.isclose(path_length([Point(0, 0), Point(3, 4)]), 5.0)
+
+    def test_square_loop(self):
+        loop = SQUARE + [SQUARE[0]]
+        assert math.isclose(path_length(loop), 4.0)
+
+    def test_order_matters(self):
+        direct = path_length([Point(0, 0), Point(1, 0), Point(2, 0)])
+        zigzag = path_length([Point(0, 0), Point(2, 0), Point(1, 0)])
+        assert direct < zigzag
+
+
+class TestNearest:
+    def test_picks_nearest(self):
+        assert nearest_index(Point(0, 0), [Point(10, 0), Point(1, 1), Point(5, 5)]) == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one target"):
+            nearest_index(Point(0, 0), [])

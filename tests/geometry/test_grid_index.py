@@ -1,0 +1,81 @@
+"""Unit tests for repro.geometry.grid_index."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.grid_index import GridIndex
+from repro.geometry.point import Point
+
+
+def brute_count(points, center, radius):
+    return sum(1 for p in points if p.distance_to(center) <= radius)
+
+
+class TestConstruction:
+    def test_len(self):
+        index = GridIndex([Point(0, 0), Point(1, 1)], cell_size=10.0)
+        assert len(index) == 2
+
+    def test_empty_index(self):
+        index = GridIndex([], cell_size=10.0)
+        assert index.count_within(Point(0, 0), 100.0) == 0
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            GridIndex([Point(0, 0)], cell_size=0.0)
+
+
+class TestQueries:
+    def test_inclusive_boundary(self):
+        index = GridIndex([Point(10.0, 0.0)], cell_size=10.0)
+        assert index.count_within(Point(0.0, 0.0), 10.0) == 1
+        assert index.count_within(Point(0.0, 0.0), 9.999) == 0
+
+    def test_negative_radius_raises(self):
+        index = GridIndex([Point(0, 0)], cell_size=1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            index.count_within(Point(0, 0), -1.0)
+
+    def test_zero_radius_exact_hit(self):
+        index = GridIndex([Point(5.0, 5.0)], cell_size=1.0)
+        assert index.count_within(Point(5.0, 5.0), 0.0) == 1
+        assert index.count_within(Point(5.1, 5.0), 0.0) == 0
+
+    def test_query_returns_indices(self):
+        points = [Point(0, 0), Point(100, 100), Point(1, 1)]
+        index = GridIndex(points, cell_size=10.0)
+        assert sorted(index.query(Point(0, 0), 5.0)) == [0, 2]
+
+    def test_negative_coordinates(self):
+        points = [Point(-15.0, -15.0), Point(-14.0, -14.0), Point(20.0, 20.0)]
+        index = GridIndex(points, cell_size=10.0)
+        assert index.count_within(Point(-15.0, -15.0), 5.0) == 2
+
+    def test_radius_larger_than_cell(self):
+        # Radius may exceed cell_size; the index must widen its scan.
+        points = [Point(float(x), 0.0) for x in range(0, 100, 10)]
+        index = GridIndex(points, cell_size=10.0)
+        assert index.count_within(Point(0.0, 0.0), 45.0) == 5
+
+    def test_matches_brute_force_on_random_cloud(self, rng):
+        points = [
+            Point(float(x), float(y))
+            for x, y in rng.uniform(0, 1000, size=(300, 2))
+        ]
+        index = GridIndex(points, cell_size=100.0)
+        for _ in range(25):
+            cx, cy = rng.uniform(0, 1000, size=2)
+            center = Point(float(cx), float(cy))
+            assert index.count_within(center, 100.0) == brute_count(
+                points, center, 100.0
+            )
+
+    def test_counts_for_vector(self):
+        points = [Point(0, 0), Point(50, 0), Point(100, 0)]
+        index = GridIndex(points, cell_size=60.0)
+        counts = index.counts_for([Point(0, 0), Point(100, 0)], 60.0)
+        assert counts == [2, 2]
+
+    def test_duplicate_points_counted_individually(self):
+        index = GridIndex([Point(1, 1)] * 4, cell_size=10.0)
+        assert index.count_within(Point(1, 1), 1.0) == 4

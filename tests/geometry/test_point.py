@@ -1,0 +1,89 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point, centroid, euclidean, manhattan
+
+
+class TestDistance:
+    def test_pythagorean_triple(self):
+        assert Point(3.0, 4.0).distance_to(Point(0.0, 0.0)) == 5.0
+
+    def test_zero_distance_to_self(self):
+        p = Point(1.5, -2.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_symmetry(self):
+        a, b = Point(1.0, 2.0), Point(-3.0, 7.0)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_function_form_matches_method(self):
+        a, b = Point(0.0, 0.0), Point(1.0, 1.0)
+        assert euclidean(a, b) == a.distance_to(b)
+
+    def test_manhattan(self):
+        assert Point(1.0, 2.0).manhattan_to(Point(4.0, -2.0)) == 7.0
+        assert manhattan(Point(0, 0), Point(2, 3)) == 5.0
+
+    def test_manhattan_dominates_euclidean(self):
+        a, b = Point(0.0, 0.0), Point(5.0, 12.0)
+        assert a.manhattan_to(b) >= a.distance_to(b)
+
+
+class TestConstruction:
+    def test_immutability(self):
+        p = Point(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            p.x = 3.0
+
+    def test_hashable_and_equal(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert len({Point(1.0, 2.0), Point(1.0, 2.0)}) == 1
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1.0, 9.0) < Point(2.0, 0.0)
+        assert Point(1.0, 1.0) < Point(1.0, 2.0)
+
+    def test_iteration_and_tuple(self):
+        assert tuple(Point(3.0, 4.0)) == (3.0, 4.0)
+        assert Point(3.0, 4.0).as_tuple() == (3.0, 4.0)
+
+
+class TestMovement:
+    def test_translate(self):
+        assert Point(1.0, 1.0).translate(2.0, -1.0) == Point(3.0, 0.0)
+
+    def test_midpoint(self):
+        assert Point(0.0, 0.0).midpoint(Point(4.0, 6.0)) == Point(2.0, 3.0)
+
+    def test_towards_partial(self):
+        moved = Point(0.0, 0.0).towards(Point(10.0, 0.0), 4.0)
+        assert moved == Point(4.0, 0.0)
+
+    def test_towards_never_overshoots(self):
+        target = Point(3.0, 4.0)
+        assert Point(0.0, 0.0).towards(target, 100.0) == target
+
+    def test_towards_zero_separation(self):
+        p = Point(1.0, 1.0)
+        assert p.towards(p, 5.0) == p
+
+    def test_towards_diagonal_preserves_distance(self):
+        start, target = Point(0.0, 0.0), Point(30.0, 40.0)
+        moved = start.towards(target, 10.0)
+        assert math.isclose(start.distance_to(moved), 10.0)
+
+
+class TestCentroid:
+    def test_single_point(self):
+        assert centroid([Point(2.0, 3.0)]) == Point(2.0, 3.0)
+
+    def test_square_centroid(self):
+        pts = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert centroid(pts) == Point(1.0, 1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            centroid([])

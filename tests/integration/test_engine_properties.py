@@ -1,0 +1,73 @@
+"""Property-based engine tests: invariants over random configurations.
+
+One hypothesis strategy draws a whole simulation configuration (size,
+geometry, mechanism, selector, mobility); every sample must satisfy the
+structural rules of Section III regardless of the draw:
+
+- Eq. 8: total platform payout within budget,
+- per-task cap: no task exceeds its required measurements,
+- per-user rule: one contribution per (user, task),
+- time budget: no user record exceeds its travel allowance,
+- deadlines: no measurement lands after its task's deadline.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+
+configs = st.builds(
+    SimulationConfig,
+    n_users=st.integers(min_value=2, max_value=20),
+    n_tasks=st.integers(min_value=1, max_value=8),
+    area_side=st.sampled_from([800.0, 1500.0, 2500.0]),
+    required_measurements=st.integers(min_value=1, max_value=5),
+    deadline_range=st.tuples(
+        st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=5)
+    ).map(lambda pair: (pair[0], pair[0] + pair[1])),
+    rounds=st.integers(min_value=1, max_value=8),
+    budget=st.sampled_from([150.0, 400.0, 1000.0]),
+    mechanism=st.sampled_from(["on-demand", "fixed", "steered", "adaptive"]),
+    selector=st.sampled_from(["dp", "greedy", "greedy-2opt"]),
+    mobility=st.sampled_from(["stationary", "follow-path", "random-waypoint"]),
+    layout=st.sampled_from(["uniform", "clustered"]),
+    heterogeneity=st.sampled_from([0.0, 0.3]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(configs)
+def test_budget_and_caps_hold_for_any_configuration(config):
+    result = simulate(config)
+
+    # Eq. 8: the platform can never overspend.
+    assert result.total_paid <= config.budget + 1e-9
+
+    # Per-task cap and contributor uniqueness.
+    seen = set()
+    for record in result.rounds:
+        for event in record.measurements:
+            key = (event.task_id, event.user_id)
+            assert key not in seen
+            seen.add(key)
+    for task in result.world.tasks:
+        assert task.received <= task.required_measurements
+        for round_no in task.measurements_by_round:
+            assert round_no <= task.deadline
+
+    # Travel allowances (per-user, heterogeneity-aware).
+    budgets = {u.user_id: u.max_travel_distance for u in result.world.users}
+    for record in result.rounds:
+        for user_record in record.user_records:
+            assert user_record.distance <= budgets[user_record.user_id] + 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(configs)
+def test_every_configuration_is_replayable(config):
+    a = simulate(config)
+    b = simulate(config)
+    assert a.total_measurements == b.total_measurements
+    assert abs(a.total_paid - b.total_paid) < 1e-9

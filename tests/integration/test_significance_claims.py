@@ -1,0 +1,67 @@
+"""Statistical backing for the headline comparisons.
+
+EXPERIMENTS.md states "on-demand beats fixed" style claims from mean
+curves; these tests back the central ones with paired tests at a modest
+repetition count (the pairing — identical worlds per repetition across
+mechanisms — is what makes 12 repetitions enough).
+"""
+
+import pytest
+
+from repro.analysis.significance import compare_paired
+from repro.experiments.runner import repeat_metric
+from repro.metrics import (
+    average_reward_per_measurement,
+    overall_completeness,
+    variance_of_measurements,
+)
+from repro.simulation.config import SimulationConfig
+
+REPS = 12
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimulationConfig(n_users=100)
+
+
+def paired(config, metric, mechanism_a, mechanism_b):
+    a = repeat_metric(config.with_overrides(mechanism=mechanism_a), metric, REPS)
+    b = repeat_metric(config.with_overrides(mechanism=mechanism_b), metric, REPS)
+    return compare_paired(a, b)
+
+
+class TestCompletenessClaims:
+    def test_on_demand_beats_fixed_significantly(self, config):
+        comparison = paired(config, overall_completeness, "on-demand", "fixed")
+        assert comparison.mean_difference > 0
+        assert comparison.significant(alpha=0.05)
+
+    def test_on_demand_beats_steered_significantly(self, config):
+        comparison = paired(config, overall_completeness, "on-demand", "steered")
+        assert comparison.mean_difference > 0
+        assert comparison.significant(alpha=0.05)
+
+
+class TestBalanceClaims:
+    def test_on_demand_lower_variance_than_fixed(self, config):
+        comparison = paired(
+            config, variance_of_measurements, "fixed", "on-demand"
+        )
+        assert comparison.mean_difference > 0
+        assert comparison.significant(alpha=0.05)
+
+
+class TestWelfareClaims:
+    def test_on_demand_cheaper_than_steered(self, config):
+        comparison = paired(
+            config, average_reward_per_measurement, "steered", "on-demand"
+        )
+        assert comparison.mean_difference > 0
+        assert comparison.significant(alpha=0.05)
+
+    def test_ci_excludes_zero_for_fixed_comparison(self, config):
+        comparison = paired(
+            config, average_reward_per_measurement, "fixed", "on-demand"
+        )
+        assert comparison.ci_low > 0.0

@@ -1,0 +1,98 @@
+"""Unit tests for repro.io.ascii_chart."""
+
+import pytest
+
+from repro.analysis.series import ExperimentResult, Series, SeriesPoint
+from repro.io.ascii_chart import render_chart, render_sparkline
+
+
+def panel(series_values):
+    series = [
+        Series(label, tuple(SeriesPoint(x, v) for x, v in enumerate(values)))
+        for label, values in series_values.items()
+    ]
+    return ExperimentResult(
+        experiment_id="chart-test",
+        title="Chart",
+        x_label="x",
+        y_label="y",
+        series=series,
+    )
+
+
+class TestRenderChart:
+    def test_contains_axes_and_legend(self):
+        text = render_chart(panel({"a": [1, 2, 3], "b": [3, 2, 1]}))
+        assert "chart-test" in text
+        assert "o=a" in text and "x=b" in text
+        assert "y: y, x: x" in text
+
+    def test_extreme_labels(self):
+        text = render_chart(panel({"a": [10.0, 50.0]}))
+        assert "50" in text
+        assert "10" in text
+
+    def test_rising_series_marker_positions(self):
+        text = render_chart(panel({"a": [0.0, 100.0]}), width=10, height=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        # Max at top-right, min at bottom-left.
+        assert rows[0].rstrip().endswith("o|")
+        assert "o" in rows[-1].split("|")[1][:2]
+
+    def test_collision_marker(self):
+        text = render_chart(panel({"a": [5.0, 5.0], "b": [5.0, 9.0]}))
+        assert "*" in text
+
+    def test_flat_series_renders(self):
+        text = render_chart(panel({"a": [2.0, 2.0, 2.0]}))
+        assert "o" in text
+
+    def test_degenerate_grid_rejected(self):
+        with pytest.raises(ValueError, match="grid too small"):
+            render_chart(panel({"a": [1, 2]}), width=4, height=2)
+
+    def test_empty_panel_rejected(self):
+        empty = ExperimentResult("e", "t", "x", "y", series=[])
+        with pytest.raises(ValueError, match="no points"):
+            render_chart(empty)
+
+    def test_line_width_is_stable(self):
+        text = render_chart(panel({"a": [1, 5, 2]}), width=30, height=8)
+        chart_rows = [line for line in text.splitlines() if line.endswith("|")]
+        assert len({len(row) for row in chart_rows}) == 1
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = render_sparkline(Series("up", tuple(
+            SeriesPoint(i, float(i)) for i in range(8)
+        )))
+        assert line.startswith("up ")
+        assert "▁" in line and "█" in line
+
+    def test_constant_series(self):
+        line = render_sparkline(Series("flat", (SeriesPoint(0, 3.0), SeriesPoint(1, 3.0))))
+        assert "▄" in line
+
+    def test_range_annotation(self):
+        line = render_sparkline(Series("s", (SeriesPoint(0, 1.0), SeriesPoint(1, 9.0))))
+        assert "[1..9]" in line
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            render_sparkline(Series("e", ()))
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError, match="width"):
+            render_sparkline(Series("s", (SeriesPoint(0, 1.0),)), width=0)
+
+
+class TestCliIntegration:
+    def test_chart_flag(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_REPS", "1")
+        main(["run", "fig6b", "--chart"])
+        out = capsys.readouterr().out
+        assert "on-demand" in out
+        assert "overlap" in out  # the chart legend rendered

@@ -1,0 +1,48 @@
+"""Unit tests for repro.io.csvio."""
+
+import pytest
+
+from repro.analysis.series import ExperimentResult, Series, SeriesPoint
+from repro.io.csvio import read_series_csv, write_series_csv
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="fig-test",
+        title="CSV round trip",
+        x_label="users",
+        y_label="coverage",
+        series=[
+            Series("on-demand", (SeriesPoint(40, 99.0, 1.0, 5), SeriesPoint(60, 100.0, 0.0, 5))),
+            Series("fixed", (SeriesPoint(40, 90.0, 2.0, 5),)),
+        ],
+    )
+
+
+class TestCsv:
+    def test_round_trip_points(self, result, tmp_path):
+        path = write_series_csv(result, tmp_path / "out.csv")
+        loaded = read_series_csv(path)
+        by_label = {s.label: s for s in loaded.series}
+        assert by_label["on-demand"].points == result.series[0].points
+        assert by_label["fixed"].points == result.series[1].points
+
+    def test_header_line(self, result, tmp_path):
+        path = write_series_csv(result, tmp_path / "out.csv")
+        first = path.read_text().splitlines()[0]
+        assert first == "series,x,mean,std,n"
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            read_series_csv(path)
+
+    def test_points_sorted_on_read(self, tmp_path):
+        path = tmp_path / "unsorted.csv"
+        path.write_text(
+            "series,x,mean,std,n\ns,2,1.0,0.0,1\ns,1,2.0,0.0,1\n"
+        )
+        loaded = read_series_csv(path)
+        assert loaded.series[0].xs == [1.0, 2.0]

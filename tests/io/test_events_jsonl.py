@@ -1,0 +1,70 @@
+"""Tests for the JSONL event-log export/import."""
+
+import json
+
+import pytest
+
+from repro.io.events import read_events_jsonl, write_events_jsonl
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate(SimulationConfig(
+        n_users=12, n_tasks=5, rounds=6, required_measurements=3,
+        area_side=1500.0, budget=150.0, seed=41,
+    ))
+
+
+class TestRoundTrip:
+    def test_totals_survive(self, result, tmp_path):
+        path = write_events_jsonl(result, tmp_path / "run.jsonl")
+        replay = read_events_jsonl(path)
+        assert replay.total_measurements == result.total_measurements
+        assert replay.total_paid == pytest.approx(result.total_paid)
+        assert replay.n_tasks == 5
+        assert replay.n_users == 12
+
+    def test_round_records_survive(self, result, tmp_path):
+        path = write_events_jsonl(result, tmp_path / "run.jsonl")
+        replay = read_events_jsonl(path)
+        assert len(replay.rounds) == result.rounds_played
+        for original, loaded in zip(result.rounds, replay.rounds):
+            assert loaded.round_no == original.round_no
+            assert loaded.published_rewards == original.published_rewards
+            assert loaded.measurements == original.measurements
+            assert loaded.rejections == original.rejections
+
+    def test_per_task_counts_survive(self, result, tmp_path):
+        path = write_events_jsonl(result, tmp_path / "run.jsonl")
+        replay = read_events_jsonl(path)
+        assert replay.measurements_by_task() == result.measurements_by_task()
+
+    def test_file_is_one_json_per_line(self, result, tmp_path):
+        path = write_events_jsonl(result, tmp_path / "run.jsonl")
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == "meta"
+        assert all(json.loads(line)["kind"] == "round" for line in lines[1:])
+        assert len(lines) == 1 + result.rounds_played
+
+
+class TestValidation:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_events_jsonl(path)
+
+    def test_foreign_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "meta", "format_version": 99}) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            read_events_jsonl(path)
+
+    def test_bad_line_kind_rejected(self, result, tmp_path):
+        path = write_events_jsonl(result, tmp_path / "run.jsonl")
+        content = path.read_text() + json.dumps({"kind": "banana"}) + "\n"
+        path.write_text(content)
+        with pytest.raises(ValueError, match="unexpected line kind"):
+            read_events_jsonl(path)

@@ -1,0 +1,65 @@
+"""Unit tests for repro.io.tables (ASCII/markdown rendering)."""
+
+import pytest
+
+from repro.analysis.series import ExperimentResult, Series, SeriesPoint
+from repro.io.tables import render_experiment, render_markdown, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "22.50" in lines[3]
+
+    def test_none_renders_dash(self):
+        text = render_table(["x", "y"], [[1, None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_precision(self):
+        text = render_table(["v"], [[3.14159]], precision=4)
+        assert "3.1416" in text
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError, match="width"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_integers_not_decimalised(self):
+        text = render_table(["n"], [[42]])
+        assert "42" in text and "42.00" not in text
+
+
+class TestRenderMarkdown:
+    def test_structure(self):
+        text = render_markdown(["a", "b"], [[1, 2.5]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.50 |"
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError, match="width"):
+            render_markdown(["a"], [[1, 2]])
+
+
+class TestRenderExperiment:
+    def test_contains_title_and_series(self):
+        result = ExperimentResult(
+            experiment_id="figX",
+            title="Example",
+            x_label="users",
+            y_label="metric",
+            series=[Series("on-demand", (SeriesPoint(40, 1.5),))],
+            metadata={"repetitions": 2},
+        )
+        text = render_experiment(result)
+        assert "figX: Example" in text
+        assert "repetitions=2" in text
+        assert "on-demand" in text
+        assert "1.50" in text

@@ -1,0 +1,50 @@
+"""Unit tests for repro.io.results."""
+
+import json
+
+import pytest
+
+from repro.analysis.series import ExperimentResult, Series, SeriesPoint
+from repro.io.results import FORMAT_VERSION, load_result, save_result
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="fig-test",
+        title="Round trip",
+        x_label="x",
+        y_label="y",
+        series=[Series("a", (SeriesPoint(1, 2.0, 0.5, 4),))],
+        metadata={"repetitions": 4},
+    )
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, result, tmp_path):
+        path = save_result(result, tmp_path / "out.json")
+        loaded = load_result(path)
+        assert loaded.experiment_id == result.experiment_id
+        assert loaded.series[0].points == result.series[0].points
+        assert loaded.metadata == result.metadata
+
+    def test_parents_created(self, result, tmp_path):
+        path = save_result(result, tmp_path / "a" / "b" / "out.json")
+        assert path.exists()
+
+    def test_file_is_versioned_json(self, result, tmp_path):
+        path = save_result(result, tmp_path / "out.json")
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == FORMAT_VERSION
+
+    def test_foreign_version_rejected(self, result, tmp_path):
+        path = save_result(result, tmp_path / "out.json")
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            load_result(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_result(tmp_path / "nope.json")

@@ -1,0 +1,58 @@
+"""Unit tests for repro.metrics.measurements."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.measurements import (
+    average_measurements,
+    measurements_per_round,
+    measurements_per_task,
+    variance_of_measurements,
+)
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate(SimulationConfig(
+        n_users=20, n_tasks=8, rounds=8, required_measurements=4,
+        area_side=2000.0, budget=300.0, seed=19,
+    ))
+
+
+class TestPerTask:
+    def test_counts_match_world(self, result):
+        counts = measurements_per_task(result)
+        for task in result.world.tasks:
+            assert counts[task.task_id] == task.received
+
+    def test_average(self, result):
+        counts = list(measurements_per_task(result).values())
+        assert average_measurements(result) == pytest.approx(np.mean(counts))
+
+    def test_variance(self, result):
+        counts = list(measurements_per_task(result).values())
+        assert variance_of_measurements(result) == pytest.approx(np.var(counts))
+
+    def test_average_bounded_by_required(self, result):
+        assert average_measurements(result) <= 4.0
+
+
+class TestPerRound:
+    def test_sums_to_total(self, result):
+        series = measurements_per_round(result, horizon=8)
+        assert sum(series) == result.total_measurements
+
+    def test_zero_after_early_stop(self, result):
+        series = measurements_per_round(result, horizon=15)
+        assert all(v == 0 for v in series[result.rounds_played:])
+
+    def test_matches_round_records(self, result):
+        series = measurements_per_round(result, horizon=result.rounds_played)
+        for round_no, value in enumerate(series, start=1):
+            assert value == result.round(round_no).measurement_count
+
+    def test_bad_horizon(self, result):
+        with pytest.raises(ValueError, match="horizon"):
+            measurements_per_round(result, horizon=0)

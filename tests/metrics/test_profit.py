@@ -1,0 +1,61 @@
+"""Unit tests for repro.metrics.profit."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.profit import (
+    average_profit_per_user,
+    profit_difference,
+    user_profits,
+)
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimulationConfig(
+        n_users=18, n_tasks=7, rounds=8, required_measurements=4,
+        area_side=2000.0, budget=300.0, seed=29,
+    )
+
+
+@pytest.fixture(scope="module")
+def result(config):
+    return simulate(config)
+
+
+class TestUserProfits:
+    def test_whole_run_length(self, result):
+        assert len(user_profits(result)) == 18
+
+    def test_round_matches_records(self, result):
+        profits = user_profits(result, round_no=1)
+        assert profits == [r.profit for r in result.round(1).user_records]
+
+    def test_average_is_mean(self, result):
+        assert average_profit_per_user(result) == pytest.approx(
+            float(np.mean(user_profits(result)))
+        )
+
+    def test_round_past_history_is_zero(self, result):
+        assert average_profit_per_user(result, round_no=99) == 0.0
+
+
+class TestProfitDifference:
+    def test_paired_difference(self, config):
+        dp = simulate(config.with_overrides(selector="dp"))
+        greedy = simulate(config.with_overrides(selector="greedy"))
+        diff = profit_difference(dp, greedy, round_no=1)
+        assert diff == pytest.approx(
+            average_profit_per_user(dp, 1) - average_profit_per_user(greedy, 1)
+        )
+
+    def test_round_one_dp_at_least_greedy(self, config):
+        """At round 1 both face identical worlds and prices, so the planned
+        profit ordering survives into realized profits *in expectation*;
+        we assert the exact per-problem ordering instead via build_problems
+        elsewhere — here only that the metric is computable and finite."""
+        dp = simulate(config.with_overrides(selector="dp"))
+        greedy = simulate(config.with_overrides(selector="greedy"))
+        assert np.isfinite(profit_difference(dp, greedy, round_no=1))

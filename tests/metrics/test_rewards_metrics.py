@@ -1,0 +1,50 @@
+"""Unit tests for repro.metrics.rewards."""
+
+import pytest
+
+from repro.metrics.rewards import average_reward_per_measurement, total_paid
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate(SimulationConfig(
+        n_users=20, n_tasks=8, rounds=8, required_measurements=4,
+        area_side=2000.0, budget=300.0, seed=23,
+    ))
+
+
+class TestRewards:
+    def test_total_paid_matches_events(self, result):
+        expected = sum(
+            event.reward for record in result.rounds for event in record.measurements
+        )
+        assert total_paid(result) == pytest.approx(expected)
+
+    def test_average_is_total_over_count(self, result):
+        assert average_reward_per_measurement(result) == pytest.approx(
+            result.total_paid / result.total_measurements
+        )
+
+    def test_average_within_schedule_range(self, result):
+        # With this budget the ladder is r0 .. r0 + 4*step.
+        from repro.core.rewards import RewardSchedule
+
+        schedule = RewardSchedule.from_budget(
+            budget=300.0, total_required_measurements=32, step=0.5
+        )
+        average = average_reward_per_measurement(result)
+        assert schedule.base_reward <= average <= schedule.max_reward
+
+    def test_zero_measurements_defines_zero(self):
+        """Users too slow/far to ever reach a task: defined, not a crash."""
+        config = SimulationConfig(
+            n_users=2, n_tasks=3, rounds=2, required_measurements=2,
+            area_side=3000.0, budget=100.0,
+            user_time_budget=1.0,  # 2 m of travel: nothing reachable
+            seed=3,
+        )
+        result = simulate(config)
+        assert result.total_measurements == 0
+        assert average_reward_per_measurement(result) == 0.0

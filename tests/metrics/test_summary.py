@@ -1,0 +1,58 @@
+"""Unit tests for repro.metrics.summary."""
+
+import pytest
+
+from repro.metrics import (
+    MetricsSummary,
+    average_measurements,
+    average_reward_per_measurement,
+    coverage,
+    overall_completeness,
+    variance_of_measurements,
+)
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate(SimulationConfig(
+        n_users=20, n_tasks=8, rounds=8, required_measurements=4,
+        area_side=2000.0, budget=300.0, seed=31,
+    ))
+
+
+class TestSummary:
+    def test_fields_match_individual_metrics(self, result):
+        summary = MetricsSummary.from_result(result)
+        assert summary.coverage == pytest.approx(coverage(result))
+        assert summary.overall_completeness == pytest.approx(
+            overall_completeness(result)
+        )
+        assert summary.average_measurements == pytest.approx(
+            average_measurements(result)
+        )
+        assert summary.variance_of_measurements == pytest.approx(
+            variance_of_measurements(result)
+        )
+        assert summary.average_reward_per_measurement == pytest.approx(
+            average_reward_per_measurement(result)
+        )
+        assert summary.total_measurements == result.total_measurements
+        assert summary.rounds_played == result.rounds_played
+
+    def test_as_dict_roundtrips_fields(self, result):
+        summary = MetricsSummary.from_result(result)
+        payload = summary.as_dict()
+        assert payload["coverage"] == summary.coverage
+        assert set(payload) == {
+            "coverage", "overall_completeness", "completed_fraction",
+            "average_measurements", "variance_of_measurements",
+            "average_reward_per_measurement", "average_profit_per_user",
+            "total_measurements", "total_paid", "rounds_played",
+        }
+
+    def test_summary_is_frozen(self, result):
+        summary = MetricsSummary.from_result(result)
+        with pytest.raises(AttributeError):
+            summary.coverage = 0.0

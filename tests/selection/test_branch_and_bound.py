@@ -1,0 +1,101 @@
+"""Unit + property tests for the branch-and-bound selector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.selection.base import CandidateTask
+from repro.selection.branch_and_bound import BranchAndBoundSelector
+from repro.selection.dp import DynamicProgrammingSelector
+from repro.selection.problem import TaskSelectionProblem
+
+
+def build(candidates, max_distance=10_000.0, cost=0.002):
+    return TaskSelectionProblem.build(Point(0, 0), candidates, max_distance, cost)
+
+
+def c(task_id, x, y, reward):
+    return CandidateTask(task_id=task_id, location=Point(x, y), reward=reward)
+
+
+class TestBasics:
+    def test_empty(self):
+        assert BranchAndBoundSelector().select(build([])).is_empty
+
+    def test_single_profitable_task(self):
+        selection = BranchAndBoundSelector().select(build([c(1, 100.0, 0.0, 1.0)]))
+        assert selection.task_ids == (1,)
+
+    def test_unprofitable_task_skipped(self):
+        assert BranchAndBoundSelector().select(build([c(1, 1000.0, 0.0, 1.0)])).is_empty
+
+    def test_respects_budget(self):
+        problem = build(
+            [c(1, 400.0, 0.0, 5.0), c(2, -400.0, 0.0, 5.0)], max_distance=500.0
+        )
+        selection = BranchAndBoundSelector().select(problem)
+        assert len(selection) == 1
+        assert selection.distance <= 500.0
+
+    def test_optimal_order(self):
+        problem = build([c(1, 300.0, 0.0, 2.0), c(2, 100.0, 0.0, 2.0)])
+        selection = BranchAndBoundSelector().select(problem)
+        assert selection.task_ids == (2, 1)
+
+    def test_min_profit_threshold(self):
+        problem = build([c(1, 100.0, 0.0, 0.25)])
+        assert BranchAndBoundSelector(min_profit=0.1).select(problem).is_empty
+
+    def test_node_cap_returns_incumbent(self):
+        rng = np.random.default_rng(11)
+        candidates = [
+            c(i, float(x), float(y), 2.0)
+            for i, (x, y) in enumerate(rng.uniform(-500, 500, size=(12, 2)))
+        ]
+        problem = build(candidates, max_distance=3000.0)
+        capped = BranchAndBoundSelector(max_nodes=50).select(problem)
+        # Feasible, contract-respecting, possibly sub-optimal.
+        assert capped.distance <= 3000.0 + 1e-6
+        assert capped.is_empty or capped.profit > 0.0
+
+    def test_node_cap_validated(self):
+        with pytest.raises(ValueError, match="max_nodes"):
+            BranchAndBoundSelector(max_nodes=0)
+
+    def test_matches_dp_on_paper_sized_instance(self):
+        rng = np.random.default_rng(12)
+        candidates = [
+            c(i, float(x), float(y), float(r))
+            for i, ((x, y), r) in enumerate(zip(
+                rng.uniform(-1500, 1500, size=(20, 2)),
+                rng.choice([0.5, 1.0, 1.5, 2.0, 2.5], size=20),
+            ))
+        ]
+        problem = build(candidates, max_distance=1800.0)
+        dp = DynamicProgrammingSelector().select(problem)
+        bnb = BranchAndBoundSelector().select(problem)
+        assert bnb.profit == pytest.approx(dp.profit, abs=1e-9)
+
+
+coordinate = st.floats(min_value=-800.0, max_value=800.0)
+reward = st.floats(min_value=0.1, max_value=3.0)
+candidate_lists = st.lists(
+    st.tuples(coordinate, coordinate, reward), min_size=0, max_size=7
+).map(
+    lambda raw: [
+        CandidateTask(task_id=i, location=Point(x, y), reward=r)
+        for i, (x, y, r) in enumerate(raw)
+    ]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(candidate_lists, st.floats(min_value=100.0, max_value=3000.0))
+def test_bnb_matches_dp_exactly(candidates, budget):
+    problem = build(candidates, budget)
+    dp = DynamicProgrammingSelector().select(problem)
+    bnb = BranchAndBoundSelector().select(problem)
+    assert abs(bnb.profit - dp.profit) < 1e-7
+    assert bnb.distance <= budget + 1e-6

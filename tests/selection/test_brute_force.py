@@ -1,0 +1,54 @@
+"""Unit tests for the brute-force oracle selector."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.selection.base import CandidateTask
+from repro.selection.brute_force import BruteForceSelector
+from repro.selection.problem import TaskSelectionProblem
+
+
+def build(candidates, max_distance=10_000.0, cost=0.002):
+    return TaskSelectionProblem.build(Point(0, 0), candidates, max_distance, cost)
+
+
+def c(task_id, x, y, reward):
+    return CandidateTask(task_id=task_id, location=Point(x, y), reward=reward)
+
+
+class TestOracle:
+    def test_empty(self):
+        assert BruteForceSelector().select(build([])).is_empty
+
+    def test_single_task(self):
+        selection = BruteForceSelector().select(build([c(1, 100.0, 0.0, 1.0)]))
+        assert selection.task_ids == (1,)
+
+    def test_finds_optimal_order(self):
+        problem = build([c(1, 300.0, 0.0, 1.0), c(2, 100.0, 0.0, 1.0)])
+        selection = BruteForceSelector().select(problem)
+        assert selection.task_ids == (2, 1)
+
+    def test_respects_budget(self):
+        problem = build(
+            [c(1, 400.0, 0.0, 5.0), c(2, -400.0, 0.0, 5.0)], max_distance=500.0
+        )
+        selection = BruteForceSelector().select(problem)
+        assert len(selection) == 1
+
+    def test_sits_out_when_unprofitable(self):
+        problem = build([c(1, 1000.0, 0.0, 1.0)])
+        assert BruteForceSelector().select(problem).is_empty
+
+    def test_size_limit_enforced(self):
+        candidates = [c(i, float(10 * i + 10), 0.0, 1.0) for i in range(9)]
+        with pytest.raises(ValueError, match="refuses"):
+            BruteForceSelector(max_tasks=8).select(build(candidates))
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError, match="max_tasks"):
+            BruteForceSelector(max_tasks=0)
+
+    def test_min_profit_threshold(self):
+        problem = build([c(1, 100.0, 0.0, 0.25)])
+        assert BruteForceSelector(min_profit=0.1).select(problem).is_empty

@@ -1,0 +1,126 @@
+"""Unit tests for the exact DP selector (Section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.selection.base import CandidateTask
+from repro.selection.dp import DynamicProgrammingSelector
+from repro.selection.problem import TaskSelectionProblem
+
+
+def build(candidates, max_distance=10_000.0, cost=0.002, origin=Point(0, 0)):
+    return TaskSelectionProblem.build(origin, candidates, max_distance, cost)
+
+
+def c(task_id, x, y, reward):
+    return CandidateTask(task_id=task_id, location=Point(x, y), reward=reward)
+
+
+class TestBasics:
+    def test_empty_problem_sits_out(self):
+        assert DynamicProgrammingSelector().select(build([])).is_empty
+
+    def test_single_profitable_task(self):
+        problem = build([c(1, 100.0, 0.0, reward=1.0)])
+        selection = DynamicProgrammingSelector().select(problem)
+        assert selection.task_ids == (1,)
+        assert selection.profit == pytest.approx(1.0 - 0.2)
+
+    def test_single_unprofitable_task_skipped(self):
+        # 1000 m at 0.002 $/m costs $2 for a $1 reward.
+        problem = build([c(1, 1000.0, 0.0, reward=1.0)])
+        assert DynamicProgrammingSelector().select(problem).is_empty
+
+    def test_budget_excludes_far_task(self):
+        problem = build(
+            [c(1, 100.0, 0.0, 5.0), c(2, 5000.0, 0.0, 50.0)], max_distance=1000.0
+        )
+        selection = DynamicProgrammingSelector().select(problem)
+        assert selection.task_ids == (1,)
+
+    def test_respects_budget_on_chains(self):
+        # Two tasks individually reachable, jointly over budget.
+        problem = build(
+            [c(1, 400.0, 0.0, 5.0), c(2, -400.0, 0.0, 5.0)], max_distance=500.0
+        )
+        selection = DynamicProgrammingSelector().select(problem)
+        assert len(selection) == 1
+        assert selection.distance <= 500.0
+
+    def test_visits_in_shortest_order(self):
+        # Collinear tasks: optimal order is nearest-first.
+        problem = build([c(1, 300.0, 0.0, 2.0), c(2, 100.0, 0.0, 2.0)])
+        selection = DynamicProgrammingSelector().select(problem)
+        assert selection.task_ids == (2, 1)
+        assert selection.distance == pytest.approx(300.0)
+
+    def test_drops_negative_marginal_task(self):
+        # Second task costs more to reach than it pays.
+        problem = build([c(1, 100.0, 0.0, 2.0), c(2, 100.0, 3000.0, 1.0)])
+        selection = DynamicProgrammingSelector().select(problem)
+        assert selection.task_ids == (1,)
+
+    def test_detour_worth_taking(self):
+        # A cheap detour to a decent reward must be included.
+        problem = build(
+            [c(1, 100.0, 0.0, 1.0), c(2, 200.0, 50.0, 1.0), c(3, 300.0, 0.0, 1.0)]
+        )
+        selection = DynamicProgrammingSelector().select(problem)
+        assert set(selection.task_ids) == {1, 2, 3}
+
+
+class TestMinProfit:
+    def test_min_profit_threshold(self):
+        problem = build([c(1, 100.0, 0.0, reward=0.25)])
+        # Profit 0.05 clears 0.0 but not 0.1.
+        assert not DynamicProgrammingSelector(min_profit=0.0).select(problem).is_empty
+        assert DynamicProgrammingSelector(min_profit=0.1).select(problem).is_empty
+
+    def test_exact_threshold_is_strict(self):
+        problem = build([c(1, 100.0, 0.0, reward=0.2)], cost=0.002)
+        # Profit exactly 0.0 with min_profit 0.0: stay home (strict >).
+        assert DynamicProgrammingSelector(min_profit=0.0).select(problem).is_empty
+
+
+class TestCapping:
+    def test_cap_validates(self):
+        with pytest.raises(ValueError, match="max_exact_tasks"):
+            DynamicProgrammingSelector(max_exact_tasks=0)
+
+    def test_cap_keeps_best_candidates(self):
+        rng = np.random.default_rng(3)
+        candidates = [
+            c(i, float(x), float(y), reward=2.0)
+            for i, (x, y) in enumerate(rng.uniform(-500, 500, size=(12, 2)))
+        ]
+        problem = build(candidates, max_distance=3000.0)
+        capped = DynamicProgrammingSelector(max_exact_tasks=6).select(problem)
+        exact = DynamicProgrammingSelector(max_exact_tasks=18).select(problem)
+        # The capped run is feasible and not wildly worse than exact.
+        assert capped.distance <= 3000.0 + 1e-6
+        assert capped.profit <= exact.profit + 1e-9
+        assert capped.profit > 0.0
+
+    def test_large_instance_completes_quickly(self):
+        rng = np.random.default_rng(4)
+        candidates = [
+            c(i, float(x), float(y), reward=1.5)
+            for i, (x, y) in enumerate(rng.uniform(-900, 900, size=(30, 2)))
+        ]
+        problem = build(candidates, max_distance=1800.0)
+        selection = DynamicProgrammingSelector(max_exact_tasks=14).select(problem)
+        assert selection.distance <= 1800.0 + 1e-6
+
+
+class TestReportedAccounting:
+    def test_selection_matches_reevaluation(self):
+        problem = build(
+            [c(1, 120.0, 40.0, 1.2), c(2, 260.0, -30.0, 0.9), c(3, 80.0, 210.0, 2.0)]
+        )
+        selection = DynamicProgrammingSelector().select(problem)
+        id_to_index = {cand.task_id: i for i, cand in enumerate(problem.candidates)}
+        order = [id_to_index[t] for t in selection.task_ids]
+        again = problem.evaluate(order)
+        assert again.distance == pytest.approx(selection.distance)
+        assert again.profit == pytest.approx(selection.profit)

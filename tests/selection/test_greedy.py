@@ -1,0 +1,88 @@
+"""Unit tests for the paper's greedy selector (Section V-B)."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.selection.base import CandidateTask
+from repro.selection.greedy import GreedySelector
+from repro.selection.problem import TaskSelectionProblem
+
+
+def build(candidates, max_distance=10_000.0, cost=0.002):
+    return TaskSelectionProblem.build(Point(0, 0), candidates, max_distance, cost)
+
+
+def c(task_id, x, y, reward):
+    return CandidateTask(task_id=task_id, location=Point(x, y), reward=reward)
+
+
+class TestBasics:
+    def test_empty_problem(self):
+        assert GreedySelector().select(build([])).is_empty
+
+    def test_picks_best_marginal_profit_first(self):
+        # Task 2 is closer per dollar: greedy goes there first.
+        problem = build([c(1, 500.0, 0.0, 2.0), c(2, 100.0, 0.0, 1.5)])
+        selection = GreedySelector().select(problem)
+        assert selection.task_ids[0] == 2
+
+    def test_chains_within_budget(self):
+        problem = build(
+            [c(1, 100.0, 0.0, 1.0), c(2, 200.0, 0.0, 1.0), c(3, 300.0, 0.0, 1.0)],
+            max_distance=300.0,
+        )
+        selection = GreedySelector().select(problem)
+        assert selection.task_ids == (1, 2, 3)
+        assert selection.distance == pytest.approx(300.0)
+
+    def test_stops_when_budget_exhausted(self):
+        problem = build(
+            [c(1, 100.0, 0.0, 1.0), c(2, 200.0, 0.0, 1.0), c(3, 300.0, 0.0, 1.0)],
+            max_distance=250.0,
+        )
+        selection = GreedySelector().select(problem)
+        assert selection.task_ids == (1, 2)
+
+    def test_stops_on_unprofitable_steps(self):
+        # Second candidate's marginal leg (900 m, $1.8) exceeds its $1 reward.
+        problem = build([c(1, 100.0, 0.0, 1.0), c(2, 1000.0, 0.0, 1.0)])
+        selection = GreedySelector().select(problem)
+        assert selection.task_ids == (1,)
+
+    def test_sits_out_when_nothing_profitable(self):
+        problem = build([c(1, 900.0, 0.0, 1.0)])  # $1.8 to reach, $1 reward
+        assert GreedySelector().select(problem).is_empty
+
+    def test_min_step_profit(self):
+        problem = build([c(1, 100.0, 0.0, 0.3)])
+        assert not GreedySelector(min_step_profit=0.0).select(problem).is_empty
+        assert GreedySelector(min_step_profit=0.2).select(problem).is_empty
+
+
+class TestMyopia:
+    def test_greedy_is_myopic_where_dp_is_not(self):
+        """The canonical gap: a near cheap task pulls greedy off the rich cluster."""
+        from repro.selection.dp import DynamicProgrammingSelector
+
+        candidates = [
+            c(1, 100.0, 0.0, 1.0),        # near, modest: marginal 0.80
+            c(2, 0.0, 900.0, 2.5),        # far cluster: marginal 0.70 from home
+            c(3, 0.0, 960.0, 2.5),
+            c(4, 60.0, 930.0, 2.5),
+        ]
+        problem = build(candidates, max_distance=1100.0)
+        greedy = GreedySelector().select(problem)
+        dp = DynamicProgrammingSelector().select(problem)
+        assert greedy.task_ids[0] == 1
+        assert dp.profit >= greedy.profit
+
+    def test_total_accounting_consistent(self):
+        problem = build(
+            [c(1, 150.0, 20.0, 1.1), c(2, 340.0, -60.0, 1.4), c(3, 90.0, 310.0, 0.9)]
+        )
+        selection = GreedySelector().select(problem)
+        id_to_index = {cand.task_id: i for i, cand in enumerate(problem.candidates)}
+        order = [id_to_index[t] for t in selection.task_ids]
+        again = problem.evaluate(order)
+        assert again.distance == pytest.approx(selection.distance)
+        assert again.reward == pytest.approx(selection.reward)

@@ -1,0 +1,150 @@
+"""Unit tests for repro.selection.problem."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.selection.base import CandidateTask, Selection
+from repro.selection.problem import TaskSelectionProblem
+
+
+def candidate(task_id, x, y, reward=1.0):
+    return CandidateTask(task_id=task_id, location=Point(x, y), reward=reward)
+
+
+def line_problem(max_distance=1000.0, cost=0.002):
+    """Three tasks on the x axis at 100, 200, 300 m from the origin."""
+    return TaskSelectionProblem.build(
+        origin=Point(0.0, 0.0),
+        candidates=[
+            candidate(10, 100.0, 0.0, reward=1.0),
+            candidate(20, 200.0, 0.0, reward=2.0),
+            candidate(30, 300.0, 0.0, reward=3.0),
+        ],
+        max_distance=max_distance,
+        cost_per_meter=cost,
+    )
+
+
+class TestBuild:
+    def test_size_and_matrix_shape(self):
+        problem = line_problem()
+        assert problem.size == 3
+        assert problem.distance_matrix.shape == (4, 4)
+
+    def test_matrix_row_zero_is_origin(self):
+        problem = line_problem()
+        assert np.allclose(problem.distance_matrix[0], [0.0, 100.0, 200.0, 300.0])
+
+    def test_unreachable_candidates_pruned(self):
+        problem = line_problem(max_distance=150.0)
+        assert problem.size == 1
+        assert problem.candidates[0].task_id == 10
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TaskSelectionProblem.build(
+                origin=Point(0, 0),
+                candidates=[candidate(1, 1.0, 0.0), candidate(1, 2.0, 0.0)],
+                max_distance=100.0,
+                cost_per_meter=0.002,
+            )
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_distance"):
+            TaskSelectionProblem.build(Point(0, 0), [], -1.0, 0.002)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError, match="cost_per_meter"):
+            TaskSelectionProblem.build(Point(0, 0), [], 1.0, -0.002)
+
+    def test_negative_reward_rejected_at_candidate(self):
+        with pytest.raises(ValueError, match="reward"):
+            candidate(1, 0.0, 0.0, reward=-1.0)
+
+    def test_empty_problem(self):
+        problem = TaskSelectionProblem.build(Point(0, 0), [], 100.0, 0.002)
+        assert problem.size == 0
+
+
+class TestEvaluate:
+    def test_path_distance_in_order(self):
+        problem = line_problem()
+        # origin -> 300 -> 100: 300 + 200 = 500
+        assert problem.path_distance([2, 0]) == pytest.approx(500.0)
+
+    def test_evaluate_accounting(self):
+        problem = line_problem()
+        selection = problem.evaluate([0, 1, 2])  # 100 + 100 + 100 = 300 m
+        assert selection.task_ids == (10, 20, 30)
+        assert selection.distance == pytest.approx(300.0)
+        assert selection.reward == pytest.approx(6.0)
+        assert selection.cost == pytest.approx(0.6)
+        assert selection.profit == pytest.approx(5.4)
+
+    def test_evaluate_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            line_problem().evaluate([0, 0])
+
+    def test_evaluate_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            line_problem().evaluate([5])
+
+    def test_feasibility(self):
+        problem = line_problem(max_distance=300.0)
+        assert problem.is_feasible([0, 1, 2])
+        assert not problem.is_feasible([2, 0])
+
+    def test_empty_order_is_feasible_and_zero(self):
+        problem = line_problem()
+        assert problem.is_feasible([])
+        selection = problem.evaluate([])
+        assert selection.is_empty
+        assert selection.profit == 0.0
+
+
+class TestRestriction:
+    def test_restricted_matrix_consistent(self):
+        problem = line_problem()
+        sub = problem.restricted_to([0, 2])
+        assert sub.size == 2
+        assert [c.task_id for c in sub.candidates] == [10, 30]
+        assert np.allclose(sub.distance_matrix[0], [0.0, 100.0, 300.0])
+        assert sub.distance_matrix[1, 2] == pytest.approx(200.0)
+
+    def test_restricted_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            line_problem().restricted_to([3])
+
+
+class TestPathPoints:
+    def test_lookup_in_order(self):
+        problem = line_problem()
+        points = problem.path_points([30, 10])
+        assert points == [Point(300.0, 0.0), Point(100.0, 0.0)]
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ValueError, match="not a candidate"):
+            line_problem().path_points([99])
+
+
+class TestSelectionType:
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Selection(task_ids=(1,), distance=-1.0, reward=0.0, cost=0.0)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Selection(task_ids=(1, 1), distance=0.0, reward=0.0, cost=0.0)
+
+    def test_empty_factory(self):
+        empty = Selection.empty()
+        assert empty.is_empty
+        assert len(empty) == 0
+        assert empty.profit == 0.0
+
+    def test_profit_sign(self):
+        losing = Selection(task_ids=(1,), distance=10.0, reward=1.0, cost=2.0)
+        assert math.isclose(losing.profit, -1.0)

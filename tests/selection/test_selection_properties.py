@@ -1,0 +1,108 @@
+"""Property-based tests for the selectors (hypothesis).
+
+The central claims of Section V, stated as properties over random
+instances:
+
+- the DP selector is exactly optimal (matches the brute-force oracle),
+- greedy and greedy+2-opt never beat the optimum,
+- every selector respects the travel budget and the rational-user rule.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.selection.base import CandidateTask
+from repro.selection.brute_force import BruteForceSelector
+from repro.selection.dp import DynamicProgrammingSelector
+from repro.selection.greedy import GreedySelector
+from repro.selection.problem import TaskSelectionProblem
+from repro.selection.two_opt import GreedyTwoOptSelector
+
+coordinate = st.floats(min_value=-800.0, max_value=800.0)
+reward = st.floats(min_value=0.1, max_value=3.0)
+
+candidate_lists = st.lists(
+    st.tuples(coordinate, coordinate, reward), min_size=0, max_size=6
+).map(
+    lambda raw: [
+        CandidateTask(task_id=i, location=Point(x, y), reward=r)
+        for i, (x, y, r) in enumerate(raw)
+    ]
+)
+
+budgets = st.floats(min_value=100.0, max_value=3000.0)
+
+
+def build(candidates, budget):
+    return TaskSelectionProblem.build(
+        origin=Point(0.0, 0.0),
+        candidates=candidates,
+        max_distance=budget,
+        cost_per_meter=0.002,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(candidate_lists, budgets)
+def test_dp_matches_brute_force_exactly(candidates, budget):
+    problem = build(candidates, budget)
+    dp = DynamicProgrammingSelector().select(problem)
+    oracle = BruteForceSelector(max_tasks=6).select(problem)
+    assert math.isclose(dp.profit, oracle.profit, abs_tol=1e-7)
+
+
+@settings(max_examples=60, deadline=None)
+@given(candidate_lists, budgets)
+def test_greedy_never_beats_dp(candidates, budget):
+    problem = build(candidates, budget)
+    dp = DynamicProgrammingSelector().select(problem)
+    greedy = GreedySelector().select(problem)
+    assert greedy.profit <= dp.profit + 1e-7
+
+
+@settings(max_examples=60, deadline=None)
+@given(candidate_lists, budgets)
+def test_two_opt_between_greedy_and_dp(candidates, budget):
+    problem = build(candidates, budget)
+    dp = DynamicProgrammingSelector().select(problem)
+    greedy = GreedySelector().select(problem)
+    two_opt = GreedyTwoOptSelector().select(problem)
+    assert greedy.profit - 1e-7 <= two_opt.profit <= dp.profit + 1e-7
+
+
+@settings(max_examples=60, deadline=None)
+@given(candidate_lists, budgets)
+def test_all_selectors_respect_contract(candidates, budget):
+    """Budget feasibility, accounting consistency, rational-user rule."""
+    problem = build(candidates, budget)
+    selectors = [
+        DynamicProgrammingSelector(),
+        GreedySelector(),
+        GreedyTwoOptSelector(),
+        BruteForceSelector(max_tasks=6),
+    ]
+    for selector in selectors:
+        selection = selector.select(problem)
+        assert selection.distance <= budget + 1e-6
+        assert selection.is_empty or selection.profit > 0.0
+        # Reported task ids must be actual candidates, without repeats.
+        valid_ids = {c.task_id for c in problem.candidates}
+        assert set(selection.task_ids) <= valid_ids
+        # Re-evaluating the order reproduces the accounting.
+        id_to_index = {c.task_id: i for i, c in enumerate(problem.candidates)}
+        again = problem.evaluate([id_to_index[t] for t in selection.task_ids])
+        assert math.isclose(again.distance, selection.distance, abs_tol=1e-6)
+        assert math.isclose(again.reward, selection.reward, abs_tol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(candidate_lists)
+def test_infinite_budget_dp_superset_profit(candidates):
+    """Raising the budget can only improve the optimum."""
+    tight = build(candidates, 500.0)
+    loose = build(candidates, 5000.0)
+    dp = DynamicProgrammingSelector()
+    assert dp.select(loose).profit >= dp.select(tight).profit - 1e-7

@@ -1,0 +1,110 @@
+"""Unit tests for greedy + 2-opt (the extension selector)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.selection.base import CandidateTask
+from repro.selection.dp import DynamicProgrammingSelector
+from repro.selection.greedy import GreedySelector
+from repro.selection.problem import TaskSelectionProblem
+from repro.selection.two_opt import GreedyTwoOptSelector, improve_order
+
+
+def build(candidates, max_distance=10_000.0, cost=0.002):
+    return TaskSelectionProblem.build(Point(0, 0), candidates, max_distance, cost)
+
+
+def c(task_id, x, y, reward):
+    return CandidateTask(task_id=task_id, location=Point(x, y), reward=reward)
+
+
+class TestImproveOrder:
+    def test_fixes_a_crossing(self):
+        # Visiting far-near-far zigzag; 2-opt must untangle to monotone.
+        problem = build(
+            [c(1, 100.0, 0.0, 1.0), c(2, 200.0, 0.0, 1.0), c(3, 300.0, 0.0, 1.0)]
+        )
+        improved = improve_order(problem, [2, 0, 1])
+        assert problem.path_distance(improved) == pytest.approx(300.0)
+
+    def test_never_increases_distance(self):
+        rng = np.random.default_rng(8)
+        candidates = [
+            c(i, float(x), float(y), 1.0)
+            for i, (x, y) in enumerate(rng.uniform(-500, 500, size=(7, 2)))
+        ]
+        problem = build(candidates)
+        order = list(range(7))
+        improved = improve_order(problem, order)
+        assert problem.path_distance(improved) <= problem.path_distance(order) + 1e-9
+
+    def test_preserves_task_set(self):
+        problem = build([c(1, 10.0, 0.0, 1.0), c(2, 0.0, 10.0, 1.0), c(3, 5.0, 5.0, 1.0)])
+        improved = improve_order(problem, [2, 0, 1])
+        assert sorted(improved) == [0, 1, 2]
+
+    def test_short_orders_untouched(self):
+        problem = build([c(1, 10.0, 0.0, 1.0)])
+        assert improve_order(problem, []) == []
+        assert improve_order(problem, [0]) == [0]
+
+
+class TestSelector:
+    def test_empty_problem(self):
+        assert GreedyTwoOptSelector().select(build([])).is_empty
+
+    def test_at_least_greedy_profit(self):
+        rng = np.random.default_rng(21)
+        for trial in range(10):
+            candidates = [
+                c(i, float(x), float(y), reward=float(r))
+                for i, ((x, y), r) in enumerate(
+                    zip(rng.uniform(-700, 700, size=(8, 2)), rng.uniform(0.5, 2.5, 8))
+                )
+            ]
+            problem = build(candidates, max_distance=2000.0)
+            greedy = GreedySelector().select(problem)
+            two_opt = GreedyTwoOptSelector().select(problem)
+            assert two_opt.profit >= greedy.profit - 1e-9
+
+    def test_never_beats_dp(self):
+        rng = np.random.default_rng(22)
+        for trial in range(10):
+            candidates = [
+                c(i, float(x), float(y), reward=float(r))
+                for i, ((x, y), r) in enumerate(
+                    zip(rng.uniform(-700, 700, size=(8, 2)), rng.uniform(0.5, 2.5, 8))
+                )
+            ]
+            problem = build(candidates, max_distance=2000.0)
+            dp = DynamicProgrammingSelector().select(problem)
+            two_opt = GreedyTwoOptSelector().select(problem)
+            assert two_opt.profit <= dp.profit + 1e-9
+
+    def test_respects_budget(self):
+        rng = np.random.default_rng(23)
+        candidates = [
+            c(i, float(x), float(y), 2.0)
+            for i, (x, y) in enumerate(rng.uniform(-600, 600, size=(10, 2)))
+        ]
+        problem = build(candidates, max_distance=1500.0)
+        selection = GreedyTwoOptSelector().select(problem)
+        assert selection.distance <= 1500.0 + 1e-6
+
+    def test_reinsertion_uses_freed_budget(self):
+        """2-opt shortens the greedy path enough to afford one more task."""
+        candidates = [
+            c(1, 0.0, 100.0, 1.0),
+            c(2, 0.0, 300.0, 1.0),
+            c(3, 0.0, 200.0, 1.0),
+            c(4, 0.0, 400.0, 0.9),
+        ]
+        problem = build(candidates, max_distance=430.0)
+        greedy = GreedySelector().select(problem)
+        two_opt = GreedyTwoOptSelector().select(problem)
+        assert two_opt.profit >= greedy.profit
+
+    def test_max_rounds_validated(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            GreedyTwoOptSelector(max_rounds=0)

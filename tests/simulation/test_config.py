@@ -1,0 +1,94 @@
+"""Unit tests for repro.simulation.config."""
+
+import pytest
+
+from repro.core.levels import DemandLevels
+from repro.simulation.config import SimulationConfig
+
+
+class TestDefaults:
+    def test_paper_constants(self):
+        config = SimulationConfig()
+        assert config.n_tasks == 20
+        assert config.area_side == 3000.0
+        assert config.required_measurements == 20
+        assert config.deadline_range == (5, 15)
+        assert config.budget == 1000.0
+        assert config.reward_step == 0.5
+        assert config.level_count == 5
+        assert config.user_speed == 2.0
+        assert config.cost_per_meter == 0.002
+
+    def test_total_required_measurements(self):
+        assert SimulationConfig().total_required_measurements == 400
+
+    def test_region(self):
+        assert SimulationConfig().region.width == 3000.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value,pattern",
+        [
+            ("n_users", 0, "n_users"),
+            ("n_tasks", 0, "n_tasks"),
+            ("rounds", 0, "rounds"),
+            ("area_side", -1.0, "area_side"),
+            ("budget", 0.0, "budget"),
+            ("level_count", 0, "level_count"),
+            ("layout", "hexagonal", "layout"),
+            ("deadline_range", (0, 5), "deadline_range"),
+            ("deadline_range", (6, 5), "deadline_range"),
+        ],
+    )
+    def test_bad_values_rejected(self, field, value, pattern):
+        with pytest.raises(ValueError, match=pattern):
+            SimulationConfig(**{field: value})
+
+
+class TestOverrides:
+    def test_with_overrides_replaces(self):
+        config = SimulationConfig().with_overrides(n_users=55, seed=9)
+        assert config.n_users == 55
+        assert config.seed == 9
+
+    def test_with_overrides_preserves_rest(self):
+        config = SimulationConfig(budget=500.0).with_overrides(n_users=55)
+        assert config.budget == 500.0
+
+    def test_original_unchanged(self):
+        base = SimulationConfig()
+        base.with_overrides(n_users=55)
+        assert base.n_users == 100
+
+
+class TestMechanismArguments:
+    def test_on_demand_gets_budget_knobs(self):
+        args = SimulationConfig(mechanism="on-demand").mechanism_arguments()
+        assert args["budget"] == 1000.0
+        assert args["step"] == 0.5
+        assert isinstance(args["levels"], DemandLevels)
+        assert args["neighbour_radius"] == 500.0
+
+    def test_fixed_gets_no_radius(self):
+        args = SimulationConfig(mechanism="fixed").mechanism_arguments()
+        assert "neighbour_radius" not in args
+        assert args["budget"] == 1000.0
+
+    def test_steered_gets_only_explicit_kwargs(self):
+        config = SimulationConfig(
+            mechanism="steered", mechanism_kwargs={"decay": 0.3}
+        )
+        assert config.mechanism_arguments() == {"decay": 0.3}
+
+    def test_explicit_kwargs_override_derived(self):
+        config = SimulationConfig(
+            mechanism="on-demand", mechanism_kwargs={"budget": 123.0}
+        )
+        assert config.mechanism_arguments()["budget"] == 123.0
+
+    def test_world_generator_mirrors_config(self):
+        generator = SimulationConfig(n_users=33).world_generator()
+        assert generator.n_users == 33
+        assert generator.n_tasks == 20
+        assert generator.user_time_budget == 900.0

@@ -1,0 +1,106 @@
+"""Unit tests for repro.simulation.events."""
+
+import pytest
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+from repro.simulation.events import (
+    MeasurementEvent,
+    RoundRecord,
+    UserRoundRecord,
+    merge_user_records,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate(SimulationConfig(n_users=15, n_tasks=6, rounds=8,
+                                     required_measurements=4, budget=200.0,
+                                     area_side=1500.0, seed=3))
+
+
+class TestUserRoundRecord:
+    def test_profit_and_participation(self):
+        record = UserRoundRecord(
+            round_no=1, user_id=0, selected_task_ids=(1, 2),
+            distance=100.0, reward=3.0, cost=0.2,
+        )
+        assert record.profit == pytest.approx(2.8)
+        assert record.participated
+
+    def test_sit_out(self):
+        record = UserRoundRecord(
+            round_no=1, user_id=0, selected_task_ids=(),
+            distance=0.0, reward=0.0, cost=0.0,
+        )
+        assert not record.participated
+        assert record.profit == 0.0
+
+
+class TestRoundRecord:
+    def test_round_accessors(self, result):
+        first = result.round(1)
+        assert isinstance(first, RoundRecord)
+        assert first.round_no == 1
+        assert first.measurement_count == len(first.measurements)
+        assert first.total_paid == pytest.approx(
+            sum(e.reward for e in first.measurements)
+        )
+
+    def test_round_out_of_range(self, result):
+        with pytest.raises(IndexError, match="not played"):
+            result.round(result.rounds_played + 1)
+        with pytest.raises(IndexError, match="not played"):
+            result.round(0)
+
+    def test_participating_users_counts_selectors(self, result):
+        record = result.round(1)
+        expected = sum(1 for r in record.user_records if r.selected_task_ids)
+        assert record.participating_users == expected
+
+
+class TestSimulationResult:
+    def test_totals_add_up(self, result):
+        assert result.total_measurements == sum(
+            r.measurement_count for r in result.rounds
+        )
+        assert result.total_paid == pytest.approx(
+            sum(r.total_paid for r in result.rounds)
+        )
+
+    def test_measurements_by_task_covers_all_tasks(self, result):
+        counts = result.measurements_by_task()
+        assert set(counts) == {t.task_id for t in result.world.tasks}
+        assert sum(counts.values()) == result.total_measurements
+
+    def test_task_counts_match_world_state(self, result):
+        counts = result.measurements_by_task()
+        for task in result.world.tasks:
+            assert counts[task.task_id] == task.received
+
+    def test_user_profits_whole_run(self, result):
+        profits = result.user_profits()
+        assert len(profits) == len(result.world.users)
+        # Cross-check against the users' own accounting.
+        for user, profit in zip(result.world.users, profits):
+            assert profit == pytest.approx(user.total_profit)
+
+    def test_user_profits_single_round(self, result):
+        profits = result.user_profits(round_no=1)
+        record = result.round(1)
+        assert profits == [r.profit for r in record.user_records]
+
+
+class TestMergeUserRecords:
+    def test_merges_by_user(self):
+        records = [
+            UserRoundRecord(1, 0, (1,), 10.0, 2.0, 0.5),
+            UserRoundRecord(2, 0, (2,), 10.0, 1.0, 0.5),
+            UserRoundRecord(1, 1, (3,), 10.0, 4.0, 1.0),
+        ]
+        merged = merge_user_records(records)
+        assert merged[0] == (3.0, 1.0)
+        assert merged[1] == (4.0, 1.0)
+
+    def test_empty(self):
+        assert merge_user_records([]) == {}

@@ -1,0 +1,87 @@
+"""Unit tests for the ready-made round observers."""
+
+import io
+
+import pytest
+
+from repro.metrics import coverage_by_round
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.observers import BudgetLedger, CoverageTracker, ProgressPrinter
+
+
+@pytest.fixture
+def config(fast_config):
+    return fast_config
+
+
+class TestProgressPrinter:
+    def test_one_line_per_round(self, config):
+        stream = io.StringIO()
+        engine = SimulationEngine(config, observers=[ProgressPrinter(stream)])
+        result = engine.run()
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == result.rounds_played
+        assert lines[0].startswith("round  1:")
+        assert "measurements" in lines[0]
+
+    def test_prefix(self, config):
+        stream = io.StringIO()
+        engine = SimulationEngine(
+            config, observers=[ProgressPrinter(stream, prefix="on-demand")]
+        )
+        engine.step()
+        assert stream.getvalue().startswith("on-demand round")
+
+
+class TestBudgetLedger:
+    def test_tracks_platform_payout(self, config):
+        ledger = BudgetLedger(budget=config.budget)
+        result = SimulationEngine(config, observers=[ledger]).run()
+        assert ledger.total_paid == pytest.approx(result.total_paid)
+        assert ledger.remaining == pytest.approx(config.budget - result.total_paid)
+        assert len(ledger.paid_by_round) == result.rounds_played
+
+    def test_never_breaches_on_real_runs(self):
+        """Eq. 8 as a live assertion across seeds."""
+        for seed in range(5):
+            config = SimulationConfig(
+                n_users=20, n_tasks=6, rounds=8, required_measurements=4,
+                area_side=1500.0, budget=200.0, seed=seed,
+            )
+            ledger = BudgetLedger(budget=config.budget)
+            SimulationEngine(config, observers=[ledger]).run()
+            assert ledger.remaining >= -1e-9
+
+    def test_breach_detection(self):
+        from repro.simulation.events import MeasurementEvent, RoundRecord
+
+        ledger = BudgetLedger(budget=1.0)
+        record = RoundRecord(
+            round_no=1, published_rewards={0: 2.0}, user_records=(),
+            measurements=(MeasurementEvent(1, 0, 0, 2.0),),
+            rejections=(), completed_task_ids=(), expired_task_ids=(),
+        )
+        with pytest.raises(RuntimeError, match="budget breach"):
+            ledger(record)
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError, match="budget"):
+            BudgetLedger(budget=0.0)
+
+
+class TestCoverageTracker:
+    def test_matches_metric(self, config):
+        tracker = CoverageTracker(n_tasks=config.n_tasks)
+        result = SimulationEngine(config, observers=[tracker]).run()
+        expected = coverage_by_round(result, result.rounds_played)
+        assert tracker.by_round == pytest.approx(expected)
+
+    def test_monotone(self, config):
+        tracker = CoverageTracker(n_tasks=config.n_tasks)
+        SimulationEngine(config, observers=[tracker]).run()
+        assert all(a <= b for a, b in zip(tracker.by_round, tracker.by_round[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_tasks"):
+            CoverageTracker(n_tasks=0)

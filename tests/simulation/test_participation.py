@@ -1,0 +1,72 @@
+"""Tests for stochastic per-round participation."""
+
+import pytest
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import SimulationEngine, simulate
+
+
+def config_with(rate, **overrides):
+    base = SimulationConfig(
+        n_users=20, n_tasks=6, rounds=8, required_measurements=3,
+        area_side=1500.0, budget=200.0, participation_rate=rate, seed=5,
+    )
+    return base.with_overrides(**overrides) if overrides else base
+
+
+class TestValidation:
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError, match="participation_rate"):
+            config_with(0.0)
+        with pytest.raises(ValueError, match="participation_rate"):
+            config_with(1.5)
+
+    def test_full_rate_is_default(self):
+        assert SimulationConfig().participation_rate == 1.0
+
+
+class TestBehaviour:
+    def test_full_rate_replays_legacy_seeds(self):
+        """rate=1.0 must consume no participation randomness."""
+        a = simulate(config_with(1.0))
+        b = simulate(config_with(1.0))
+        assert a.total_measurements == b.total_measurements
+
+    def test_partial_rate_reduces_participation(self):
+        full = simulate(config_with(1.0))
+        half = simulate(config_with(0.4))
+        full_participants = sum(r.participating_users for r in full.rounds[:3])
+        half_participants = sum(r.participating_users for r in half.rounds[:3])
+        assert half_participants < full_participants
+
+    def test_sitting_out_users_have_empty_records(self):
+        engine = SimulationEngine(config_with(0.5))
+        record = engine.step()
+        # With rate 0.5 and 20 users, someone almost surely sat out; all
+        # sit-outs must show zero activity everywhere.
+        idle = [r for r in record.user_records if not r.participated]
+        assert idle
+        assert all(r.distance == 0.0 and r.reward == 0.0 for r in idle)
+
+    def test_invariants_hold_under_partial_participation(self):
+        result = simulate(config_with(0.5))
+        assert result.total_paid <= 200.0 + 1e-9
+        for task in result.world.tasks:
+            assert task.received <= task.required_measurements
+
+    def test_deterministic(self):
+        a = simulate(config_with(0.6))
+        b = simulate(config_with(0.6))
+        assert a.total_measurements == b.total_measurements
+        assert a.total_paid == pytest.approx(b.total_paid)
+
+    def test_sat_mode_respects_participation(self):
+        from repro.allocation.greedy_server import GreedyServerCoordinator
+
+        config = config_with(0.3)
+        engine = SimulationEngine(config, coordinator=GreedyServerCoordinator())
+        record = engine.step()
+        # The coordinator only saw the available subset.
+        assert record.participating_users <= len(engine.world.users)
+        idle = [r for r in record.user_records if not r.participated]
+        assert idle

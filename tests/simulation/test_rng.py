@@ -1,0 +1,58 @@
+"""Unit tests for repro.simulation.rng."""
+
+import pytest
+
+from repro.simulation.rng import STREAM_NAMES, child_seed, spawn_streams
+
+
+class TestSpawnStreams:
+    def test_default_streams_present(self):
+        streams = spawn_streams(0)
+        assert set(streams) == set(STREAM_NAMES)
+
+    def test_streams_are_independent(self):
+        streams = spawn_streams(0)
+        a = streams["world"].random(5)
+        b = streams["mechanism"].random(5)
+        assert not (a == b).all()
+
+    def test_same_seed_reproduces(self):
+        a = spawn_streams(42)["world"].random(10)
+        b = spawn_streams(42)["world"].random(10)
+        assert (a == b).all()
+
+    def test_different_seed_differs(self):
+        a = spawn_streams(1)["world"].random(10)
+        b = spawn_streams(2)["world"].random(10)
+        assert not (a == b).all()
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            spawn_streams(0, names=("a", "a"))
+
+    def test_extra_stream_does_not_perturb_existing(self):
+        """Adding a stream name must not change earlier streams' draws."""
+        short = spawn_streams(7, names=("world", "mechanism"))
+        long = spawn_streams(7, names=("world", "mechanism", "extra"))
+        assert (short["world"].random(5) == long["world"].random(5)).all()
+
+
+class TestChildSeed:
+    def test_deterministic(self):
+        assert child_seed(5, 3) == child_seed(5, 3)
+
+    def test_distinct_across_indices(self):
+        seeds = {child_seed(5, i) for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_distinct_across_bases(self):
+        assert child_seed(1, 0) != child_seed(2, 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            child_seed(1, -1)
+
+    def test_no_arithmetic_aliasing(self):
+        """(base+1, i) must not collide with (base, i+1) style neighbours."""
+        grid = {child_seed(b, i) for b in range(10) for i in range(10)}
+        assert len(grid) == 100

@@ -1,0 +1,124 @@
+"""Tests for the repro CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "fig6a", "--reps", "3", "--seed", "4", "--json", "x.json"]
+        )
+        assert args.experiment == "fig6a"
+        assert args.reps == 3
+        assert args.seed == 4
+        assert args.json == "x.json"
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("fig5a", "fig6a", "fig9b", "ablation-levels"):
+            assert experiment_id in out
+
+
+class TestTables:
+    def test_prints_three_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "table2" in out and "table3" in out
+        assert "0.648" in out  # the paper's w1
+
+
+class TestSimulate:
+    def test_prints_metrics(self, capsys):
+        code = main([
+            "simulate", "--users", "10", "--tasks", "5", "--rounds", "4",
+            "--seed", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        assert "total_paid" in out
+
+    def test_mechanism_choice(self, capsys):
+        code = main([
+            "simulate", "--users", "8", "--tasks", "4", "--rounds", "3",
+            "--mechanism", "steered", "--selector", "greedy",
+        ])
+        assert code == 0
+
+
+class TestRun:
+    def test_run_prints_rows_and_saves(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_REPS", "1")
+        json_path = tmp_path / "out.json"
+        csv_path = tmp_path / "out.csv"
+        code = main([
+            "run", "fig6a", "--json", str(json_path), "--csv", str(csv_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig6a" in out and "on-demand" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["result"]["experiment_id"] == "fig6a"
+        assert csv_path.read_text().startswith("series,x,mean,std,n")
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            main(["run", "fig0x"])
+
+
+class TestShow:
+    def test_round_trips_saved_result(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_REPS", "1")
+        path = tmp_path / "saved.json"
+        main(["run", "fig6a", "--json", str(path)])
+        capsys.readouterr()
+        assert main(["show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig6a" in out and "on-demand" in out
+
+    def test_chart_rendering(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_REPS", "1")
+        path = tmp_path / "saved.json"
+        main(["run", "fig6a", "--json", str(path)])
+        capsys.readouterr()
+        assert main(["show", str(path), "--chart"]) == 0
+        assert "overlap" in capsys.readouterr().out
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["show", str(tmp_path / "nope.json")])
+
+
+class TestSweep:
+    def test_sweeps_integer_field(self, capsys):
+        code = main(["sweep", "n_users", "8", "12", "--reps", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep-n_users" in out
+        assert "coverage_pct" in out
+
+    def test_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown config field"):
+            main(["sweep", "n_usrs", "8", "--reps", "1"])
+
+
+class TestMap:
+    def test_simulate_map_flag(self, capsys):
+        code = main([
+            "simulate", "--users", "8", "--tasks", "4", "--rounds", "3",
+            "--seed", "2", "--map",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "=user(8)" in out

@@ -1,0 +1,34 @@
+"""Run the usage examples embedded in docstrings as doctests.
+
+Doc examples that rot are worse than none; the modules with runnable
+``>>>`` snippets are collected here explicitly (not via
+``--doctest-modules``, which would also swallow every module import as a
+test and slow collection).
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.ahp
+import repro.core.levels
+import repro.geometry.point
+import repro.simulation.engine
+
+MODULES_WITH_DOCTESTS = [
+    repro.geometry.point,
+    repro.core.levels,
+    repro.core.ahp,
+    repro.simulation.engine,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    outcome = doctest.testmod(module, verbose=False)
+    assert outcome.attempted > 0, (
+        f"{module.__name__} advertises doctests but none ran"
+    )
+    assert outcome.failed == 0

@@ -1,0 +1,76 @@
+"""Unit tests for repro.world.user."""
+
+import pytest
+
+from repro.geometry.point import Point
+from tests.conftest import make_user
+
+
+class TestValidation:
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError, match="user_id"):
+            make_user(user_id=-1)
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ValueError, match="speed"):
+            make_user(speed=0.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError, match="cost_per_meter"):
+            make_user(cost_per_meter=-0.001)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="time_budget"):
+            make_user(time_budget=-1.0)
+
+
+class TestBudgetGeometry:
+    def test_max_travel_distance(self):
+        user = make_user(speed=2.0, time_budget=900.0)
+        assert user.max_travel_distance == 1800.0
+
+    def test_travel_time_and_cost(self):
+        user = make_user(speed=2.0, cost_per_meter=0.002)
+        assert user.travel_time(500.0) == 250.0
+        assert user.travel_cost(500.0) == 1.0
+
+    def test_home_defaults_to_initial_location(self):
+        user = make_user(x=7.0, y=9.0)
+        assert user.home == Point(7.0, 9.0)
+        user.location = Point(0.0, 0.0)
+        assert user.home == Point(7.0, 9.0)
+
+
+class TestAccounting:
+    def test_fresh_user_has_zero_profit(self):
+        user = make_user()
+        assert user.total_profit == 0.0
+        assert user.profit_in_round(3) == 0.0
+
+    def test_record_round_accumulates(self):
+        user = make_user()
+        user.record_round(1, reward=5.0, cost=2.0)
+        user.record_round(2, reward=1.0, cost=3.0)
+        assert user.total_reward == 6.0
+        assert user.total_cost == 5.0
+        assert user.total_profit == 1.0
+        assert user.profit_in_round(1) == 3.0
+        assert user.profit_in_round(2) == -2.0
+
+    def test_same_round_recorded_twice_merges(self):
+        user = make_user()
+        user.record_round(1, reward=1.0, cost=0.5)
+        user.record_round(1, reward=2.0, cost=0.0)
+        assert user.profit_in_round(1) == 2.5
+
+    def test_invalid_round_rejected(self):
+        user = make_user()
+        with pytest.raises(ValueError, match="round_no"):
+            user.record_round(0, reward=1.0, cost=0.0)
+
+    def test_negative_amounts_rejected(self):
+        user = make_user()
+        with pytest.raises(ValueError, match="non-negative"):
+            user.record_round(1, reward=-1.0, cost=0.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            user.record_round(1, reward=0.0, cost=-1.0)

@@ -42,6 +42,16 @@ from repro.selection import (
     BruteForceSelector,
     make_selector,
 )
+from repro.selection import TimeBoundedSelector
+from repro.resilience import (
+    ReproError,
+    ConfigError,
+    SelectorTimeout,
+    MechanismPriceError,
+    ResultCorruption,
+    TransientIOError,
+    RunJournal,
+)
 from repro.world import World, WorldGenerator, SensingTask, MobileUser
 from repro.geometry import Point, RectRegion
 
@@ -66,7 +76,15 @@ __all__ = [
     "GreedySelector",
     "GreedyTwoOptSelector",
     "BruteForceSelector",
+    "TimeBoundedSelector",
     "make_selector",
+    "ReproError",
+    "ConfigError",
+    "SelectorTimeout",
+    "MechanismPriceError",
+    "ResultCorruption",
+    "TransientIOError",
+    "RunJournal",
     "World",
     "WorldGenerator",
     "SensingTask",

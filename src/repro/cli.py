@@ -5,8 +5,10 @@ Usage::
     repro list                       # show every experiment id
     repro run fig6a --reps 20        # regenerate one panel, print the rows
     repro run fig6a --json out.json  # ... and persist it
+    repro run fig6a --resume ckpt/   # checkpoint + resume an interrupted run
     repro tables                     # print Tables I-III
     repro simulate --users 100       # one run, full metrics summary
+    repro simulate --selector-timeout 0.5   # ... with the DP watchdog armed
 
 ``python -m repro.cli`` works identically when the console script is not
 on PATH.
@@ -50,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="decimal places in the printed table")
     run.add_argument("--chart", action="store_true",
                      help="also render the series as an ASCII chart")
+    run.add_argument("--resume", metavar="DIR", default=None,
+                     help="checkpoint repetitions to journals in DIR and "
+                          "resume an interrupted run from them (supported "
+                          "by journaling experiments, e.g. fig6a, "
+                          "sweep-budget)")
 
     sub.add_parser("tables", help="print Tables I-III from the paper")
 
@@ -71,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--mobility", default="follow-path")
     sim.add_argument("--layout", default="uniform", choices=("uniform", "clustered"))
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--selector-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock deadline per task-selection call; on "
+                          "breach the run degrades to the greedy solver and "
+                          "reports the degradation count")
     sim.add_argument("--map", action="store_true",
                      help="render the final world state as an ASCII map")
 
@@ -88,6 +100,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--reps", type=int, default=None)
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--chart", action="store_true")
+    sweep.add_argument("--resume", metavar="DIR", default=None,
+                       help="checkpoint repetitions to journals in DIR and "
+                            "resume an interrupted sweep from them")
     return parser
 
 
@@ -101,6 +116,18 @@ def _command_run(args: argparse.Namespace) -> int:
     kwargs = {"base_seed": args.seed}
     if args.reps is not None:
         kwargs["repetitions"] = args.reps
+    if args.resume is not None:
+        from repro.experiments.registry import resumable_experiment_ids, supports_kwarg
+
+        if not supports_kwarg(args.experiment, "journal_dir"):
+            print(
+                f"error: experiment {args.experiment!r} does not support "
+                f"--resume; resumable experiments: "
+                f"{', '.join(resumable_experiment_ids())}",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["journal_dir"] = args.resume
     result = run_experiment(args.experiment, **kwargs)
     print(render_experiment(result, precision=args.precision))
     if args.chart:
@@ -149,11 +176,17 @@ def _command_simulate(args: argparse.Namespace) -> int:
         mobility=args.mobility,
         layout=args.layout,
         seed=args.seed,
+        selector_timeout=args.selector_timeout,
     )
     result = simulate(config)
     summary = MetricsSummary.from_result(result)
     rows = [[name, value] for name, value in summary.as_dict().items()]
     print(render_table(["metric", "value"], rows, precision=4))
+    if args.selector_timeout is not None:
+        print(
+            f"\nselector degradations (greedy fallbacks): "
+            f"{result.total_selector_fallbacks}"
+        )
     if args.map:
         from repro.io.worldmap import render_world
 
@@ -183,6 +216,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
     kwargs = {"base_seed": args.seed}
     if args.reps is not None:
         kwargs["repetitions"] = args.reps
+    if args.resume is not None:
+        kwargs["journal_dir"] = args.resume
     result = config_sweep(args.field, values, **kwargs)
     print(render_experiment(result))
     if args.chart:

@@ -8,7 +8,8 @@ modules supply only the metric and the labels.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
 
 from repro.analysis.series import ExperimentResult, Series, SeriesPoint
 from repro.experiments.runner import (
@@ -25,6 +26,16 @@ from repro.simulation.events import SimulationResult
 MECHANISMS_COMPARED = ("on-demand", "fixed", "steered")
 
 
+def _cell_journal(
+    journal_dir: Optional[Union[str, Path]], *parts
+) -> Optional[Path]:
+    """One journal file per sweep cell, or None when journaling is off."""
+    if journal_dir is None:
+        return None
+    name = "-".join(str(part) for part in parts) + ".jsonl"
+    return Path(journal_dir) / name
+
+
 def mechanism_user_sweep(
     experiment_id: str,
     title: str,
@@ -35,12 +46,18 @@ def mechanism_user_sweep(
     repetitions: Optional[int] = None,
     base_config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
+    journal_dir: Optional[Union[str, Path]] = None,
 ) -> ExperimentResult:
     """Sweep #users x mechanisms, aggregating one scalar metric.
 
     Repetition i of every (user count, mechanism) cell derives its seed
     from (base_seed, i) alone, so all mechanisms see identical worlds —
     the comparison is paired.
+
+    With ``journal_dir`` set, every (mechanism, user count) cell
+    checkpoints its repetitions to a journal file in that directory;
+    re-running after an interruption (same arguments, same directory)
+    resumes at the first missing repetition.
     """
     user_counts = list(user_counts if user_counts is not None else default_user_counts())
     repetitions = repetitions if repetitions is not None else default_repetitions()
@@ -51,7 +68,12 @@ def mechanism_user_sweep(
         points = []
         for n_users in user_counts:
             config = base_config.with_overrides(n_users=n_users, mechanism=mechanism)
-            values = repeat_metric(config, metric, repetitions, base_seed)
+            journal = _cell_journal(
+                journal_dir, experiment_id, mechanism, f"u{n_users}"
+            )
+            values = repeat_metric(
+                config, metric, repetitions, base_seed, journal=journal
+            )
             points.append(SeriesPoint.from_values(n_users, values))
         series.append(Series(label=mechanism, points=tuple(points)))
 
@@ -82,12 +104,14 @@ def mechanism_round_sweep(
     repetitions: Optional[int] = None,
     base_config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
+    journal_dir: Optional[Union[str, Path]] = None,
 ) -> ExperimentResult:
     """Fixed user count, rounds on the x axis (the "(b)" panels).
 
     ``series_metric`` must return one value per round 1..horizon; the
     result keeps rounds ``first_round``..horizon (Fig. 7(b) starts its
-    axis at round 5).
+    axis at round 5).  ``journal_dir`` checkpoints per-mechanism
+    repetitions exactly as in :func:`mechanism_user_sweep`.
     """
     if not 1 <= first_round <= horizon:
         raise ValueError(
@@ -99,7 +123,10 @@ def mechanism_round_sweep(
     series = []
     for mechanism in mechanisms:
         config = base_config.with_overrides(n_users=n_users, mechanism=mechanism)
-        per_round = repeat_series_metric(config, series_metric, repetitions, base_seed)
+        journal = _cell_journal(journal_dir, experiment_id, mechanism)
+        per_round = repeat_series_metric(
+            config, series_metric, repetitions, base_seed, journal=journal
+        )
         points = tuple(
             SeriesPoint.from_values(round_no, per_round[round_no - 1])
             for round_no in range(first_round, horizon + 1)

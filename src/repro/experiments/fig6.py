@@ -8,11 +8,17 @@ stays below 100 % and improves with more users / later rounds but never
 closes the gap ("just increasing the sensing rounds does not increase
 the popularity of unpopular sensing tasks in the fixed incentive
 mechanism").
+
+Both panels accept ``journal_dir`` (see
+:mod:`repro.resilience.journal`): a paper-fidelity 100-repetition
+regeneration that dies mid-sweep resumes from its checkpoints instead
+of starting over — ``repro run fig6a --resume DIR``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 from repro.analysis.series import ExperimentResult
 from repro.experiments.comparison import mechanism_round_sweep, mechanism_user_sweep
@@ -25,6 +31,7 @@ def fig6a(
     repetitions: Optional[int] = None,
     base_config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
+    journal_dir: Optional[Union[str, Path]] = None,
 ) -> ExperimentResult:
     """Coverage (%) vs number of users (Fig. 6(a))."""
     return mechanism_user_sweep(
@@ -36,6 +43,7 @@ def fig6a(
         repetitions=repetitions,
         base_config=base_config,
         base_seed=base_seed,
+        journal_dir=journal_dir,
     )
 
 
@@ -45,6 +53,7 @@ def fig6b(
     repetitions: Optional[int] = None,
     base_config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
+    journal_dir: Optional[Union[str, Path]] = None,
 ) -> ExperimentResult:
     """Cumulative coverage (%) per round at 100 users (Fig. 6(b))."""
     return mechanism_round_sweep(
@@ -59,4 +68,5 @@ def fig6b(
         repetitions=repetitions,
         base_config=base_config,
         base_seed=base_seed,
+        journal_dir=journal_dir,
     )

@@ -6,6 +6,7 @@ The ids match DESIGN.md §4's per-experiment index; the CLI's
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, List
 
 from repro.experiments import (
@@ -52,6 +53,34 @@ EXPERIMENTS: Dict[str, Callable] = {
 def experiment_ids() -> List[str]:
     """All registered experiment ids, in registry order."""
     return list(EXPERIMENTS)
+
+
+def supports_kwarg(experiment_id: str, kwarg: str) -> bool:
+    """Whether an experiment's runner accepts a keyword argument.
+
+    Used by the CLI to decide whether ``--resume`` (→ ``journal_dir``)
+    can be forwarded to the chosen experiment, and useful to any driver
+    passing optional capabilities through the registry.
+
+    Raises:
+        ValueError: for an unknown experiment id.
+    """
+    if experiment_id not in EXPERIMENTS:
+        valid = ", ".join(experiment_ids())
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; valid: {valid}"
+        )
+    parameters = inspect.signature(EXPERIMENTS[experiment_id]).parameters
+    return kwarg in parameters
+
+
+def resumable_experiment_ids() -> List[str]:
+    """Experiments that accept ``journal_dir`` (i.e. support ``--resume``)."""
+    return [
+        experiment_id
+        for experiment_id in EXPERIMENTS
+        if supports_kwarg(experiment_id, "journal_dir")
+    ]
 
 
 def run_experiment(experiment_id: str, **kwargs):

@@ -6,13 +6,22 @@ runner reproduces that protocol with deterministic per-repetition seeds
 experiment is replayable in isolation and mechanisms compared at the
 same (base_seed, i) see the *same generated world* — the comparisons are
 paired, which slashes between-mechanism variance.
+
+Checkpointing: both repeat loops accept an optional **journal** — a path
+(or a prebuilt :class:`~repro.resilience.journal.RunJournal`) recording
+one fsync'd line per completed repetition.  A campaign interrupted at
+repetition 87 resumes at the first missing repetition and, because
+repetition seeds are pure functions of ``(base_seed, rep)``, the resumed
+campaign's aggregate is bit-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.resilience.journal import RunJournal, config_fingerprint
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import simulate
 from repro.simulation.events import SimulationResult
@@ -20,6 +29,9 @@ from repro.simulation.rng import child_seed
 
 #: A metric is any scalar function of a finished run.
 MetricFn = Callable[[SimulationResult], float]
+
+#: How callers may specify a journal: a path or a prebuilt RunJournal.
+JournalSpec = Union[str, Path, RunJournal, None]
 
 #: The paper's Section VI sweep axis.
 PAPER_USER_COUNTS = (40, 60, 80, 100, 120, 140)
@@ -51,11 +63,33 @@ def default_user_counts() -> Sequence[int]:
     return PAPER_USER_COUNTS
 
 
+def _open_journal(
+    journal: JournalSpec,
+    config: SimulationConfig,
+    base_seed: int,
+    **context,
+) -> Optional[RunJournal]:
+    """Resolve a journal spec against this campaign's identity.
+
+    The fingerprint covers the full config, the base seed, and the
+    metric names/kind, so a stale journal from a different campaign is
+    rejected (ConfigError) instead of silently mixed in.  It cannot
+    cover the metric *functions* themselves — resuming assumes the
+    metric definitions are unchanged, which the docstring contract of
+    every experiment module guarantees.
+    """
+    if journal is None or isinstance(journal, RunJournal):
+        return journal
+    fingerprint = config_fingerprint(config, base_seed=base_seed, **context)
+    return RunJournal(Path(journal), fingerprint)
+
+
 def repeat_metrics(
     config: SimulationConfig,
     metrics: Dict[str, MetricFn],
     repetitions: int,
     base_seed: int = 0,
+    journal: JournalSpec = None,
 ) -> Dict[str, List[float]]:
     """Run ``repetitions`` seeded simulations; collect each metric's values.
 
@@ -65,18 +99,34 @@ def repeat_metrics(
         metrics: named scalar metrics evaluated on every run.
         repetitions: how many runs.
         base_seed: root of the per-repetition seed derivation.
+        journal: optional checkpoint file (path or RunJournal).  Already-
+            journaled repetitions are *not* re-simulated: their values
+            load from the journal, and only missing repetitions run —
+            this is how an interrupted campaign resumes.
 
     Raises:
         ValueError: for a non-positive repetition count.
+        ConfigError: if the journal belongs to a different campaign.
+        ResultCorruption: if the journal is damaged mid-stream.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    log = _open_journal(
+        journal, config, base_seed, kind="metrics", metrics=sorted(metrics)
+    )
     values: Dict[str, List[float]] = {name: [] for name in metrics}
     for rep in range(repetitions):
-        run_config = config.with_overrides(seed=child_seed(base_seed, rep))
-        result = simulate(run_config)
-        for name, metric in metrics.items():
-            values[name].append(metric(result))
+        entry = log.get(rep) if log is not None else None
+        if entry is not None:
+            per_rep = entry["values"]
+        else:
+            run_config = config.with_overrides(seed=child_seed(base_seed, rep))
+            result = simulate(run_config)
+            per_rep = {name: metric(result) for name, metric in metrics.items()}
+            if log is not None:
+                log.record(rep, {"values": per_rep})
+        for name in metrics:
+            values[name].append(per_rep[name])
     return values
 
 
@@ -85,9 +135,12 @@ def repeat_metric(
     metric: MetricFn,
     repetitions: int,
     base_seed: int = 0,
+    journal: JournalSpec = None,
 ) -> List[float]:
     """Single-metric convenience wrapper over :func:`repeat_metrics`."""
-    return repeat_metrics(config, {"metric": metric}, repetitions, base_seed)["metric"]
+    return repeat_metrics(
+        config, {"metric": metric}, repetitions, base_seed, journal=journal
+    )["metric"]
 
 
 def repeat_series_metric(
@@ -95,20 +148,32 @@ def repeat_series_metric(
     series_metric: Callable[[SimulationResult], Sequence[float]],
     repetitions: int,
     base_seed: int = 0,
+    journal: JournalSpec = None,
 ) -> List[List[float]]:
     """Like :func:`repeat_metric` for metrics that return a whole series
     (e.g. coverage-by-round).  Result is ``[per-position values][rep]``-
     transposed: one list of repetition values per series position.
+
+    Supports the same ``journal`` checkpointing as :func:`repeat_metrics`
+    (one journal line per completed repetition's full series).
 
     Raises:
         ValueError: if repetitions disagree on the series length.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    log = _open_journal(journal, config, base_seed, kind="series")
     collected: List[Sequence[float]] = []
     for rep in range(repetitions):
-        run_config = config.with_overrides(seed=child_seed(base_seed, rep))
-        collected.append(list(series_metric(simulate(run_config))))
+        entry = log.get(rep) if log is not None else None
+        if entry is not None:
+            series = entry["series"]
+        else:
+            run_config = config.with_overrides(seed=child_seed(base_seed, rep))
+            series = list(series_metric(simulate(run_config)))
+            if log is not None:
+                log.record(rep, {"series": series})
+        collected.append(series)
     lengths = {len(entry) for entry in collected}
     if len(lengths) != 1:
         raise ValueError(f"series metric returned inconsistent lengths: {lengths}")

@@ -11,7 +11,8 @@ completeness level cost?**
 from __future__ import annotations
 
 from dataclasses import fields
-from typing import Dict, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
 
 from repro.analysis.series import ExperimentResult, Series, SeriesPoint
 from repro.experiments.runner import MetricFn, default_repetitions, repeat_metrics
@@ -27,6 +28,15 @@ DEFAULT_METRICS: Dict[str, MetricFn] = {
 _CONFIG_FIELDS = {f.name for f in fields(SimulationConfig)}
 
 
+def _value_journal(
+    journal_dir: Optional[Union[str, Path]], label: str, value
+) -> Optional[Path]:
+    """One checkpoint file per sweep value, or None when journaling is off."""
+    if journal_dir is None:
+        return None
+    return Path(journal_dir) / f"{label}-{value}.jsonl"
+
+
 def config_sweep(
     field: str,
     values: Sequence[float],
@@ -35,12 +45,15 @@ def config_sweep(
     base_config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
     experiment_id: Optional[str] = None,
+    journal_dir: Optional[Union[str, Path]] = None,
 ) -> ExperimentResult:
     """Sweep one config field; one series per metric, x = field value.
 
     Args:
         field: a :class:`SimulationConfig` field name (validated).
         values: the x axis, in any order (sorted into the result).
+        journal_dir: optional checkpoint directory (one journal per
+            sweep value) making the sweep resumable after interruption.
 
     Raises:
         ValueError: for an unknown field or an empty value list.
@@ -58,7 +71,10 @@ def config_sweep(
     per_metric: Dict[str, list] = {name: [] for name in metrics}
     for value in sorted(values):
         config = base_config.with_overrides(**{field: value})
-        collected = repeat_metrics(config, metrics, repetitions, base_seed)
+        collected = repeat_metrics(
+            config, metrics, repetitions, base_seed,
+            journal=_value_journal(journal_dir, f"sweep-{field}", value),
+        )
         for name in metrics:
             per_metric[name].append(SeriesPoint.from_values(value, collected[name]))
 
@@ -84,6 +100,7 @@ def budget_sweep(
     n_users: int = 100,
     repetitions: Optional[int] = None,
     base_seed: int = 0,
+    journal_dir: Optional[Union[str, Path]] = None,
 ) -> ExperimentResult:
     """Coverage/completeness vs platform budget B at fixed crowd size.
 
@@ -102,7 +119,10 @@ def budget_sweep(
         max_step = budget / base.total_required_measurements / (base.level_count - 1)
         step = min(base.reward_step, 0.8 * max_step)
         config = base.with_overrides(budget=budget, reward_step=step)
-        collected = repeat_metrics(config, metrics, repetitions, base_seed)
+        collected = repeat_metrics(
+            config, metrics, repetitions, base_seed,
+            journal=_value_journal(journal_dir, "sweep-budget", budget),
+        )
         for name in metrics:
             per_metric[name].append(SeriesPoint.from_values(budget, collected[name]))
 

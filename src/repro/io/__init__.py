@@ -4,8 +4,11 @@
 - :mod:`~repro.io.csvio` — export series as CSV for external plotting.
 - :mod:`~repro.io.tables` — render results as aligned ASCII / markdown
   tables (what the CLI and the benchmark harness print).
+- :mod:`~repro.io.atomic` — crash-safe write primitive used by every
+  persister in this package.
 """
 
+from repro.io.atomic import atomic_write_text
 from repro.io.results import save_result, load_result
 from repro.io.csvio import write_series_csv, read_series_csv
 from repro.io.tables import render_table, render_experiment, render_markdown
@@ -13,6 +16,7 @@ from repro.io.ascii_chart import render_chart, render_sparkline
 from repro.io.worldmap import render_world
 
 __all__ = [
+    "atomic_write_text",
     "save_result",
     "load_result",
     "write_series_csv",

@@ -1,0 +1,50 @@
+"""Crash-safe file writes: temp file + fsync + atomic rename.
+
+The write-then-rename idiom guarantees a reader never observes a
+half-written file: either the old content (or absence) or the complete
+new content, nothing in between.  The temp file lives in the *target's*
+directory so the final ``os.replace`` stays within one filesystem (rename
+is only atomic there).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, durable: bool = True
+) -> Path:
+    """Write ``text`` to ``path`` atomically (parents created).
+
+    Args:
+        path: the destination file.
+        text: the full new content.
+        durable: also fsync the temp file before the rename, so the
+            content survives power loss, not just process crash.
+
+    Returns the resolved destination path.  On any failure the
+    destination is untouched and the temp file is removed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            if durable:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already gone
+            pass
+        raise
+    return path

@@ -53,6 +53,7 @@ def _round_payload(record: RoundRecord) -> Dict:
         ],
         "completed_task_ids": list(record.completed_task_ids),
         "expired_task_ids": list(record.expired_task_ids),
+        "selector_fallbacks": record.selector_fallbacks,
     }
 
 
@@ -149,6 +150,8 @@ def read_events_jsonl(path: Union[str, Path]) -> SimulationReplay:
             ),
             completed_task_ids=tuple(payload["completed_task_ids"]),
             expired_task_ids=tuple(payload["expired_task_ids"]),
+            # absent in logs written before the watchdog existed
+            selector_fallbacks=payload.get("selector_fallbacks", 0),
         ))
     return SimulationReplay(
         rounds=rounds,

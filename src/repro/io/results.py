@@ -2,6 +2,12 @@
 
 Files carry a format version so a result written by one release can be
 rejected loudly (not mis-parsed silently) by an incompatible one.
+
+Writes are **atomic** (temp file + fsync + rename, see
+:mod:`repro.io.atomic`) and retried on transient IO failure, so an
+interrupt mid-save never leaves a truncated JSON behind; a corrupt file
+on disk surfaces as :class:`~repro.resilience.errors.ResultCorruption`
+naming the path, not as a bare ``json.JSONDecodeError``.
 """
 
 from __future__ import annotations
@@ -11,34 +17,66 @@ from pathlib import Path
 from typing import Union
 
 from repro.analysis.series import ExperimentResult
+from repro.io.atomic import atomic_write_text
+from repro.resilience.errors import ResultCorruption
+from repro.resilience.retry import with_retries
 
 FORMAT_VERSION = 1
 
 
-def save_result(result: ExperimentResult, path: Union[str, Path]) -> Path:
+def save_result(
+    result: ExperimentResult, path: Union[str, Path], attempts: int = 3
+) -> Path:
     """Write an experiment result to ``path`` as JSON (parents created).
+
+    The write is atomic — a crash mid-save leaves either the previous
+    file or the complete new one — and transient IO failures are retried
+    up to ``attempts`` times with exponential backoff.
 
     Returns the resolved path for logging convenience.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = {"format_version": FORMAT_VERSION, "result": result.as_dict()}
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    return path
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    return with_retries(lambda: atomic_write_text(path, text), attempts=attempts)
 
 
 def load_result(path: Union[str, Path]) -> ExperimentResult:
     """Read an experiment result written by :func:`save_result`.
 
     Raises:
-        ValueError: for a missing/foreign format version.
+        ResultCorruption: for undecodable JSON or a malformed payload
+            (the message names the file and suggests re-running the
+            experiment that produced it).
+        ValueError: for a missing/foreign format version
+            (:class:`ResultCorruption` is a ``ValueError`` too).
         FileNotFoundError: if the file does not exist.
     """
-    payload = json.loads(Path(path).read_text())
+    path = Path(path)
+    text = path.read_text()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ResultCorruption(
+            f"{path}: not valid JSON ({exc.msg} at line {exc.lineno}) — the "
+            f"file is corrupt, likely from an interrupted write by an older "
+            f"release; re-run the experiment to regenerate it"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ResultCorruption(
+            f"{path}: expected a JSON object, got {type(payload).__name__}; "
+            f"re-run the experiment to regenerate it"
+        )
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
-        raise ValueError(
+        raise ResultCorruption(
             f"{path}: format version {version!r} not supported "
             f"(this release reads {FORMAT_VERSION})"
         )
-    return ExperimentResult.from_dict(payload["result"])
+    try:
+        return ExperimentResult.from_dict(payload["result"])
+    except (KeyError, TypeError) as exc:
+        raise ResultCorruption(
+            f"{path}: malformed result payload ({exc!r}); re-run the "
+            f"experiment to regenerate it"
+        ) from exc

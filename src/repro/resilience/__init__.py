@@ -1,0 +1,47 @@
+"""Fault tolerance for long-running experiment campaigns.
+
+Four pillars (see docs/architecture.md, "Fault tolerance & resumability"):
+
+- **error taxonomy** (:mod:`repro.resilience.errors`) — every failure
+  the library can explain has a typed exception rooted at
+  :class:`ReproError`;
+- **bounded retry** (:mod:`repro.resilience.retry`) — exponential
+  backoff for transient IO faults, nothing else;
+- **run journal** (:mod:`repro.resilience.journal`) — crash-safe
+  per-repetition checkpoints making campaigns resumable bit-identically;
+- **fault injection** (:mod:`repro.resilience.faults`) — seeded
+  injectors that prove every recovery path under test.
+
+The selector watchdog lives with the solvers it guards
+(:class:`repro.selection.watchdog.TimeBoundedSelector`) but is part of
+the same subsystem.
+
+:mod:`~repro.resilience.faults` is intentionally *not* imported here:
+it depends on the selection/mechanism layers, which themselves import
+this package for the error types — import it explicitly as
+``repro.resilience.faults`` (tests and drills do).
+"""
+
+from repro.resilience.errors import (
+    ConfigError,
+    MechanismPriceError,
+    ReproError,
+    ResultCorruption,
+    SelectorTimeout,
+    TransientIOError,
+)
+from repro.resilience.journal import RunJournal, config_fingerprint
+from repro.resilience.retry import backoff_delays, with_retries
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SelectorTimeout",
+    "MechanismPriceError",
+    "ResultCorruption",
+    "TransientIOError",
+    "RunJournal",
+    "config_fingerprint",
+    "with_retries",
+    "backoff_delays",
+]

@@ -1,0 +1,71 @@
+"""The structured error taxonomy of the resilience layer.
+
+Every failure the library can recover from (or at least explain) has a
+dedicated exception type rooted at :class:`ReproError`.  Each type also
+inherits the closest builtin (``ValueError``, ``TimeoutError``,
+``OSError``) so existing ``except ValueError`` call sites — and the
+seed test suite — keep working unchanged.
+
+The taxonomy answers the one question an operator of a long campaign
+actually has: *can I retry this?*
+
+- :class:`ConfigError` — no; fix the configuration and start over.
+- :class:`ResultCorruption` — no; the artifact is damaged, re-run the
+  experiment that produced it.
+- :class:`SelectorTimeout` — per-call; the watchdog already degraded to
+  the greedy solver unless explicitly told not to.
+- :class:`TransientIOError` — yes; :func:`repro.resilience.retry.with_retries`
+  does so with bounded exponential backoff.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every structured error raised by this library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration knob is nonsensical (negative budget, zero tasks,
+    inverted ranges, …).
+
+    Raised eagerly at construction/validation time so a bad sweep dies
+    before its first simulation, with a message naming the offending
+    field and the accepted range — not ten frames deep in the engine.
+    """
+
+
+class SelectorTimeout(ReproError, TimeoutError):
+    """A ``Selector.select`` call exceeded its wall-clock deadline.
+
+    Only raised when the watchdog has no fallback solver; with the
+    default greedy fallback the timeout is recorded as a degradation
+    instead (see :class:`repro.selection.watchdog.TimeBoundedSelector`).
+    """
+
+
+class MechanismPriceError(ReproError, ValueError):
+    """An incentive mechanism returned a malformed price map.
+
+    The engine validates prices at the mechanism boundary: every
+    published task must be priced with a finite, positive reward.  The
+    message names the mechanism and the offending task ids so a buggy
+    mechanism is identified immediately instead of surfacing as a bare
+    ``KeyError`` inside the selection loop.
+    """
+
+
+class ResultCorruption(ReproError, ValueError):
+    """A persisted artifact (result JSON, run journal) failed to parse.
+
+    The message names the path and the recommended remediation
+    (re-run the experiment, or delete the journal and restart).
+    """
+
+
+class TransientIOError(ReproError, OSError):
+    """An IO operation failed in a way that is worth retrying.
+
+    Raised by fault injectors and by retry wrappers when a bounded
+    retry budget is exhausted.
+    """

@@ -1,0 +1,67 @@
+"""Bounded retry with exponential backoff for transient faults.
+
+The policy is deliberately small: retries are for *transient* faults
+(a busy filesystem, a flaky network mount), never for logic errors —
+a :class:`~repro.resilience.errors.ConfigError` or a corrupt artifact
+must surface immediately, so the default retryable set is exactly
+``(TransientIOError, OSError)``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple, Type, TypeVar
+
+from repro.resilience.errors import TransientIOError
+
+T = TypeVar("T")
+
+#: Exceptions retried by default: the library's own transient marker
+#: plus raw OS-level failures (which includes every builtin IO error).
+DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (TransientIOError, OSError)
+
+
+def backoff_delays(
+    attempts: int, base_delay: float = 0.05, multiplier: float = 2.0
+) -> Tuple[float, ...]:
+    """The sleep schedule between ``attempts`` tries (length attempts-1).
+
+    >>> backoff_delays(4, base_delay=0.1, multiplier=2.0)
+    (0.1, 0.2, 0.4)
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    return tuple(base_delay * multiplier**i for i in range(attempts - 1))
+
+
+def with_retries(
+    fn: Callable[[], T],
+    attempts: int = 3,
+    base_delay: float = 0.05,
+    multiplier: float = 2.0,
+    retryable: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` up to ``attempts`` times, backing off between tries.
+
+    Non-retryable exceptions propagate immediately; the final retryable
+    exception propagates unchanged once the budget is exhausted, so the
+    caller sees the true cause, not a wrapper.
+
+    Args:
+        fn: the zero-argument operation to attempt.
+        attempts: total tries (>= 1); 1 means "no retry".
+        base_delay: first backoff sleep in seconds.
+        multiplier: backoff growth factor per retry.
+        retryable: exception types worth retrying.
+        sleep: injectable clock for tests.
+    """
+    delays = backoff_delays(attempts, base_delay, multiplier)
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except retryable:
+            if attempt == attempts - 1:
+                raise
+            sleep(delays[attempt])
+    raise AssertionError("unreachable")  # pragma: no cover

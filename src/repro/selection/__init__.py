@@ -30,6 +30,7 @@ from repro.selection.greedy import GreedySelector
 from repro.selection.brute_force import BruteForceSelector
 from repro.selection.branch_and_bound import BranchAndBoundSelector
 from repro.selection.two_opt import GreedyTwoOptSelector, improve_order
+from repro.selection.watchdog import TimeBoundedSelector
 from repro.selection.factory import make_selector, SELECTOR_NAMES
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "BruteForceSelector",
     "BranchAndBoundSelector",
     "GreedyTwoOptSelector",
+    "TimeBoundedSelector",
     "improve_order",
     "make_selector",
     "SELECTOR_NAMES",

@@ -14,6 +14,7 @@ from repro.selection.brute_force import BruteForceSelector
 from repro.selection.dp import DynamicProgrammingSelector
 from repro.selection.greedy import GreedySelector
 from repro.selection.two_opt import GreedyTwoOptSelector
+from repro.selection.watchdog import TimeBoundedSelector
 
 _REGISTRY: Dict[str, Type[Selector]] = {
     DynamicProgrammingSelector.name: DynamicProgrammingSelector,
@@ -21,10 +22,14 @@ _REGISTRY: Dict[str, Type[Selector]] = {
     GreedyTwoOptSelector.name: GreedyTwoOptSelector,
     BruteForceSelector.name: BruteForceSelector,
     BranchAndBoundSelector.name: BranchAndBoundSelector,
+    TimeBoundedSelector.name: TimeBoundedSelector,
 }
 
 #: Registered selector names in presentation order.
-SELECTOR_NAMES = ("dp", "branch-and-bound", "greedy", "greedy-2opt", "brute-force")
+SELECTOR_NAMES = (
+    "dp", "branch-and-bound", "greedy", "greedy-2opt", "brute-force",
+    "time-bounded",
+)
 
 
 def make_selector(name: str, **kwargs) -> Selector:

@@ -8,9 +8,10 @@ states a value, and DESIGN.md §3 documents the choices where it does not
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.geometry.region import RectRegion
+from repro.resilience.errors import ConfigError
 from repro.world.generator import WorldGenerator
 
 
@@ -50,6 +51,13 @@ class SimulationConfig:
         mobility: mobility policy registry name.
         layout: world layout, "uniform" (paper) or "clustered".
         seed: root seed for all random streams.
+        selector_timeout: optional wall-clock deadline (seconds) on every
+            ``Selector.select`` call.  When set, the engine wraps the
+            configured selector in a
+            :class:`~repro.selection.watchdog.TimeBoundedSelector` that
+            degrades to the greedy solver on breach and records the
+            degradation count in each round record.  None (the default)
+            runs the selector unguarded, exactly as before.
     """
 
     n_users: int = 100
@@ -75,31 +83,88 @@ class SimulationConfig:
     mobility: str = "follow-path"
     layout: str = "uniform"
     seed: int = 0
+    selector_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
+        """Eager validation: every nonsensical knob dies here, at
+        construction, with a :class:`ConfigError` naming the field and
+        the accepted range — never ten frames deep in the engine."""
         if self.n_users < 1:
-            raise ValueError(f"n_users must be >= 1, got {self.n_users}")
+            raise ConfigError(
+                f"n_users must be >= 1, got {self.n_users} "
+                f"(a crowdsensing system needs a crowd)"
+            )
         if self.n_tasks < 1:
-            raise ValueError(f"n_tasks must be >= 1, got {self.n_tasks}")
+            raise ConfigError(
+                f"n_tasks must be >= 1, got {self.n_tasks} "
+                f"(nothing to sense, nothing to simulate)"
+            )
         if self.rounds < 1:
-            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+            raise ConfigError(f"rounds must be >= 1, got {self.rounds}")
         if self.area_side <= 0:
-            raise ValueError(f"area_side must be positive, got {self.area_side}")
+            raise ConfigError(f"area_side must be positive, got {self.area_side}")
+        if self.required_measurements < 1:
+            raise ConfigError(
+                f"required_measurements must be >= 1, "
+                f"got {self.required_measurements}"
+            )
         if self.budget <= 0:
-            raise ValueError(f"budget must be positive, got {self.budget}")
+            raise ConfigError(
+                f"budget must be positive, got {self.budget} "
+                f"(the platform cannot pay rewards from an empty purse)"
+            )
+        if self.reward_step <= 0:
+            raise ConfigError(
+                f"reward_step must be positive, got {self.reward_step}"
+            )
         if self.level_count < 1:
-            raise ValueError(f"level_count must be >= 1, got {self.level_count}")
+            raise ConfigError(f"level_count must be >= 1, got {self.level_count}")
+        if self.neighbour_radius <= 0:
+            raise ConfigError(
+                f"neighbour_radius must be positive, got {self.neighbour_radius}"
+            )
+        if self.user_speed <= 0:
+            raise ConfigError(f"user_speed must be positive, got {self.user_speed}")
+        if self.cost_per_meter < 0:
+            raise ConfigError(
+                f"cost_per_meter must be non-negative, got {self.cost_per_meter}"
+            )
+        if self.user_time_budget <= 0:
+            raise ConfigError(
+                f"user_time_budget must be positive, got {self.user_time_budget}"
+            )
+        if not 0.0 <= self.heterogeneity < 1.0:
+            raise ConfigError(
+                f"heterogeneity must be in [0, 1), got {self.heterogeneity}"
+            )
         if not 0.0 < self.participation_rate <= 1.0:
-            raise ValueError(
-                f"participation_rate must be in (0, 1], got {self.participation_rate}"
+            raise ConfigError(
+                f"participation_rate must be in (0, 1], got "
+                f"{self.participation_rate} (0 would mean nobody ever works; "
+                f"lower it only as far as your smallest viable crowd)"
             )
         if self.layout not in ("uniform", "clustered"):
-            raise ValueError(
+            raise ConfigError(
                 f"layout must be 'uniform' or 'clustered', got {self.layout!r}"
             )
         low, high = self.deadline_range
         if low < 1 or high < low:
-            raise ValueError(f"bad deadline_range {self.deadline_range}")
+            raise ConfigError(
+                f"bad deadline_range {self.deadline_range}: need "
+                f"1 <= low <= high (rounds are 1-based; an inverted range "
+                f"usually means the tuple is backwards)"
+            )
+        release_low, release_high = self.release_range
+        if release_low < 1 or release_high < release_low:
+            raise ConfigError(
+                f"bad release_range {self.release_range}: need "
+                f"1 <= low <= high"
+            )
+        if self.selector_timeout is not None and self.selector_timeout <= 0:
+            raise ConfigError(
+                f"selector_timeout must be positive seconds (or None to "
+                f"disable the watchdog), got {self.selector_timeout}"
+            )
 
     # -- derived helpers ---------------------------------------------------
 

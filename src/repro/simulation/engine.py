@@ -33,12 +33,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKIN
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.allocation.base import Coordinator
 
+import math
+
 from repro.core.mechanisms import IncentiveMechanism, RoundView, make_mechanism
+from repro.resilience.errors import MechanismPriceError
 from repro.selection import (
     CandidateTask,
     Selection,
     Selector,
     TaskSelectionProblem,
+    TimeBoundedSelector,
     make_selector,
 )
 from repro.simulation.config import SimulationConfig
@@ -92,9 +96,7 @@ class SimulationEngine:
         self.mechanism = mechanism if mechanism is not None else make_mechanism(
             config.mechanism, **config.mechanism_arguments()
         )
-        self.selector = selector if selector is not None else make_selector(
-            config.selector, **config.selector_kwargs
-        )
+        self.selector = selector if selector is not None else self._build_selector()
         self.mobility: MobilityPolicy = make_mobility(config.mobility)
         self.world = world if world is not None else self._generate_world()
         self.observers = list(observers)
@@ -104,6 +106,16 @@ class SimulationEngine:
         self._mechanism_ready = False
 
     # -- setup -----------------------------------------------------------
+
+    def _build_selector(self) -> Selector:
+        selector = make_selector(self.config.selector, **self.config.selector_kwargs)
+        if self.config.selector_timeout is not None and not isinstance(
+            selector, TimeBoundedSelector
+        ):
+            selector = TimeBoundedSelector(
+                selector, timeout=self.config.selector_timeout
+            )
+        return selector
 
     def _generate_world(self) -> World:
         generator = self.config.world_generator()
@@ -209,6 +221,7 @@ class SimulationEngine:
 
     def _play_round(self, round_no: int, active: List[SensingTask]) -> RoundRecord:
         prices = self.published_rewards()
+        self._validate_prices(prices, active, round_no)
         available = self._available_user_ids()
 
         # Step 2: either WST (each user solves Eq. 1 independently) or
@@ -272,7 +285,48 @@ class SimulationEngine:
             rejections=tuple(rejections),
             completed_task_ids=tuple(completed),
             expired_task_ids=tuple(expired),
+            selector_fallbacks=self._drain_selector_fallbacks(),
         )
+
+    def _validate_prices(
+        self,
+        prices: Dict[int, float],
+        active: Sequence[SensingTask],
+        round_no: int,
+    ) -> None:
+        """Boundary check on the mechanism's price map.
+
+        A mechanism omitting a task id used to die later as a bare
+        ``KeyError`` inside the selection loop; malformed prices are an
+        error *in the mechanism*, so they are named as such here.
+
+        Raises:
+            MechanismPriceError: for missing task ids or non-finite /
+                negative rewards.
+        """
+        mechanism = f"mechanism {type(self.mechanism).__name__!r}"
+        missing = [t.task_id for t in active if t.task_id not in prices]
+        if missing:
+            raise MechanismPriceError(
+                f"{mechanism} omitted task ids {missing} from its round-"
+                f"{round_no} price map (priced {sorted(prices)}); every "
+                f"published task must be priced"
+            )
+        bad = {
+            task_id: price
+            for task_id, price in prices.items()
+            if not math.isfinite(price) or price < 0
+        }
+        if bad:
+            raise MechanismPriceError(
+                f"{mechanism} returned non-finite or negative rewards in "
+                f"round {round_no}: {bad}"
+            )
+
+    def _drain_selector_fallbacks(self) -> int:
+        """Watchdog degradations this round (0 for unguarded selectors)."""
+        consume = getattr(self.selector, "consume_round_fallbacks", None)
+        return consume() if consume is not None else 0
 
     def _available_user_ids(self) -> set:
         """Users willing to work this round (all, at the paper's rate 1.0).

@@ -75,6 +75,11 @@ class RoundRecord:
         rejections: contributions that arrived too late.
         completed_task_ids: tasks that reached :math:`\\varphi` this round.
         expired_task_ids: tasks whose deadline passed at the end of this round.
+        selector_fallbacks: how many Eq. 1 instances this round were
+            answered by the watchdog's fallback solver instead of the
+            configured one (0 unless a
+            :class:`~repro.selection.watchdog.TimeBoundedSelector`
+            breached its deadline — the degradation-rate signal).
     """
 
     round_no: int
@@ -84,6 +89,7 @@ class RoundRecord:
     rejections: Tuple[RejectedContribution, ...]
     completed_task_ids: Tuple[int, ...]
     expired_task_ids: Tuple[int, ...]
+    selector_fallbacks: int = 0
 
     @property
     def measurement_count(self) -> int:
@@ -119,6 +125,11 @@ class SimulationResult:
     def total_paid(self) -> float:
         """Total platform payout over the whole run (must respect Eq. 8)."""
         return sum(record.total_paid for record in self.rounds)
+
+    @property
+    def total_selector_fallbacks(self) -> int:
+        """Watchdog degradations over the whole run (0 = fully exact)."""
+        return sum(record.selector_fallbacks for record in self.rounds)
 
     def round(self, round_no: int) -> RoundRecord:
         """The record for a 1-based round number.

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.allocation.greedy_server import GreedyServerCoordinator
-from repro.geometry.point import Point
 from tests.conftest import make_task, make_user
 
 

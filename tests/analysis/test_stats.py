@@ -1,12 +1,10 @@
 """Unit tests for repro.analysis.stats."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.analysis.stats import (
-    BoxplotSummary,
     confidence_interval,
     mean_std,
     summarize_box,

@@ -111,7 +111,7 @@ def test_ladder_mechanisms_price_on_the_ladder(raw_tasks, raw_users, round_no):
         mechanism.initialize(world, np.random.Generator(np.random.PCG64(1)))
         prices = mechanism.rewards(view)
         schedule = mechanism.schedule
-        ladder = [schedule.reward_for_level(l) for l in range(1, 6)]
+        ladder = [schedule.reward_for_level(level) for level in range(1, 6)]
         for price in prices.values():
             assert any(abs(price - rung) < 1e-9 for rung in ladder)
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.demand import DemandWeights
-from repro.core.levels import DemandLevels
 from repro.core.mechanisms import (
     FixedMechanism,
     OnDemandMechanism,
@@ -14,8 +13,6 @@ from repro.core.mechanisms import (
     make_mechanism,
 )
 from repro.core.mechanisms.factory import MECHANISM_NAMES
-from repro.geometry.point import Point
-from repro.geometry.region import RectRegion
 from repro.world.generator import World
 from tests.conftest import make_task, make_user
 
@@ -59,7 +56,7 @@ class TestOnDemand:
     def test_prices_on_the_eq7_ladder(self, world):
         mechanism = init(OnDemandMechanism(budget=100.0, step=0.5), world)
         schedule = mechanism.schedule
-        ladder = {schedule.reward_for_level(l) for l in range(1, 6)}
+        ladder = {schedule.reward_for_level(level) for level in range(1, 6)}
         prices = mechanism.rewards(view_of(world))
         assert all(any(abs(p - r) < 1e-9 for r in ladder) for p in prices.values())
 
@@ -127,7 +124,7 @@ class TestFixed:
     def test_prices_on_ladder(self, world):
         mechanism = init(FixedMechanism(budget=100.0, step=0.5), world)
         schedule = mechanism.schedule
-        ladder = {schedule.reward_for_level(l) for l in range(1, 6)}
+        ladder = {schedule.reward_for_level(level) for level in range(1, 6)}
         prices = mechanism.rewards(view_of(world))
         assert all(any(abs(p - r) < 1e-9 for r in ladder) for p in prices.values())
 
@@ -205,7 +202,7 @@ class TestProportional:
         mechanism = init(ProportionalDemandMechanism(budget=100.0), world)
         prices = mechanism.rewards(view_of(world))
         schedule = mechanism.schedule
-        ladder = [schedule.reward_for_level(l) for l in range(1, 6)]
+        ladder = [schedule.reward_for_level(level) for level in range(1, 6)]
         off_ladder = [
             p for p in prices.values()
             if all(abs(p - r) > 1e-6 for r in ladder)

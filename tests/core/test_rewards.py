@@ -19,7 +19,7 @@ class TestPaperConstants:
         assert schedule.base_reward == pytest.approx(0.5)
 
     def test_eq7_reward_ladder(self, schedule):
-        assert [schedule.reward_for_level(l) for l in range(1, 6)] == pytest.approx(
+        assert [schedule.reward_for_level(level) for level in range(1, 6)] == pytest.approx(
             [0.5, 1.0, 1.5, 2.0, 2.5]
         )
 
@@ -81,7 +81,7 @@ class TestGeneralSchedules:
 
     def test_reward_monotone_in_level(self):
         schedule = RewardSchedule(base_reward=1.0, step=0.25, levels=DemandLevels(8))
-        rewards = [schedule.reward_for_level(l) for l in range(1, 9)]
+        rewards = [schedule.reward_for_level(level) for level in range(1, 9)]
         assert all(a < b for a, b in zip(rewards, rewards[1:]))
 
     def test_single_level_schedule(self):

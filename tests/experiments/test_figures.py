@@ -45,8 +45,8 @@ class TestFig5:
         assert result.labels == ["minimum", "q1", "median", "q3", "maximum"]
         # Quartiles ordered at every x.
         for x in TOY_USERS:
-            values = [result.series_by_label(l).point_at(x).mean
-                      for l in result.labels]
+            values = [result.series_by_label(label).point_at(x).mean
+                      for label in result.labels]
             assert values == sorted(values)
 
     def test_fig5b_differences_non_negative(self, toy_config):

@@ -12,7 +12,6 @@ from repro.experiments.runner import (
     repeat_series_metric,
 )
 from repro.metrics import coverage
-from repro.simulation.config import SimulationConfig
 
 
 @pytest.fixture
@@ -90,3 +89,75 @@ class TestSeriesMetric:
 
         with pytest.raises(ValueError, match="inconsistent"):
             repeat_series_metric(config, ragged, repetitions=3)
+
+
+class _Counting:
+    def __init__(self, metric):
+        self.metric = metric
+        self.calls = 0
+
+    def __call__(self, result):
+        self.calls += 1
+        return self.metric(result)
+
+
+class TestJournaledRepeat:
+    def test_journaled_values_match_unjournaled(self, config, tmp_path):
+        plain = repeat_metric(config, coverage, 3, base_seed=2)
+        journaled = repeat_metric(
+            config, coverage, 3, base_seed=2, journal=tmp_path / "j.jsonl"
+        )
+        assert journaled == plain
+
+    def test_second_call_reads_the_journal_not_the_simulator(
+        self, config, tmp_path
+    ):
+        journal = tmp_path / "j.jsonl"
+        first = repeat_metric(config, coverage, 3, base_seed=2, journal=journal)
+        counting = _Counting(coverage)
+        second = repeat_metric(config, counting, 3, base_seed=2, journal=journal)
+        assert counting.calls == 0
+        assert second == first
+
+    def test_extending_repetitions_reuses_the_cached_prefix(
+        self, config, tmp_path
+    ):
+        journal = tmp_path / "j.jsonl"
+        repeat_metric(config, coverage, 2, base_seed=2, journal=journal)
+        counting = _Counting(coverage)
+        extended = repeat_metric(
+            config, counting, 5, base_seed=2, journal=journal
+        )
+        assert counting.calls == 3  # only reps 2..4 simulated
+        assert extended == repeat_metric(config, coverage, 5, base_seed=2)
+
+    def test_different_base_seed_rejects_the_journal(self, config, tmp_path):
+        from repro.resilience.errors import ConfigError
+
+        journal = tmp_path / "j.jsonl"
+        repeat_metric(config, coverage, 2, base_seed=2, journal=journal)
+        with pytest.raises(ConfigError, match="different configuration"):
+            repeat_metric(config, coverage, 2, base_seed=3, journal=journal)
+
+    def test_metric_names_are_part_of_the_campaign_identity(
+        self, config, tmp_path
+    ):
+        from repro.resilience.errors import ConfigError
+
+        journal = tmp_path / "j.jsonl"
+        repeat_metrics(config, {"coverage": coverage}, 2, journal=journal)
+        with pytest.raises(ConfigError, match="different configuration"):
+            repeat_metrics(config, {"welfare": coverage}, 2, journal=journal)
+
+    def test_series_metric_journal_resume(self, config, tmp_path):
+        from repro.metrics import measurements_per_round
+
+        journal = tmp_path / "series.jsonl"
+        series_metric = lambda r: measurements_per_round(r, 4)  # noqa: E731
+        first = repeat_series_metric(
+            config, series_metric, 3, journal=journal
+        )
+        counting = _Counting(series_metric)
+        second = repeat_series_metric(config, counting, 3, journal=journal)
+        assert counting.calls == 0
+        assert second == first

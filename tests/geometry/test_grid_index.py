@@ -1,6 +1,5 @@
 """Unit tests for repro.geometry.grid_index."""
 
-import numpy as np
 import pytest
 
 from repro.geometry.grid_index import GridIndex

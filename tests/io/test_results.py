@@ -6,6 +6,7 @@ import pytest
 
 from repro.analysis.series import ExperimentResult, Series, SeriesPoint
 from repro.io.results import FORMAT_VERSION, load_result, save_result
+from repro.resilience.errors import ResultCorruption, TransientIOError
 
 
 @pytest.fixture
@@ -48,3 +49,55 @@ class TestRoundTrip:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_result(tmp_path / "nope.json")
+
+
+class TestCorruptionHandling:
+    def test_undecodable_json_names_the_file_and_suggests_rerun(
+        self, result, tmp_path
+    ):
+        path = save_result(result, tmp_path / "out.json")
+        path.write_text('{"format_version": 1, "resu')  # truncated write
+        with pytest.raises(ResultCorruption, match="re-run"):
+            load_result(path)
+        with pytest.raises(ResultCorruption, match="out.json"):
+            load_result(path)
+
+    def test_corruption_is_still_a_value_error(self, result, tmp_path):
+        """Pre-taxonomy callers catching ValueError keep working."""
+        path = save_result(result, tmp_path / "out.json")
+        path.write_text("not json at all")
+        with pytest.raises(ValueError):
+            load_result(path)
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        path = tmp_path / "out.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ResultCorruption):
+            load_result(path)
+
+    def test_malformed_result_payload_rejected(self, tmp_path):
+        path = tmp_path / "out.json"
+        path.write_text(json.dumps({"format_version": FORMAT_VERSION}))
+        with pytest.raises(ResultCorruption, match="malformed"):
+            load_result(path)
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, result, tmp_path):
+        save_result(result, tmp_path / "out.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_existing_file_survives_a_failed_write(
+        self, result, tmp_path, monkeypatch
+    ):
+        path = save_result(result, tmp_path / "out.json")
+        before = path.read_text()
+
+        def refuse(*_args, **_kwargs):
+            raise TransientIOError("injected replace failure")
+
+        monkeypatch.setattr("repro.io.atomic.os.replace", refuse)
+        with pytest.raises(TransientIOError):
+            save_result(result, path, attempts=2)
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.geometry.region import RectRegion
 from repro.io.worldmap import render_world
 from repro.world.generator import World
 from repro.world.task import TaskStatus

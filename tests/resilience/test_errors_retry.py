@@ -1,0 +1,94 @@
+"""Tests for the error taxonomy and the bounded-retry helper."""
+
+import pytest
+
+from repro.resilience.errors import (
+    ConfigError,
+    MechanismPriceError,
+    ReproError,
+    ResultCorruption,
+    SelectorTimeout,
+    TransientIOError,
+)
+from repro.resilience.retry import backoff_delays, with_retries
+
+
+class TestTaxonomy:
+    def test_everything_is_a_repro_error(self):
+        for exc_type in (
+            ConfigError, SelectorTimeout, MechanismPriceError,
+            ResultCorruption, TransientIOError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_builtin_compatibility(self):
+        """Each type keeps working at pre-taxonomy `except` sites."""
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(ResultCorruption, ValueError)
+        assert issubclass(MechanismPriceError, ValueError)
+        assert issubclass(SelectorTimeout, TimeoutError)
+        assert issubclass(TransientIOError, OSError)
+
+    def test_catchable_as_family(self):
+        with pytest.raises(ReproError):
+            raise ConfigError("bad knob")
+
+
+class TestBackoffDelays:
+    def test_schedule(self):
+        assert backoff_delays(4, base_delay=0.1, multiplier=2.0) == (0.1, 0.2, 0.4)
+
+    def test_single_attempt_has_no_delays(self):
+        assert backoff_delays(1) == ()
+
+    def test_rejects_non_positive_attempts(self):
+        with pytest.raises(ValueError, match="attempts"):
+            backoff_delays(0)
+
+
+class TestWithRetries:
+    def test_success_first_try(self):
+        assert with_retries(lambda: 42, sleep=lambda _s: None) == 42
+
+    def test_retries_transient_then_succeeds(self):
+        slept = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientIOError("disk hiccup")
+            return "ok"
+
+        assert with_retries(flaky, attempts=3, sleep=slept.append) == "ok"
+        assert calls["n"] == 3
+        assert slept == [0.05, pytest.approx(0.1)]
+
+    def test_exhaustion_raises_last_error(self):
+        def always():
+            raise TransientIOError("still down")
+
+        with pytest.raises(TransientIOError, match="still down"):
+            with_retries(always, attempts=3, sleep=lambda _s: None)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise ConfigError("logic bug, not a hiccup")
+
+        with pytest.raises(ConfigError):
+            with_retries(broken, attempts=5, sleep=lambda _s: None)
+        assert calls["n"] == 1
+
+    def test_oserror_is_retryable_by_default(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("EAGAIN")
+            return "ok"
+
+        assert with_retries(flaky, sleep=lambda _s: None) == "ok"

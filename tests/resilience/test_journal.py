@@ -1,0 +1,116 @@
+"""Tests for the crash-safe repetition journal."""
+
+import json
+
+import pytest
+
+from repro.resilience.errors import ConfigError, ResultCorruption
+from repro.resilience.journal import RunJournal, config_fingerprint
+from repro.simulation.config import SimulationConfig
+
+
+@pytest.fixture
+def path(tmp_path):
+    return tmp_path / "campaign.jsonl"
+
+
+class TestFingerprint:
+    def test_stable_for_equal_configs(self):
+        a = config_fingerprint(SimulationConfig(seed=1), base_seed=3)
+        b = config_fingerprint(SimulationConfig(seed=1), base_seed=3)
+        assert a == b
+
+    def test_sensitive_to_config(self):
+        a = config_fingerprint(SimulationConfig(n_users=40), base_seed=3)
+        b = config_fingerprint(SimulationConfig(n_users=60), base_seed=3)
+        assert a != b
+
+    def test_sensitive_to_context(self):
+        config = SimulationConfig()
+        assert config_fingerprint(config, base_seed=0) != config_fingerprint(
+            config, base_seed=1
+        )
+
+
+class TestRecording:
+    def test_round_trip(self, path):
+        journal = RunJournal(path, "fp")
+        journal.record(0, {"values": {"m": 1.5}})
+        journal.record(1, {"values": {"m": 2.5}})
+        assert journal.get(0) == {"values": {"m": 1.5}}
+        assert journal.get(2) is None
+        assert journal.completed_reps == 2
+
+    def test_resume_sees_prior_records(self, path):
+        RunJournal(path, "fp").record(0, {"v": 1})
+        resumed = RunJournal(path, "fp")
+        assert resumed.get(0) == {"v": 1}
+        resumed.record(1, {"v": 2})
+        assert RunJournal(path, "fp").completed_reps == 2
+
+    def test_first_missing(self, path):
+        journal = RunJournal(path, "fp")
+        journal.record(0, {})
+        journal.record(1, {})
+        journal.record(3, {})
+        assert journal.first_missing(5) == 2
+        journal.record(2, {})
+        assert journal.first_missing(4) == 4
+
+    def test_parents_created(self, tmp_path):
+        nested = tmp_path / "a" / "b" / "j.jsonl"
+        RunJournal(nested, "fp").record(0, {})
+        assert nested.exists()
+
+    def test_negative_rep_rejected(self, path):
+        with pytest.raises(ValueError, match="rep"):
+            RunJournal(path, "fp").record(-1, {})
+
+
+class TestIntegrity:
+    def test_fingerprint_mismatch_is_config_error(self, path):
+        RunJournal(path, "fp-a").record(0, {})
+        with pytest.raises(ConfigError, match="different configuration"):
+            RunJournal(path, "fp-b")
+
+    def test_partial_tail_is_truncated_not_fatal(self, path):
+        journal = RunJournal(path, "fp")
+        journal.record(0, {"v": 1})
+        journal.record(1, {"v": 2})
+        # A crash mid-append leaves an unterminated JSON fragment.
+        with path.open("a") as handle:
+            handle.write('{"kind": "rep", "rep": 2, "payl')
+        resumed = RunJournal(path, "fp")
+        assert resumed.completed_reps == 2
+        assert resumed.get(2) is None
+        # The file was repaired: appending and reopening work normally.
+        resumed.record(2, {"v": 3})
+        assert RunJournal(path, "fp").completed_reps == 3
+
+    def test_midstream_corruption_is_fatal(self, path):
+        journal = RunJournal(path, "fp")
+        journal.record(0, {"v": 1})
+        journal.record(1, {"v": 2})
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # damage a middle line
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ResultCorruption, match="line 2"):
+            RunJournal(path, "fp")
+
+    def test_foreign_header_rejected(self, path):
+        path.write_text(json.dumps({"kind": "meta", "format_version": 99}) + "\n")
+        with pytest.raises(ResultCorruption, match="journal"):
+            RunJournal(path, "fp")
+
+    def test_garbage_entry_kind_rejected(self, path):
+        RunJournal(path, "fp")
+        with path.open("a") as handle:
+            handle.write(json.dumps({"kind": "banana"}) + "\n")
+            handle.write(json.dumps({"kind": "rep", "rep": 0}) + "\n")
+        with pytest.raises(ResultCorruption, match="unexpected"):
+            RunJournal(path, "fp")
+
+    def test_empty_file_rejected(self, path):
+        path.write_text("")
+        with pytest.raises(ResultCorruption, match="empty|readable"):
+            RunJournal(path, "fp")

@@ -5,7 +5,6 @@ import pytest
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import simulate
 from repro.simulation.events import (
-    MeasurementEvent,
     RoundRecord,
     UserRoundRecord,
     merge_user_records,

@@ -21,6 +21,14 @@ class TestParser:
         assert args.seed == 4
         assert args.json == "x.json"
 
+    def test_resume_and_timeout_flags(self):
+        args = build_parser().parse_args(["run", "fig6a", "--resume", "ckpt"])
+        assert args.resume == "ckpt"
+        args = build_parser().parse_args(["sweep", "budget", "100", "--resume", "c"])
+        assert args.resume == "c"
+        args = build_parser().parse_args(["simulate", "--selector-timeout", "0.5"])
+        assert args.selector_timeout == 0.5
+
 
 class TestList:
     def test_lists_all_experiments(self, capsys):
@@ -75,6 +83,49 @@ class TestRun:
     def test_unknown_experiment_raises(self):
         with pytest.raises(ValueError, match="unknown experiment"):
             main(["run", "fig0x"])
+
+
+class TestResume:
+    def test_run_resume_creates_journals_and_reuses_them(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_REPS", "1")
+        ckpt = tmp_path / "ckpt"
+        assert main(["run", "fig6a", "--resume", str(ckpt)]) == 0
+        journals = sorted(p.name for p in ckpt.iterdir())
+        assert journals and all(name.endswith(".jsonl") for name in journals)
+        first = capsys.readouterr().out
+        mtimes = {p.name: p.stat().st_mtime_ns for p in ckpt.iterdir()}
+        # Second run resumes: identical output, journals untouched.
+        assert main(["run", "fig6a", "--resume", str(ckpt)]) == 0
+        assert capsys.readouterr().out == first
+        assert {p.name: p.stat().st_mtime_ns for p in ckpt.iterdir()} == mtimes
+
+    def test_run_resume_rejected_for_non_journaling_experiment(
+        self, capsys, tmp_path
+    ):
+        assert main(["run", "fig5a", "--resume", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "does not support --resume" in err
+        assert "fig6a" in err  # the error lists what *is* resumable
+
+    def test_sweep_resume(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        code = main([
+            "sweep", "n_users", "8", "--reps", "1", "--resume", str(ckpt),
+        ])
+        assert code == 0
+        assert (ckpt / "sweep-n_users-8.jsonl").exists()
+
+
+class TestSelectorTimeout:
+    def test_simulate_reports_degradations(self, capsys):
+        code = main([
+            "simulate", "--users", "8", "--tasks", "4", "--rounds", "3",
+            "--seed", "2", "--selector-timeout", "10",
+        ])
+        assert code == 0
+        assert "selector degradations (greedy fallbacks): 0" in capsys.readouterr().out
 
 
 class TestShow:

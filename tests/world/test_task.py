@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.world.task import SensingTask, TaskStatus
+from repro.world.task import TaskStatus
 from tests.conftest import make_task
 
 

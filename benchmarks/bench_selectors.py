@@ -48,6 +48,14 @@ def test_dp_selector_speed(benchmark):
     assert all(s.distance <= 1800.0 + 1e-6 for s in selections)
 
 
+def test_reference_dp_selector_speed(benchmark):
+    """The scalar DP the vectorized one replaced — the speedup baseline."""
+    problems = _problems()
+    reference = make_selector("reference-dp")
+    selections = benchmark(lambda: [reference.select(p) for p in problems])
+    assert all(s.distance <= 1800.0 + 1e-6 for s in selections)
+
+
 def test_branch_and_bound_selector_speed(benchmark):
     problems = _problems()
     bnb = make_selector("branch-and-bound")

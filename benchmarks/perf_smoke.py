@@ -1,0 +1,139 @@
+"""Selector microbenchmark: vectorized DP vs the scalar reference DP.
+
+Times both exact solvers on instances drawn from the paper's Section VI
+setup — 20 tasks uniform in the 3000 m x 3000 m region, Eq. 7 reward
+levels, 1800 m travel budget, 0.002 $/m — and appends one entry to the
+``BENCH_selectors.json`` perf trajectory at the repo root, so speedup
+regressions are visible in review diffs.
+
+Usage::
+
+    python benchmarks/perf_smoke.py                 # full scale, repo-root json
+    python benchmarks/perf_smoke.py --scale tiny    # CI smoke: seconds, no gate
+    python benchmarks/perf_smoke.py --min-speedup 3 # fail below 3x
+
+Standalone on purpose (argparse + json, no pytest) so CI can run it as a
+plain script and upload the json artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.geometry.point import Point                      # noqa: E402
+from repro.selection import CandidateTask, TaskSelectionProblem  # noqa: E402
+from repro.selection.dp import DynamicProgrammingSelector   # noqa: E402
+from repro.selection.reference_dp import ReferenceDPSelector  # noqa: E402
+
+#: Paper Section VI constants: region side 3000 m, v*tau = 1 m/s * 1800 s.
+AREA_HALF_SIDE = 1_500.0
+TRAVEL_BUDGET = 1_800.0
+COST_PER_METER = 0.002
+REWARD_LEVELS = (0.5, 1.0, 1.5, 2.0, 2.5)
+
+
+def paper_problem(rng, n_tasks):
+    positions = rng.uniform(-AREA_HALF_SIDE, AREA_HALF_SIDE, size=(n_tasks, 2))
+    rewards = rng.choice(REWARD_LEVELS, size=n_tasks)
+    candidates = [
+        CandidateTask(task_id=i, location=Point(float(x), float(y)), reward=float(r))
+        for i, ((x, y), r) in enumerate(zip(positions, rewards))
+    ]
+    return TaskSelectionProblem.build(
+        origin=Point(0.0, 0.0), candidates=candidates,
+        max_distance=TRAVEL_BUDGET, cost_per_meter=COST_PER_METER,
+    )
+
+
+def time_selector(selector, problems, repeats):
+    """Best-of-``repeats`` total wall time (s) to solve every problem."""
+    timings = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        selections = [selector.select(problem) for problem in problems]
+        timings.append(time.perf_counter() - started)
+    return min(timings), selections
+
+
+def run(n_tasks, instances, repeats, seed):
+    rng = np.random.default_rng(seed)
+    problems = [paper_problem(rng, n_tasks) for _ in range(instances)]
+    reference_time, reference_sel = time_selector(
+        ReferenceDPSelector(max_exact_tasks=n_tasks), problems, repeats
+    )
+    vectorized_time, vectorized_sel = time_selector(
+        DynamicProgrammingSelector(max_exact_tasks=n_tasks), problems, repeats
+    )
+    # Both are exact: identical optimal profits, or the timing is meaningless.
+    profit_gaps = [
+        abs(a.profit - b.profit) for a, b in zip(reference_sel, vectorized_sel)
+    ]
+    assert max(profit_gaps) < 1e-9, f"solvers disagree: max gap {max(profit_gaps)}"
+    return {
+        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "n_tasks": n_tasks,
+        "instances": instances,
+        "timing_repeats": repeats,
+        "seed": seed,
+        "reference_ms_per_call": 1e3 * reference_time / instances,
+        "vectorized_ms_per_call": 1e3 * vectorized_time / instances,
+        "speedup": reference_time / vectorized_time,
+        "mean_profit": statistics.mean(s.profit for s in vectorized_sel),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("full", "tiny"), default="full",
+                        help="tiny = a seconds-long CI smoke run")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_selectors.json"),
+                        help="trajectory file to append to")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero if the speedup falls below this")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.scale == "tiny":
+        entry = run(n_tasks=12, instances=5, repeats=2, seed=args.seed)
+    else:
+        entry = run(n_tasks=20, instances=30, repeats=3, seed=args.seed)
+    entry["scale"] = args.scale
+
+    out = Path(args.out)
+    trajectory = json.loads(out.read_text()) if out.exists() else []
+    trajectory.append(entry)
+    out.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    print(
+        f"{entry['n_tasks']} tasks x {entry['instances']} instances: "
+        f"reference {entry['reference_ms_per_call']:.2f} ms/call, "
+        f"vectorized {entry['vectorized_ms_per_call']:.2f} ms/call "
+        f"-> {entry['speedup']:.1f}x"
+    )
+    print(f"recorded in {out}")
+    if args.min_speedup is not None and entry["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {entry['speedup']:.2f}x below the "
+            f"{args.min_speedup:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

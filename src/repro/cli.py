@@ -6,6 +6,7 @@ Usage::
     repro run fig6a --reps 20        # regenerate one panel, print the rows
     repro run fig6a --json out.json  # ... and persist it
     repro run fig6a --resume ckpt/   # checkpoint + resume an interrupted run
+    repro run fig6a --workers 4      # parallel repetitions, identical output
     repro tables                     # print Tables I-III
     repro simulate --users 100       # one run, full metrics summary
     repro simulate --selector-timeout 0.5   # ... with the DP watchdog armed
@@ -57,6 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "resume an interrupted run from them (supported "
                           "by journaling experiments, e.g. fig6a, "
                           "sweep-budget)")
+    run.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="fan repetitions across N simulation processes "
+                          "(default: serial); aggregates are bit-identical "
+                          "to a serial run and combine with --resume")
 
     sub.add_parser("tables", help="print Tables I-III from the paper")
 
@@ -103,6 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--resume", metavar="DIR", default=None,
                        help="checkpoint repetitions to journals in DIR and "
                             "resume an interrupted sweep from them")
+    sweep.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="simulation processes per sweep value "
+                            "(default: serial)")
     return parser
 
 
@@ -128,6 +136,17 @@ def _command_run(args: argparse.Namespace) -> int:
             )
             return 2
         kwargs["journal_dir"] = args.resume
+    if args.workers is not None:
+        from repro.experiments.registry import supports_kwarg
+
+        if not supports_kwarg(args.experiment, "workers"):
+            print(
+                f"error: experiment {args.experiment!r} does not support "
+                f"--workers (it does not repeat seeded simulations)",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["workers"] = args.workers
     result = run_experiment(args.experiment, **kwargs)
     print(render_experiment(result, precision=args.precision))
     if args.chart:
@@ -182,6 +201,17 @@ def _command_simulate(args: argparse.Namespace) -> int:
     summary = MetricsSummary.from_result(result)
     rows = [[name, value] for name, value in summary.as_dict().items()]
     print(render_table(["metric", "value"], rows, precision=4))
+    perf = result.perf_totals()
+    if perf.selector_calls:
+        per_call_ms = 1e3 * perf.selector_wall_time / perf.selector_calls
+        print(
+            f"\nperf: {perf.selector_calls} selections in "
+            f"{perf.selector_wall_time:.3f}s ({per_call_ms:.2f} ms/call), "
+            f"{perf.dp_states_expanded} DP states expanded, "
+            f"problem cache {perf.problem_cache_hits} hits / "
+            f"{perf.problem_cache_misses} misses "
+            f"({100.0 * perf.cache_hit_rate:.1f}% hit rate)"
+        )
     if args.selector_timeout is not None:
         print(
             f"\nselector degradations (greedy fallbacks): "
@@ -218,6 +248,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         kwargs["repetitions"] = args.reps
     if args.resume is not None:
         kwargs["journal_dir"] = args.resume
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
     result = config_sweep(args.field, values, **kwargs)
     print(render_experiment(result))
     if args.chart:

@@ -47,6 +47,7 @@ def mechanism_user_sweep(
     base_config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
     journal_dir: Optional[Union[str, Path]] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep #users x mechanisms, aggregating one scalar metric.
 
@@ -58,6 +59,10 @@ def mechanism_user_sweep(
     checkpoints its repetitions to a journal file in that directory;
     re-running after an interruption (same arguments, same directory)
     resumes at the first missing repetition.
+
+    ``workers`` fans each cell's repetitions across that many simulation
+    processes (see :func:`~repro.experiments.runner.repeat_metrics`);
+    aggregates are bit-identical to a serial run.
     """
     user_counts = list(user_counts if user_counts is not None else default_user_counts())
     repetitions = repetitions if repetitions is not None else default_repetitions()
@@ -72,7 +77,8 @@ def mechanism_user_sweep(
                 journal_dir, experiment_id, mechanism, f"u{n_users}"
             )
             values = repeat_metric(
-                config, metric, repetitions, base_seed, journal=journal
+                config, metric, repetitions, base_seed,
+                journal=journal, workers=workers,
             )
             points.append(SeriesPoint.from_values(n_users, values))
         series.append(Series(label=mechanism, points=tuple(points)))
@@ -105,13 +111,15 @@ def mechanism_round_sweep(
     base_config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
     journal_dir: Optional[Union[str, Path]] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Fixed user count, rounds on the x axis (the "(b)" panels).
 
     ``series_metric`` must return one value per round 1..horizon; the
     result keeps rounds ``first_round``..horizon (Fig. 7(b) starts its
     axis at round 5).  ``journal_dir`` checkpoints per-mechanism
-    repetitions exactly as in :func:`mechanism_user_sweep`.
+    repetitions and ``workers`` parallelises them, exactly as in
+    :func:`mechanism_user_sweep`.
     """
     if not 1 <= first_round <= horizon:
         raise ValueError(
@@ -125,7 +133,8 @@ def mechanism_round_sweep(
         config = base_config.with_overrides(n_users=n_users, mechanism=mechanism)
         journal = _cell_journal(journal_dir, experiment_id, mechanism)
         per_round = repeat_series_metric(
-            config, series_metric, repetitions, base_seed, journal=journal
+            config, series_metric, repetitions, base_seed,
+            journal=journal, workers=workers,
         )
         points = tuple(
             SeriesPoint.from_values(round_no, per_round[round_no - 1])

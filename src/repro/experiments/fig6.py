@@ -32,6 +32,7 @@ def fig6a(
     base_config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
     journal_dir: Optional[Union[str, Path]] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Coverage (%) vs number of users (Fig. 6(a))."""
     return mechanism_user_sweep(
@@ -44,6 +45,7 @@ def fig6a(
         base_config=base_config,
         base_seed=base_seed,
         journal_dir=journal_dir,
+        workers=workers,
     )
 
 
@@ -54,6 +56,7 @@ def fig6b(
     base_config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
     journal_dir: Optional[Union[str, Path]] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Cumulative coverage (%) per round at 100 users (Fig. 6(b))."""
     return mechanism_round_sweep(
@@ -69,4 +72,5 @@ def fig6b(
         base_config=base_config,
         base_seed=base_seed,
         journal_dir=journal_dir,
+        workers=workers,
     )

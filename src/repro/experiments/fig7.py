@@ -25,6 +25,7 @@ def fig7a(
     repetitions: Optional[int] = None,
     base_config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Overall completeness (%) vs number of users (Fig. 7(a))."""
     return mechanism_user_sweep(
@@ -36,6 +37,7 @@ def fig7a(
         repetitions=repetitions,
         base_config=base_config,
         base_seed=base_seed,
+        workers=workers,
     )
 
 
@@ -46,6 +48,7 @@ def fig7b(
     repetitions: Optional[int] = None,
     base_config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Overall completeness (%) per round, rounds 5..15 (Fig. 7(b))."""
     return mechanism_round_sweep(
@@ -61,4 +64,5 @@ def fig7b(
         repetitions=repetitions,
         base_config=base_config,
         base_seed=base_seed,
+        workers=workers,
     )

@@ -27,6 +27,7 @@ def fig8a(
     repetitions: Optional[int] = None,
     base_config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Average measurements per task vs number of users (Fig. 8(a))."""
     return mechanism_user_sweep(
@@ -38,6 +39,7 @@ def fig8a(
         repetitions=repetitions,
         base_config=base_config,
         base_seed=base_seed,
+        workers=workers,
     )
 
 
@@ -47,6 +49,7 @@ def fig8b(
     repetitions: Optional[int] = None,
     base_config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Total new measurements per round at 100 users (Fig. 8(b))."""
     return mechanism_round_sweep(
@@ -59,4 +62,5 @@ def fig8b(
         repetitions=repetitions,
         base_config=base_config,
         base_seed=base_seed,
+        workers=workers,
     )

@@ -23,6 +23,7 @@ def fig9a(
     repetitions: Optional[int] = None,
     base_config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Variance of measurements vs number of users (Fig. 9(a))."""
     return mechanism_user_sweep(
@@ -34,6 +35,7 @@ def fig9a(
         repetitions=repetitions,
         base_config=base_config,
         base_seed=base_seed,
+        workers=workers,
     )
 
 
@@ -42,6 +44,7 @@ def fig9b(
     repetitions: Optional[int] = None,
     base_config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Average reward per measurement vs number of users (Fig. 9(b))."""
     return mechanism_user_sweep(
@@ -53,4 +56,5 @@ def fig9b(
         repetitions=repetitions,
         base_config=base_config,
         base_seed=base_seed,
+        workers=workers,
     )

@@ -13,13 +13,23 @@ one fsync'd line per completed repetition.  A campaign interrupted at
 repetition 87 resumes at the first missing repetition and, because
 repetition seeds are pure functions of ``(base_seed, rep)``, the resumed
 campaign's aggregate is bit-identical to an uninterrupted one.
+
+Parallelism: both repeat loops also accept ``workers`` — the number of
+simulation processes to fan repetitions across (default serial).  Only
+the simulations move to workers; metrics (arbitrary closures, often
+unpicklable) are evaluated in the parent as each run returns, and the
+journal is likewise written parent-side, so crash-safety and the fsync
+discipline are unchanged.  Because each repetition is seeded purely by
+``(base_seed, rep)`` and values are reassembled in repetition order, a
+parallel campaign's aggregate is bit-identical to a serial one.
 """
 
 from __future__ import annotations
 
 import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.resilience.journal import RunJournal, config_fingerprint
 from repro.simulation.config import SimulationConfig
@@ -84,12 +94,52 @@ def _open_journal(
     return RunJournal(Path(journal), fingerprint)
 
 
+def _seeded_run(config: SimulationConfig, seed: int) -> SimulationResult:
+    """One seeded simulation (top-level so worker processes can pickle it)."""
+    return simulate(config.with_overrides(seed=seed))
+
+
+def _iter_repetitions(
+    config: SimulationConfig,
+    reps: Sequence[int],
+    base_seed: int,
+    workers: Optional[int],
+) -> Iterator[Tuple[int, SimulationResult]]:
+    """Yield ``(rep, result)`` for every repetition in ``reps``.
+
+    Serial (``workers`` None or <= 1) yields in repetition order; with a
+    process pool, results stream back in *completion* order — callers
+    must not rely on ordering (both repeat loops reassemble by rep).
+    The pool is bounded to ``2 * workers`` simulations in flight so a
+    long campaign never materialises every pending SimulationResult at
+    once.
+    """
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers is None or workers <= 1 or len(reps) <= 1:
+        for rep in reps:
+            yield rep, _seeded_run(config, child_seed(base_seed, rep))
+        return
+    queue = list(reps)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        in_flight = {}
+        while queue or in_flight:
+            while queue and len(in_flight) < 2 * workers:
+                rep = queue.pop(0)
+                future = pool.submit(_seeded_run, config, child_seed(base_seed, rep))
+                in_flight[future] = rep
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield in_flight.pop(future), future.result()
+
+
 def repeat_metrics(
     config: SimulationConfig,
     metrics: Dict[str, MetricFn],
     repetitions: int,
     base_seed: int = 0,
     journal: JournalSpec = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, List[float]]:
     """Run ``repetitions`` seeded simulations; collect each metric's values.
 
@@ -103,9 +153,14 @@ def repeat_metrics(
             journaled repetitions are *not* re-simulated: their values
             load from the journal, and only missing repetitions run —
             this is how an interrupted campaign resumes.
+        workers: simulation processes to fan repetitions across (None or
+            1 = serial).  Metrics and journaling stay in the parent, and
+            values are assembled in repetition order, so the aggregate
+            is bit-identical to a serial run and the journal remains
+            resume-compatible.
 
     Raises:
-        ValueError: for a non-positive repetition count.
+        ValueError: for a non-positive repetition or worker count.
         ConfigError: if the journal belongs to a different campaign.
         ResultCorruption: if the journal is damaged mid-stream.
     """
@@ -114,20 +169,23 @@ def repeat_metrics(
     log = _open_journal(
         journal, config, base_seed, kind="metrics", metrics=sorted(metrics)
     )
-    values: Dict[str, List[float]] = {name: [] for name in metrics}
+    per_rep: Dict[int, Dict[str, float]] = {}
+    missing: List[int] = []
     for rep in range(repetitions):
         entry = log.get(rep) if log is not None else None
         if entry is not None:
-            per_rep = entry["values"]
+            per_rep[rep] = entry["values"]
         else:
-            run_config = config.with_overrides(seed=child_seed(base_seed, rep))
-            result = simulate(run_config)
-            per_rep = {name: metric(result) for name, metric in metrics.items()}
-            if log is not None:
-                log.record(rep, {"values": per_rep})
-        for name in metrics:
-            values[name].append(per_rep[name])
-    return values
+            missing.append(rep)
+    for rep, result in _iter_repetitions(config, missing, base_seed, workers):
+        values_for_rep = {name: metric(result) for name, metric in metrics.items()}
+        if log is not None:
+            log.record(rep, {"values": values_for_rep})
+        per_rep[rep] = values_for_rep
+    return {
+        name: [per_rep[rep][name] for rep in range(repetitions)]
+        for name in metrics
+    }
 
 
 def repeat_metric(
@@ -136,10 +194,12 @@ def repeat_metric(
     repetitions: int,
     base_seed: int = 0,
     journal: JournalSpec = None,
+    workers: Optional[int] = None,
 ) -> List[float]:
     """Single-metric convenience wrapper over :func:`repeat_metrics`."""
     return repeat_metrics(
-        config, {"metric": metric}, repetitions, base_seed, journal=journal
+        config, {"metric": metric}, repetitions, base_seed,
+        journal=journal, workers=workers,
     )["metric"]
 
 
@@ -149,13 +209,15 @@ def repeat_series_metric(
     repetitions: int,
     base_seed: int = 0,
     journal: JournalSpec = None,
+    workers: Optional[int] = None,
 ) -> List[List[float]]:
     """Like :func:`repeat_metric` for metrics that return a whole series
     (e.g. coverage-by-round).  Result is ``[per-position values][rep]``-
     transposed: one list of repetition values per series position.
 
-    Supports the same ``journal`` checkpointing as :func:`repeat_metrics`
-    (one journal line per completed repetition's full series).
+    Supports the same ``journal`` checkpointing and ``workers``
+    parallelism as :func:`repeat_metrics` (one journal line per
+    completed repetition's full series).
 
     Raises:
         ValueError: if repetitions disagree on the series length.
@@ -163,17 +225,20 @@ def repeat_series_metric(
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
     log = _open_journal(journal, config, base_seed, kind="series")
-    collected: List[Sequence[float]] = []
+    per_rep: Dict[int, List[float]] = {}
+    missing: List[int] = []
     for rep in range(repetitions):
         entry = log.get(rep) if log is not None else None
         if entry is not None:
-            series = entry["series"]
+            per_rep[rep] = entry["series"]
         else:
-            run_config = config.with_overrides(seed=child_seed(base_seed, rep))
-            series = list(series_metric(simulate(run_config)))
-            if log is not None:
-                log.record(rep, {"series": series})
-        collected.append(series)
+            missing.append(rep)
+    for rep, result in _iter_repetitions(config, missing, base_seed, workers):
+        series = list(series_metric(result))
+        if log is not None:
+            log.record(rep, {"series": series})
+        per_rep[rep] = series
+    collected = [per_rep[rep] for rep in range(repetitions)]
     lengths = {len(entry) for entry in collected}
     if len(lengths) != 1:
         raise ValueError(f"series metric returned inconsistent lengths: {lengths}")

@@ -46,6 +46,7 @@ def config_sweep(
     base_seed: int = 0,
     experiment_id: Optional[str] = None,
     journal_dir: Optional[Union[str, Path]] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep one config field; one series per metric, x = field value.
 
@@ -54,6 +55,8 @@ def config_sweep(
         values: the x axis, in any order (sorted into the result).
         journal_dir: optional checkpoint directory (one journal per
             sweep value) making the sweep resumable after interruption.
+        workers: simulation processes per sweep value (None = serial);
+            aggregates are bit-identical to a serial sweep.
 
     Raises:
         ValueError: for an unknown field or an empty value list.
@@ -74,6 +77,7 @@ def config_sweep(
         collected = repeat_metrics(
             config, metrics, repetitions, base_seed,
             journal=_value_journal(journal_dir, f"sweep-{field}", value),
+            workers=workers,
         )
         for name in metrics:
             per_metric[name].append(SeriesPoint.from_values(value, collected[name]))
@@ -101,6 +105,7 @@ def budget_sweep(
     repetitions: Optional[int] = None,
     base_seed: int = 0,
     journal_dir: Optional[Union[str, Path]] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Coverage/completeness vs platform budget B at fixed crowd size.
 
@@ -122,6 +127,7 @@ def budget_sweep(
         collected = repeat_metrics(
             config, metrics, repetitions, base_seed,
             journal=_value_journal(journal_dir, "sweep-budget", budget),
+            workers=workers,
         )
         for name in metrics:
             per_metric[name].append(SeriesPoint.from_values(budget, collected[name]))

@@ -26,6 +26,7 @@ from repro.simulation.events import (
     SimulationResult,
     UserRoundRecord,
 )
+from repro.simulation.perf import PerfStats
 
 FORMAT_VERSION = 1
 
@@ -54,6 +55,9 @@ def _round_payload(record: RoundRecord) -> Dict:
         "completed_task_ids": list(record.completed_task_ids),
         "expired_task_ids": list(record.expired_task_ids),
         "selector_fallbacks": record.selector_fallbacks,
+        **(
+            {"perf": record.perf.as_dict()} if record.perf is not None else {}
+        ),
     }
 
 
@@ -152,6 +156,12 @@ def read_events_jsonl(path: Union[str, Path]) -> SimulationReplay:
             expired_task_ids=tuple(payload["expired_task_ids"]),
             # absent in logs written before the watchdog existed
             selector_fallbacks=payload.get("selector_fallbacks", 0),
+            # absent in logs written before the perf counters existed
+            perf=(
+                PerfStats.from_dict(payload["perf"])
+                if "perf" in payload
+                else None
+            ),
         ))
     return SimulationReplay(
         rounds=rounds,

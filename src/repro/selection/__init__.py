@@ -14,7 +14,11 @@ Theorem 1), so the package offers:
 - :class:`~repro.selection.dp.DynamicProgrammingSelector` — exact bitmask
   DP over (subset, last-task) states (the paper's Eq. 11–12), explored
   label-setting style so subsets unreachable within the travel budget are
-  never expanded.
+  never expanded, with each cardinality layer expanded as one batch of
+  numpy arrays (the hot path of every simulated round).
+- :class:`~repro.selection.reference_dp.ReferenceDPSelector` — the same
+  recurrence as a pure-Python loop; the vectorized selector's
+  equivalence oracle.
 - :class:`~repro.selection.greedy.GreedySelector` — the paper's
   :math:`O(m^2)` marginal-profit greedy.
 - :class:`~repro.selection.two_opt.GreedyTwoOptSelector` — extension:
@@ -26,6 +30,7 @@ Theorem 1), so the package offers:
 from repro.selection.base import CandidateTask, Selection, Selector
 from repro.selection.problem import TaskSelectionProblem
 from repro.selection.dp import DynamicProgrammingSelector
+from repro.selection.reference_dp import ReferenceDPSelector
 from repro.selection.greedy import GreedySelector
 from repro.selection.brute_force import BruteForceSelector
 from repro.selection.branch_and_bound import BranchAndBoundSelector
@@ -39,6 +44,7 @@ __all__ = [
     "Selector",
     "TaskSelectionProblem",
     "DynamicProgrammingSelector",
+    "ReferenceDPSelector",
     "GreedySelector",
     "BruteForceSelector",
     "BranchAndBoundSelector",

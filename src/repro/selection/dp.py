@@ -2,13 +2,28 @@
 
 The paper's recurrence (Eq. 12) fills the full ``2^m x (m+1)`` matrix
 ``dp[subset][last]`` = shortest origin-anchored path visiting ``subset``
-and ending at ``last``.  We compute the same values but *label-setting*
-style: states are expanded layer by layer (by subset cardinality) and a
-state is expanded only if its path length is within the travel budget.
-Any super-path of an infeasible path is infeasible (distances are
-non-negative), so the pruning is lossless — with realistic budgets the
-explored state count collapses from :math:`2^m` to the few thousand
-subsets actually reachable.
+and ending at ``last``.  We compute the same values *label-setting*
+style — states are expanded layer by layer (by subset cardinality) and a
+state is expanded only if its path length is within the travel budget;
+any super-path of an infeasible path is infeasible (distances are
+non-negative), so the pruning is lossless — and, since this is the
+engine's hottest loop, each cardinality layer is expanded as one batch
+of numpy arrays instead of per-state Python iteration:
+
+- a layer is ``(masks, dist)`` with ``masks`` the sorted int64 bitmasks
+  of that cardinality and ``dist`` the ``(n_masks, m)`` matrix of
+  shortest path lengths per last-task (``inf`` = state unreachable);
+- extension is a batched min-plus product of ``dist`` with the
+  task-to-task distance matrix (one broadcasted ``minimum`` per last
+  index), masked by membership and budget;
+- mask rewards are propagated incrementally (child mask reward = parent
+  mask reward + the extending task's reward), so no popcounts and no
+  per-mask bit loops ever run.
+
+A pure-Python formulation of the same recurrence is preserved as
+:class:`~repro.selection.reference_dp.ReferenceDPSelector` and the
+property tests hold the two (and the brute-force oracle) to identical
+profits on randomized instances.
 
 Instance-size cap: the exact DP is still exponential in the worst case,
 so instances with more than ``max_exact_tasks`` reachable candidates are
@@ -20,7 +35,7 @@ binds; tests cover both regimes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
@@ -29,7 +44,7 @@ from repro.selection.problem import TaskSelectionProblem
 
 
 class DynamicProgrammingSelector(Selector):
-    """Optimal Eq. 1 solver via budget-pruned bitmask DP.
+    """Optimal Eq. 1 solver via budget-pruned, layer-vectorized bitmask DP.
 
     Args:
         max_exact_tasks: largest candidate count solved exactly; bigger
@@ -37,6 +52,11 @@ class DynamicProgrammingSelector(Selector):
             candidates first (see module docstring).
         min_profit: selections must beat this profit to be worth leaving
             home; the paper's rational user uses 0.
+
+    Attributes:
+        total_states_expanded: finite ``(mask, last)`` states scored over
+            the selector's lifetime (the DP work metric surfaced in
+            :class:`~repro.simulation.perf.PerfStats`).
     """
 
     name = "dp"
@@ -46,6 +66,8 @@ class DynamicProgrammingSelector(Selector):
             raise ValueError(f"max_exact_tasks must be >= 1, got {max_exact_tasks}")
         self.max_exact_tasks = max_exact_tasks
         self.min_profit = min_profit
+        self.total_states_expanded = 0
+        self._states_since_drain = 0
 
     def select(self, problem: TaskSelectionProblem) -> Selection:
         if problem.size == 0:
@@ -55,6 +77,19 @@ class DynamicProgrammingSelector(Selector):
         if order is None:
             return Selection.empty()
         return problem.evaluate(order)
+
+    # -- observability -----------------------------------------------------
+
+    def consume_states_expanded(self) -> int:
+        """States expanded since the last call (drained by the engine
+        into each round's :class:`~repro.simulation.perf.PerfStats`)."""
+        count = self._states_since_drain
+        self._states_since_drain = 0
+        return count
+
+    def _count_states(self, count: int) -> None:
+        self.total_states_expanded += count
+        self._states_since_drain += count
 
     # -- candidate capping -------------------------------------------------
 
@@ -71,94 +106,116 @@ class DynamicProgrammingSelector(Selector):
     def _best_order(self, problem: TaskSelectionProblem) -> Optional[List[int]]:
         """The profit-optimal feasible visit order, or None to sit out.
 
-        States are ``(mask, last)`` with ``mask`` a bitmask over candidate
-        indices and ``last`` the index of the final task on the path.
-        ``dist[mask][last]`` is the shortest such path from the origin
-        (the paper's ``dp[l][j]``); parents reconstruct the visit order.
+        States are ``(mask, last)``; ``dist[row(mask), last]`` is the
+        shortest origin-anchored path visiting exactly ``mask`` and
+        ending at ``last`` (the paper's ``dp[l][j]``).  Because the
+        parent subset of ``(mask, last)`` is uniquely ``mask`` without
+        ``last``'s bit, extending a whole layer never needs a
+        min-reduction across parent masks — one scatter per layer builds
+        the next one.
         """
         m = problem.size
-        matrix = problem.distance_matrix
-        rewards = problem.rewards
+        matrix = np.asarray(problem.distance_matrix, dtype=float)
+        rewards = np.asarray(problem.rewards, dtype=float)
         budget = problem.max_distance + 1e-9
         cost_rate = problem.cost_per_meter
 
-        # dist[mask] is a list over last-index 0..m-1 (np.inf = unreachable).
-        dist: Dict[int, List[float]] = {}
-        parent: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        task_matrix = np.ascontiguousarray(matrix[1:, 1:])  # (m, m)
+        bits = np.left_shift(np.int64(1), np.arange(m, dtype=np.int64))
 
-        # Seed: single-task paths straight from the origin.
-        frontier: List[int] = []
-        for j in range(m):
-            d0 = float(matrix[0, j + 1])
-            if d0 <= budget:
-                mask = 1 << j
-                dist.setdefault(mask, [np.inf] * m)[j] = d0
-                parent[(mask, j)] = (0, -1)
-                if mask not in frontier:
-                    frontier.append(mask)
-
-        best_profit = self.min_profit
-        best_state: Tuple[int, int] = (0, -1)
-        reward_of_mask: Dict[int, float] = {0: 0.0}
-
-        def mask_reward(mask: int) -> float:
-            cached = reward_of_mask.get(mask)
-            if cached is None:
-                cached = float(
-                    sum(rewards[j] for j in range(m) if mask & (1 << j))
-                )
-                reward_of_mask[mask] = cached
-            return cached
-
-        # Expand layer by layer (masks in a frontier all have equal popcount).
-        while frontier:
-            next_frontier: List[int] = []
-            seen_next = set()
-            for mask in frontier:
-                dists = dist[mask]
-                total_reward = mask_reward(mask)
-                for last in range(m):
-                    d = dists[last]
-                    if not np.isfinite(d):
-                        continue
-                    profit = total_reward - cost_rate * d
-                    if profit > best_profit:
-                        best_profit = profit
-                        best_state = (mask, last)
-                    # Extend to every task not yet on the path.
-                    row = matrix[last + 1]
-                    for nxt in range(m):
-                        bit = 1 << nxt
-                        if mask & bit:
-                            continue
-                        nd = d + float(row[nxt + 1])
-                        if nd > budget:
-                            continue
-                        nmask = mask | bit
-                        slot = dist.get(nmask)
-                        if slot is None:
-                            slot = [np.inf] * m
-                            dist[nmask] = slot
-                        if nd < slot[nxt]:
-                            slot[nxt] = nd
-                            parent[(nmask, nxt)] = (mask, last)
-                            if nmask not in seen_next:
-                                seen_next.add(nmask)
-                                next_frontier.append(nmask)
-            frontier = next_frontier
-
-        if best_state[0] == 0:
+        # Seed layer: single-task paths straight from the origin.  Each
+        # state is scored as it is created, so no layer is ever re-scanned.
+        direct = matrix[0, 1:]
+        seed = np.nonzero(direct <= budget)[0]
+        if seed.size == 0:
             return None
-        return self._reconstruct(best_state, parent)
+        masks = bits[seed]  # ascending, since bit index grows
+        dist = np.full((seed.size, m), np.inf)
+        dist[np.arange(seed.size), seed] = direct[seed]
+        mask_rewards = rewards[seed].copy()
+        self._count_states(int(seed.size))
+
+        layers = [(masks, dist)]
+        best_profit = self.min_profit
+        best = None  # (layer index, mask, last)
+
+        seed_profits = mask_rewards - cost_rate * direct[seed]
+        top = int(np.argmax(seed_profits))
+        if seed_profits[top] > best_profit:
+            best_profit = float(seed_profits[top])
+            best = (0, int(masks[top]), int(seed[top]))
+
+        # Chunk the (rows, m, m) min-plus temporary to ~16 MB so dense
+        # layers with tens of thousands of masks stay memory-bounded.
+        chunk = max(1, 2_000_000 // (m * m))
+
+        for depth in range(1, m):
+            # Batched extension: ext[s, nxt] = min over last of
+            # dist[s, last] + d(last, nxt) — one broadcasted min-plus
+            # product per chunk of parent states.
+            rows = masks.size
+            ext = np.empty((rows, m))
+            for start in range(0, rows, chunk):
+                block = dist[start : start + chunk]
+                ext[start : start + chunk] = (
+                    block[:, :, None] + task_matrix[None, :, :]
+                ).min(axis=1)
+
+            # Keep extensions within budget that do not revisit a task
+            # (<= budget also rejects inf, i.e. unreachable parents).
+            valid = ext <= budget
+            valid &= (masks[:, None] & bits[None, :]) == 0
+            src, nxt = np.nonzero(valid)
+            if src.size == 0:
+                break
+            ext_vals = ext[src, nxt]
+            # Incremental reward propagation: child mask reward = parent
+            # mask reward + the extending task's reward — no popcounts.
+            state_rewards = mask_rewards[src] + rewards[nxt]
+            self._count_states(int(src.size))
+
+            profits = state_rewards - cost_rate * ext_vals
+            top = int(np.argmax(profits))
+            if profits[top] > best_profit:
+                best_profit = float(profits[top])
+                best = (depth, int(masks[src[top]] | bits[nxt[top]]), int(nxt[top]))
+
+            # The parent of (nmask, nxt) is uniquely (nmask & ~bit(nxt)),
+            # so each (nmask, nxt) pair appears exactly once: scattering
+            # into the next layer's dist needs no duplicate resolution.
+            unique_masks, inverse = np.unique(
+                masks[src] | bits[nxt], return_inverse=True
+            )
+            next_dist = np.full((unique_masks.size, m), np.inf)
+            next_dist[inverse, nxt] = ext_vals
+            next_rewards = np.empty(unique_masks.size)
+            next_rewards[inverse] = state_rewards
+
+            masks, dist, mask_rewards = unique_masks, next_dist, next_rewards
+            layers.append((masks, dist))
+
+        if best is None:
+            return None
+        return self._reconstruct(best, layers, task_matrix)
 
     @staticmethod
-    def _reconstruct(
-        state: Tuple[int, int], parent: Dict[Tuple[int, int], Tuple[int, int]]
-    ) -> List[int]:
-        order: List[int] = []
-        mask, last = state
-        while mask:
-            order.append(last)
-            mask, last = parent[(mask, last)]
+    def _reconstruct(best, layers, task_matrix) -> List[int]:
+        """Walk parents from the best state back to the origin.
+
+        No parent pointers are stored: at layer L the parent of
+        ``(mask, last)`` is ``(mask without last, plast)`` for the
+        ``plast`` minimizing ``dist[parent, plast] + d(plast, last)`` —
+        the same expression the forward pass minimized, so the argmin
+        recovers a shortest path exactly.
+        """
+        depth, mask, last = best
+        order = [last]
+        for layer in range(depth, 0, -1):
+            parent_masks, parent_dist = layers[layer - 1]
+            mask = mask & ~(1 << last)
+            row = int(np.searchsorted(parent_masks, mask))
+            plast = int(np.argmin(parent_dist[row] + task_matrix[:, last]))
+            order.append(plast)
+            last = plast
         order.reverse()
         return order

@@ -13,11 +13,13 @@ from repro.selection.branch_and_bound import BranchAndBoundSelector
 from repro.selection.brute_force import BruteForceSelector
 from repro.selection.dp import DynamicProgrammingSelector
 from repro.selection.greedy import GreedySelector
+from repro.selection.reference_dp import ReferenceDPSelector
 from repro.selection.two_opt import GreedyTwoOptSelector
 from repro.selection.watchdog import TimeBoundedSelector
 
 _REGISTRY: Dict[str, Type[Selector]] = {
     DynamicProgrammingSelector.name: DynamicProgrammingSelector,
+    ReferenceDPSelector.name: ReferenceDPSelector,
     GreedySelector.name: GreedySelector,
     GreedyTwoOptSelector.name: GreedyTwoOptSelector,
     BruteForceSelector.name: BruteForceSelector,
@@ -27,8 +29,8 @@ _REGISTRY: Dict[str, Type[Selector]] = {
 
 #: Registered selector names in presentation order.
 SELECTOR_NAMES = (
-    "dp", "branch-and-bound", "greedy", "greedy-2opt", "brute-force",
-    "time-bounded",
+    "dp", "reference-dp", "branch-and-bound", "greedy", "greedy-2opt",
+    "brute-force", "time-bounded",
 )
 
 

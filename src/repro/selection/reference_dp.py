@@ -1,0 +1,163 @@
+"""The scalar (pure-Python) exact DP — kept as the equivalence oracle.
+
+This is the original ``DynamicProgrammingSelector`` implementation:
+budget-pruned label-setting over ``(mask, last)`` states with a
+``Dict[int, List[float]]`` state store, expanded one Python loop
+iteration at a time.  The production selector in
+:mod:`repro.selection.dp` computes the same recurrence with batched
+numpy layers; this module preserves the loop-level formulation so the
+vectorized rewrite can be property-tested against it (and both against
+the brute-force enumerator) forever.
+
+Two micro-fixes over the historical version, neither changing results:
+
+- frontier membership is tracked in a set alongside the list (the old
+  ``if mask not in frontier`` scanned the list, turning the seed loop
+  quadratic), and
+- mask rewards propagate incrementally (child reward = parent reward +
+  the extending task's reward) instead of re-summing the bits of every
+  mask from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.selection.base import Selection, Selector
+from repro.selection.problem import TaskSelectionProblem
+
+
+class ReferenceDPSelector(Selector):
+    """Scalar Eq. 11-12 solver (the vectorized selector's test oracle).
+
+    Args:
+        max_exact_tasks: largest candidate count solved exactly; bigger
+            instances are restricted to that many highest-potential
+            candidates first (identical capping rule to the production
+            selector, so the two stay comparable on large instances).
+        min_profit: selections must beat this profit to be worth leaving
+            home; the paper's rational user uses 0.
+    """
+
+    name = "reference-dp"
+
+    def __init__(self, max_exact_tasks: int = 18, min_profit: float = 0.0):
+        if max_exact_tasks < 1:
+            raise ValueError(f"max_exact_tasks must be >= 1, got {max_exact_tasks}")
+        self.max_exact_tasks = max_exact_tasks
+        self.min_profit = min_profit
+
+    def select(self, problem: TaskSelectionProblem) -> Selection:
+        if problem.size == 0:
+            return Selection.empty()
+        problem = self._capped(problem)
+        order = self._best_order(problem)
+        if order is None:
+            return Selection.empty()
+        return problem.evaluate(order)
+
+    # -- candidate capping -------------------------------------------------
+
+    def _capped(self, problem: TaskSelectionProblem) -> TaskSelectionProblem:
+        if problem.size <= self.max_exact_tasks:
+            return problem
+        direct = problem.distance_matrix[0, 1:]
+        potential = problem.rewards - problem.cost_per_meter * direct
+        keep = np.argsort(-potential)[: self.max_exact_tasks]
+        return problem.restricted_to([int(i) for i in keep])
+
+    # -- the DP itself -----------------------------------------------------------
+
+    def _best_order(self, problem: TaskSelectionProblem) -> Optional[List[int]]:
+        """The profit-optimal feasible visit order, or None to sit out.
+
+        States are ``(mask, last)`` with ``mask`` a bitmask over candidate
+        indices and ``last`` the index of the final task on the path.
+        ``dist[mask][last]`` is the shortest such path from the origin
+        (the paper's ``dp[l][j]``); parents reconstruct the visit order.
+        """
+        m = problem.size
+        matrix = problem.distance_matrix
+        rewards = problem.rewards
+        budget = problem.max_distance + 1e-9
+        cost_rate = problem.cost_per_meter
+
+        # dist[mask] is a list over last-index 0..m-1 (np.inf = unreachable).
+        dist: Dict[int, List[float]] = {}
+        parent: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        # reward_of[mask] is maintained incrementally as masks are first
+        # reached: child reward = parent reward + the new task's reward.
+        reward_of: Dict[int, float] = {0: 0.0}
+
+        # Seed: single-task paths straight from the origin.
+        frontier: List[int] = []
+        seen_frontier = set()
+        for j in range(m):
+            d0 = float(matrix[0, j + 1])
+            if d0 <= budget:
+                mask = 1 << j
+                dist.setdefault(mask, [np.inf] * m)[j] = d0
+                parent[(mask, j)] = (0, -1)
+                reward_of[mask] = float(rewards[j])
+                if mask not in seen_frontier:
+                    seen_frontier.add(mask)
+                    frontier.append(mask)
+
+        best_profit = self.min_profit
+        best_state: Tuple[int, int] = (0, -1)
+
+        # Expand layer by layer (masks in a frontier all have equal popcount).
+        while frontier:
+            next_frontier: List[int] = []
+            seen_next = set()
+            for mask in frontier:
+                dists = dist[mask]
+                total_reward = reward_of[mask]
+                for last in range(m):
+                    d = dists[last]
+                    if not np.isfinite(d):
+                        continue
+                    profit = total_reward - cost_rate * d
+                    if profit > best_profit:
+                        best_profit = profit
+                        best_state = (mask, last)
+                    # Extend to every task not yet on the path.
+                    row = matrix[last + 1]
+                    for nxt in range(m):
+                        bit = 1 << nxt
+                        if mask & bit:
+                            continue
+                        nd = d + float(row[nxt + 1])
+                        if nd > budget:
+                            continue
+                        nmask = mask | bit
+                        slot = dist.get(nmask)
+                        if slot is None:
+                            slot = [np.inf] * m
+                            dist[nmask] = slot
+                            reward_of[nmask] = total_reward + float(rewards[nxt])
+                        if nd < slot[nxt]:
+                            slot[nxt] = nd
+                            parent[(nmask, nxt)] = (mask, last)
+                            if nmask not in seen_next:
+                                seen_next.add(nmask)
+                                next_frontier.append(nmask)
+            frontier = next_frontier
+
+        if best_state[0] == 0:
+            return None
+        return self._reconstruct(best_state, parent)
+
+    @staticmethod
+    def _reconstruct(
+        state: Tuple[int, int], parent: Dict[Tuple[int, int], Tuple[int, int]]
+    ) -> List[int]:
+        order: List[int] = []
+        mask, last = state
+        while mask:
+            order.append(last)
+            mask, last = parent[(mask, last)]
+        order.reverse()
+        return order

@@ -24,10 +24,14 @@ from repro.simulation.events import (
     RoundRecord,
     SimulationResult,
 )
+from repro.simulation.perf import PerfStats
 from repro.simulation.rng import spawn_streams, child_seed
+from repro.simulation.round_cache import RoundProblems
 from repro.simulation.observers import ProgressPrinter, BudgetLedger, CoverageTracker
 
 __all__ = [
+    "PerfStats",
+    "RoundProblems",
     "SimulationConfig",
     "SimulationEngine",
     "simulate",

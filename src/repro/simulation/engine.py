@@ -34,11 +34,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.allocation.base import Coordinator
 
 import math
+from time import perf_counter
 
 from repro.core.mechanisms import IncentiveMechanism, RoundView, make_mechanism
 from repro.resilience.errors import MechanismPriceError
 from repro.selection import (
-    CandidateTask,
     Selection,
     Selector,
     TaskSelectionProblem,
@@ -46,6 +46,8 @@ from repro.selection import (
     make_selector,
 )
 from repro.simulation.config import SimulationConfig
+from repro.simulation.perf import PerfStats
+from repro.simulation.round_cache import RoundProblems
 from repro.simulation.events import (
     MeasurementEvent,
     RejectedContribution,
@@ -104,6 +106,11 @@ class SimulationEngine:
         self.result = SimulationResult(config=self.config, world=self.world)
         self._next_round = 1
         self._mechanism_ready = False
+        # Per-round caches (invalidated by the round number they carry)
+        # and the perf counters accumulated into each RoundRecord.
+        self._price_cache: Optional[Tuple[int, Dict[int, float]]] = None
+        self._problems_cache: Optional[Tuple[int, RoundProblems]] = None
+        self._perf = PerfStats()
 
     # -- setup -----------------------------------------------------------
 
@@ -161,15 +168,23 @@ class SimulationEngine:
         """The prices the mechanism would publish for the upcoming round.
 
         Safe to call repeatedly: mechanisms are pure functions of the
-        round view (any internal caches are keyed on task ids).
+        round view, so the engine computes each round's price map (and
+        the grid-index neighbour counting behind it) once and answers
+        repeated calls from a per-round cache.  Callers get a copy.
         """
+        cached = self._price_cache
+        if cached is not None and cached[0] == self._next_round:
+            self._perf.price_cache_hits += 1
+            return dict(cached[1])
         self._ensure_mechanism()
         view = RoundView(
             round_no=self._next_round,
             active_tasks=self.published_tasks(),
             user_locations=[u.location for u in self.world.users],
         )
-        return self.mechanism.rewards(view)
+        prices = self.mechanism.rewards(view)
+        self._price_cache = (self._next_round, dict(prices))
+        return prices
 
     def build_problems(
         self, prices: Optional[Dict[int, float]] = None
@@ -184,12 +199,36 @@ class SimulationEngine:
                 :meth:`published_rewards`.
         """
         if prices is None:
-            prices = self.published_rewards()
-        published = self.published_tasks()
+            problems = self._round_problems(
+                self.published_tasks(), self.published_rewards()
+            )
+        else:
+            # Caller-supplied prices (e.g. an ablation probing a what-if
+            # price map) must not poison the per-round cache.
+            problems = RoundProblems(
+                self.published_tasks(), prices, stats=self._perf
+            )
         return [
-            (user, self._problem_for(user, published, prices))
-            for user in self.world.users
+            (user, problems.problem_for(user)) for user in self.world.users
         ]
+
+    def _round_problems(
+        self, active: List[SensingTask], prices: Dict[int, float]
+    ) -> RoundProblems:
+        """The shared per-round problem state, built once per round.
+
+        The cache key is the upcoming round number: task state and user
+        positions only change when :meth:`step` completes (which also
+        advances the round number), so within a round every caller —
+        :meth:`build_problems` and the round loop itself — slices the
+        same reward vector and task-to-task distance block.
+        """
+        cached = self._problems_cache
+        if cached is not None and cached[0] == self._next_round:
+            return cached[1]
+        problems = RoundProblems(active, prices, stats=self._perf)
+        self._problems_cache = (self._next_round, problems)
+        return problems
 
     # -- main loop -------------------------------------------------------------
 
@@ -235,15 +274,18 @@ class SimulationEngine:
                 for user in self.world.users
             ]
         else:
-            selections = [
-                (
-                    user,
-                    self.selector.select(self._problem_for(user, active, prices))
-                    if user.user_id in available
-                    else Selection.empty(),
-                )
-                for user in self.world.users
-            ]
+            problems = self._round_problems(active, prices)
+            selections = []
+            for user in self.world.users:
+                if user.user_id in available:
+                    problem = problems.problem_for(user)
+                    started = perf_counter()
+                    selection = self.selector.select(problem)
+                    self._perf.selector_wall_time += perf_counter() - started
+                    self._perf.selector_calls += 1
+                else:
+                    selection = Selection.empty()
+                selections.append((user, selection))
 
         # Step 3: uploads processed in a random arrival order.
         arrival = self._streams["arrival"].permutation(len(selections))
@@ -286,6 +328,7 @@ class SimulationEngine:
             completed_task_ids=tuple(completed),
             expired_task_ids=tuple(expired),
             selector_fallbacks=self._drain_selector_fallbacks(),
+            perf=self._drain_perf(),
         )
 
     def _validate_prices(
@@ -328,6 +371,21 @@ class SimulationEngine:
         consume = getattr(self.selector, "consume_round_fallbacks", None)
         return consume() if consume is not None else 0
 
+    def _drain_perf(self) -> PerfStats:
+        """This round's perf counters (the accumulator is reset)."""
+        self._perf.dp_states_expanded += self._drain_selector_states()
+        stats, self._perf = self._perf, PerfStats()
+        return stats
+
+    def _drain_selector_states(self) -> int:
+        """DP states expanded since the last drain (0 for non-DP
+        selectors), reaching through one wrapper level (the watchdog)."""
+        for candidate in (self.selector, getattr(self.selector, "inner", None)):
+            consume = getattr(candidate, "consume_states_expanded", None)
+            if consume is not None:
+                return consume()
+        return 0
+
     def _available_user_ids(self) -> set:
         """Users willing to work this round (all, at the paper's rate 1.0).
 
@@ -343,28 +401,6 @@ class SimulationEngine:
             for user, draw in zip(self.world.users, draws)
             if draw < self.config.participation_rate
         }
-
-    def _problem_for(
-        self,
-        user: MobileUser,
-        active: Sequence[SensingTask],
-        prices: Dict[int, float],
-    ) -> TaskSelectionProblem:
-        candidates = [
-            CandidateTask(
-                task_id=task.task_id,
-                location=task.location,
-                reward=prices[task.task_id],
-            )
-            for task in active
-            if user.user_id not in task.contributors
-        ]
-        return TaskSelectionProblem.build(
-            origin=user.location,
-            candidates=candidates,
-            max_distance=user.max_travel_distance,
-            cost_per_meter=user.cost_per_meter,
-        )
 
     def _perform(
         self,

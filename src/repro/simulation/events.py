@@ -10,7 +10,9 @@ the measurement definitions in one reviewable place.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.simulation.perf import PerfStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulation.config import SimulationConfig
@@ -80,6 +82,10 @@ class RoundRecord:
             configured one (0 unless a
             :class:`~repro.selection.watchdog.TimeBoundedSelector`
             breached its deadline — the degradation-rate signal).
+        perf: execution counters for the round (cache hits/misses, DP
+            states expanded, selector wall time) — observability only;
+            None in replays of event logs written before the counters
+            existed.
     """
 
     round_no: int
@@ -90,6 +96,7 @@ class RoundRecord:
     completed_task_ids: Tuple[int, ...]
     expired_task_ids: Tuple[int, ...]
     selector_fallbacks: int = 0
+    perf: Optional[PerfStats] = None
 
     @property
     def measurement_count(self) -> int:
@@ -130,6 +137,10 @@ class SimulationResult:
     def total_selector_fallbacks(self) -> int:
         """Watchdog degradations over the whole run (0 = fully exact)."""
         return sum(record.selector_fallbacks for record in self.rounds)
+
+    def perf_totals(self) -> PerfStats:
+        """All rounds' perf counters merged into one :class:`PerfStats`."""
+        return PerfStats.merged(record.perf for record in self.rounds)
 
     def round(self, round_no: int) -> RoundRecord:
         """The record for a 1-based round number.

@@ -1,0 +1,123 @@
+"""Shared per-round construction of the users' Eq. 1 instances.
+
+Before this cache existed the engine called
+:meth:`~repro.selection.problem.TaskSelectionProblem.build` once per
+user per round, and every call recomputed the same task-to-task distance
+block and re-read the same price map — O(users x tasks^2) geometry per
+round for values that depend only on the round, not the user.
+
+:class:`RoundProblems` computes the round-invariant parts once:
+
+- the active-task reward vector and :class:`CandidateTask` records,
+- the ``(n_tasks, n_tasks)`` task-to-task distance matrix,
+- the task locations as one ``(n_tasks, 2)`` array,
+
+and assembles each user's problem by *slicing*: pick the user's eligible
+candidates, compute only the origin-to-task row, and paste the shared
+distance block.  The result is **bit-identical** to what ``build`` would
+return — the same float expressions evaluate in the same order, the
+pruning rule still uses ``Point.distance_to`` (``math.hypot``, which is
+not bitwise ``np.sqrt(dx^2+dy^2)``), and the matrix entries come from
+the same elementwise pipeline as
+:func:`~repro.geometry.distances.pairwise_distances` — so seeded runs
+replay exactly as before.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.selection.base import CandidateTask
+from repro.selection.problem import TaskSelectionProblem
+from repro.simulation.perf import PerfStats
+from repro.world.task import SensingTask
+from repro.world.user import MobileUser
+
+
+class RoundProblems:
+    """One round's shared selection-problem state, sliced per user.
+
+    Args:
+        tasks: the round's published tasks, in engine order.
+        prices: the mechanism's price per task id (every task priced —
+            the engine validates before constructing this cache).
+        stats: optional :class:`PerfStats` receiving one cache miss for
+            the shared construction and one hit per user problem built.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[SensingTask],
+        prices: Dict[int, float],
+        stats: "PerfStats" = None,
+    ):
+        self.tasks: List[SensingTask] = list(tasks)
+        self._stats = stats
+        n = len(self.tasks)
+        self.locations = np.asarray(
+            [(t.location.x, t.location.y) for t in self.tasks], dtype=float
+        ).reshape(n, 2)
+        self.rewards = np.asarray(
+            [prices[t.task_id] for t in self.tasks], dtype=float
+        )
+        # Same elementwise pipeline as geometry.distances.pairwise_distances:
+        # diff, square, sum over the 2-wide axis, sqrt.
+        if n:
+            diff = self.locations[:, None, :] - self.locations[None, :, :]
+            self.task_matrix = np.sqrt((diff**2).sum(axis=2))
+        else:
+            self.task_matrix = np.empty((0, 0), dtype=float)
+        self.candidates = tuple(
+            CandidateTask(
+                task_id=task.task_id,
+                location=task.location,
+                reward=float(self.rewards[i]),
+            )
+            for i, task in enumerate(self.tasks)
+        )
+        if stats is not None:
+            stats.problem_cache_misses += 1
+
+    def problem_for(self, user: MobileUser) -> TaskSelectionProblem:
+        """The user's Eq. 1 instance, assembled from the shared state.
+
+        Candidate eligibility (user has not already contributed) and
+        reachability pruning (direct distance within the travel budget,
+        decided with ``Point.distance_to`` exactly as ``build`` does)
+        stay per-user; everything else is sliced.
+        """
+        origin = user.location
+        max_distance = float(user.max_travel_distance)
+        keep: List[int] = []
+        for index, task in enumerate(self.tasks):
+            if user.user_id in task.contributors:
+                continue
+            if origin.distance_to(task.location) <= max_distance:
+                keep.append(index)
+
+        if keep:
+            idx = np.asarray(keep, dtype=int)
+            diff = self.locations[idx] - (origin.x, origin.y)
+            origin_row = np.sqrt((diff**2).sum(axis=1))
+            k = len(keep)
+            matrix = np.empty((k + 1, k + 1), dtype=float)
+            matrix[0, 0] = 0.0
+            matrix[0, 1:] = origin_row
+            matrix[1:, 0] = origin_row
+            matrix[1:, 1:] = self.task_matrix[np.ix_(idx, idx)]
+            candidates = tuple(self.candidates[i] for i in keep)
+        else:
+            matrix = np.zeros((1, 1), dtype=float)
+            candidates = ()
+
+        if self._stats is not None:
+            self._stats.problem_cache_hits += 1
+        return TaskSelectionProblem(
+            origin=origin,
+            candidates=candidates,
+            max_distance=max_distance,
+            cost_per_meter=float(user.cost_per_meter),
+            distance_matrix=matrix,
+        )

@@ -1,0 +1,169 @@
+"""Parallel repetition campaigns: bit-identity with serial + resumability.
+
+The contract of ``workers`` (see :mod:`repro.experiments.runner`): the
+simulations fan across processes, but metrics and journaling stay in the
+parent and values are reassembled in repetition order — so a parallel
+campaign's aggregate is *bit-identical* to a serial one, and its journal
+is interchangeable with a serial journal (a campaign may be started
+serial, killed, and resumed parallel, or vice versa).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import (
+    repeat_metric,
+    repeat_metrics,
+    repeat_series_metric,
+)
+from repro.metrics import coverage
+from repro.resilience.journal import RunJournal
+
+WORKERS = 4
+REPS = 6
+
+
+def total_paid(result):
+    return result.total_paid
+
+
+def paid_by_round(result):
+    # Padded to the horizon: runs may stop early once every task is done.
+    paid = [record.total_paid for record in result.rounds]
+    return paid + [0.0] * (result.config.rounds - len(paid))
+
+
+@pytest.fixture
+def config(fast_config):
+    return fast_config
+
+
+class TestBitIdentity:
+    def test_scalar_metrics_bit_identical(self, config):
+        metrics = {"coverage": coverage, "paid": total_paid}
+        serial = repeat_metrics(config, metrics, REPS, base_seed=11)
+        parallel = repeat_metrics(
+            config, metrics, REPS, base_seed=11, workers=WORKERS
+        )
+        assert serial == parallel  # == on floats: bitwise, not approximate
+
+    def test_series_metric_bit_identical(self, config):
+        serial = repeat_series_metric(config, paid_by_round, REPS, base_seed=3)
+        parallel = repeat_series_metric(
+            config, paid_by_round, REPS, base_seed=3, workers=WORKERS
+        )
+        assert serial == parallel
+
+    def test_single_repetition_short_circuits_the_pool(self, config):
+        # One repetition never pays process-pool startup; same values.
+        serial = repeat_metric(config, coverage, 1, base_seed=0)
+        parallel = repeat_metric(config, coverage, 1, base_seed=0, workers=WORKERS)
+        assert serial == parallel
+
+    def test_workers_validated(self, config):
+        with pytest.raises(ValueError, match="workers"):
+            repeat_metrics(config, {"c": coverage}, 2, workers=0)
+
+
+class TestParallelJournal:
+    def test_parallel_journal_has_every_repetition(self, config, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        repeat_metrics(
+            config, {"c": coverage}, REPS, base_seed=2,
+            journal=journal, workers=WORKERS,
+        )
+        entries = [json.loads(line) for line in journal.read_text().splitlines()]
+        reps = sorted(e["rep"] for e in entries if e["kind"] == "rep")
+        assert reps == list(range(REPS))
+
+    def test_parallel_journal_matches_serial_journal_values(self, config, tmp_path):
+        serial_journal = tmp_path / "serial.jsonl"
+        parallel_journal = tmp_path / "parallel.jsonl"
+        serial = repeat_metrics(
+            config, {"c": coverage}, REPS, base_seed=2, journal=serial_journal
+        )
+        parallel = repeat_metrics(
+            config, {"c": coverage}, REPS, base_seed=2,
+            journal=parallel_journal, workers=WORKERS,
+        )
+        assert serial == parallel
+        per_rep = {}
+        for line in parallel_journal.read_text().splitlines():
+            entry = json.loads(line)
+            if entry["kind"] == "rep":
+                per_rep[entry["rep"]] = entry["payload"]["values"]["c"]
+        for line in serial_journal.read_text().splitlines():
+            entry = json.loads(line)
+            if entry["kind"] == "rep":
+                assert per_rep[entry["rep"]] == entry["payload"]["values"]["c"]
+
+    def test_resume_after_kill_mid_campaign(self, config, tmp_path):
+        """A killed campaign resumes parallel and matches an uninterrupted run.
+
+        The kill is simulated by (a) journaling only a prefix of the
+        repetitions and (b) appending the partial tail line a crash
+        mid-append leaves behind.
+        """
+        journal = tmp_path / "campaign.jsonl"
+        metrics = {"c": coverage}
+        # The uninterrupted ground truth, fully serial, no journal.
+        expected = repeat_metrics(config, metrics, REPS, base_seed=9)
+
+        # Phase 1: the campaign dies after 2 of REPS repetitions ...
+        repeat_metrics(config, metrics, 2, base_seed=9, journal=journal)
+        # ... mid-append of the third (partial JSON tail, no newline flush).
+        with journal.open("a") as handle:
+            handle.write('{"kind": "rep", "rep": 2, "payl')
+
+        # Phase 2: resume the full campaign with a worker pool.
+        resumed = repeat_metrics(
+            config, metrics, REPS, base_seed=9, journal=journal, workers=WORKERS
+        )
+        assert resumed == expected
+
+        # The healed journal now checkpoints every repetition exactly once.
+        entries = [json.loads(line) for line in journal.read_text().splitlines()]
+        reps = sorted(e["rep"] for e in entries if e["kind"] == "rep")
+        assert reps == list(range(REPS))
+
+    def test_parallel_campaign_resumes_serial(self, config, tmp_path):
+        """Journals are interchangeable across worker counts."""
+        journal_path = tmp_path / "campaign.jsonl"
+        expected = repeat_metrics(config, {"c": coverage}, REPS, base_seed=4)
+        repeat_metrics(
+            config, {"c": coverage}, 3, base_seed=4,
+            journal=journal_path, workers=WORKERS,
+        )
+        resumed = repeat_metrics(
+            config, {"c": coverage}, REPS, base_seed=4, journal=journal_path
+        )
+        assert resumed == expected
+
+    def test_resumed_reps_are_not_resimulated(self, config, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        repeat_metrics(
+            config, {"c": coverage}, REPS, base_seed=1,
+            journal=journal, workers=WORKERS,
+        )
+        fingerprint = json.loads(journal.read_text().splitlines()[0])["fingerprint"]
+        log = RunJournal(journal, fingerprint)
+        assert log.completed_reps == REPS
+        assert log.first_missing(REPS) == REPS
+
+
+class TestCLIWorkers:
+    def test_parser_accepts_workers(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run", "fig6a", "--workers", "4"])
+        assert args.workers == 4
+        args = build_parser().parse_args(["sweep", "n_users", "20", "--workers", "2"])
+        assert args.workers == 2
+
+    def test_workers_rejected_for_non_repeating_experiment(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", "welfare", "--workers", "2"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err

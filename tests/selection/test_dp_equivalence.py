@@ -1,0 +1,177 @@
+"""Equivalence of the vectorized DP, the reference DP, and brute force.
+
+The vectorized :class:`~repro.selection.dp.DynamicProgrammingSelector`
+must find the same optimal *profit* as the scalar
+:class:`~repro.selection.reference_dp.ReferenceDPSelector` it replaced,
+and both must match the exhaustive
+:class:`~repro.selection.brute_force.BruteForceSelector` oracle on small
+instances.  Orders may differ between solvers when several paths tie
+(argmax tie-breaking is not specified), so the contract checked here is:
+same profit (to float tolerance), and every returned order feasible and
+self-consistent.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.selection.base import CandidateTask
+from repro.selection.brute_force import BruteForceSelector
+from repro.selection.dp import DynamicProgrammingSelector
+from repro.selection.problem import TaskSelectionProblem
+from repro.selection.reference_dp import ReferenceDPSelector
+
+PROFIT_TOL = 1e-9
+
+
+def random_problem(rng, n, max_distance=2_000.0, cost=0.002, reward_scale=2.0):
+    candidates = [
+        CandidateTask(
+            task_id=i + 1,
+            location=Point(
+                float(rng.uniform(-1_500, 1_500)),
+                float(rng.uniform(-1_500, 1_500)),
+            ),
+            reward=float(rng.uniform(0.0, reward_scale)),
+        )
+        for i in range(n)
+    ]
+    return TaskSelectionProblem.build(Point(0, 0), candidates, max_distance, cost)
+
+
+def check_consistent(problem, selection):
+    """The selection's accounting must match its own order and be feasible."""
+    if selection.is_empty:
+        return
+    id_to_index = {
+        candidate.task_id: index
+        for index, candidate in enumerate(problem.candidates)
+    }
+    order = [id_to_index[task_id] for task_id in selection.task_ids]
+    assert problem.is_feasible(order)
+    rebuilt = problem.evaluate(order)
+    assert selection.distance == pytest.approx(rebuilt.distance, abs=1e-9)
+    assert selection.reward == pytest.approx(rebuilt.reward, abs=1e-9)
+    assert selection.cost == pytest.approx(rebuilt.cost, abs=1e-9)
+
+
+class TestEquivalence:
+    def test_randomized_instances_match_brute_force(self):
+        rng = np.random.default_rng(20180618)
+        vectorized = DynamicProgrammingSelector()
+        reference = ReferenceDPSelector()
+        oracle = BruteForceSelector()
+        for trial in range(60):
+            problem = random_problem(rng, n=int(rng.integers(0, 8)))
+            fast = vectorized.select(problem)
+            slow = reference.select(problem)
+            best = oracle.select(problem)
+            assert fast.profit == pytest.approx(best.profit, abs=PROFIT_TOL)
+            assert slow.profit == pytest.approx(best.profit, abs=PROFIT_TOL)
+            check_consistent(problem, fast)
+            check_consistent(problem, slow)
+
+    def test_vectorized_matches_reference_beyond_oracle_sizes(self):
+        rng = np.random.default_rng(7)
+        vectorized = DynamicProgrammingSelector()
+        reference = ReferenceDPSelector()
+        for trial in range(10):
+            problem = random_problem(rng, n=12)
+            fast = vectorized.select(problem)
+            slow = reference.select(problem)
+            assert fast.profit == pytest.approx(slow.profit, abs=PROFIT_TOL)
+            check_consistent(problem, fast)
+
+    def test_zero_cost_visits_everything_reachable(self):
+        rng = np.random.default_rng(42)
+        for trial in range(10):
+            problem = random_problem(rng, n=6, cost=0.0)
+            fast = DynamicProgrammingSelector().select(problem)
+            slow = ReferenceDPSelector().select(problem)
+            best = BruteForceSelector().select(problem)
+            assert fast.profit == pytest.approx(best.profit, abs=PROFIT_TOL)
+            assert slow.profit == pytest.approx(best.profit, abs=PROFIT_TOL)
+
+    def test_budget_sweep_agreement(self):
+        """Sweep the budget across the instance's whole feasibility range."""
+        rng = np.random.default_rng(3)
+        base = random_problem(rng, n=6, max_distance=10_000.0)
+        for budget in (50.0, 200.0, 500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0):
+            problem = TaskSelectionProblem(
+                origin=base.origin,
+                candidates=base.candidates,
+                max_distance=budget,
+                cost_per_meter=base.cost_per_meter,
+                distance_matrix=base.distance_matrix,
+            )
+            fast = DynamicProgrammingSelector().select(problem)
+            slow = ReferenceDPSelector().select(problem)
+            best = BruteForceSelector().select(problem)
+            assert fast.profit == pytest.approx(best.profit, abs=PROFIT_TOL)
+            assert slow.profit == pytest.approx(best.profit, abs=PROFIT_TOL)
+            assert fast.distance <= budget
+            assert slow.distance <= budget
+
+
+class TestBudgetEdges:
+    def test_exactly_at_budget_path_is_allowed(self):
+        """A path whose length equals max_distance exactly is feasible.
+
+        Paths are origin-anchored but one-way (no return leg), so one
+        task at x=1000 with budget 1000 sits exactly on the boundary.
+        """
+        candidates = [CandidateTask(task_id=1, location=Point(1_000.0, 0.0), reward=5.0)]
+        problem = TaskSelectionProblem.build(Point(0, 0), candidates, 1_000.0, 0.002)
+        for selector in (DynamicProgrammingSelector(), ReferenceDPSelector()):
+            selection = selector.select(problem)
+            assert selection.task_ids == (1,)
+            assert selection.distance == pytest.approx(1_000.0)
+
+    def test_one_unit_over_budget_is_rejected(self):
+        candidates = [CandidateTask(task_id=1, location=Point(1_000.0, 0.0), reward=5.0)]
+        problem = TaskSelectionProblem.build(
+            Point(0, 0), candidates, math.nextafter(1_000.0, 0.0), 0.002
+        )
+        for selector in (DynamicProgrammingSelector(), ReferenceDPSelector()):
+            assert selector.select(problem).is_empty
+
+    def test_two_leg_path_exactly_at_budget(self):
+        # 0 -> (600,0) -> (1200,0) is exactly 1200 m.
+        candidates = [
+            CandidateTask(task_id=1, location=Point(600.0, 0.0), reward=1.0),
+            CandidateTask(task_id=2, location=Point(1_200.0, 0.0), reward=1.0),
+        ]
+        problem = TaskSelectionProblem.build(Point(0, 0), candidates, 1_200.0, 0.001)
+        for selector in (DynamicProgrammingSelector(), ReferenceDPSelector()):
+            selection = selector.select(problem)
+            assert set(selection.task_ids) == {1, 2}
+            assert selection.distance == pytest.approx(1_200.0)
+
+    def test_empty_problem(self):
+        problem = TaskSelectionProblem.build(Point(0, 0), [], 1_000.0, 0.002)
+        assert DynamicProgrammingSelector().select(problem).is_empty
+        assert ReferenceDPSelector().select(problem).is_empty
+
+    def test_min_profit_threshold_matches(self):
+        candidates = [CandidateTask(task_id=1, location=Point(100.0, 0.0), reward=0.5)]
+        problem = TaskSelectionProblem.build(Point(0, 0), candidates, 1_000.0, 0.002)
+        # one-way path: profit = 0.5 - 100 * 0.002 = 0.3
+        for threshold, expect_empty in ((0.25, False), (0.3, True), (0.4, True)):
+            fast = DynamicProgrammingSelector(min_profit=threshold).select(problem)
+            slow = ReferenceDPSelector(min_profit=threshold).select(problem)
+            assert fast.is_empty == expect_empty
+            assert slow.is_empty == expect_empty
+
+
+class TestObservability:
+    def test_states_expanded_counter_drains(self):
+        rng = np.random.default_rng(11)
+        selector = DynamicProgrammingSelector()
+        problem = random_problem(rng, n=8)
+        selector.select(problem)
+        first = selector.consume_states_expanded()
+        assert first > 0
+        # Drained: a second consume without another solve reports zero.
+        assert selector.consume_states_expanded() == 0

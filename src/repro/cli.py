@@ -10,9 +10,13 @@ Usage::
     repro tables                     # print Tables I-III
     repro simulate --users 100       # one run, full metrics summary
     repro simulate --selector-timeout 0.5   # ... with the DP watchdog armed
+    repro simulate --trace out.json  # ... tracing phases (open in Perfetto)
+    repro trace summarize out.json   # per-phase timings from a trace file
 
-``python -m repro.cli`` works identically when the console script is not
-on PATH.
+Every subcommand shares the logging flags ``-v/--verbose`` (repeatable),
+``--quiet``, and ``--log-json``; the default is warnings-only to stderr,
+so stdout output is unchanged.  ``python -m repro.cli`` works
+identically when the console script is not on PATH.
 """
 
 from __future__ import annotations
@@ -27,7 +31,22 @@ from repro.io.csvio import write_series_csv
 from repro.io.results import save_result
 from repro.io.tables import render_experiment, render_table
 from repro.metrics import MetricsSummary
+from repro.obs.log import configure_logging
 from repro.simulation import SimulationConfig, simulate
+
+
+def _logging_flags() -> argparse.ArgumentParser:
+    """The shared logging flags, as a parent parser every subcommand uses."""
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("logging")
+    group.add_argument("-v", "--verbose", action="count", default=0,
+                       help="log INFO (-v) or DEBUG (-vv) to stderr "
+                            "(default: warnings only)")
+    group.add_argument("--quiet", action="store_true",
+                       help="log errors only")
+    group.add_argument("--log-json", action="store_true",
+                       help="emit log lines as JSON objects (for shippers/jq)")
+    return common
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,11 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce 'Pay On-demand' (ICDCS 2018) tables and figures.",
     )
+    common = _logging_flags()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list every registered experiment id")
+    sub.add_parser("list", parents=[common],
+                   help="list every registered experiment id")
 
-    run = sub.add_parser("run", help="run one experiment and print its rows")
+    run = sub.add_parser("run", parents=[common],
+                         help="run one experiment and print its rows")
     run.add_argument("experiment", help="experiment id (see 'repro list')")
     run.add_argument("--reps", type=int, default=None,
                      help="repetitions per configuration (default: REPRO_REPS or 20)")
@@ -63,10 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: serial); aggregates are bit-identical "
                           "to a serial run and combine with --resume")
 
-    sub.add_parser("tables", help="print Tables I-III from the paper")
+    sub.add_parser("tables", parents=[common],
+                   help="print Tables I-III from the paper")
 
     report = sub.add_parser(
-        "report", help="regenerate all paper panels into one markdown report"
+        "report", parents=[common],
+        help="regenerate all paper panels into one markdown report",
     )
     report.add_argument("--reps", type=int, default=None,
                         help="repetitions per configuration")
@@ -74,7 +98,8 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", metavar="PATH", default=None,
                         help="write the report here instead of stdout")
 
-    sim = sub.add_parser("simulate", help="run one simulation, print the metrics")
+    sim = sub.add_parser("simulate", parents=[common],
+                         help="run one simulation, print the metrics")
     sim.add_argument("--users", type=int, default=100)
     sim.add_argument("--tasks", type=int, default=20)
     sim.add_argument("--rounds", type=int, default=15)
@@ -90,15 +115,32 @@ def build_parser() -> argparse.ArgumentParser:
                           "reports the degradation count")
     sim.add_argument("--map", action="store_true",
                      help="render the final world state as an ASCII map")
+    sim.add_argument("--trace", metavar="PATH", default=None,
+                     help="record run/round/phase spans to PATH as a Chrome "
+                          "trace-event file (open at https://ui.perfetto.dev) "
+                          "and write a provenance manifest next to it; the "
+                          "simulated numbers are bit-identical either way")
 
-    show = sub.add_parser("show", help="render a saved experiment JSON")
+    trace = sub.add_parser("trace", help="inspect trace files written by --trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_sum = trace_sub.add_parser(
+        "summarize", parents=[common],
+        help="aggregate a trace file into per-phase timings",
+    )
+    trace_sum.add_argument("path", help="a trace file (Chrome JSON or JSONL)")
+    trace_sum.add_argument("--precision", type=int, default=3,
+                           help="decimal places in the printed table")
+
+    show = sub.add_parser("show", parents=[common],
+                          help="render a saved experiment JSON")
     show.add_argument("path", help="result file written by 'repro run --json'")
     show.add_argument("--chart", action="store_true",
                       help="render as an ASCII chart instead of a table")
     show.add_argument("--precision", type=int, default=2)
 
     sweep = sub.add_parser(
-        "sweep", help="sweep any SimulationConfig field against the core metrics"
+        "sweep", parents=[common],
+        help="sweep any SimulationConfig field against the core metrics",
     )
     sweep.add_argument("field", help="a SimulationConfig field, e.g. n_users")
     sweep.add_argument("values", nargs="+", type=float, help="values to sweep")
@@ -185,7 +227,7 @@ def _command_tables() -> int:
     return 0
 
 
-def _command_simulate(args: argparse.Namespace) -> int:
+def _command_simulate(args: argparse.Namespace, command: Optional[str] = None) -> int:
     config = SimulationConfig(
         n_users=args.users,
         n_tasks=args.tasks,
@@ -197,7 +239,21 @@ def _command_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         selector_timeout=args.selector_timeout,
     )
-    result = simulate(config)
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import SpanTracer
+
+        tracer = SpanTracer(metadata={
+            "mechanism": args.mechanism,
+            "selector": args.selector,
+            "seed": args.seed,
+            "n_users": args.users,
+            "n_tasks": args.tasks,
+            "rounds": args.rounds,
+        })
+        result = simulate(config, tracer=tracer)
+    else:
+        result = simulate(config)
     summary = MetricsSummary.from_result(result)
     rows = [[name, value] for name, value in summary.as_dict().items()]
     print(render_table(["metric", "value"], rows, precision=4))
@@ -222,6 +278,51 @@ def _command_simulate(args: argparse.Namespace) -> int:
 
         print()
         print(render_world(result.world))
+    if tracer is not None:
+        from repro.obs.manifest import build_manifest, write_manifest
+
+        trace_path = tracer.write_chrome(
+            args.trace, counters=result.metrics_totals().as_dict()
+        )
+        manifest_path = write_manifest(
+            build_manifest(config, base_seed=args.seed, command=command),
+            trace_path,
+        )
+        print(f"\nsaved trace: {trace_path} ({len(tracer.spans)} spans)")
+        print(f"saved manifest: {manifest_path}")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import load_trace, summarize
+
+    rows = [
+        [
+            phase.name,
+            phase.count,
+            phase.total_seconds,
+            1e3 * phase.mean_seconds,
+            1e3 * phase.max_seconds,
+        ]
+        for phase in summarize(args.path)
+    ]
+    print(render_table(
+        ["phase", "count", "total s", "mean ms", "max ms"],
+        rows, precision=args.precision,
+    ))
+    counters = load_trace(args.path)["counters"]
+    if counters:
+        counter_rows = []
+        for series in sorted(counters):
+            state = counters[series]
+            kind = state.get("kind")
+            if kind == "histogram":
+                value = f"count={state.get('count')} sum={state.get('sum'):.4g}"
+            else:
+                value = state.get("value")
+            counter_rows.append([series, kind, value])
+        print()
+        print(render_table(["series", "kind", "value"], counter_rows))
     return 0
 
 
@@ -263,6 +364,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(
+        verbosity=getattr(args, "verbose", 0),
+        quiet=getattr(args, "quiet", False),
+        json_output=getattr(args, "log_json", False),
+    )
     if args.command == "list":
         return _command_list()
     if args.command == "run":
@@ -272,7 +378,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         return _command_report(args)
     if args.command == "simulate":
-        return _command_simulate(args)
+        words = list(argv) if argv is not None else sys.argv[1:]
+        return _command_simulate(args, command="repro " + " ".join(words))
+    if args.command == "trace":
+        return _command_trace(args)
     if args.command == "show":
         return _command_show(args)
     if args.command == "sweep":

@@ -22,6 +22,16 @@ journal is likewise written parent-side, so crash-safety and the fsync
 discipline are unchanged.  Because each repetition is seeded purely by
 ``(base_seed, rep)`` and values are reassembled in repetition order, a
 parallel campaign's aggregate is bit-identical to a serial one.
+
+Observability: both repeat loops accept a ``tracer`` (per-repetition
+spans) and a ``metrics`` registry.  Each simulated repetition's
+engine-side metric snapshots (:meth:`SimulationResult.metrics_totals`)
+travel back from the worker with the result and are folded into the
+campaign registry **in repetition order** once the loop completes — the
+fold is a pure merge of per-repetition snapshots, so a parallel
+campaign's registry is bit-identical to a serial one no matter the
+completion order.  Repetitions loaded from a journal were not executed
+here and contribute nothing.
 """
 
 from __future__ import annotations
@@ -31,11 +41,16 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.log import bind, get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.resilience.journal import RunJournal, config_fingerprint
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import simulate
 from repro.simulation.events import SimulationResult
 from repro.simulation.rng import child_seed
+
+log = get_logger("experiments.runner")
 
 #: A metric is any scalar function of a finished run.
 MetricFn = Callable[[SimulationResult], float]
@@ -104,6 +119,7 @@ def _iter_repetitions(
     reps: Sequence[int],
     base_seed: int,
     workers: Optional[int],
+    tracer=NULL_TRACER,
 ) -> Iterator[Tuple[int, SimulationResult]]:
     """Yield ``(rep, result)`` for every repetition in ``reps``.
 
@@ -113,12 +129,18 @@ def _iter_repetitions(
     The pool is bounded to ``2 * workers`` simulations in flight so a
     long campaign never materialises every pending SimulationResult at
     once.
+
+    Serial repetitions run inside a ``repetition`` span; parallel ones
+    run in worker processes the parent's tracer cannot reach, so only
+    their collection is spanned (``repetition-collect``).
     """
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if workers is None or workers <= 1 or len(reps) <= 1:
         for rep in reps:
-            yield rep, _seeded_run(config, child_seed(base_seed, rep))
+            with tracer.span("repetition", cat="rep", rep=rep), bind(rep=rep):
+                result = _seeded_run(config, child_seed(base_seed, rep))
+            yield rep, result
         return
     queue = list(reps)
     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -130,7 +152,10 @@ def _iter_repetitions(
                 in_flight[future] = rep
             done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
             for future in done:
-                yield in_flight.pop(future), future.result()
+                rep = in_flight.pop(future)
+                with tracer.span("repetition-collect", cat="rep", rep=rep):
+                    result = future.result()
+                yield rep, result
 
 
 def repeat_metrics(
@@ -140,6 +165,8 @@ def repeat_metrics(
     base_seed: int = 0,
     journal: JournalSpec = None,
     workers: Optional[int] = None,
+    tracer=NULL_TRACER,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Dict[str, List[float]]:
     """Run ``repetitions`` seeded simulations; collect each metric's values.
 
@@ -158,6 +185,12 @@ def repeat_metrics(
             values are assembled in repetition order, so the aggregate
             is bit-identical to a serial run and the journal remains
             resume-compatible.
+        tracer: optional span tracer for per-repetition spans (default:
+            the no-op tracer).
+        registry: optional campaign metrics registry; each simulated
+            repetition's engine metrics are folded in **in repetition
+            order** after the loop, so parallel and serial campaigns
+            produce bit-identical registries (see module docstring).
 
     Raises:
         ValueError: for a non-positive repetition or worker count.
@@ -166,22 +199,39 @@ def repeat_metrics(
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
-    log = _open_journal(
+    journal_log = _open_journal(
         journal, config, base_seed, kind="metrics", metrics=sorted(metrics)
     )
     per_rep: Dict[int, Dict[str, float]] = {}
     missing: List[int] = []
     for rep in range(repetitions):
-        entry = log.get(rep) if log is not None else None
+        entry = journal_log.get(rep) if journal_log is not None else None
         if entry is not None:
             per_rep[rep] = entry["values"]
         else:
             missing.append(rep)
-    for rep, result in _iter_repetitions(config, missing, base_seed, workers):
+    if journal_log is not None and per_rep:
+        log.info(
+            "resuming campaign from journal",
+            extra={
+                "journal": str(journal_log.path),
+                "completed": len(per_rep),
+                "missing": len(missing),
+            },
+        )
+    rep_registries: Dict[int, MetricsRegistry] = {}
+    for rep, result in _iter_repetitions(
+        config, missing, base_seed, workers, tracer
+    ):
         values_for_rep = {name: metric(result) for name, metric in metrics.items()}
-        if log is not None:
-            log.record(rep, {"values": values_for_rep})
+        if journal_log is not None:
+            journal_log.record(rep, {"values": values_for_rep})
         per_rep[rep] = values_for_rep
+        if registry is not None:
+            rep_registries[rep] = result.metrics_totals()
+    if registry is not None:
+        for rep in sorted(rep_registries):
+            registry.merge(rep_registries[rep])
     return {
         name: [per_rep[rep][name] for rep in range(repetitions)]
         for name in metrics
@@ -195,11 +245,13 @@ def repeat_metric(
     base_seed: int = 0,
     journal: JournalSpec = None,
     workers: Optional[int] = None,
+    tracer=NULL_TRACER,
+    registry: Optional[MetricsRegistry] = None,
 ) -> List[float]:
     """Single-metric convenience wrapper over :func:`repeat_metrics`."""
     return repeat_metrics(
         config, {"metric": metric}, repetitions, base_seed,
-        journal=journal, workers=workers,
+        journal=journal, workers=workers, tracer=tracer, registry=registry,
     )["metric"]
 
 
@@ -210,34 +262,54 @@ def repeat_series_metric(
     base_seed: int = 0,
     journal: JournalSpec = None,
     workers: Optional[int] = None,
+    tracer=NULL_TRACER,
+    registry: Optional[MetricsRegistry] = None,
 ) -> List[List[float]]:
     """Like :func:`repeat_metric` for metrics that return a whole series
     (e.g. coverage-by-round).  Result is ``[per-position values][rep]``-
     transposed: one list of repetition values per series position.
 
-    Supports the same ``journal`` checkpointing and ``workers``
-    parallelism as :func:`repeat_metrics` (one journal line per
-    completed repetition's full series).
+    Supports the same ``journal`` checkpointing, ``workers``
+    parallelism, ``tracer`` spans, and campaign ``registry`` merge as
+    :func:`repeat_metrics` (one journal line per completed repetition's
+    full series).
 
     Raises:
         ValueError: if repetitions disagree on the series length.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
-    log = _open_journal(journal, config, base_seed, kind="series")
+    journal_log = _open_journal(journal, config, base_seed, kind="series")
     per_rep: Dict[int, List[float]] = {}
     missing: List[int] = []
     for rep in range(repetitions):
-        entry = log.get(rep) if log is not None else None
+        entry = journal_log.get(rep) if journal_log is not None else None
         if entry is not None:
             per_rep[rep] = entry["series"]
         else:
             missing.append(rep)
-    for rep, result in _iter_repetitions(config, missing, base_seed, workers):
+    if journal_log is not None and per_rep:
+        log.info(
+            "resuming campaign from journal",
+            extra={
+                "journal": str(journal_log.path),
+                "completed": len(per_rep),
+                "missing": len(missing),
+            },
+        )
+    rep_registries: Dict[int, MetricsRegistry] = {}
+    for rep, result in _iter_repetitions(
+        config, missing, base_seed, workers, tracer
+    ):
         series = list(series_metric(result))
-        if log is not None:
-            log.record(rep, {"series": series})
+        if journal_log is not None:
+            journal_log.record(rep, {"series": series})
         per_rep[rep] = series
+        if registry is not None:
+            rep_registries[rep] = result.metrics_totals()
+    if registry is not None:
+        for rep in sorted(rep_registries):
+            registry.merge(rep_registries[rep])
     collected = [per_rep[rep] for rep in range(repetitions)]
     lengths = {len(entry) for entry in collected}
     if len(lengths) != 1:

@@ -26,6 +26,7 @@ from repro.simulation.events import (
     SimulationResult,
     UserRoundRecord,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.simulation.perf import PerfStats
 
 FORMAT_VERSION = 1
@@ -57,6 +58,9 @@ def _round_payload(record: RoundRecord) -> Dict:
         "selector_fallbacks": record.selector_fallbacks,
         **(
             {"perf": record.perf.as_dict()} if record.perf is not None else {}
+        ),
+        **(
+            {"metrics": record.metrics.as_dict()} if record.metrics else {}
         ),
     }
 
@@ -102,6 +106,11 @@ class SimulationReplay:
     @property
     def total_paid(self) -> float:
         return sum(r.total_paid for r in self.rounds)
+
+    def metrics_totals(self) -> MetricsRegistry:
+        """All rounds' metric snapshots merged, in round order (empty
+        for logs written before the registry existed)."""
+        return MetricsRegistry.merged(r.metrics for r in self.rounds)
 
     def measurements_by_task(self) -> Dict[int, int]:
         counts = {task_id: 0 for task_id in self.task_deadlines}
@@ -160,6 +169,12 @@ def read_events_jsonl(path: Union[str, Path]) -> SimulationReplay:
             perf=(
                 PerfStats.from_dict(payload["perf"])
                 if "perf" in payload
+                else None
+            ),
+            # absent in logs written before the metrics registry existed
+            metrics=(
+                MetricsRegistry.from_dict(payload["metrics"])
+                if "metrics" in payload
                 else None
             ),
         ))

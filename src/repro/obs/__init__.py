@@ -1,0 +1,81 @@
+"""Observability: structured logging, metrics, span tracing, manifests.
+
+The subsystem every serving stack grows eventually, grown deliberately:
+
+- :mod:`repro.obs.log` — structured logging on stdlib ``logging`` with
+  contextvars-propagated run/round/mechanism context;
+- :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  histograms with label sets (the generalisation of
+  :class:`~repro.simulation.perf.PerfStats`);
+- :mod:`repro.obs.trace` — run → round → phase span tracing, exported
+  as JSONL or Chrome trace events (Perfetto-loadable), with a zero-cost
+  no-op tracer as the default;
+- :mod:`repro.obs.manifest` — atomic run manifests recording config
+  fingerprint, seed, git revision, interpreter, and host.
+
+Everything here observes; nothing decides.  The invariant the tests pin:
+a run with full observability enabled produces bit-identical simulated
+numbers to a run with none.
+"""
+
+from repro.obs.log import (
+    JsonFormatter,
+    KeyValueFormatter,
+    bind,
+    configure_logging,
+    current_context,
+    get_logger,
+    verbosity_to_level,
+)
+from repro.obs.manifest import (
+    RunManifest,
+    build_manifest,
+    load_manifest,
+    manifest_path_for,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    series_key,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    PhaseSummary,
+    SpanRecord,
+    SpanTracer,
+    load_trace,
+    summarize,
+)
+
+__all__ = [
+    "JsonFormatter",
+    "KeyValueFormatter",
+    "bind",
+    "configure_logging",
+    "current_context",
+    "get_logger",
+    "verbosity_to_level",
+    "RunManifest",
+    "build_manifest",
+    "load_manifest",
+    "manifest_path_for",
+    "write_manifest",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "series_key",
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseSummary",
+    "SpanRecord",
+    "SpanTracer",
+    "load_trace",
+    "summarize",
+]

@@ -1,0 +1,175 @@
+"""Structured logging on stdlib ``logging``, with propagated context.
+
+Every logger in the library hangs off the ``"repro"`` root
+(:func:`get_logger`), so one :func:`configure_logging` call controls the
+whole tree.  Log *context* — which run, which round, which mechanism —
+travels via a :mod:`contextvars` variable rather than call arguments:
+code that owns the scope binds it once (:func:`bind`) and every log line
+emitted inside the scope carries it, including lines from layers that
+know nothing about runs or rounds (the retry helper, the journal).
+
+Two formatters render the same structured record:
+
+- :class:`KeyValueFormatter` — human-oriented, ``level logger: message
+  | key=value …`` (the default);
+- :class:`JsonFormatter` — one JSON object per line for log shippers
+  (``repro --log-json``).
+
+Nothing here touches the simulation: logging is observability only, and
+the default configuration (warnings and above, to stderr) leaves the
+CLI's stdout output — tables, perf summaries — byte-identical.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import sys
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, TextIO
+
+#: Root of the library's logger tree; every get_logger() name hangs off it.
+ROOT_LOGGER_NAME = "repro"
+
+#: The ambient structured context attached to every log record.
+_CONTEXT: contextvars.ContextVar[Dict[str, Any]] = contextvars.ContextVar(
+    "repro_log_context", default={}
+)
+
+#: logging.LogRecord attributes that are plumbing, not user payload.
+_RECORD_INTERNALS = frozenset(
+    logging.LogRecord(
+        name="", level=0, pathname="", lineno=0, msg="", args=(), exc_info=None
+    ).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The library logger for ``name`` (e.g. ``"resilience.retry"``).
+
+    >>> get_logger("selection.watchdog").name
+    'repro.selection.watchdog'
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + ".") or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def current_context() -> Dict[str, Any]:
+    """A copy of the ambient structured context (empty outside any bind)."""
+    return dict(_CONTEXT.get())
+
+
+@contextmanager
+def bind(**fields: Any) -> Iterator[None]:
+    """Attach ``fields`` to every log record emitted inside the block.
+
+    Binds nest: inner fields shadow outer ones for the duration of the
+    inner block only.  Context propagates through ordinary calls and
+    ``asyncio`` tasks (contextvars semantics); it does *not* cross
+    process boundaries — worker processes start with a clean context.
+    """
+    merged = {**_CONTEXT.get(), **fields}
+    token = _CONTEXT.set(merged)
+    try:
+        yield
+    finally:
+        _CONTEXT.reset(token)
+
+
+def _record_extras(record: logging.LogRecord) -> Dict[str, Any]:
+    """Context fields + ``extra=`` fields carried by one record.
+
+    ``extra=`` wins over ambient context on key collision — the call
+    site is more specific than the scope.
+    """
+    fields = dict(getattr(record, "context", None) or {})
+    for key, value in record.__dict__.items():
+        if key not in _RECORD_INTERNALS and key != "context":
+            fields[key] = value
+    return fields
+
+
+class _ContextFilter(logging.Filter):
+    """Snapshots the ambient context onto each record at emit time."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.context = _CONTEXT.get()
+        return True
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``LEVEL logger: message | key=value key=value`` — for terminals."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = f"{record.levelname} {record.name}: {record.getMessage()}"
+        fields = _record_extras(record)
+        if fields:
+            rendered = " ".join(f"{k}={fields[k]}" for k in sorted(fields))
+            base = f"{base} | {rendered}"
+        if record.exc_info:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line — for log shippers and ``jq``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        payload.update(_record_extras(record))
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def verbosity_to_level(verbosity: int = 0, quiet: bool = False) -> int:
+    """Map CLI flags to a logging level.
+
+    Default is warnings-only (existing stdout output stays clean);
+    ``-v`` opens INFO, ``-vv`` DEBUG, ``--quiet`` narrows to ERROR.
+    """
+    if quiet:
+        return logging.ERROR
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(
+    verbosity: int = 0,
+    quiet: bool = False,
+    json_output: bool = False,
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` logger tree; returns the root logger.
+
+    Idempotent: a previous configuration installed by this function is
+    replaced, never stacked, so repeated CLI invocations in one process
+    (tests, notebooks) do not duplicate log lines.  Logs go to *stderr*
+    by default — stdout belongs to the CLI's tables and summaries.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_obs_handler = True
+    handler.addFilter(_ContextFilter())
+    handler.setFormatter(JsonFormatter() if json_output else KeyValueFormatter())
+    root.addHandler(handler)
+    root.setLevel(verbosity_to_level(verbosity, quiet))
+    # The library's records stop here; the application root keeps its
+    # own handlers for its own loggers.
+    root.propagate = False
+    return root

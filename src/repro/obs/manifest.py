@@ -1,0 +1,152 @@
+"""Run manifests: the provenance record written next to every artifact.
+
+A result file answers *what* came out; the manifest answers *how it was
+produced* — which configuration (by fingerprint), which base seed, which
+git revision of this repository, which python/numpy on which host, and
+when.  Six months later that is the difference between "re-runnable" and
+"a number of unknown origin".
+
+Manifests are plain JSON written atomically
+(:func:`repro.io.atomic.atomic_write_text`), so a crash mid-write never
+leaves a half manifest next to a whole result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+FORMAT_VERSION = 1
+
+
+def git_revision(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """The current git commit hash, or None outside a repo / without git.
+
+    Never raises: provenance is best-effort — a missing revision is
+    recorded as null, not a crashed run.
+    """
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    revision = probe.stdout.strip()
+    return revision if probe.returncode == 0 and revision else None
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """The provenance of one run (see module docstring)."""
+
+    config_fingerprint: str
+    base_seed: int
+    created_at: str
+    git_revision: Optional[str]
+    python_version: str
+    numpy_version: Optional[str]
+    platform: str
+    hostname: str
+    command: Optional[str] = None
+    config: Optional[Dict[str, Any]] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+    format_version: int = FORMAT_VERSION
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunManifest":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def build_manifest(
+    config: Any = None,
+    base_seed: int = 0,
+    command: Optional[str] = None,
+    **extra: Any,
+) -> RunManifest:
+    """Snapshot the current process + ``config`` into a manifest.
+
+    Args:
+        config: the run's configuration (any dataclass; fingerprinted
+            via :func:`~repro.resilience.journal.config_fingerprint`
+            and, for dataclasses, embedded field-by-field).
+        base_seed: the campaign's root seed.
+        command: the invoking command line, if any.
+        extra: arbitrary additional provenance (experiment id, …).
+    """
+    # Imported here, not at module level: obs must stay a leaf package
+    # importable from anywhere (retry and the engine log through it).
+    from repro.resilience.journal import config_fingerprint
+
+    try:
+        import numpy
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep today
+        numpy_version = None
+    config_dict: Optional[Dict[str, Any]] = None
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        config_dict = json.loads(
+            json.dumps(dataclasses.asdict(config), default=repr)
+        )
+    return RunManifest(
+        config_fingerprint=config_fingerprint(config, base_seed=base_seed),
+        base_seed=base_seed,
+        created_at=datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        git_revision=git_revision(),
+        python_version=sys.version.split()[0],
+        numpy_version=numpy_version,
+        platform=platform.platform(),
+        hostname=platform.node(),
+        command=command,
+        config=config_dict,
+        extra=dict(extra),
+    )
+
+
+def manifest_path_for(artifact: Union[str, Path]) -> Path:
+    """Where an artifact's manifest lives: ``<artifact>.manifest.json``."""
+    artifact = Path(artifact)
+    return artifact.with_name(artifact.name + ".manifest.json")
+
+
+def write_manifest(
+    manifest: RunManifest, artifact: Union[str, Path]
+) -> Path:
+    """Write ``manifest`` atomically next to ``artifact``; returns its path."""
+    from repro.io.atomic import atomic_write_text  # leaf-package rule, see above
+
+    path = manifest_path_for(artifact)
+    atomic_write_text(path, json.dumps(manifest.as_dict(), indent=2) + "\n")
+    return path
+
+
+def load_manifest(path: Union[str, Path]) -> RunManifest:
+    """Load a manifest (accepts the artifact path or the manifest path).
+
+    Raises:
+        ValueError: for a file that is not a version-compatible manifest.
+    """
+    path = Path(path)
+    if not path.name.endswith(".manifest.json"):
+        path = manifest_path_for(path)
+    payload = json.loads(path.read_text())
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: not a version-{FORMAT_VERSION} run manifest "
+            f"(got format_version={payload.get('format_version')!r})"
+        )
+    return RunManifest.from_dict(payload)

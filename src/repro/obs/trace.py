@@ -1,0 +1,288 @@
+"""Lightweight span tracing: run → round → phase, exportable to Perfetto.
+
+A tracer hands out *spans* — named, nested wall-clock intervals — via a
+context manager::
+
+    with tracer.span("round", round=3):
+        with tracer.span("select"):
+            ...
+
+Two implementations share that interface:
+
+- :data:`NULL_TRACER` (the default everywhere): every ``span()`` call
+  returns one preallocated no-op context manager.  Tracing off costs two
+  attribute lookups per span — no clock reads, no allocation — which is
+  what keeps instrumented hot paths honest.
+- :class:`SpanTracer`: records every finished span (name, category,
+  start, duration, depth, args) and exports either **JSONL** (one span
+  per line, for jq/pandas) or the **Chrome trace-event format** (a JSON
+  object with ``traceEvents`` of ``ph: "X"`` complete events) loadable
+  in ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_.
+
+Spans read :func:`time.perf_counter` only — they never touch the
+simulation's random streams, so a traced run's numbers are bit-identical
+to an untraced one (pinned by ``tests/simulation/test_tracing.py``).
+
+:func:`summarize` aggregates a written trace file back into per-phase
+timing rows — the engine behind ``repro trace summarize``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+
+class _NullSpan:
+    """The reusable no-op context manager NULL_TRACER hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-cost default: spans are no-ops, nothing is recorded."""
+
+    #: Hot paths may gate per-item spans on this instead of paying even
+    #: the no-op context manager per iteration.
+    enabled = False
+
+    def span(self, name: str, cat: str = "", **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+
+#: The shared do-nothing tracer (stateless, safe to share everywhere).
+NULL_TRACER = NullTracer()
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, in tracer-relative seconds."""
+
+    name: str
+    cat: str
+    start: float
+    duration: float
+    depth: int
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class _Span:
+    """The live context manager :meth:`SpanTracer.span` returns."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start", "_depth")
+
+    def __init__(self, tracer: "SpanTracer", name: str, cat: str, args: Dict):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        self._depth = self._tracer._enter()
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        end = perf_counter()
+        self._tracer._exit(
+            SpanRecord(
+                name=self._name,
+                cat=self._cat,
+                start=self._start - self._tracer.epoch,
+                duration=end - self._start,
+                depth=self._depth,
+                args=self._args,
+            )
+        )
+
+
+class SpanTracer:
+    """Records spans in memory; export with :meth:`write_jsonl` /
+    :meth:`write_chrome`.
+
+    Args:
+        metadata: run-level key/values embedded in exports (e.g. the
+            config summary the CLI attaches).
+
+    Not thread-safe by design: the engine is single-threaded, and a
+    tracer is scoped to one run.
+    """
+
+    enabled = True
+
+    def __init__(self, metadata: Optional[Mapping[str, Any]] = None):
+        self.epoch = perf_counter()
+        self.spans: List[SpanRecord] = []
+        self.metadata: Dict[str, Any] = dict(metadata or {})
+        self._depth = 0
+
+    def span(self, name: str, cat: str = "", **args: Any) -> _Span:
+        return _Span(self, name, cat, args)
+
+    def _enter(self) -> int:
+        depth = self._depth
+        self._depth += 1
+        return depth
+
+    def _exit(self, record: SpanRecord) -> None:
+        self._depth -= 1
+        self.spans.append(record)
+
+    # -- export ----------------------------------------------------------
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """One meta line + one JSON object per span (chronological)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            handle.write(json.dumps(
+                {"kind": "meta", "format": "repro-trace", **self.metadata}
+            ) + "\n")
+            for record in sorted(self.spans, key=lambda s: s.start):
+                handle.write(json.dumps({
+                    "kind": "span",
+                    "name": record.name,
+                    "cat": record.cat,
+                    "start": record.start,
+                    "duration": record.duration,
+                    "depth": record.depth,
+                    "args": record.args,
+                }) + "\n")
+        return path
+
+    def chrome_payload(
+        self, counters: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """The Chrome trace-event JSON object (see module docstring).
+
+        Args:
+            counters: optional metrics snapshot
+                (:meth:`~repro.obs.metrics.MetricsRegistry.as_dict`)
+                stored under ``otherData`` — viewers ignore it, and
+                ``repro trace summarize`` reports it as hot counters.
+        """
+        events = [
+            {
+                "name": record.name,
+                "cat": record.cat or "repro",
+                "ph": "X",
+                "ts": round(record.start * 1e6, 3),
+                "dur": round(record.duration * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": record.args,
+            }
+            for record in sorted(self.spans, key=lambda s: s.start)
+        ]
+        other: Dict[str, Any] = dict(self.metadata)
+        if counters:
+            other["counters"] = dict(counters)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": other,
+        }
+
+    def write_chrome(
+        self,
+        path: Union[str, Path],
+        counters: Optional[Mapping[str, Any]] = None,
+    ) -> Path:
+        """Write the Chrome trace-event file (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.chrome_payload(counters), indent=1))
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SpanTracer({len(self.spans)} spans)"
+
+
+@dataclass(frozen=True)
+class PhaseSummary:
+    """Aggregated timings for one span name in a trace file."""
+
+    name: str
+    count: int
+    total_seconds: float
+    mean_seconds: float
+    max_seconds: float
+
+
+def _spans_from_payload(payload: Any, path: Path) -> List[Tuple[str, float]]:
+    """(name, duration-seconds) pairs from either export format."""
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        return [
+            (event["name"], float(event.get("dur", 0.0)) / 1e6)
+            for event in payload["traceEvents"]
+            if event.get("ph") == "X"
+        ]
+    raise ValueError(f"{path}: not a repro trace file")
+
+
+def load_trace(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a trace written by either exporter into a uniform shape:
+    ``{"spans": [(name, seconds)...], "counters": {...}, "metadata": {...}}``.
+
+    Raises:
+        ValueError: for a file in neither export format.
+    """
+    path = Path(path)
+    text = path.read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in text:
+        payload = json.loads(text)
+        other = payload.get("otherData", {}) or {}
+        counters = other.pop("counters", {}) if isinstance(other, dict) else {}
+        return {
+            "spans": _spans_from_payload(payload, path),
+            "counters": counters,
+            "metadata": other,
+        }
+    # JSONL: one meta line, then span lines.
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty trace file")
+    meta = json.loads(lines[0])
+    if meta.get("kind") != "meta" or meta.get("format") != "repro-trace":
+        raise ValueError(f"{path}: not a repro trace file")
+    spans = []
+    for line in lines[1:]:
+        entry = json.loads(line)
+        if entry.get("kind") != "span":
+            raise ValueError(f"{path}: unexpected trace line kind "
+                             f"{entry.get('kind')!r}")
+        spans.append((entry["name"], float(entry["duration"])))
+    metadata = {k: v for k, v in meta.items() if k not in ("kind", "format")}
+    return {"spans": spans, "counters": {}, "metadata": metadata}
+
+
+def summarize(path: Union[str, Path]) -> List[PhaseSummary]:
+    """Per-name timing aggregates for a trace file, slowest total first."""
+    loaded = load_trace(path)
+    totals: Dict[str, List[float]] = {}
+    for name, seconds in loaded["spans"]:
+        totals.setdefault(name, []).append(seconds)
+    rows = [
+        PhaseSummary(
+            name=name,
+            count=len(durations),
+            total_seconds=sum(durations),
+            mean_seconds=sum(durations) / len(durations),
+            max_seconds=max(durations),
+        )
+        for name, durations in totals.items()
+    ]
+    return sorted(rows, key=lambda row: row.total_seconds, reverse=True)

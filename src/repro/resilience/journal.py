@@ -34,7 +34,10 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.obs.log import get_logger
 from repro.resilience.errors import ConfigError, ResultCorruption
+
+log = get_logger("resilience.journal")
 
 FORMAT_VERSION = 1
 
@@ -105,6 +108,14 @@ class RunJournal:
                     # A crash mid-append leaves exactly one partial tail
                     # line; drop it — the repetition it described never
                     # completed and will simply be replayed.
+                    log.warning(
+                        "journal has a partial trailing line "
+                        "(crash mid-append); truncating it",
+                        extra={
+                            "journal": str(self.path),
+                            "kept_lines": index,
+                        },
+                    )
                     self._truncate_to(lines[:index])
                     break
                 raise ResultCorruption(
@@ -136,6 +147,13 @@ class RunJournal:
                     f"delete the journal and re-run"
                 )
             self._completed[int(entry["rep"])] = entry.get("payload", {})
+        log.info(
+            "journal loaded",
+            extra={
+                "journal": str(self.path),
+                "completed": len(self._completed),
+            },
+        )
 
     def _truncate_to(self, keep_lines) -> None:
         """Rewrite the journal without a damaged tail (atomic replace)."""

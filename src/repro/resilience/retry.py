@@ -12,7 +12,10 @@ from __future__ import annotations
 import time
 from typing import Callable, Tuple, Type, TypeVar
 
+from repro.obs.log import get_logger
 from repro.resilience.errors import TransientIOError
+
+log = get_logger("resilience.retry")
 
 T = TypeVar("T")
 
@@ -60,8 +63,17 @@ def with_retries(
     for attempt in range(attempts):
         try:
             return fn()
-        except retryable:
+        except retryable as exc:
             if attempt == attempts - 1:
                 raise
+            log.warning(
+                "transient failure; backing off before retry",
+                extra={
+                    "attempt": attempt + 1,
+                    "attempts": attempts,
+                    "delay_s": delays[attempt],
+                    "error": repr(exc),
+                },
+            )
             sleep(delays[attempt])
     raise AssertionError("unreachable")  # pragma: no cover

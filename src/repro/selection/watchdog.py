@@ -23,10 +23,13 @@ from __future__ import annotations
 import threading
 from typing import Optional, Union
 
+from repro.obs.log import get_logger
 from repro.resilience.errors import ConfigError, SelectorTimeout
 from repro.selection.base import Selection, Selector
 from repro.selection.greedy import GreedySelector
 from repro.selection.problem import TaskSelectionProblem
+
+log = get_logger("selection.watchdog")
 
 #: Sentinel distinguishing "use the default greedy fallback" from
 #: "no fallback — raise" (which callers request with ``fallback=None``).
@@ -109,10 +112,29 @@ class TimeBoundedSelector(Selector):
                     f"{self.timeout:g}s deadline on a {problem.size}-task "
                     f"instance and no fallback is configured"
                 )
+            log.warning(
+                "selector deadline breached; degrading to fallback solver",
+                extra={
+                    "selector": type(self.inner).__name__,
+                    "fallback": type(self.fallback).__name__,
+                    "timeout_s": self.timeout,
+                    "problem_size": problem.size,
+                    "total_timeouts": self.total_timeouts,
+                },
+            )
             return self._degrade(problem)
         if "error" in outcome:
             if self.fallback is None or not self.catch_errors:
                 raise outcome["error"]
+            log.warning(
+                "selector crashed; degrading to fallback solver",
+                extra={
+                    "selector": type(self.inner).__name__,
+                    "fallback": type(self.fallback).__name__,
+                    "problem_size": problem.size,
+                    "error": repr(outcome["error"]),
+                },
+            )
             return self._degrade(problem)
         return outcome["result"]
 

@@ -37,6 +37,9 @@ import math
 from time import perf_counter
 
 from repro.core.mechanisms import IncentiveMechanism, RoundView, make_mechanism
+from repro.obs.log import bind
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.resilience.errors import MechanismPriceError
 from repro.selection import (
     Selection,
@@ -82,6 +85,13 @@ class SimulationEngine:
             coordinator decides every user's selection for the round
             instead of the users solving Eq. 1 themselves (see
             :mod:`repro.allocation`).
+        tracer: optional span tracer (default: the zero-cost
+            :data:`~repro.obs.trace.NULL_TRACER`).  When a real
+            :class:`~repro.obs.trace.SpanTracer` is passed, the engine
+            emits run → round → phase spans (price-publish / select /
+            upload, plus per-user selector spans).  Tracing reads clocks
+            only — never the random streams — so traced runs are
+            bit-identical to untraced ones.
     """
 
     def __init__(
@@ -92,6 +102,7 @@ class SimulationEngine:
         world: Optional[World] = None,
         observers: Sequence[RoundObserver] = (),
         coordinator: Optional["Coordinator"] = None,
+        tracer=None,
     ):
         self.config = config
         self._streams = spawn_streams(config.seed)
@@ -103,14 +114,17 @@ class SimulationEngine:
         self.world = world if world is not None else self._generate_world()
         self.observers = list(observers)
         self.coordinator = coordinator
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.result = SimulationResult(config=self.config, world=self.world)
         self._next_round = 1
         self._mechanism_ready = False
         # Per-round caches (invalidated by the round number they carry)
-        # and the perf counters accumulated into each RoundRecord.
+        # and the perf/metric accumulators drained into each RoundRecord.
         self._price_cache: Optional[Tuple[int, Dict[int, float]]] = None
         self._problems_cache: Optional[Tuple[int, RoundProblems]] = None
         self._perf = PerfStats()
+        self._metrics = MetricsRegistry()
+        self._cumulative_paid = 0.0
 
     # -- setup -----------------------------------------------------------
 
@@ -234,8 +248,15 @@ class SimulationEngine:
 
     def run(self) -> SimulationResult:
         """Play every remaining round and return the accumulated result."""
-        while not self.finished:
-            self.step()
+        with self.tracer.span(
+            "run",
+            cat="run",
+            seed=self.config.seed,
+            mechanism=self.config.mechanism,
+            selector=self.config.selector,
+        ):
+            while not self.finished:
+                self.step()
         return self.result
 
     def step(self) -> RoundRecord:
@@ -249,7 +270,15 @@ class SimulationEngine:
                 f"simulation finished after round {self._next_round - 1}"
             )
         self._ensure_mechanism()
-        record = self._play_round(self._next_round, self.published_tasks())
+        # Bind log provenance for the round: any warning raised below
+        # (watchdog fallback, price-map violation, retried IO) carries
+        # which run and round it happened in.
+        with bind(
+            seed=self.config.seed,
+            mechanism=self.config.mechanism,
+            round=self._next_round,
+        ), self.tracer.span("round", cat="round", round=self._next_round):
+            record = self._play_round(self._next_round, self.published_tasks())
         self.result.rounds.append(record)
         self._next_round += 1
         for observer in self.observers:
@@ -259,66 +288,86 @@ class SimulationEngine:
     # -- one round ----------------------------------------------------------------
 
     def _play_round(self, round_no: int, active: List[SensingTask]) -> RoundRecord:
-        prices = self.published_rewards()
-        self._validate_prices(prices, active, round_no)
+        tracer = self.tracer
+        with tracer.span("price-publish", cat="phase", round=round_no):
+            prices = self.published_rewards()
+            self._validate_prices(prices, active, round_no)
         available = self._available_user_ids()
 
         # Step 2: either WST (each user solves Eq. 1 independently) or
         # SAT (the coordinator assigns selections centrally).  Users who
         # sit this round out (participation_rate < 1) select nothing.
-        if self.coordinator is not None:
-            present = [u for u in self.world.users if u.user_id in available]
-            assigned = self.coordinator.assign(round_no, active, present, prices)
-            selections = [
-                (user, assigned.get(user.user_id, Selection.empty()))
-                for user in self.world.users
-            ]
-        else:
-            problems = self._round_problems(active, prices)
-            selections = []
-            for user in self.world.users:
-                if user.user_id in available:
-                    problem = problems.problem_for(user)
-                    started = perf_counter()
-                    selection = self.selector.select(problem)
-                    self._perf.selector_wall_time += perf_counter() - started
-                    self._perf.selector_calls += 1
-                else:
-                    selection = Selection.empty()
-                selections.append((user, selection))
+        with tracer.span("select", cat="phase", round=round_no):
+            if self.coordinator is not None:
+                present = [u for u in self.world.users if u.user_id in available]
+                assigned = self.coordinator.assign(
+                    round_no, active, present, prices
+                )
+                selections = [
+                    (user, assigned.get(user.user_id, Selection.empty()))
+                    for user in self.world.users
+                ]
+            else:
+                problems = self._round_problems(active, prices)
+                latency = self._metrics.histogram("selector_seconds")
+                selections = []
+                for user in self.world.users:
+                    if user.user_id in available:
+                        problem = problems.problem_for(user)
+                        if tracer.enabled:
+                            with tracer.span(
+                                "select-user", cat="selector",
+                                user=user.user_id, tasks=problem.size,
+                            ):
+                                started = perf_counter()
+                                selection = self.selector.select(problem)
+                                elapsed = perf_counter() - started
+                        else:
+                            started = perf_counter()
+                            selection = self.selector.select(problem)
+                            elapsed = perf_counter() - started
+                        self._perf.selector_wall_time += elapsed
+                        self._perf.selector_calls += 1
+                        latency.observe(elapsed)
+                    else:
+                        selection = Selection.empty()
+                    selections.append((user, selection))
 
         # Step 3: uploads processed in a random arrival order.
-        arrival = self._streams["arrival"].permutation(len(selections))
-        measurements: List[MeasurementEvent] = []
-        rejections: List[RejectedContribution] = []
-        user_records: List[UserRoundRecord] = []
-        completed: List[int] = []
-        tasks_by_id = {t.task_id: t for t in active}
+        with tracer.span("upload", cat="phase", round=round_no):
+            arrival = self._streams["arrival"].permutation(len(selections))
+            measurements: List[MeasurementEvent] = []
+            rejections: List[RejectedContribution] = []
+            user_records: List[UserRoundRecord] = []
+            completed: List[int] = []
+            tasks_by_id = {t.task_id: t for t in active}
 
-        for idx in arrival:
-            user, selection = selections[idx]
-            reward = self._perform(
-                user, selection, tasks_by_id, prices, round_no,
-                measurements, rejections, completed,
-            )
-            if not selection.is_empty:
-                user.record_round(round_no, reward, selection.cost)
-            user_records.append(
-                UserRoundRecord(
-                    round_no=round_no,
-                    user_id=user.user_id,
-                    selected_task_ids=selection.task_ids,
-                    distance=selection.distance,
-                    reward=reward,
-                    cost=selection.cost,
+            for idx in arrival:
+                user, selection = selections[idx]
+                reward = self._perform(
+                    user, selection, tasks_by_id, prices, round_no,
+                    measurements, rejections, completed,
                 )
-            )
-            self._move_user(user, selection, tasks_by_id)
+                if not selection.is_empty:
+                    user.record_round(round_no, reward, selection.cost)
+                user_records.append(
+                    UserRoundRecord(
+                        round_no=round_no,
+                        user_id=user.user_id,
+                        selected_task_ids=selection.task_ids,
+                        distance=selection.distance,
+                        reward=reward,
+                        cost=selection.cost,
+                    )
+                )
+                self._move_user(user, selection, tasks_by_id)
 
         # Step 4 prep: expire tasks whose deadline has passed.
         expired = [
             t.task_id for t in active if t.expire_if_due(next_round=round_no + 1)
         ]
+        fallbacks = self._drain_selector_fallbacks()
+        perf = self._drain_perf()
         return RoundRecord(
             round_no=round_no,
             published_rewards=dict(prices),
@@ -327,8 +376,11 @@ class SimulationEngine:
             rejections=tuple(rejections),
             completed_task_ids=tuple(completed),
             expired_task_ids=tuple(expired),
-            selector_fallbacks=self._drain_selector_fallbacks(),
-            perf=self._drain_perf(),
+            selector_fallbacks=fallbacks,
+            perf=perf,
+            metrics=self._drain_round_metrics(
+                measurements, rejections, fallbacks, perf
+            ),
         )
 
     def _validate_prices(
@@ -376,6 +428,50 @@ class SimulationEngine:
         self._perf.dp_states_expanded += self._drain_selector_states()
         stats, self._perf = self._perf, PerfStats()
         return stats
+
+    def _drain_round_metrics(
+        self,
+        measurements: List[MeasurementEvent],
+        rejections: List[RejectedContribution],
+        fallbacks: int,
+        perf: PerfStats,
+    ) -> MetricsRegistry:
+        """This round's metrics snapshot (the accumulator is reset).
+
+        Registry series per round: measurement acceptance/rejection
+        counters (rejections labelled by reason — the WST redundancy
+        drawback made countable), the platform payout, the remaining
+        budget gauge, the demand-level distribution the mechanism
+        priced at (when it exposes one), watchdog degradations, and the
+        :class:`PerfStats` bridge (cache counters + selector latency,
+        whose per-call distribution was observed live in the select
+        loop).  Metrics are observability only — nothing reads them
+        back into the simulation.
+        """
+        metrics = self._metrics
+        metrics.counter("measurements_total", outcome="accepted").inc(
+            len(measurements)
+        )
+        for rejection in rejections:
+            metrics.counter(
+                "measurements_total", outcome="rejected", reason=rejection.reason
+            ).inc()
+        paid = sum(event.reward for event in measurements)
+        metrics.counter("payout_total").inc(paid)
+        self._cumulative_paid += paid
+        metrics.gauge("budget_remaining").set(
+            self.config.budget - self._cumulative_paid
+        )
+        demands = getattr(self.mechanism, "last_demands", None)
+        levels = getattr(self.mechanism, "levels", None)
+        if demands and levels is not None:
+            for level in levels.levels_of(list(demands.values())):
+                metrics.counter("demand_level_total", level=level).inc()
+        if fallbacks:
+            metrics.counter("selector_fallbacks_total").inc(fallbacks)
+        metrics.record_perf(perf)
+        snapshot, self._metrics = self._metrics, MetricsRegistry()
+        return snapshot
 
     def _drain_selector_states(self) -> int:
         """DP states expanded since the last drain (0 for non-DP

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from repro.obs.metrics import MetricsRegistry
 from repro.simulation.perf import PerfStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -86,6 +87,12 @@ class RoundRecord:
             states expanded, selector wall time) — observability only;
             None in replays of event logs written before the counters
             existed.
+        metrics: the round's metrics-registry snapshot (measurement
+            acceptance/rejection counters, payout, budget-remaining
+            gauge, demand-level distribution, selector-latency
+            histogram; see :mod:`repro.obs.metrics`) — observability
+            only; None in replays of event logs written before the
+            registry existed.
     """
 
     round_no: int
@@ -97,6 +104,7 @@ class RoundRecord:
     expired_task_ids: Tuple[int, ...]
     selector_fallbacks: int = 0
     perf: Optional[PerfStats] = None
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def measurement_count(self) -> int:
@@ -141,6 +149,14 @@ class SimulationResult:
     def perf_totals(self) -> PerfStats:
         """All rounds' perf counters merged into one :class:`PerfStats`."""
         return PerfStats.merged(record.perf for record in self.rounds)
+
+    def metrics_totals(self) -> MetricsRegistry:
+        """All rounds' metric snapshots merged, in round order.
+
+        Counters and histograms sum; gauges keep the last round's value
+        (so ``budget_remaining`` ends at the run's final figure).
+        """
+        return MetricsRegistry.merged(record.metrics for record in self.rounds)
 
     def round(self, round_no: int) -> RoundRecord:
         """The record for a 1-based round number.

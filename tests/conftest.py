@@ -8,6 +8,8 @@ stays fast while exercising the same code paths.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 import pytest
 
@@ -17,6 +19,26 @@ from repro.simulation.config import SimulationConfig
 from repro.world.generator import World
 from repro.world.task import SensingTask
 from repro.world.user import MobileUser
+
+
+@pytest.fixture(autouse=True)
+def _restore_repro_logger():
+    """Undo logger reconfiguration after every test.
+
+    ``repro.obs.log.configure_logging`` (called by the CLI's ``main``)
+    installs a handler and disables propagation on the ``"repro"``
+    logger tree — process-global state that would otherwise leak between
+    tests and break ``caplog``-based assertions in whichever file runs
+    later.
+    """
+    root = logging.getLogger("repro")
+    saved_handlers = list(root.handlers)
+    saved_level = root.level
+    saved_propagate = root.propagate
+    yield
+    root.handlers[:] = saved_handlers
+    root.setLevel(saved_level)
+    root.propagate = saved_propagate
 
 
 @pytest.fixture

@@ -65,6 +65,48 @@ class TestBitIdentity:
         with pytest.raises(ValueError, match="workers"):
             repeat_metrics(config, {"c": coverage}, 2, workers=0)
 
+    def test_campaign_registry_bit_identical(self, config):
+        """Worker metric registries merge order-independently: every
+        simulation-derived series in the folded campaign registry is
+        bit-identical to a serial campaign's.  Wall-clock series
+        (``selector_seconds*``) are excluded — timings differ between any
+        two executions, parallel or not."""
+        from repro.obs.metrics import MetricsRegistry
+
+        def simulated_series(registry):
+            return {
+                key: state
+                for key, state in registry.as_dict().items()
+                if not key.startswith("selector_seconds")
+            }
+
+        serial_registry = MetricsRegistry()
+        parallel_registry = MetricsRegistry()
+        repeat_metrics(
+            config, {"c": coverage}, REPS, base_seed=11,
+            registry=serial_registry,
+        )
+        repeat_metrics(
+            config, {"c": coverage}, REPS, base_seed=11,
+            workers=WORKERS, registry=parallel_registry,
+        )
+        assert serial_registry  # the campaign actually populated it
+        assert simulated_series(parallel_registry) == simulated_series(
+            serial_registry
+        )
+
+    def test_journal_loaded_reps_contribute_no_metrics(self, config, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        journal = tmp_path / "campaign.jsonl"
+        repeat_metrics(config, {"c": coverage}, REPS, base_seed=5, journal=journal)
+        registry = MetricsRegistry()
+        repeat_metrics(
+            config, {"c": coverage}, REPS, base_seed=5,
+            journal=journal, registry=registry,
+        )
+        assert not registry  # everything resumed, nothing simulated
+
 
 class TestParallelJournal:
     def test_parallel_journal_has_every_repetition(self, config, tmp_path):

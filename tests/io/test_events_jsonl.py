@@ -49,6 +49,47 @@ class TestRoundTrip:
         assert len(lines) == 1 + result.rounds_played
 
 
+class TestMetricsPayloads:
+    def test_per_round_metrics_survive(self, result, tmp_path):
+        path = write_events_jsonl(result, tmp_path / "run.jsonl")
+        replay = read_events_jsonl(path)
+        for original, loaded in zip(result.rounds, replay.rounds):
+            assert loaded.metrics is not None
+            assert loaded.metrics.as_dict() == original.metrics.as_dict()
+
+    def test_histogram_state_round_trips_exactly(self, result, tmp_path):
+        path = write_events_jsonl(result, tmp_path / "run.jsonl")
+        replay = read_events_jsonl(path)
+        for original, loaded in zip(result.rounds, replay.rounds):
+            before = original.metrics.series()["selector_seconds"]
+            after = loaded.metrics.series()["selector_seconds"]
+            assert after.bounds == before.bounds
+            assert after.bucket_counts == before.bucket_counts
+            assert (after.count, after.sum) == (before.count, before.sum)
+            assert (after.min, after.max) == (before.min, before.max)
+
+    def test_totals_reconstruct_from_the_log(self, result, tmp_path):
+        path = write_events_jsonl(result, tmp_path / "run.jsonl")
+        replay = read_events_jsonl(path)
+        assert (
+            replay.metrics_totals().as_dict()
+            == result.metrics_totals().as_dict()
+        )
+
+    def test_logs_without_metrics_still_load(self, result, tmp_path):
+        """Pre-observability logs (no 'metrics' key) stay readable."""
+        path = write_events_jsonl(result, tmp_path / "run.jsonl")
+        lines = []
+        for line in path.read_text().splitlines():
+            payload = json.loads(line)
+            payload.pop("metrics", None)
+            lines.append(json.dumps(payload))
+        path.write_text("\n".join(lines) + "\n")
+        replay = read_events_jsonl(path)
+        assert all(record.metrics is None for record in replay.rounds)
+        assert not replay.metrics_totals()  # empty registry, not a crash
+
+
 class TestValidation:
     def test_empty_file_rejected(self, tmp_path):
         path = tmp_path / "empty.jsonl"

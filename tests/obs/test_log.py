@@ -1,0 +1,126 @@
+"""Tests for the structured logger: context binding, formatters, levels."""
+
+import io
+import json
+import logging
+
+from repro.obs.log import (
+    JsonFormatter,
+    KeyValueFormatter,
+    bind,
+    configure_logging,
+    current_context,
+    get_logger,
+    verbosity_to_level,
+)
+
+
+class TestGetLogger:
+    def test_names_hang_off_repro_root(self):
+        assert get_logger("selection.watchdog").name == "repro.selection.watchdog"
+
+    def test_already_prefixed_names_pass_through(self):
+        assert get_logger("repro.io").name == "repro.io"
+
+    def test_empty_name_is_the_root(self):
+        assert get_logger().name == "repro"
+
+
+class TestBind:
+    def test_fields_visible_inside_scope_only(self):
+        assert current_context() == {}
+        with bind(round=3, mechanism="on-demand"):
+            assert current_context() == {"round": 3, "mechanism": "on-demand"}
+        assert current_context() == {}
+
+    def test_inner_bind_shadows_then_restores(self):
+        with bind(round=1):
+            with bind(round=2, rep=7):
+                assert current_context() == {"round": 2, "rep": 7}
+            assert current_context() == {"round": 1}
+
+    def test_restores_on_exception(self):
+        try:
+            with bind(round=1):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_context() == {}
+
+
+class TestVerbosityMapping:
+    def test_default_is_warnings_only(self):
+        assert verbosity_to_level() == logging.WARNING
+
+    def test_v_opens_info_vv_debug(self):
+        assert verbosity_to_level(1) == logging.INFO
+        assert verbosity_to_level(2) == logging.DEBUG
+        assert verbosity_to_level(5) == logging.DEBUG
+
+    def test_quiet_wins(self):
+        assert verbosity_to_level(2, quiet=True) == logging.ERROR
+
+
+class TestConfigureLogging:
+    # The autouse _restore_repro_logger fixture (tests/conftest.py)
+    # rolls back the handler/level/propagation changes made here.
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        stream = io.StringIO()
+        for _ in range(3):
+            configure_logging(stream=stream)
+        get_logger("test").warning("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_context_travels_to_log_lines(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        with bind(round=4, seed=7):
+            get_logger("engine").warning("checking", extra={"phase": "select"})
+        line = stream.getvalue().strip()
+        assert "round=4" in line and "seed=7" in line and "phase=select" in line
+
+    def test_json_output_is_one_object_per_line(self):
+        stream = io.StringIO()
+        configure_logging(json_output=True, stream=stream)
+        with bind(rep=2):
+            get_logger("runner").warning("hello")
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["message"] == "hello"
+        assert payload["rep"] == 2
+        assert payload["level"] == "WARNING"
+        assert payload["logger"] == "repro.runner"
+
+    def test_default_level_is_warning(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        get_logger("x").info("invisible")
+        get_logger("x").warning("visible")
+        assert "invisible" not in stream.getvalue()
+        assert "visible" in stream.getvalue()
+
+
+def _record(msg="m", **extra):
+    record = logging.LogRecord(
+        name="repro.t", level=logging.WARNING, pathname="", lineno=0,
+        msg=msg, args=(), exc_info=None,
+    )
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestFormatters:
+    def test_keyvalue_sorts_fields(self):
+        text = KeyValueFormatter().format(_record("msg", zebra=1, alpha=2))
+        assert text.endswith("| alpha=2 zebra=1")
+
+    def test_extra_wins_over_context(self):
+        record = _record("msg", round=9)
+        record.context = {"round": 1, "seed": 3}
+        text = KeyValueFormatter().format(record)
+        assert "round=9" in text and "seed=3" in text
+
+    def test_json_formatter_handles_unserialisable_values(self):
+        payload = json.loads(JsonFormatter().format(_record("msg", obj=object())))
+        assert payload["obj"].startswith("<object")

@@ -1,0 +1,70 @@
+"""Tests for run manifests: provenance capture, atomic write, loading."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import (
+    build_manifest,
+    git_revision,
+    load_manifest,
+    manifest_path_for,
+    write_manifest,
+)
+from repro.resilience.journal import config_fingerprint
+from repro.simulation.config import SimulationConfig
+
+
+class TestBuildManifest:
+    def test_captures_environment_and_fingerprint(self):
+        config = SimulationConfig(n_users=10, seed=3)
+        manifest = build_manifest(config, base_seed=3, command="repro simulate")
+        assert manifest.config_fingerprint == config_fingerprint(config, base_seed=3)
+        assert manifest.base_seed == 3
+        assert manifest.command == "repro simulate"
+        assert manifest.python_version.count(".") == 2
+        assert manifest.numpy_version is not None
+        assert manifest.config["n_users"] == 10
+
+    def test_extra_context_is_preserved(self):
+        manifest = build_manifest(None, experiment="fig6a")
+        assert manifest.extra == {"experiment": "fig6a"}
+
+    def test_git_revision_inside_this_repo(self):
+        revision = git_revision()
+        assert revision is None or (
+            len(revision) == 40 and set(revision) <= set("0123456789abcdef")
+        )
+
+    def test_git_revision_outside_a_repo_is_none(self, tmp_path):
+        assert git_revision(cwd=tmp_path) is None
+
+
+class TestWriteLoad:
+    def test_manifest_lands_next_to_the_artifact(self, tmp_path):
+        artifact = tmp_path / "trace.json"
+        assert manifest_path_for(artifact) == tmp_path / "trace.json.manifest.json"
+
+    def test_round_trip_via_artifact_or_manifest_path(self, tmp_path):
+        config = SimulationConfig(n_users=10, seed=3)
+        manifest = build_manifest(config, base_seed=3)
+        artifact = tmp_path / "trace.json"
+        artifact.write_text("{}")
+        path = write_manifest(manifest, artifact)
+        assert load_manifest(path) == manifest
+        # The artifact path resolves to its manifest, never parsed itself.
+        assert load_manifest(artifact) == manifest
+
+    def test_incompatible_version_rejected(self, tmp_path):
+        path = tmp_path / "x.manifest.json"
+        path.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(ValueError, match="format_version"):
+            load_manifest(path)
+
+    def test_unknown_keys_ignored_on_load(self, tmp_path):
+        manifest = build_manifest(None, base_seed=1)
+        path = write_manifest(manifest, tmp_path / "out.json")
+        payload = json.loads(path.read_text())
+        payload["future_field"] = True
+        path.write_text(json.dumps(payload))
+        assert load_manifest(path) == manifest

@@ -1,0 +1,163 @@
+"""Tests for the metrics registry: instruments, merge determinism, JSON."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    series_key,
+)
+from repro.simulation.perf import PerfStats
+
+
+class TestSeriesKey:
+    def test_no_labels_is_bare_name(self):
+        assert series_key("hits", {}) == "hits"
+
+    def test_labels_render_sorted(self):
+        assert (
+            series_key("m", {"outcome": "ok", "level": 2})
+            == "m{level=2,outcome=ok}"
+        )
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+
+class TestHistogram:
+    def test_bucketing_le_semantics(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            histogram.observe(value)
+        # 0.5 and 1.0 fall in the <=1.0 bucket; 5.0 in <=10.0; 100 overflows.
+        assert histogram.bucket_counts == [2, 1, 1]
+        assert histogram.count == 4
+        assert histogram.min == 0.5
+        assert histogram.max == 100.0
+        assert histogram.mean == pytest.approx(106.5 / 4)
+
+    def test_merge_adds_buckets_and_extremes(self):
+        a, b = Histogram(bounds=(1.0,)), Histogram(bounds=(1.0,))
+        a.observe(0.5)
+        b.observe(2.0)
+        a.merge(b)
+        assert a.bucket_counts == [1, 1]
+        assert (a.min, a.max) == (0.5, 2.0)
+
+    def test_merge_rejects_different_bounds(self):
+        with pytest.raises(ValueError, match="different bounds"):
+            Histogram(bounds=(1.0,)).merge(Histogram(bounds=(2.0,)))
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError, match="ascend"):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram(bounds=())
+
+
+class TestRegistry:
+    def test_same_name_same_labels_is_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("events", outcome="ok").inc()
+        registry.counter("events", outcome="ok").inc()
+        registry.counter("events", outcome="bad").inc()
+        assert registry.value("events", outcome="ok") == 2
+        assert registry.value("events", outcome="bad") == 1
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_empty_registry_is_falsy(self):
+        registry = MetricsRegistry()
+        assert not registry
+        registry.counter("x")
+        assert registry and len(registry) == 1
+
+    def test_record_perf_maps_the_legacy_bundle(self):
+        perf = PerfStats(
+            problem_cache_hits=3, problem_cache_misses=1, price_cache_hits=2,
+            dp_states_expanded=40, selector_calls=5, selector_wall_time=0.25,
+        )
+        registry = MetricsRegistry()
+        registry.record_perf(perf)
+        assert registry.value("problem_cache_hits") == 3
+        assert registry.value("selector_calls") == 5
+        assert registry.value("selector_seconds_total") == pytest.approx(0.25)
+
+
+class TestMergeDeterminism:
+    def _part(self, paid, budget_left, latency):
+        registry = MetricsRegistry()
+        registry.counter("payout_total").inc(paid)
+        registry.gauge("budget_remaining").set(budget_left)
+        registry.histogram("selector_seconds").observe(latency)
+        return registry
+
+    def test_counters_and_histograms_add(self):
+        total = MetricsRegistry.merged(
+            [self._part(10.0, 90.0, 0.001), self._part(5.0, 85.0, 0.2)]
+        )
+        assert total.value("payout_total") == 15.0
+        assert total.series()["selector_seconds"].count == 2
+
+    def test_gauge_takes_the_later_snapshot(self):
+        total = MetricsRegistry.merged(
+            [self._part(10.0, 90.0, 0.001), self._part(5.0, 85.0, 0.2)]
+        )
+        assert total.value("budget_remaining") == 85.0
+
+    def test_fixed_merge_order_is_bit_identical(self):
+        parts = [self._part(i * 1.5, 100.0 - i, 0.001 * i) for i in range(1, 6)]
+        serial = MetricsRegistry.merged(parts)
+        # Arrival order scrambled; folding in canonical order must agree.
+        arrived = [parts[i] for i in (3, 0, 4, 2, 1)]
+        recovered = MetricsRegistry.merged(
+            sorted(arrived, key=lambda p: p.value("budget_remaining"), reverse=True)
+        )
+        assert recovered.as_dict() == serial.as_dict()
+
+    def test_merge_does_not_alias_the_source(self):
+        part = self._part(10.0, 90.0, 0.001)
+        total = MetricsRegistry.merged([part])
+        total.counter("payout_total").inc(5.0)
+        assert part.value("payout_total") == 10.0
+
+    def test_merge_none_is_a_noop(self):
+        registry = MetricsRegistry()
+        assert registry.merge(None) is registry
+
+
+class TestSerialisation:
+    def test_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("events", outcome="ok").inc(4)
+        registry.gauge("budget_remaining").set(12.5)
+        registry.histogram("latency", bounds=(0.1, 1.0)).observe(0.05)
+        payload = json.loads(json.dumps(registry.as_dict()))
+        loaded = MetricsRegistry.from_dict(payload)
+        assert loaded.as_dict() == registry.as_dict()
+        assert loaded.value("events", outcome="ok") == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown instrument kind"):
+            MetricsRegistry.from_dict({"x": {"kind": "banana", "value": 1}})
+
+    def test_malformed_series_key_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            MetricsRegistry.from_dict({"x{bad": {"kind": "counter", "value": 1}})

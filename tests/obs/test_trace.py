@@ -1,0 +1,105 @@
+"""Tests for the span tracer: null tracer, exports, summarize."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    SpanTracer,
+    load_trace,
+    summarize,
+)
+
+
+class TestNullTracer:
+    def test_span_is_a_reusable_noop(self):
+        first = NULL_TRACER.span("anything", cat="x", round=1)
+        second = NULL_TRACER.span("else")
+        assert first is second  # preallocated: no per-span allocation
+        with first:
+            pass
+
+    def test_disabled_flag_for_hot_loops(self):
+        assert NULL_TRACER.enabled is False
+        assert SpanTracer().enabled is True
+
+
+class TestSpanTracer:
+    def _traced(self):
+        tracer = SpanTracer(metadata={"selector": "dp"})
+        with tracer.span("run", cat="run"):
+            with tracer.span("round", cat="round", round=1):
+                with tracer.span("select", cat="phase"):
+                    pass
+            with tracer.span("round", cat="round", round=2):
+                pass
+        return tracer
+
+    def test_records_nesting_depth_and_args(self):
+        tracer = self._traced()
+        by_name = {}
+        for record in tracer.spans:
+            by_name.setdefault(record.name, []).append(record)
+        assert by_name["run"][0].depth == 0
+        assert by_name["round"][0].depth == 1
+        assert by_name["select"][0].depth == 2
+        assert by_name["round"][0].args == {"round": 1}
+        assert all(record.duration >= 0 for record in tracer.spans)
+
+    def test_chrome_export_is_perfetto_shaped(self, tmp_path):
+        tracer = self._traced()
+        path = tracer.write_chrome(tmp_path / "trace.json", counters={"c": 1})
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["selector"] == "dp"
+        assert payload["otherData"]["counters"] == {"c": 1}
+        events = payload["traceEvents"]
+        assert {event["ph"] for event in events} == {"X"}
+        assert all({"name", "ts", "dur", "pid", "tid"} <= set(e) for e in events)
+        # Chronological: a sorted ts column.
+        stamps = [event["ts"] for event in events]
+        assert stamps == sorted(stamps)
+
+    def test_jsonl_export_round_trips(self, tmp_path):
+        tracer = self._traced()
+        path = tracer.write_jsonl(tmp_path / "trace.jsonl")
+        loaded = load_trace(path)
+        assert loaded["metadata"] == {"selector": "dp"}
+        assert sorted(name for name, _ in loaded["spans"]) == sorted(
+            record.name for record in tracer.spans
+        )
+
+    def test_load_trace_reads_both_formats_identically(self, tmp_path):
+        tracer = self._traced()
+        chrome = load_trace(tracer.write_chrome(tmp_path / "t.json"))
+        jsonl = load_trace(tracer.write_jsonl(tmp_path / "t.jsonl"))
+        names = lambda loaded: sorted(name for name, _ in loaded["spans"])  # noqa: E731
+        assert names(chrome) == names(jsonl)
+
+
+class TestSummarize:
+    def test_aggregates_per_name(self, tmp_path):
+        tracer = SpanTracer()
+        with tracer.span("run"):
+            for _ in range(3):
+                with tracer.span("round"):
+                    pass
+        path = tracer.write_chrome(tmp_path / "trace.json")
+        rows = {row.name: row for row in summarize(path)}
+        assert rows["round"].count == 3
+        assert rows["run"].count == 1
+        assert rows["round"].total_seconds == pytest.approx(
+            3 * rows["round"].mean_seconds
+        )
+        assert rows["run"].total_seconds >= rows["round"].total_seconds
+
+    def test_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "not_a_trace.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ValueError, match="not a repro trace"):
+            load_trace(path)
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace(empty)

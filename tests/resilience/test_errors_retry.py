@@ -92,3 +92,37 @@ class TestWithRetries:
             return "ok"
 
         assert with_retries(flaky, sleep=lambda _s: None) == "ok"
+
+
+class TestRetryLogging:
+    def test_each_backoff_logs_a_structured_warning(self, caplog):
+        import logging
+
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientIOError("disk hiccup")
+            return "ok"
+
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with_retries(flaky, attempts=3, sleep=lambda _s: None)
+        records = [r for r in caplog.records if "transient failure" in r.message]
+        assert [r.attempt for r in records] == [1, 2]
+        assert all(r.attempts == 3 for r in records)
+        assert all(r.name == "repro.resilience.retry" for r in records)
+        assert records[0].delay_s == 0.05
+        assert "disk hiccup" in records[0].error
+
+    def test_final_failure_does_not_log_a_retry(self, caplog):
+        import logging
+
+        def always():
+            raise TransientIOError("still down")
+
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with pytest.raises(TransientIOError):
+                with_retries(always, attempts=2, sleep=lambda _s: None)
+        records = [r for r in caplog.records if "transient failure" in r.message]
+        assert len(records) == 1  # the exhausted attempt raises, not logs

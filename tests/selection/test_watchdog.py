@@ -1,5 +1,6 @@
 """Tests for the TimeBoundedSelector watchdog."""
 
+import logging
 import time
 
 import pytest
@@ -98,6 +99,36 @@ class TestInnerErrors:
         )
         with pytest.raises(RuntimeError, match="kaboom"):
             guarded.select(problem)
+
+
+class TestDegradationLogging:
+    def test_breach_logs_a_structured_warning(self, problem, caplog):
+        guarded = TimeBoundedSelector(_Sleeper(0.5), timeout=0.02)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            guarded.select(problem)
+        [record] = [
+            r for r in caplog.records if "deadline breached" in r.message
+        ]
+        assert record.levelno == logging.WARNING
+        assert record.name == "repro.selection.watchdog"
+        assert record.selector == "_Sleeper"
+        assert record.fallback == "GreedySelector"
+        assert record.timeout_s == 0.02
+        assert record.problem_size == problem.size
+        assert record.total_timeouts == 1
+
+    def test_caught_crash_logs_the_error(self, problem, caplog):
+        guarded = TimeBoundedSelector(_Exploder(), timeout=5.0)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            guarded.select(problem)
+        [record] = [r for r in caplog.records if "crashed" in r.message]
+        assert "kaboom" in record.error
+
+    def test_clean_select_logs_nothing(self, problem, caplog):
+        guarded = TimeBoundedSelector(GreedySelector(), timeout=30.0)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            guarded.select(problem)
+        assert not caplog.records
 
 
 class TestRoundDrain:

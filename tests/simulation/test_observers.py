@@ -33,6 +33,15 @@ class TestProgressPrinter:
         engine.step()
         assert stream.getvalue().startswith("on-demand round")
 
+    def test_line_reports_the_round_totals(self, config):
+        stream = io.StringIO()
+        engine = SimulationEngine(config, observers=[ProgressPrinter(stream)])
+        result = engine.run()
+        first_line = stream.getvalue().splitlines()[0]
+        record = result.rounds[0]
+        assert f"{record.measurement_count:>4} measurements" in first_line
+        assert f"${record.total_paid:.2f} paid" in first_line
+
 
 class TestBudgetLedger:
     def test_tracks_platform_payout(self, config):
@@ -62,7 +71,7 @@ class TestBudgetLedger:
             measurements=(MeasurementEvent(1, 0, 0, 2.0),),
             rejections=(), completed_task_ids=(), expired_task_ids=(),
         )
-        with pytest.raises(RuntimeError, match="budget breach"):
+        with pytest.raises(RuntimeError, match="paid 2.00 of 1.00"):
             ledger(record)
 
     def test_budget_validated(self):

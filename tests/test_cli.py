@@ -29,6 +29,24 @@ class TestParser:
         args = build_parser().parse_args(["simulate", "--selector-timeout", "0.5"])
         assert args.selector_timeout == 0.5
 
+    def test_logging_flags_shared_by_every_subcommand(self):
+        for argv in (
+            ["list"],
+            ["run", "fig6a"],
+            ["tables"],
+            ["report"],
+            ["simulate"],
+            ["show", "x.json"],
+            ["sweep", "n_users", "8"],
+            ["trace", "summarize", "t.json"],
+        ):
+            args = build_parser().parse_args(argv + ["-vv", "--log-json"])
+            assert args.verbose == 2
+            assert args.log_json is True
+            assert args.quiet is False
+        args = build_parser().parse_args(["simulate", "--quiet"])
+        assert args.quiet is True and args.verbose == 0
+
 
 class TestList:
     def test_lists_all_experiments(self, capsys):
@@ -63,6 +81,66 @@ class TestSimulate:
             "--mechanism", "steered", "--selector", "greedy",
         ])
         assert code == 0
+
+    def test_verbosity_flags_leave_stdout_unchanged(self, capsys):
+        argv = ["simulate", "--users", "8", "--tasks", "4", "--rounds", "3"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["-vv", "--log-json"]) == 0
+        noisy = capsys.readouterr().out
+        # Compare up to the perf line: its wall-clock numbers vary per run.
+        assert noisy.split("\nperf:")[0] == plain.split("\nperf:")[0]
+
+
+class TestTrace:
+    ARGV = [
+        "simulate", "--users", "8", "--tasks", "4", "--rounds", "3",
+        "--seed", "2",
+    ]
+
+    def test_trace_writes_chrome_file_and_manifest(self, capsys, tmp_path):
+        trace_path = tmp_path / "out.json"
+        assert main(self.ARGV + ["--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "saved trace" in out and "saved manifest" in out
+
+        payload = json.loads(trace_path.read_text())
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert {"run", "round", "price-publish", "select", "upload"} <= names
+        assert payload["otherData"]["selector"] == "dp"
+        assert "counters" in payload["otherData"]
+
+        manifest = json.loads((tmp_path / "out.json.manifest.json").read_text())
+        assert manifest["base_seed"] == 2
+        assert manifest["config"]["n_users"] == 8
+        assert manifest["command"].startswith("repro simulate")
+
+    def test_traced_run_metrics_match_untraced(self, capsys, tmp_path):
+        def metric_table(text):
+            # Up to the perf line, whose wall-clock numbers vary per run.
+            return text.split("\nperf:")[0]
+
+        assert main(self.ARGV) == 0
+        plain = capsys.readouterr().out
+        assert main(self.ARGV + ["--trace", str(tmp_path / "t.json")]) == 0
+        traced = capsys.readouterr().out
+        assert metric_table(traced) == metric_table(plain)
+
+    def test_summarize_prints_phases_and_counters(self, capsys, tmp_path):
+        trace_path = tmp_path / "out.json"
+        main(self.ARGV + ["--trace", str(trace_path)])
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "select" in out and "round" in out
+        assert "payout_total" in out
+        assert "selector_seconds" in out
+
+    def test_summarize_rejects_non_trace_files(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError, match="not a repro trace"):
+            main(["trace", "summarize", str(bogus)])
 
 
 class TestRun:

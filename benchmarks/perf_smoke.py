@@ -11,6 +11,11 @@ Usage::
     python benchmarks/perf_smoke.py                 # full scale, repo-root json
     python benchmarks/perf_smoke.py --scale tiny    # CI smoke: seconds, no gate
     python benchmarks/perf_smoke.py --min-speedup 3 # fail below 3x
+    python benchmarks/perf_smoke.py --obs-store .repro-obs  # + run store
+
+A provenance manifest is written next to the trajectory file, and
+``--obs-store`` lands the entry in a run-observatory store so
+``repro obs regress`` can gate it against its baseline window.
 
 Standalone on purpose (argparse + json, no pytest) so CI can run it as a
 plain script and upload the json artifact.
@@ -105,6 +110,9 @@ def main(argv=None):
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="exit non-zero if the speedup falls below this")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--obs-store", default=None, metavar="DIR",
+                        help="also ingest the entry into a run-observatory "
+                             "store (see 'repro obs')")
     args = parser.parse_args(argv)
 
     if args.scale == "tiny":
@@ -117,6 +125,34 @@ def main(argv=None):
     trajectory = json.loads(out.read_text()) if out.exists() else []
     trajectory.append(entry)
     out.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    # Provenance next to the numbers: which tree, interpreter, and host
+    # produced the entry (never a reason to fail the bench itself).
+    from repro.obs.manifest import build_manifest, write_manifest  # noqa: E402
+
+    manifest_path = write_manifest(
+        build_manifest(
+            base_seed=args.seed,
+            command="python benchmarks/perf_smoke.py "
+                    f"--scale {args.scale} --seed {args.seed}",
+            scale=args.scale,
+            n_tasks=entry["n_tasks"],
+            instances=entry["instances"],
+        ),
+        out,
+    )
+    print(f"wrote manifest: {manifest_path}")
+
+    if args.obs_store:
+        from repro.obs.store import ingest_bench_trajectory  # noqa: E402
+        from repro.obs.store import RunStore
+
+        store = RunStore(args.obs_store)
+        created = ingest_bench_trajectory(store, out)
+        print(
+            f"recorded in store {store.root}: {len(created)} new runs "
+            f"({len(store)} total)"
+        )
 
     print(
         f"{entry['n_tasks']} tasks x {entry['instances']} instances: "

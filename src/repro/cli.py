@@ -12,6 +12,11 @@ Usage::
     repro simulate --selector-timeout 0.5   # ... with the DP watchdog armed
     repro simulate --trace out.json  # ... tracing phases (open in Perfetto)
     repro trace summarize out.json   # per-phase timings from a trace file
+    repro simulate --profile         # ... sampling RSS/CPU/GC while it runs
+    repro simulate --obs-store .repro-obs   # ... and record it in the store
+    repro obs ingest BENCH_selectors.json   # fold a bench trajectory in
+    repro obs regress                # gate the latest runs on their history
+    repro obs dashboard --html obs.html     # sparklines + one-file HTML
 
 Every subcommand shares the logging flags ``-v/--verbose`` (repeatable),
 ``--quiet``, and ``--log-json``; the default is warnings-only to stderr,
@@ -22,6 +27,7 @@ identically when the console script is not on PATH.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -84,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fan repetitions across N simulation processes "
                           "(default: serial); aggregates are bit-identical "
                           "to a serial run and combine with --resume")
+    run.add_argument("--obs-store", metavar="DIR", default=None,
+                     help="also record the result's series in a run store "
+                          "(kind 'experiment:<id>') for trend/regression "
+                          "tracking via 'repro obs'")
 
     sub.add_parser("tables", parents=[common],
                    help="print Tables I-III from the paper")
@@ -120,6 +130,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "trace-event file (open at https://ui.perfetto.dev) "
                           "and write a provenance manifest next to it; the "
                           "simulated numbers are bit-identical either way")
+    sim.add_argument("--profile", action="store_true",
+                     help="sample process RSS/CPU/GC on a background thread "
+                          "while the run executes and print the digest; "
+                          "simulated numbers are bit-identical either way")
+    sim.add_argument("--profile-interval", type=float, default=0.02,
+                     metavar="SECONDS",
+                     help="seconds between profiler samples (default 0.02)")
+    sim.add_argument("--obs-store", metavar="DIR", default=None,
+                     help="record metrics (+ manifest, trace summary, and "
+                          "profile when enabled) in a run store for "
+                          "trend/regression tracking via 'repro obs'")
 
     trace = sub.add_parser("trace", help="inspect trace files written by --trace")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -153,6 +174,73 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=None, metavar="N",
                        help="simulation processes per sweep value "
                             "(default: serial)")
+
+    obs = sub.add_parser(
+        "obs",
+        help="the run observatory: cross-run store, regression gating, "
+             "dashboards",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    store_flag = argparse.ArgumentParser(add_help=False)
+    store_flag.add_argument(
+        "--store", metavar="DIR",
+        default=os.environ.get("REPRO_OBS_STORE", ".repro-obs"),
+        help="run store directory (default: $REPRO_OBS_STORE or .repro-obs)",
+    )
+
+    obs_ingest = obs_sub.add_parser(
+        "ingest", parents=[common, store_flag],
+        help="fold bench trajectory files (BENCH_selectors.json) into the store",
+    )
+    obs_ingest.add_argument("paths", nargs="+",
+                            help="bench trajectory JSON files (idempotent: "
+                                 "already-ingested entries are skipped)")
+    obs_ingest.add_argument("--kind", default="bench",
+                            help="run kind to file the entries under "
+                                 "(default: bench)")
+
+    obs_list = obs_sub.add_parser(
+        "list", parents=[common, store_flag],
+        help="list ingested runs",
+    )
+    obs_list.add_argument("--kind", default=None,
+                          help="restrict to one run kind")
+
+    obs_show = obs_sub.add_parser(
+        "show", parents=[common, store_flag],
+        help="show one run's full record",
+    )
+    obs_show.add_argument("run_id", help="a run id from 'repro obs list'")
+
+    obs_diff = obs_sub.add_parser(
+        "diff", parents=[common, store_flag],
+        help="compare two runs value by value",
+    )
+    obs_diff.add_argument("run_a", help="baseline run id")
+    obs_diff.add_argument("run_b", help="candidate run id")
+
+    obs_regress = obs_sub.add_parser(
+        "regress", parents=[common, store_flag],
+        help="check the latest run of each kind against its baseline window",
+    )
+    obs_regress.add_argument("--kind", default=None,
+                             help="restrict to one run kind")
+    obs_regress.add_argument("--window", type=int, default=5,
+                             help="baseline window size (default 5)")
+    obs_regress.add_argument("--warn-only", action="store_true",
+                             help="exit 0 even when metrics regressed "
+                                  "(report, don't gate)")
+    obs_regress.add_argument("--json", metavar="PATH", default=None,
+                             help="also write the full report as JSON")
+
+    obs_dash = obs_sub.add_parser(
+        "dashboard", parents=[common, store_flag],
+        help="render the store as sparklines (and optionally one-file HTML)",
+    )
+    obs_dash.add_argument("--window", type=int, default=5,
+                          help="regression baseline window (default 5)")
+    obs_dash.add_argument("--html", metavar="PATH", default=None,
+                          help="also write a self-contained HTML dashboard")
     return parser
 
 
@@ -202,6 +290,20 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.csv:
         path = write_series_csv(result, args.csv)
         print(f"saved CSV: {path}")
+    if args.obs_store:
+        from repro.obs.store import RunStore
+
+        values = {
+            f"{series.label}[x={point.x:g}]": float(point.mean)
+            for series in result.series
+            for point in series.points
+        }
+        record, _ = RunStore(args.obs_store).ingest(
+            f"experiment:{args.experiment}",
+            values,
+            labels={"experiment": args.experiment, "seed": str(args.seed)},
+        )
+        print(f"recorded in store: {record.run_id} ({args.obs_store})")
     return 0
 
 
@@ -251,9 +353,21 @@ def _command_simulate(args: argparse.Namespace, command: Optional[str] = None) -
             "n_tasks": args.tasks,
             "rounds": args.rounds,
         })
-        result = simulate(config, tracer=tracer)
-    else:
-        result = simulate(config)
+    profiler = None
+    if args.profile:
+        from repro.obs.profiler import ResourceProfiler
+
+        profiler = ResourceProfiler(
+            interval=args.profile_interval, tracer=tracer
+        ).start()
+    try:
+        if tracer is not None:
+            result = simulate(config, tracer=tracer)
+        else:
+            result = simulate(config)
+    finally:
+        if profiler is not None:
+            profiler.stop()
     summary = MetricsSummary.from_result(result)
     rows = [[name, value] for name, value in summary.as_dict().items()]
     print(render_table(["metric", "value"], rows, precision=4))
@@ -278,6 +392,16 @@ def _command_simulate(args: argparse.Namespace, command: Optional[str] = None) -
 
         print()
         print(render_world(result.world))
+    if profiler is not None:
+        digest = profiler.summary()
+        print(
+            f"\nprofile: {digest['samples']} samples over "
+            f"{digest.get('duration_seconds', 0.0):.3f}s, peak RSS "
+            f"{digest.get('rss_peak_bytes', 0) / 2**20:.1f} MiB, CPU "
+            f"{digest.get('cpu_seconds', 0.0):.3f}s, "
+            f"{digest.get('gc_collections', 0)} GC collections"
+        )
+    trace_path = None
     if tracer is not None:
         from repro.obs.manifest import build_manifest, write_manifest
 
@@ -290,10 +414,48 @@ def _command_simulate(args: argparse.Namespace, command: Optional[str] = None) -
         )
         print(f"\nsaved trace: {trace_path} ({len(tracer.spans)} spans)")
         print(f"saved manifest: {manifest_path}")
+    if args.obs_store:
+        import dataclasses
+
+        from repro.obs.manifest import build_manifest
+        from repro.obs.store import RunStore, registry_values
+
+        registry = result.metrics_totals()
+        if profiler is not None:
+            profiler.fold_into(registry)
+        values = registry_values(registry.as_dict())
+        for name, value in summary.as_dict().items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                values[f"summary/{name}"] = float(value)
+        trace_rows = None
+        if trace_path is not None:
+            from repro.obs.trace import summarize
+
+            trace_rows = [
+                dataclasses.asdict(phase) for phase in summarize(trace_path)
+            ]
+        record, _ = RunStore(args.obs_store).ingest(
+            "simulate",
+            values,
+            labels={
+                "mechanism": args.mechanism,
+                "selector": args.selector,
+                "mobility": args.mobility,
+                "layout": args.layout,
+                "seed": str(args.seed),
+            },
+            manifest=build_manifest(
+                config, base_seed=args.seed, command=command
+            ).as_dict(),
+            metrics=registry.as_dict(),
+            trace_summary=trace_rows,
+        )
+        print(f"\nrecorded in store: {record.run_id} ({args.obs_store})")
     return 0
 
 
 def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import Histogram
     from repro.obs.trace import load_trace, summarize
 
     rows = [
@@ -302,12 +464,14 @@ def _command_trace(args: argparse.Namespace) -> int:
             phase.count,
             phase.total_seconds,
             1e3 * phase.mean_seconds,
+            1e3 * phase.p50_seconds,
+            1e3 * phase.p95_seconds,
             1e3 * phase.max_seconds,
         ]
         for phase in summarize(args.path)
     ]
     print(render_table(
-        ["phase", "count", "total s", "mean ms", "max ms"],
+        ["phase", "count", "total s", "mean ms", "p50 ms", "p95 ms", "max ms"],
         rows, precision=args.precision,
     ))
     counters = load_trace(args.path)["counters"]
@@ -317,7 +481,15 @@ def _command_trace(args: argparse.Namespace) -> int:
             state = counters[series]
             kind = state.get("kind")
             if kind == "histogram":
-                value = f"count={state.get('count')} sum={state.get('sum'):.4g}"
+                histogram = Histogram.from_dict(
+                    {k: v for k, v in state.items() if k != "kind"}
+                )
+                value = f"count={histogram.count} sum={histogram.sum:.4g}"
+                if histogram.count:
+                    value += (
+                        f" p50={histogram.percentile(50.0):.4g}"
+                        f" p95={histogram.percentile(95.0):.4g}"
+                    )
             else:
                 value = state.get("value")
             counter_rows.append([series, kind, value])
@@ -361,6 +533,120 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_obs(args: argparse.Namespace) -> int:
+    from repro.obs.store import DEDUPE_LABEL, RunStore
+
+    store = RunStore(args.store)
+
+    if args.obs_command == "ingest":
+        from repro.obs.store import ingest_bench_trajectory
+
+        for path in args.paths:
+            created = ingest_bench_trajectory(store, path, kind=args.kind)
+            print(f"{path}: {len(created)} new runs (kind={args.kind})")
+        print(f"store {store.root}: {len(store)} runs total")
+        return 0
+
+    if args.obs_command == "list":
+        rows = [
+            [
+                entry["run_id"],
+                entry["kind"],
+                entry["created_at"],
+                len(entry["values"]),
+                ", ".join(
+                    f"{k}={v}" for k, v in sorted(entry["labels"].items())
+                    if k != DEDUPE_LABEL
+                ),
+            ]
+            for entry in store.entries(kind=args.kind)
+        ]
+        print(render_table(["run", "kind", "created", "values", "labels"], rows))
+        return 0
+
+    if args.obs_command == "show":
+        record = store.load(args.run_id)
+        print(f"{record.run_id} (kind={record.kind}, created {record.created_at})")
+        for key, value in sorted(record.labels.items()):
+            print(f"  label {key} = {value}")
+        if record.manifest:
+            print(
+                f"  manifest: config {record.manifest.get('config_fingerprint')} "
+                f"git {record.manifest.get('git_revision')}"
+            )
+        print()
+        print(render_table(
+            ["value", "number"], sorted(record.values.items()), precision=6,
+        ))
+        return 0
+
+    if args.obs_command == "diff":
+        from repro.obs.report import diff_records
+
+        run_a, run_b = store.load(args.run_a), store.load(args.run_b)
+        rows = [
+            [row["metric"], row["a"], row["b"], row["delta"], row["pct"]]
+            for row in diff_records(run_a.values, run_b.values)
+        ]
+        print(render_table(
+            ["metric", args.run_a, args.run_b, "delta", "pct"],
+            rows, precision=6,
+        ))
+        return 0
+
+    if args.obs_command == "regress":
+        from repro.obs.regress import regress_store
+
+        report = regress_store(store, kind=args.kind, window=args.window)
+        rows = [
+            [
+                verdict.kind or "-",
+                verdict.metric,
+                verdict.status,
+                "-" if verdict.candidate is None else verdict.candidate,
+                "-" if verdict.baseline_median is None
+                else verdict.baseline_median,
+                f"{verdict.deviation:+.2f}",
+                verdict.method,
+            ]
+            for verdict in report.verdicts
+        ]
+        print(render_table(
+            ["kind", "metric", "status", "latest", "baseline", "score", "method"],
+            rows, precision=4,
+        ))
+        for verdict in report.verdicts:
+            if verdict.status in ("warn", "regressed"):
+                print(f"{verdict.status}: {verdict.evidence}")
+        print(
+            f"\nstatus: {report.status} ({len(report.regressed)} regressed, "
+            f"{len(report.warned)} warned, window={report.window})"
+        )
+        if args.json:
+            from repro.io.atomic import atomic_write_text
+            from repro.obs.report import summarize_json
+
+            atomic_write_text(args.json, summarize_json(report) + "\n")
+            print(f"wrote report JSON: {args.json}")
+        return report.exit_code(warn_only=args.warn_only)
+
+    if args.obs_command == "dashboard":
+        from repro.obs.report import render_terminal_dashboard, write_html_dashboard
+
+        # Write the artifact before the terminal echo: the file must land
+        # even when stdout goes away mid-print (e.g. piped through head).
+        if args.html:
+            path = write_html_dashboard(store, args.html, window=args.window)
+        print(render_terminal_dashboard(store, window=args.window))
+        if args.html:
+            print(f"\nwrote dashboard: {path}")
+        return 0
+
+    raise AssertionError(
+        f"unhandled obs command {args.obs_command!r}"
+    )  # pragma: no cover
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -386,6 +672,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_show(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "obs":
+        return _command_obs(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

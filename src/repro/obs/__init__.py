@@ -11,7 +11,17 @@ The subsystem every serving stack grows eventually, grown deliberately:
   as JSONL or Chrome trace events (Perfetto-loadable), with a zero-cost
   no-op tracer as the default;
 - :mod:`repro.obs.manifest` — atomic run manifests recording config
-  fingerprint, seed, git revision, interpreter, and host.
+  fingerprint, seed, git revision, interpreter, and host;
+- :mod:`repro.obs.store` — the run observatory: an append-only,
+  file-locked, queryable store of manifests + metric summaries + trace
+  summaries across runs;
+- :mod:`repro.obs.profiler` — a sampling resource profiler (RSS, CPU,
+  GC) attributing samples to the active trace span, no-op by default;
+- :mod:`repro.obs.regress` — baseline-window perf-regression detection
+  (robust MAD z-scores with a relative-threshold fallback) with typed
+  verdicts;
+- :mod:`repro.obs.report` — terminal and self-contained single-file
+  HTML dashboards over the store.
 
 Everything here observes; nothing decides.  The invariant the tests pin:
 a run with full observability enabled produces bit-identical simulated
@@ -42,6 +52,35 @@ from repro.obs.metrics import (
     global_registry,
     series_key,
 )
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    ResourceProfiler,
+    ResourceSample,
+    read_rss_bytes,
+)
+from repro.obs.regress import (
+    DEFAULT_THRESHOLDS,
+    MetricSpec,
+    RegressionReport,
+    Thresholds,
+    Verdict,
+    default_spec,
+    detect,
+    regress_series,
+    regress_store,
+)
+from repro.obs.report import (
+    render_html_dashboard,
+    render_terminal_dashboard,
+    write_html_dashboard,
+)
+from repro.obs.store import (
+    RunRecord,
+    RunStore,
+    StoreError,
+    ingest_bench_trajectory,
+    registry_values,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -71,6 +110,27 @@ __all__ = [
     "MetricsRegistry",
     "global_registry",
     "series_key",
+    "NULL_PROFILER",
+    "ResourceProfiler",
+    "ResourceSample",
+    "read_rss_bytes",
+    "DEFAULT_THRESHOLDS",
+    "MetricSpec",
+    "RegressionReport",
+    "Thresholds",
+    "Verdict",
+    "default_spec",
+    "detect",
+    "regress_series",
+    "regress_store",
+    "render_html_dashboard",
+    "render_terminal_dashboard",
+    "write_html_dashboard",
+    "RunRecord",
+    "RunStore",
+    "StoreError",
+    "ingest_bench_trajectory",
+    "registry_values",
     "NULL_TRACER",
     "NullTracer",
     "PhaseSummary",

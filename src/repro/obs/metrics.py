@@ -151,6 +151,51 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """The q-th percentile estimated by linear bucket interpolation.
+
+        Within the bucket containing the target rank, observations are
+        assumed uniform between the bucket's edges (Prometheus
+        ``histogram_quantile`` semantics).  The first bucket's lower edge
+        is the recorded ``min``; the overflow bucket's upper edge is the
+        recorded ``max`` — so estimates are always clamped inside the
+        observed range, and an exact-at-the-edges answer for q=0/q=100.
+
+        Returns None for an empty histogram.
+
+        Raises:
+            ValueError: for q outside [0, 100].
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return None
+        target = (q / 100.0) * self.count
+        cumulative = 0.0
+        value: Optional[float] = None
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count and cumulative + bucket_count >= target:
+                if index == 0:
+                    low = self.min if self.min is not None else 0.0
+                    high = self.bounds[0]
+                elif index == len(self.bounds):
+                    low = self.bounds[-1]
+                    high = self.max if self.max is not None else low
+                else:
+                    low = self.bounds[index - 1]
+                    high = self.bounds[index]
+                fraction = (target - cumulative) / bucket_count
+                value = low + (high - low) * fraction
+                break
+            cumulative += bucket_count
+        if value is None:  # q == 100 with floating-point shortfall
+            value = self.max if self.max is not None else 0.0
+        if self.min is not None:
+            value = max(value, self.min)
+        if self.max is not None:
+            value = min(value, self.max)
+        return value
+
     def merge(self, other: "Histogram") -> None:
         if other.bounds != self.bounds:
             raise ValueError(

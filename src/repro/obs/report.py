@@ -1,0 +1,346 @@
+"""Dashboards over the run store: terminal sparklines and one-file HTML.
+
+Two renderers over the same data (:class:`~repro.obs.store.RunStore`
+series + :func:`~repro.obs.regress.regress_store` verdicts):
+
+- :func:`render_terminal_dashboard` — metric trends as unicode
+  sparklines (reusing :mod:`repro.io.ascii_chart`) plus the verdict
+  table, for ``repro obs dashboard`` in a terminal;
+- :func:`render_html_dashboard` — a **self-contained** HTML file
+  (inline CSS/JS, inline SVG charts, zero third-party dependencies) CI
+  can upload as a build artifact and anyone can open from disk.
+
+The HTML follows the repo's chart conventions: one accent hue for the
+single-series trend lines, status colors only for verdict chips (always
+paired with a glyph + word, never color alone), light and dark surfaces
+via ``prefers-color-scheme``, and a table view of every run so nothing
+is readable only from a chart.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.regress import RegressionReport, Thresholds, DEFAULT_THRESHOLDS, regress_store
+from repro.obs.store import DEDUPE_LABEL, RunStore
+
+#: Status chips: glyph + label + css class (color is never the only cue).
+_STATUS_CHIP = {
+    "ok": ("✓", "ok"),
+    "warn": ("△", "warn"),
+    "regressed": ("✕", "regressed"),
+    "skipped": ("·", "skipped"),
+}
+
+
+# -- terminal --------------------------------------------------------------
+
+
+def render_terminal_dashboard(
+    store: RunStore,
+    window: int = 5,
+    width: int = 40,
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+) -> str:
+    """The store as text: per-kind sparklines + the regression verdicts."""
+    from repro.analysis.series import Series, SeriesPoint
+    from repro.io.ascii_chart import render_sparkline
+    from repro.io.tables import render_table
+
+    lines = [f"observatory: {store.root} ({len(store)} runs)"]
+    for kind in store.kinds():
+        entries = store.entries(kind=kind)
+        lines.append("")
+        lines.append(f"[{kind}] {len(entries)} runs")
+        for name in store.value_names(kind=kind):
+            history = [value for _run, value in store.series(name, kind=kind)]
+            if len(history) < 2:
+                lines.append(f"  {name} = {history[0]:.4g} (single run)")
+                continue
+            series = Series(
+                label=name,
+                points=[
+                    SeriesPoint(x=float(i), mean=value)
+                    for i, value in enumerate(history)
+                ],
+            )
+            lines.append("  " + render_sparkline(series, width=width))
+    report = regress_store(store, window=window, thresholds=thresholds)
+    if report.verdicts:
+        lines.append("")
+        lines.append(f"regression verdicts (window={report.window}, "
+                     f"status={report.status}):")
+        rows = [
+            [
+                verdict.kind or "-",
+                verdict.metric,
+                verdict.status,
+                "-" if verdict.candidate is None else verdict.candidate,
+                "-" if verdict.baseline_median is None else verdict.baseline_median,
+                f"{verdict.deviation:+.2f}",
+                verdict.method,
+            ]
+            for verdict in report.verdicts
+        ]
+        lines.append(render_table(
+            ["kind", "metric", "status", "latest", "baseline", "score", "method"],
+            rows, precision=4,
+        ))
+    return "\n".join(lines)
+
+
+# -- HTML ------------------------------------------------------------------
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface: #fcfcfb; --card: #ffffff; --border: #e4e3df;
+  --ink: #0b0b0b; --ink-2: #52514e;
+  --accent: #2a78d6;
+  --ok: #008300; --warn: #eda100; --bad: #e34948; --muted: #52514e;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface: #1a1a19; --card: #232322; --border: #3a3a37;
+    --ink: #ffffff; --ink-2: #c3c2b7;
+    --accent: #3987e5;
+    --ok: #47c447; --warn: #c98500; --bad: #e66767; --muted: #c3c2b7;
+  }
+}
+* { box-sizing: border-box; }
+body { margin: 0; padding: 24px; background: var(--surface); color: var(--ink);
+       font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 10px; }
+.sub { color: var(--ink-2); margin-bottom: 18px; }
+.chip { display: inline-block; padding: 1px 10px; border-radius: 10px;
+        border: 1px solid var(--border); font-size: 12px; }
+.chip.ok { color: var(--ok); } .chip.warn { color: var(--warn); }
+.chip.regressed { color: var(--bad); font-weight: 600; }
+.chip.skipped { color: var(--muted); }
+.grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(300px, 1fr));
+        gap: 12px; }
+.card { background: var(--card); border: 1px solid var(--border);
+        border-radius: 8px; padding: 12px 14px; }
+.card .name { font-size: 12px; color: var(--ink-2); word-break: break-all; }
+.card .value { font-size: 20px; font-variant-numeric: tabular-nums; }
+.card .delta { font-size: 12px; color: var(--ink-2); }
+table { border-collapse: collapse; width: 100%; font-variant-numeric: tabular-nums; }
+th, td { text-align: left; padding: 4px 10px 4px 0; border-bottom: 1px solid var(--border);
+         font-size: 13px; }
+th { color: var(--ink-2); font-weight: 500; }
+td.num { text-align: right; }
+svg .trend { stroke: var(--accent); fill: none; stroke-width: 2;
+             stroke-linejoin: round; stroke-linecap: round; }
+svg .dot { fill: var(--accent); }
+svg .median { stroke: var(--ink-2); stroke-dasharray: 3 4; stroke-width: 1; }
+svg .hit { fill: transparent; }
+input[type=search] { background: var(--card); color: var(--ink);
+  border: 1px solid var(--border); border-radius: 6px; padding: 6px 10px;
+  width: 280px; margin: 4px 0 14px; }
+.evidence { color: var(--ink-2); font-size: 12px; }
+"""
+
+_JS = """
+document.getElementById('filter').addEventListener('input', function (event) {
+  var needle = event.target.value.toLowerCase();
+  document.querySelectorAll('.grid .card').forEach(function (card) {
+    card.style.display =
+      card.dataset.name.indexOf(needle) === -1 ? 'none' : '';
+  });
+});
+"""
+
+
+def _svg_trend(
+    values: Sequence[float],
+    run_ids: Sequence[str],
+    baseline_median: Optional[float] = None,
+    width: int = 280,
+    height: int = 64,
+) -> str:
+    """A single-series inline-SVG trend line with native hover tooltips."""
+    pad = 8.0
+    low, high = min(values), max(values)
+    if baseline_median is not None:
+        low, high = min(low, baseline_median), max(high, baseline_median)
+    if high == low:
+        low, high = low - 1.0, high + 1.0
+
+    def x_at(i: int) -> float:
+        if len(values) == 1:
+            return width / 2.0
+        return pad + (width - 2 * pad) * i / (len(values) - 1)
+
+    def y_at(v: float) -> float:
+        return pad + (height - 2 * pad) * (1.0 - (v - low) / (high - low))
+
+    points = " ".join(f"{x_at(i):.1f},{y_at(v):.1f}" for i, v in enumerate(values))
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="100%" height="{height}" '
+        f'role="img" aria-label="trend of {len(values)} runs">'
+    ]
+    if baseline_median is not None:
+        y = y_at(baseline_median)
+        parts.append(
+            f'<line class="median" x1="{pad}" y1="{y:.1f}" '
+            f'x2="{width - pad}" y2="{y:.1f}"/>'
+        )
+    parts.append(f'<polyline class="trend" points="{points}"/>')
+    last_x, last_y = x_at(len(values) - 1), y_at(values[-1])
+    parts.append(f'<circle class="dot" cx="{last_x:.1f}" cy="{last_y:.1f}" r="3.5"/>')
+    for i, value in enumerate(values):
+        parts.append(
+            f'<circle class="hit" cx="{x_at(i):.1f}" cy="{y_at(value):.1f}" r="8">'
+            f"<title>{html.escape(str(run_ids[i]))}: {value:.6g}</title></circle>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _chip(status: str) -> str:
+    glyph, label = _STATUS_CHIP.get(status, ("?", status))
+    return f'<span class="chip {html.escape(status)}">{glyph} {html.escape(label)}</span>'
+
+
+def render_html_dashboard(
+    store: RunStore,
+    window: int = 5,
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+    title: str = "repro observatory",
+    report: Optional[RegressionReport] = None,
+) -> str:
+    """The store as one self-contained HTML page (see module docstring)."""
+    if report is None:
+        report = regress_store(store, window=window, thresholds=thresholds)
+    verdict_by_metric: Dict[Tuple[Optional[str], str], Any] = {
+        (v.kind, v.metric): v for v in report.verdicts
+    }
+    out: List[str] = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)} {_chip(report.status)}</h1>",
+        f"<div class='sub'>store <code>{html.escape(str(store.root))}</code> "
+        f"&middot; {len(store)} runs &middot; regression window {report.window}</div>",
+    ]
+
+    if report.verdicts:
+        out.append("<h2>Regression verdicts</h2><table>")
+        out.append(
+            "<tr><th>kind</th><th>metric</th><th>status</th><th>latest</th>"
+            "<th>baseline median</th><th>score</th><th>evidence</th></tr>"
+        )
+        for verdict in report.verdicts:
+            latest = "-" if verdict.candidate is None else f"{verdict.candidate:.6g}"
+            median = (
+                "-" if verdict.baseline_median is None
+                else f"{verdict.baseline_median:.6g}"
+            )
+            out.append(
+                f"<tr><td>{html.escape(verdict.kind or '-')}</td>"
+                f"<td>{html.escape(verdict.metric)}</td>"
+                f"<td>{_chip(verdict.status)}</td>"
+                f"<td class='num'>{latest}</td><td class='num'>{median}</td>"
+                f"<td class='num'>{verdict.deviation:+.2f}</td>"
+                f"<td class='evidence'>{html.escape(verdict.evidence)}</td></tr>"
+            )
+        out.append("</table>")
+
+    out.append("<h2>Metric trends</h2>")
+    out.append("<input id='filter' type='search' "
+               "placeholder='filter metrics&hellip;' aria-label='filter metrics'>")
+    out.append("<div class='grid'>")
+    for kind in store.kinds():
+        for name in store.value_names(kind=kind):
+            history = store.series(name, kind=kind)
+            values = [value for _run, value in history]
+            run_ids = [run_id for run_id, _value in history]
+            verdict = verdict_by_metric.get((kind, name))
+            delta = ""
+            chart = ""
+            if verdict is not None and verdict.baseline_median is not None:
+                delta = (
+                    f"baseline {verdict.baseline_median:.6g} &middot; "
+                    f"score {verdict.deviation:+.2f} {_chip(verdict.status)}"
+                )
+            if len(values) >= 2:
+                chart = _svg_trend(
+                    values, run_ids,
+                    baseline_median=(
+                        verdict.baseline_median if verdict is not None else None
+                    ),
+                )
+            card_key = html.escape(f"{kind} {name}".lower(), quote=True)
+            out.append(
+                f"<div class='card' data-name='{card_key}'>"
+                f"<div class='name'>{html.escape(kind)} &middot; "
+                f"{html.escape(name)}</div>"
+                f"<div class='value'>{values[-1]:.6g}</div>"
+                f"<div class='delta'>{delta}</div>{chart}</div>"
+            )
+    out.append("</div>")
+
+    out.append("<h2>Runs</h2><table>")
+    out.append("<tr><th>run</th><th>kind</th><th>created</th><th>labels</th>"
+               "<th>values</th></tr>")
+    for entry in store.entries():
+        labels = ", ".join(
+            f"{k}={v}" for k, v in sorted(entry["labels"].items())
+            if k != DEDUPE_LABEL
+        )
+        out.append(
+            f"<tr><td>{html.escape(entry['run_id'])}</td>"
+            f"<td>{html.escape(entry['kind'])}</td>"
+            f"<td>{html.escape(entry['created_at'])}</td>"
+            f"<td>{html.escape(labels)}</td>"
+            f"<td class='num'>{len(entry['values'])}</td></tr>"
+        )
+    out.append("</table>")
+    out.append(f"<script>{_JS}</script></body></html>")
+    return "".join(out)
+
+
+def write_html_dashboard(
+    store: RunStore,
+    path: Union[str, Path],
+    window: int = 5,
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+    title: str = "repro observatory",
+) -> Path:
+    """Render and atomically write the HTML dashboard; returns its path."""
+    from repro.io.atomic import atomic_write_text
+
+    return atomic_write_text(
+        path,
+        render_html_dashboard(store, window=window, thresholds=thresholds,
+                              title=title),
+    )
+
+
+def diff_records(a: Dict[str, float], b: Dict[str, float]) -> List[Dict[str, Any]]:
+    """Value-by-value comparison rows between two runs' numeric summaries.
+
+    Each row: ``{"metric", "a", "b", "delta", "pct"}`` (None where a side
+    lacks the metric); ordered by metric name.
+    """
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(set(a) | set(b)):
+        left, right = a.get(name), b.get(name)
+        delta = pct = None
+        if left is not None and right is not None:
+            delta = right - left
+            if left != 0:
+                pct = 100.0 * delta / abs(left)
+        rows.append({"metric": name, "a": left, "b": right,
+                     "delta": delta, "pct": pct})
+    return rows
+
+
+def summarize_json(report: RegressionReport) -> str:
+    """The report as machine-readable JSON (for CI annotations)."""
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True)

@@ -1,0 +1,419 @@
+"""The run store: an append-only, queryable history of runs.
+
+PR 3 made every run emit telemetry — manifests, metric registries, trace
+summaries — but each artifact was write-only: nothing compared runs over
+time, so perf trajectories and paper-shape claims were checked by
+eyeball.  The store gives that telemetry a durable, queryable home:
+
+- one directory per store, holding a JSONL **index** (one line per
+  ingested run, carrying the flat numeric summary and labels, so every
+  query below is answered without opening payloads) and a ``runs/``
+  payload tree (one directory per run with the full record: manifest,
+  metrics registry snapshot, trace summary);
+- ingestion is **append-only** and serialized by an exclusive file lock
+  (``flock`` where available), so concurrent benchmark processes and CI
+  jobs can ingest into one store without corrupting the index — the same
+  discipline as :class:`~repro.resilience.journal.RunJournal`, whose
+  crash-tolerance rules apply here too (a partial trailing index line is
+  skipped on read; the payload it pointed at was never indexed);
+- every run gets a **stable run id** ``<kind>-<seq>`` assigned under the
+  lock, so ids are monotonic in ingestion order and a metric's history
+  is simply its value read across the index in order;
+- index lines and payloads both carry ``format_version`` — a store
+  written by a future schema loads loudly (:class:`StoreError`), never
+  silently misread.
+
+:mod:`repro.obs.regress` consumes the store for baseline-window
+regression verdicts; :mod:`repro.obs.report` renders it as dashboards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.obs.metrics import Histogram
+
+try:  # POSIX: real inter-process exclusion.
+    import fcntl
+
+    def _flock(handle) -> None:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+
+    def _funlock(handle) -> None:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+except ImportError:  # pragma: no cover - non-POSIX fallback: best-effort
+    def _flock(handle) -> None:
+        return None
+
+    def _funlock(handle) -> None:
+        return None
+
+
+FORMAT_VERSION = 1
+
+#: The label under which :meth:`RunStore.ingest` records a dedupe key.
+DEDUPE_LABEL = "ingest_fingerprint"
+
+
+class StoreError(ValueError):
+    """A malformed or version-incompatible run store."""
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One ingested run: identity, summary numbers, and full payloads.
+
+    Args:
+        run_id: the store-assigned stable id (``<kind>-<seq>``).
+        kind: the run family (``"bench"``, ``"simulate"``, …) — series
+            are compared *within* a kind, never across kinds.
+        created_at: ISO-8601 UTC timestamp (the producer's, when it has
+            one — bench trajectory entries keep their original stamp).
+        labels: string key/values for filtering (mechanism, scale, …).
+        values: the flat numeric summary — the only part regression
+            detection and trend charts read.
+        manifest: the run's provenance manifest, when one exists.
+        metrics: a full metrics-registry snapshot
+            (:meth:`~repro.obs.metrics.MetricsRegistry.as_dict`).
+        trace_summary: per-phase timing rows from a span trace.
+    """
+
+    run_id: str
+    kind: str
+    created_at: str
+    labels: Dict[str, str] = field(default_factory=dict)
+    values: Dict[str, float] = field(default_factory=dict)
+    manifest: Optional[Dict[str, Any]] = None
+    metrics: Optional[Dict[str, Any]] = None
+    trace_summary: Optional[List[Dict[str, Any]]] = None
+    format_version: int = FORMAT_VERSION
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunRecord":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def registry_values(registry_dict: Mapping[str, Any]) -> Dict[str, float]:
+    """Flatten a metrics-registry snapshot into store-ready numbers.
+
+    Counters and gauges keep their value under the series key;
+    histograms expand to ``<series>/count``, ``/mean``, ``/p50``,
+    ``/p95`` (bucket-interpolated) so latency distributions are
+    regression-gateable without replaying raw observations.
+    """
+    values: Dict[str, float] = {}
+    for series, state in registry_dict.items():
+        kind = state.get("kind")
+        if kind in ("counter", "gauge"):
+            values[series] = float(state["value"])
+        elif kind == "histogram":
+            histogram = Histogram.from_dict(
+                {k: v for k, v in state.items() if k != "kind"}
+            )
+            values[f"{series}/count"] = float(histogram.count)
+            if histogram.count:
+                values[f"{series}/mean"] = histogram.mean
+                values[f"{series}/p50"] = float(histogram.percentile(50.0))
+                values[f"{series}/p95"] = float(histogram.percentile(95.0))
+    return values
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def _clean_values(values: Mapping[str, Any]) -> Dict[str, float]:
+    """Validate and coerce the numeric summary (finite floats only)."""
+    cleaned: Dict[str, float] = {}
+    for name, value in values.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise StoreError(
+                f"store values must be numbers; {name!r} is {type(value).__name__}"
+            )
+        number = float(value)
+        if not math.isfinite(number):
+            raise StoreError(f"store value {name!r} is not finite: {number}")
+        cleaned[str(name)] = number
+    return cleaned
+
+
+class RunStore:
+    """One on-disk run history (see module docstring for the layout).
+
+    Args:
+        root: the store directory; created (with parents) when absent.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.index_path = self.root / "index.jsonl"
+        self._lock_path = self.root / ".lock"
+
+    # -- locking ---------------------------------------------------------
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Exclusive inter-process lock for the append path."""
+        with self._lock_path.open("a") as handle:
+            _flock(handle)
+            try:
+                yield
+            finally:
+                _funlock(handle)
+
+    # -- ingestion -------------------------------------------------------
+
+    def ingest(
+        self,
+        kind: str,
+        values: Mapping[str, Any],
+        labels: Optional[Mapping[str, Any]] = None,
+        manifest: Optional[Mapping[str, Any]] = None,
+        metrics: Optional[Mapping[str, Any]] = None,
+        trace_summary: Optional[List[Dict[str, Any]]] = None,
+        created_at: Optional[str] = None,
+        dedupe_key: Optional[str] = None,
+    ) -> Tuple[RunRecord, bool]:
+        """Append one run; returns ``(record, created)``.
+
+        Args:
+            kind: the run family (non-empty; no ``/``).
+            values: flat numeric summary (finite numbers only).
+            labels: optional string labels for filtering.
+            manifest / metrics / trace_summary: full payloads, stored in
+                the run's payload directory.
+            created_at: producer timestamp; defaults to now (UTC).
+            dedupe_key: when given, an existing run of this kind with
+                the same key is returned instead of ingesting a
+                duplicate (``created`` False) — how re-ingesting the
+                same bench trajectory stays idempotent.
+
+        Raises:
+            StoreError: for an invalid kind/values or a corrupt index.
+        """
+        if not kind or "/" in kind:
+            raise StoreError(f"invalid run kind {kind!r}")
+        cleaned = _clean_values(values)
+        label_map = {str(k): str(v) for k, v in (labels or {}).items()}
+        if dedupe_key is not None:
+            label_map[DEDUPE_LABEL] = dedupe_key
+        with self._locked():
+            entries = self._read_index()
+            if dedupe_key is not None:
+                for entry in entries:
+                    if (
+                        entry["kind"] == kind
+                        and entry["labels"].get(DEDUPE_LABEL) == dedupe_key
+                    ):
+                        return self.load(entry["run_id"]), False
+            run_id = f"{kind}-{len(entries) + 1:06d}"
+            record = RunRecord(
+                run_id=run_id,
+                kind=kind,
+                created_at=created_at or _utc_now(),
+                labels=label_map,
+                values=cleaned,
+                manifest=dict(manifest) if manifest is not None else None,
+                metrics=dict(metrics) if metrics is not None else None,
+                trace_summary=trace_summary,
+            )
+            # Payload first, index line second: an index line always
+            # points at a complete payload (a crash in between leaves an
+            # unindexed payload dir that the next ingest overwrites).
+            self._write_payload(record)
+            self._append_index_line({
+                "format_version": FORMAT_VERSION,
+                "run_id": run_id,
+                "kind": kind,
+                "created_at": record.created_at,
+                "labels": label_map,
+                "values": cleaned,
+            })
+        return record, True
+
+    def _payload_path(self, run_id: str) -> Path:
+        return self.root / "runs" / run_id / "record.json"
+
+    def _write_payload(self, record: RunRecord) -> None:
+        from repro.io.atomic import atomic_write_text  # leaf-package rule
+
+        atomic_write_text(
+            self._payload_path(record.run_id),
+            json.dumps(record.as_dict(), indent=2, sort_keys=True) + "\n",
+        )
+
+    def _append_index_line(self, entry: Dict[str, Any]) -> None:
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with self.index_path.open("a") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- queries ---------------------------------------------------------
+
+    def _read_index(self) -> List[Dict[str, Any]]:
+        if not self.index_path.exists():
+            return []
+        entries: List[Dict[str, Any]] = []
+        lines = self.index_path.read_text().splitlines()
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines):
+                    # Crash mid-append: the run was never indexed; skip.
+                    continue
+                raise StoreError(
+                    f"{self.index_path}: corrupt index line {number}; the "
+                    f"store is damaged mid-stream"
+                ) from None
+            if entry.get("format_version") != FORMAT_VERSION:
+                raise StoreError(
+                    f"{self.index_path}: index line {number} has "
+                    f"format_version {entry.get('format_version')!r}, "
+                    f"expected {FORMAT_VERSION}"
+                )
+            entries.append(entry)
+        return entries
+
+    def entries(
+        self, kind: Optional[str] = None, **labels: str
+    ) -> List[Dict[str, Any]]:
+        """Index entries in ingestion order, filtered by kind and labels."""
+        selected = []
+        for entry in self._read_index():
+            if kind is not None and entry["kind"] != kind:
+                continue
+            if any(entry["labels"].get(k) != str(v) for k, v in labels.items()):
+                continue
+            selected.append(entry)
+        return selected
+
+    def __len__(self) -> int:
+        return len(self._read_index())
+
+    def kinds(self) -> List[str]:
+        """Distinct run kinds, in first-ingestion order."""
+        seen: Dict[str, None] = {}
+        for entry in self._read_index():
+            seen.setdefault(entry["kind"], None)
+        return list(seen)
+
+    def value_names(self, kind: Optional[str] = None) -> List[str]:
+        """Sorted names of every numeric value recorded under ``kind``."""
+        names = set()
+        for entry in self.entries(kind=kind):
+            names.update(entry["values"])
+        return sorted(names)
+
+    def series(
+        self, value_name: str, kind: Optional[str] = None, **labels: str
+    ) -> List[Tuple[str, float]]:
+        """``(run_id, value)`` history of one metric, ingestion order.
+
+        Runs without the value are skipped (schemas may grow over time).
+        """
+        return [
+            (entry["run_id"], float(entry["values"][value_name]))
+            for entry in self.entries(kind=kind, **labels)
+            if value_name in entry["values"]
+        ]
+
+    def latest(self, kind: Optional[str] = None) -> Optional[Dict[str, Any]]:
+        """The most recently ingested index entry, or None when empty."""
+        selected = self.entries(kind=kind)
+        return selected[-1] if selected else None
+
+    def load(self, run_id: str) -> RunRecord:
+        """The full record for a run id.
+
+        Raises:
+            KeyError: for an unknown run id.
+            StoreError: for a payload from an incompatible schema.
+        """
+        path = self._payload_path(run_id)
+        if not path.exists():
+            raise KeyError(f"run {run_id!r} not in store {self.root}")
+        payload = json.loads(path.read_text())
+        if payload.get("format_version") != FORMAT_VERSION:
+            raise StoreError(
+                f"{path}: payload format_version "
+                f"{payload.get('format_version')!r}, expected {FORMAT_VERSION}"
+            )
+        return RunRecord.from_dict(payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunStore({str(self.root)!r}, {len(self)} runs)"
+
+
+#: Numeric fields of a ``BENCH_selectors.json`` entry worth gating.
+BENCH_VALUE_FIELDS = (
+    "reference_ms_per_call",
+    "vectorized_ms_per_call",
+    "speedup",
+    "mean_profit",
+)
+
+
+def ingest_bench_trajectory(
+    store: RunStore, path: Union[str, Path], kind: str = "bench"
+) -> List[RunRecord]:
+    """Import shim: fold a ``BENCH_selectors.json`` trajectory into a store.
+
+    Each trajectory entry becomes one run of ``kind`` (idempotently —
+    entries are fingerprinted, so re-ingesting the same file is a
+    no-op).  Returns only the records created *by this call*.
+
+    Raises:
+        StoreError: if the file is not a JSON list of objects.
+    """
+    path = Path(path)
+    try:
+        trajectory = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise StoreError(f"{path}: not a JSON bench trajectory") from exc
+    if not isinstance(trajectory, list) or not all(
+        isinstance(entry, dict) for entry in trajectory
+    ):
+        raise StoreError(f"{path}: bench trajectory must be a list of objects")
+    created: List[RunRecord] = []
+    for entry in trajectory:
+        fingerprint = hashlib.sha256(
+            json.dumps(entry, sort_keys=True, default=repr).encode()
+        ).hexdigest()[:12]
+        values = {
+            name: entry[name]
+            for name in BENCH_VALUE_FIELDS
+            if isinstance(entry.get(name), (int, float))
+        }
+        labels = {"source": path.name}
+        for label in ("scale", "python", "numpy"):
+            if entry.get(label) is not None:
+                labels[label] = str(entry[label])
+        record, was_created = store.ingest(
+            kind,
+            values,
+            labels=labels,
+            created_at=entry.get("timestamp"),
+            dedupe_key=fingerprint,
+        )
+        if was_created:
+            created.append(record)
+    return created

@@ -58,6 +58,9 @@ class NullTracer:
     #: the no-op context manager per iteration.
     enabled = False
 
+    #: No span is ever active (the profiler attributes samples to this).
+    current_span_name = ""
+
     def span(self, name: str, cat: str = "", **args: Any) -> _NullSpan:
         return _NULL_SPAN
 
@@ -90,7 +93,7 @@ class _Span:
         self._args = args
 
     def __enter__(self) -> "_Span":
-        self._depth = self._tracer._enter()
+        self._depth = self._tracer._enter(self._name)
         self._start = perf_counter()
         return self
 
@@ -126,18 +129,31 @@ class SpanTracer:
         self.epoch = perf_counter()
         self.spans: List[SpanRecord] = []
         self.metadata: Dict[str, Any] = dict(metadata or {})
-        self._depth = 0
+        # The stack of open span names.  Its length is the depth; its top
+        # is ``current_span_name``, which the resource profiler's sampling
+        # thread reads to attribute samples — appends/pops are atomic
+        # under the GIL, so the reader needs no lock.
+        self._stack: List[str] = []
 
     def span(self, name: str, cat: str = "", **args: Any) -> _Span:
         return _Span(self, name, cat, args)
 
-    def _enter(self) -> int:
-        depth = self._depth
-        self._depth += 1
+    @property
+    def current_span_name(self) -> str:
+        """The innermost open span's name ("" outside any span)."""
+        stack = self._stack
+        try:
+            return stack[-1]
+        except IndexError:
+            return ""
+
+    def _enter(self, name: str) -> int:
+        depth = len(self._stack)
+        self._stack.append(name)
         return depth
 
     def _exit(self, record: SpanRecord) -> None:
-        self._depth -= 1
+        self._stack.pop()
         self.spans.append(record)
 
     # -- export ----------------------------------------------------------
@@ -219,6 +235,25 @@ class PhaseSummary:
     total_seconds: float
     mean_seconds: float
     max_seconds: float
+    p50_seconds: float = 0.0
+    p95_seconds: float = 0.0
+
+
+def _exact_percentile(sorted_values: List[float], q: float) -> float:
+    """The q-th percentile of pre-sorted raw values (linear interpolation).
+
+    Exact counterpart of :meth:`~repro.obs.metrics.Histogram.percentile`
+    for when the raw observations are still at hand (span durations).
+    """
+    if not sorted_values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    position = (q / 100.0) * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return sorted_values[lower] + (sorted_values[upper] - sorted_values[lower]) * fraction
 
 
 def _spans_from_payload(payload: Any, path: Path) -> List[Tuple[str, float]]:
@@ -275,14 +310,16 @@ def summarize(path: Union[str, Path]) -> List[PhaseSummary]:
     totals: Dict[str, List[float]] = {}
     for name, seconds in loaded["spans"]:
         totals.setdefault(name, []).append(seconds)
-    rows = [
-        PhaseSummary(
+    rows = []
+    for name, durations in totals.items():
+        ordered = sorted(durations)
+        rows.append(PhaseSummary(
             name=name,
             count=len(durations),
             total_seconds=sum(durations),
             mean_seconds=sum(durations) / len(durations),
-            max_seconds=max(durations),
-        )
-        for name, durations in totals.items()
-    ]
+            max_seconds=ordered[-1],
+            p50_seconds=_exact_percentile(ordered, 50.0),
+            p95_seconds=_exact_percentile(ordered, 95.0),
+        ))
     return sorted(rows, key=lambda row: row.total_seconds, reverse=True)

@@ -1,6 +1,8 @@
 """Tests for run manifests: provenance capture, atomic write, loading."""
 
 import json
+import os
+import subprocess
 
 import pytest
 
@@ -38,6 +40,38 @@ class TestBuildManifest:
 
     def test_git_revision_outside_a_repo_is_none(self, tmp_path):
         assert git_revision(cwd=tmp_path) is None
+
+    def test_build_manifest_outside_a_repo_does_not_raise(self, tmp_path, monkeypatch):
+        # No git repo anywhere above cwd, and no git on PATH at all:
+        # provenance degrades to git_revision=None, never an exception.
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("PATH", str(tmp_path / "no-binaries-here"))
+        assert git_revision(cwd=tmp_path) is None
+        manifest = build_manifest(SimulationConfig(n_users=5), base_seed=1)
+        assert manifest.base_seed == 1
+        assert manifest.config_fingerprint
+
+    def test_git_revision_in_a_dirty_worktree(self, tmp_path):
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv], cwd=tmp_path, check=True, capture_output=True,
+                env={"PATH": os.environ["PATH"],
+                     "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                     "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+                     "HOME": str(tmp_path)},
+            )
+
+        try:
+            git("init", "-q")
+            (tmp_path / "f.txt").write_text("v1\n")
+            git("add", "f.txt")
+            git("commit", "-q", "-m", "c1")
+        except Exception:
+            pytest.skip("git unavailable or unconfigurable in this environment")
+        (tmp_path / "f.txt").write_text("v2, uncommitted\n")
+        revision = git_revision(cwd=tmp_path)
+        # Dirty state never breaks capture: still the HEAD commit hash.
+        assert revision is not None and len(revision) == 40
 
 
 class TestWriteLoad:

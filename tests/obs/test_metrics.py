@@ -6,7 +6,6 @@ import pytest
 
 from repro.obs.metrics import (
     Counter,
-    Gauge,
     Histogram,
     MetricsRegistry,
     series_key,
@@ -66,6 +65,47 @@ class TestHistogram:
             Histogram(bounds=(2.0, 1.0))
         with pytest.raises(ValueError, match="at least one"):
             Histogram(bounds=())
+
+
+class TestHistogramPercentile:
+    def _uniform(self, bounds=(10.0, 20.0, 30.0)):
+        histogram = Histogram(bounds=bounds)
+        for value in (2.0, 14.0, 26.0, 38.0):
+            histogram.observe(value)
+        return histogram
+
+    def test_interpolates_within_the_target_bucket(self):
+        histogram = Histogram(bounds=(10.0, 20.0))
+        for value in (12.0, 14.0, 16.0, 18.0):
+            histogram.observe(value)
+        # All mass in the (10, 20] bucket; the median interpolates halfway.
+        assert histogram.percentile(50.0) == pytest.approx(15.0)
+
+    def test_edges_clamp_to_observed_extremes(self):
+        histogram = self._uniform()
+        assert histogram.percentile(0.0) == 2.0
+        assert histogram.percentile(100.0) == 38.0
+
+    def test_monotone_in_q(self):
+        histogram = self._uniform()
+        quantiles = [histogram.percentile(q) for q in (5, 25, 50, 75, 95)]
+        assert quantiles == sorted(quantiles)
+        assert 2.0 <= quantiles[0] and quantiles[-1] <= 38.0
+
+    def test_overflow_bucket_uses_the_observed_max(self):
+        histogram = Histogram(bounds=(1.0,))
+        for value in (0.5, 5.0, 9.0):
+            histogram.observe(value)
+        assert histogram.percentile(99.0) <= 9.0
+
+    def test_empty_histogram_has_no_percentiles(self):
+        assert Histogram(bounds=(1.0,)).percentile(50.0) is None
+
+    def test_q_out_of_range_rejected(self):
+        histogram = self._uniform()
+        for q in (-1.0, 101.0):
+            with pytest.raises(ValueError, match="percentile"):
+                histogram.percentile(q)
 
 
 class TestRegistry:
@@ -141,6 +181,29 @@ class TestMergeDeterminism:
     def test_merge_none_is_a_noop(self):
         registry = MetricsRegistry()
         assert registry.merge(None) is registry
+
+    def test_merge_mismatched_histogram_bounds_raises(self):
+        # Never silently re-bucket: mixed-bound parts are a config bug.
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("latency", bounds=(0.1, 1.0)).observe(0.5)
+        b.histogram("latency", bounds=(0.2, 2.0)).observe(0.5)
+        with pytest.raises(ValueError, match="different bounds"):
+            a.merge(b)
+
+    def test_merge_empty_into_populated_is_identity(self):
+        populated = self._part(10.0, 90.0, 0.001)
+        before = populated.as_dict()
+        populated.merge(MetricsRegistry())
+        assert populated.as_dict() == before
+
+    def test_merge_populated_into_empty_copies_everything(self):
+        empty = MetricsRegistry()
+        part = self._part(10.0, 90.0, 0.001)
+        empty.merge(part)
+        assert empty.as_dict() == part.as_dict()
+        # ... without aliasing the source's instruments.
+        empty.counter("payout_total").inc(1.0)
+        assert part.value("payout_total") == 10.0
 
 
 class TestSerialisation:

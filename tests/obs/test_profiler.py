@@ -1,0 +1,96 @@
+"""Tests for the sampling resource profiler and its null twin."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    ResourceProfiler,
+    read_rss_bytes,
+)
+from repro.obs.trace import SpanTracer
+
+
+class TestNullProfiler:
+    def test_is_inert(self):
+        registry = MetricsRegistry()
+        with NULL_PROFILER as profiler:
+            assert profiler is NULL_PROFILER
+        assert NULL_PROFILER.start() is NULL_PROFILER
+        assert NULL_PROFILER.stop() is NULL_PROFILER
+        assert NULL_PROFILER.samples == ()
+        assert not NULL_PROFILER.enabled
+        NULL_PROFILER.fold_into(registry)
+        assert not registry
+        assert NULL_PROFILER.summary() == {"samples": 0}
+
+
+class TestReadRss:
+    def test_reports_a_plausible_resident_size(self):
+        rss = read_rss_bytes()
+        # A running CPython interpreter is at least a few MiB resident.
+        assert rss > 1024 * 1024
+
+
+class TestResourceProfiler:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="interval"):
+            ResourceProfiler(interval=0.0)
+
+    def test_collects_samples_while_running(self):
+        profiler = ResourceProfiler(interval=0.001)
+        with profiler:
+            total = sum(i * i for i in range(50_000))
+        assert total > 0
+        # At minimum the baseline and the final stop() sample.
+        assert len(profiler.samples) >= 2
+        assert all(s.rss_bytes > 0 for s in profiler.samples)
+        assert profiler.samples[-1].elapsed >= profiler.samples[0].elapsed
+        assert profiler.samples[-1].cpu_seconds >= profiler.samples[0].cpu_seconds
+
+    def test_stop_is_idempotent_and_restart_appends(self):
+        profiler = ResourceProfiler(interval=0.001)
+        profiler.start().stop()
+        count = len(profiler.samples)
+        profiler.stop()
+        assert len(profiler.samples) == count
+        profiler.start().stop()
+        assert len(profiler.samples) > count
+
+    def test_samples_carry_the_active_span_name(self):
+        tracer = SpanTracer()
+        profiler = ResourceProfiler(interval=60.0, tracer=tracer)
+        with tracer.span("run"):
+            with tracer.span("select"):
+                profiler._sample()
+        profiler._sample()
+        assert [s.span for s in profiler.samples] == ["select", ""]
+
+    def test_fold_into_writes_process_series(self):
+        tracer = SpanTracer()
+        profiler = ResourceProfiler(interval=60.0, tracer=tracer)
+        profiler._sample()
+        with tracer.span("select"):
+            profiler._sample()
+        registry = MetricsRegistry()
+        profiler.fold_into(registry)
+        assert registry.value("process_rss_peak_bytes") > 0
+        assert registry.value("process_samples_total") == 2
+        assert registry.value("process_span_samples_total", span="untraced") == 1
+        assert registry.value("process_span_samples_total", span="select") == 1
+        assert registry.value("process_cpu_seconds_total") >= 0.0
+
+    def test_fold_into_without_samples_is_a_noop(self):
+        registry = MetricsRegistry()
+        ResourceProfiler().fold_into(registry)
+        assert not registry
+
+    def test_summary_digest(self):
+        profiler = ResourceProfiler(interval=60.0)
+        profiler._sample()
+        profiler._sample()
+        digest = profiler.summary()
+        assert digest["samples"] == 2
+        assert digest["rss_peak_bytes"] > 0
+        assert digest["duration_seconds"] >= 0.0
+        assert digest["span_samples"] == {"untraced": 2}

@@ -1,0 +1,112 @@
+"""Tests for the terminal and single-file HTML dashboards."""
+
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.obs.report import (
+    diff_records,
+    render_html_dashboard,
+    render_terminal_dashboard,
+    write_html_dashboard,
+)
+from repro.obs.store import RunStore
+
+BASELINE = [1.00, 1.02, 0.98, 1.01, 0.99]
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = RunStore(tmp_path / "store")
+    for value in BASELINE + [2.0]:
+        store.ingest(
+            "bench",
+            {"vectorized_ms_per_call": value, "speedup": 5.0},
+            labels={"scale": "tiny"},
+        )
+    store.ingest("simulate", {"summary/coverage": 1.0})
+    return store
+
+
+class TestTerminalDashboard:
+    def test_shows_trends_and_verdicts(self, store):
+        text = render_terminal_dashboard(store, window=5)
+        assert f"observatory: {store.root} (7 runs)" in text
+        assert "[bench] 6 runs" in text
+        assert "vectorized_ms_per_call" in text
+        assert "summary/coverage = 1 (single run)" in text
+        assert "regression verdicts" in text
+        assert "regressed" in text
+
+    def test_empty_store_renders(self, tmp_path):
+        text = render_terminal_dashboard(RunStore(tmp_path / "empty"))
+        assert "(0 runs)" in text
+
+
+class _WellFormedChecker(HTMLParser):
+    VOID = {"meta", "line", "circle", "polyline", "input", "br", "link"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack, self.errors = [], []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in self.VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append(f"misnested </{tag}>")
+        else:
+            self.stack.pop()
+
+
+class TestHtmlDashboard:
+    def test_is_well_formed_and_self_contained(self, store):
+        page = render_html_dashboard(store)
+        checker = _WellFormedChecker()
+        checker.feed(page)
+        assert checker.errors == []
+        assert checker.stack == []
+        # Self-contained: no external scripts, stylesheets, or images.
+        assert "http://" not in page and "https://" not in page
+        assert "<style>" in page and "<script>" in page
+
+    def test_carries_trends_verdicts_and_runs(self, store):
+        page = render_html_dashboard(store)
+        assert "vectorized_ms_per_call" in page
+        assert "<svg" in page and "polyline" in page
+        # Status chips pair a glyph + word with the color, never color alone.
+        assert "✕ regressed" in page
+        assert "bench-000006" in page
+        assert "prefers-color-scheme: dark" in page
+        # The dedupe fingerprint label is store plumbing, not dashboard data.
+        assert "ingest_fingerprint" not in page
+
+    def test_labels_are_escaped(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.ingest("bench", {"x": 1.0}, labels={"note": "<b>&'\"</b>"})
+        page = render_html_dashboard(store)
+        assert "<b>" not in page.split("<body>")[1].replace("<body>", "")
+        assert "&lt;b&gt;" in page
+
+    def test_write_is_atomic_and_returns_the_path(self, store, tmp_path):
+        path = write_html_dashboard(store, tmp_path / "dash.html")
+        assert path.read_text().startswith("<!doctype html>")
+
+
+class TestDiffRecords:
+    def test_pairs_values_and_computes_deltas(self):
+        rows = diff_records({"a": 1.0, "b": 2.0}, {"b": 3.0, "c": 4.0})
+        by_metric = {row["metric"]: row for row in rows}
+        assert by_metric["a"]["b"] is None and by_metric["a"]["delta"] is None
+        assert by_metric["b"]["delta"] == 1.0
+        assert by_metric["b"]["pct"] == pytest.approx(50.0)
+        assert by_metric["c"]["a"] is None
+
+    def test_zero_baseline_has_no_pct(self):
+        (row,) = diff_records({"a": 0.0}, {"a": 1.0})
+        assert row["delta"] == 1.0
+        assert row["pct"] is None

@@ -24,6 +24,11 @@ class TestNullTracer:
         assert NULL_TRACER.enabled is False
         assert SpanTracer().enabled is True
 
+    def test_no_span_is_ever_current(self):
+        assert NULL_TRACER.current_span_name == ""
+        with NULL_TRACER.span("anything"):
+            assert NULL_TRACER.current_span_name == ""
+
 
 class TestSpanTracer:
     def _traced(self):
@@ -46,6 +51,16 @@ class TestSpanTracer:
         assert by_name["select"][0].depth == 2
         assert by_name["round"][0].args == {"round": 1}
         assert all(record.duration >= 0 for record in tracer.spans)
+
+    def test_current_span_name_tracks_the_innermost_open_span(self):
+        tracer = SpanTracer()
+        assert tracer.current_span_name == ""
+        with tracer.span("run"):
+            assert tracer.current_span_name == "run"
+            with tracer.span("select"):
+                assert tracer.current_span_name == "select"
+            assert tracer.current_span_name == "run"
+        assert tracer.current_span_name == ""
 
     def test_chrome_export_is_perfetto_shaped(self, tmp_path):
         tracer = self._traced()
@@ -93,6 +108,24 @@ class TestSummarize:
             3 * rows["round"].mean_seconds
         )
         assert rows["run"].total_seconds >= rows["round"].total_seconds
+
+    def test_percentiles_bracket_the_distribution(self, tmp_path):
+        tracer = SpanTracer()
+        with tracer.span("run"):
+            for _ in range(20):
+                with tracer.span("round"):
+                    pass
+        rows = {row.name: row for row in summarize(
+            tracer.write_chrome(tmp_path / "trace.json")
+        )}
+        round_row = rows["round"]
+        assert 0 <= round_row.p50_seconds <= round_row.p95_seconds
+        assert round_row.p95_seconds <= round_row.max_seconds
+        assert round_row.p50_seconds <= round_row.max_seconds
+        # A single-span phase has degenerate percentiles == its duration.
+        run_row = rows["run"]
+        assert run_row.p50_seconds == pytest.approx(run_row.mean_seconds)
+        assert run_row.p95_seconds == pytest.approx(run_row.max_seconds)
 
     def test_rejects_foreign_files(self, tmp_path):
         path = tmp_path / "not_a_trace.json"

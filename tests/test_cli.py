@@ -39,6 +39,9 @@ class TestParser:
             ["show", "x.json"],
             ["sweep", "n_users", "8"],
             ["trace", "summarize", "t.json"],
+            ["obs", "list"],
+            ["obs", "regress"],
+            ["obs", "dashboard"],
         ):
             args = build_parser().parse_args(argv + ["-vv", "--log-json"])
             assert args.verbose == 2
@@ -133,8 +136,11 @@ class TestTrace:
         assert main(["trace", "summarize", str(trace_path)]) == 0
         out = capsys.readouterr().out
         assert "phase" in out and "select" in out and "round" in out
+        assert "p50 ms" in out and "p95 ms" in out
         assert "payout_total" in out
         assert "selector_seconds" in out
+        # Histogram counters surface bucket-interpolated percentiles too.
+        assert "p50=" in out and "p95=" in out
 
     def test_summarize_rejects_non_trace_files(self, tmp_path):
         bogus = tmp_path / "bogus.json"
@@ -251,3 +257,71 @@ class TestMap:
         assert code == 0
         out = capsys.readouterr().out
         assert "=user(8)" in out
+
+
+class TestObs:
+    SIM = ["simulate", "--users", "8", "--tasks", "4", "--rounds", "3"]
+
+    def test_store_flag_defaults_to_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_STORE", "/tmp/somewhere")
+        assert build_parser().parse_args(["obs", "list"]).store == "/tmp/somewhere"
+        monkeypatch.delenv("REPRO_OBS_STORE")
+        assert build_parser().parse_args(["obs", "list"]).store == ".repro-obs"
+
+    def test_simulate_list_show_diff_flow(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        for seed in ("2", "3"):
+            assert main(self.SIM + ["--seed", seed, "--obs-store", store]) == 0
+        capsys.readouterr()
+
+        assert main(["obs", "list", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "simulate-000001" in out and "simulate-000002" in out
+        assert "seed=3" in out
+
+        assert main(["obs", "show", "simulate-000001", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "label selector = dp" in out
+        assert "summary/coverage" in out
+
+        assert main(["obs", "diff", "simulate-000001", "simulate-000002",
+                     "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "metric" in out and "delta" in out
+
+    def test_dashboard_renders_text_and_html(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        for seed in ("2", "3", "4"):
+            assert main(self.SIM + ["--seed", seed, "--obs-store", store]) == 0
+        capsys.readouterr()
+        html_path = tmp_path / "dash.html"
+        assert main(["obs", "dashboard", "--store", store,
+                     "--html", str(html_path)]) == 0
+        out = capsys.readouterr().out
+        assert "observatory:" in out
+        assert "[simulate] 3 runs" in out
+        assert html_path.read_text().startswith("<!doctype html>")
+
+    def test_regress_on_an_empty_store_is_green(self, capsys, tmp_path):
+        assert main(["obs", "regress", "--store", str(tmp_path / "none")]) == 0
+        assert "status: skipped" in capsys.readouterr().out
+
+    def test_profile_flag_prints_a_digest(self, capsys):
+        assert main(self.SIM + ["--seed", "2", "--profile",
+                                "--profile-interval", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out and "peak RSS" in out
+
+    def test_run_obs_store_records_experiment_series(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_REPS", "1")
+        store = str(tmp_path / "store")
+        assert main(["run", "fig6a", "--obs-store", store]) == 0
+        out = capsys.readouterr().out
+        assert "recorded in store: experiment:fig6a-000001" in out
+        from repro.obs.store import RunStore
+
+        entry = RunStore(store).latest(kind="experiment:fig6a")
+        assert entry["labels"]["experiment"] == "fig6a"
+        assert any("[x=" in name for name in entry["values"])

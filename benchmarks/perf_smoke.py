@@ -1,16 +1,21 @@
-"""Selector microbenchmark: vectorized DP vs the scalar reference DP.
+"""Performance smoke benches: selector DP and the batched engine path.
 
-Times both exact solvers on instances drawn from the paper's Section VI
-setup — 20 tasks uniform in the 3000 m x 3000 m region, Eq. 7 reward
-levels, 1800 m travel budget, 0.002 $/m — and appends one entry to the
-``BENCH_selectors.json`` perf trajectory at the repo root, so speedup
-regressions are visible in review diffs.
+Two benches, both appending to the ``BENCH_selectors.json`` perf
+trajectory at the repo root so regressions are visible in review diffs:
+
+- ``--bench selector`` (default): the vectorized DP vs the scalar
+  reference DP on instances drawn from the paper's Section VI setup.
+- ``--bench engine``: round throughput of the batched engine vs the
+  scalar engine on a large sparse world (10k users at full scale),
+  sanity-checking that both histories agree before timing means
+  anything.
 
 Usage::
 
     python benchmarks/perf_smoke.py                 # full scale, repo-root json
     python benchmarks/perf_smoke.py --scale tiny    # CI smoke: seconds, no gate
     python benchmarks/perf_smoke.py --min-speedup 3 # fail below 3x
+    python benchmarks/perf_smoke.py --bench engine --min-speedup 5
     python benchmarks/perf_smoke.py --obs-store .repro-obs  # + run store
 
 A provenance manifest is written next to the trajectory file, and
@@ -101,8 +106,76 @@ def run(n_tasks, instances, repeats, seed):
     }
 
 
+#: Engine-bench worlds: sparse city-scale geometry (city-50k's 2 000 tasks
+#: at full scale) where per-user problem construction dominates.  Budgets
+#: satisfy Eq. 9 feasibility (budget / (n_tasks * required) > step *
+#: (levels - 1)).
+ENGINE_SCALES = {
+    "full": dict(
+        n_users=10_000, n_tasks=2_000, rounds=3,
+        area_side=56_000.0, budget=120_000.0,
+    ),
+    "tiny": dict(
+        n_users=2_000, n_tasks=400, rounds=2,
+        area_side=25_000.0, budget=24_000.0,
+    ),
+}
+
+
+def run_engine(n_users, n_tasks, rounds, area_side, budget, seed):
+    """Round throughput of the scalar vs batched engine on one shared world."""
+    from repro.simulation import SimulationConfig, make_engine
+
+    base = SimulationConfig(
+        n_users=n_users,
+        n_tasks=n_tasks,
+        rounds=rounds,
+        area_side=area_side,
+        budget=budget,
+        deadline_range=(rounds, rounds),
+        user_time_budget=600.0,
+        selector="greedy",
+        mechanism="on-demand",
+        stream_rounds=True,
+        seed=seed,
+    )
+    timings, results = {}, {}
+    for engine_name in ("scalar", "batched"):
+        engine = make_engine(base.with_overrides(engine=engine_name))
+        started = time.perf_counter()
+        results[engine_name] = engine.run()
+        timings[engine_name] = time.perf_counter() - started
+    scalar, batched = results["scalar"], results["batched"]
+    # Throughput only counts if both engines played the same campaign.
+    assert scalar.total_measurements == batched.total_measurements, (
+        f"engines disagree on measurements: {scalar.total_measurements} "
+        f"vs {batched.total_measurements}"
+    )
+    assert abs(scalar.total_paid - batched.total_paid) < 1e-9, (
+        f"engines disagree on payout: {scalar.total_paid} vs {batched.total_paid}"
+    )
+    return {
+        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "bench": "engine",
+        "n_users": n_users,
+        "n_tasks": n_tasks,
+        "rounds": rounds,
+        "seed": seed,
+        "scalar_rounds_per_second": rounds / timings["scalar"],
+        "batched_rounds_per_second": rounds / timings["batched"],
+        "engine_speedup": timings["scalar"] / timings["batched"],
+        "total_measurements": scalar.total_measurements,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", choices=("selector", "engine"),
+                        default="selector",
+                        help="selector = DP microbench (default); "
+                             "engine = scalar vs batched round throughput")
     parser.add_argument("--scale", choices=("full", "tiny"), default="full",
                         help="tiny = a seconds-long CI smoke run")
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_selectors.json"),
@@ -115,7 +188,9 @@ def main(argv=None):
                              "store (see 'repro obs')")
     args = parser.parse_args(argv)
 
-    if args.scale == "tiny":
+    if args.bench == "engine":
+        entry = run_engine(seed=args.seed, **ENGINE_SCALES[args.scale])
+    elif args.scale == "tiny":
         entry = run(n_tasks=12, instances=5, repeats=2, seed=args.seed)
     else:
         entry = run(n_tasks=20, instances=30, repeats=3, seed=args.seed)
@@ -134,10 +209,12 @@ def main(argv=None):
         build_manifest(
             base_seed=args.seed,
             command="python benchmarks/perf_smoke.py "
-                    f"--scale {args.scale} --seed {args.seed}",
+                    f"--bench {args.bench} --scale {args.scale} "
+                    f"--seed {args.seed}",
+            bench=args.bench,
             scale=args.scale,
             n_tasks=entry["n_tasks"],
-            instances=entry["instances"],
+            instances=entry.get("instances", entry.get("n_users")),
         ),
         out,
     )
@@ -154,16 +231,27 @@ def main(argv=None):
             f"({len(store)} total)"
         )
 
-    print(
-        f"{entry['n_tasks']} tasks x {entry['instances']} instances: "
-        f"reference {entry['reference_ms_per_call']:.2f} ms/call, "
-        f"vectorized {entry['vectorized_ms_per_call']:.2f} ms/call "
-        f"-> {entry['speedup']:.1f}x"
-    )
-    print(f"recorded in {out}")
-    if args.min_speedup is not None and entry["speedup"] < args.min_speedup:
+    if args.bench == "engine":
+        speedup = entry["engine_speedup"]
         print(
-            f"FAIL: speedup {entry['speedup']:.2f}x below the "
+            f"{entry['n_users']} users x {entry['n_tasks']} tasks x "
+            f"{entry['rounds']} rounds: "
+            f"scalar {entry['scalar_rounds_per_second']:.2f} rounds/s, "
+            f"batched {entry['batched_rounds_per_second']:.2f} rounds/s "
+            f"-> {speedup:.1f}x"
+        )
+    else:
+        speedup = entry["speedup"]
+        print(
+            f"{entry['n_tasks']} tasks x {entry['instances']} instances: "
+            f"reference {entry['reference_ms_per_call']:.2f} ms/call, "
+            f"vectorized {entry['vectorized_ms_per_call']:.2f} ms/call "
+            f"-> {speedup:.1f}x"
+        )
+    print(f"recorded in {out}")
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below the "
             f"{args.min_speedup:.1f}x floor",
             file=sys.stderr,
         )

@@ -8,10 +8,16 @@ normalised, bucketed into levels, and priced against a platform budget.
 Run:  python examples/ahp_walkthrough.py
 """
 
-from repro import DemandCalculator, DemandLevels, DemandWeights, RewardSchedule
-from repro.core.ahp import PairwiseComparisonMatrix, example_comparison_matrix
-from repro.core.demand import TaskDemandInputs
-from repro.io import render_table
+from repro.api import (
+    DemandCalculator,
+    DemandLevels,
+    DemandWeights,
+    PairwiseComparisonMatrix,
+    RewardSchedule,
+    TaskDemandInputs,
+    example_comparison_matrix,
+    render_table,
+)
 
 
 def main() -> None:

@@ -15,9 +15,13 @@ and remote tasks.
 Run:  python examples/budget_recycling.py
 """
 
-from repro import SimulationConfig, simulate
-from repro.io import render_table, render_world
-from repro.metrics import overall_completeness
+from repro.api import (
+    SimulationConfig,
+    overall_completeness,
+    render_table,
+    render_world,
+    simulate,
+)
 
 SEEDS = range(5)
 

@@ -11,9 +11,14 @@ deadline) and priced accordingly.
 Run:  python examples/event_sensing.py
 """
 
-from repro import SimulationConfig, simulate
-from repro.io import render_table
-from repro.metrics import coverage, measurements_per_round, overall_completeness
+from repro.api import (
+    SimulationConfig,
+    coverage,
+    measurements_per_round,
+    overall_completeness,
+    render_table,
+    simulate,
+)
 
 EVENT = dict(
     n_users=80,

@@ -9,24 +9,19 @@ benchmark harness (``pytest benchmarks/ --benchmark-only``) or the CLI
 Run:  python examples/mechanism_comparison.py
 """
 
-from repro.experiments.fig6 import fig6a
-from repro.experiments.fig7 import fig7a
-from repro.experiments.fig8 import fig8b
-from repro.experiments.fig9 import fig9b
-from repro.io import render_experiment
+from repro.api import render_experiment, run_experiment
 
 REPS = 5
 USER_COUNTS = (40, 80, 120)
 
 
 def main() -> None:
-    print(render_experiment(fig6a(user_counts=USER_COUNTS, repetitions=REPS)))
-    print()
-    print(render_experiment(fig7a(user_counts=USER_COUNTS, repetitions=REPS)))
-    print()
-    print(render_experiment(fig9b(user_counts=USER_COUNTS, repetitions=REPS)))
-    print()
-    print(render_experiment(fig8b(repetitions=REPS), precision=1))
+    for panel in ("fig6a", "fig7a", "fig9b"):
+        print(render_experiment(run_experiment(
+            panel, user_counts=USER_COUNTS, repetitions=REPS,
+        )))
+        print()
+    print(render_experiment(run_experiment("fig8b", repetitions=REPS), precision=1))
     print(
         "\nReading the rows: on-demand holds 100% coverage and the highest\n"
         "completeness at the lowest price per measurement, and it is the\n"

@@ -10,12 +10,13 @@ tasks that the fixed mechanism abandons.
 Run:  python examples/noise_mapping.py
 """
 
-from repro import SimulationConfig, simulate
-from repro.io import render_table
-from repro.metrics import (
+from repro.api import (
+    SimulationConfig,
     coverage,
-    overall_completeness,
     measurements_per_task,
+    overall_completeness,
+    render_table,
+    simulate,
 )
 
 

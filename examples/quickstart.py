@@ -8,8 +8,7 @@ round plus the final metrics.
 Run:  python examples/quickstart.py
 """
 
-from repro import MetricsSummary, SimulationConfig, simulate
-from repro.io import render_table
+from repro.api import SimulationConfig, render_table, simulate, summarize
 
 
 def main() -> None:
@@ -36,7 +35,7 @@ def main() -> None:
     ))
 
     print("\nFinal metrics:")
-    summary = MetricsSummary.from_result(result)
+    summary = summarize(result)
     metric_rows = [[name, value] for name, value in summary.as_dict().items()]
     print(render_table(["metric", "value"], metric_rows, precision=4))
 

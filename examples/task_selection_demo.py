@@ -9,9 +9,13 @@ optimality gap.
 Run:  python examples/task_selection_demo.py
 """
 
-from repro import Point, make_selector
-from repro.io import render_table
-from repro.selection import CandidateTask, TaskSelectionProblem
+from repro.api import (
+    CandidateTask,
+    Point,
+    TaskSelectionProblem,
+    create_selector,
+    render_table,
+)
 
 #: Eight tasks around the user: (task id, x, y, reward $).
 TASKS = [
@@ -42,7 +46,7 @@ def main() -> None:
     rows = []
     selections = {}
     for name in ("brute-force", "dp", "greedy-2opt", "greedy"):
-        selection = make_selector(name).select(problem)
+        selection = create_selector(name).select(problem)
         selections[name] = selection
         rows.append([
             name,

@@ -6,43 +6,76 @@ Systems* (ICDCS 2018): the demand-based dynamic incentive mechanism
 (AHP-weighted demand indicator, Eq. 2–9), the NP-hard distributed task
 selection problem with an exact bitmask DP and the O(m²) greedy
 (Section V), the fixed and steered baselines, the full round-based
-simulation, and an experiment harness regenerating every table and
-figure of the paper's evaluation.
+simulation with declarative scenarios (up to a batched 50k-user city),
+and an experiment harness regenerating every table and figure of the
+paper's evaluation.
 
 Quickstart::
 
-    from repro import SimulationConfig, simulate, MetricsSummary
+    from repro import api
 
-    result = simulate(SimulationConfig(n_users=100, seed=42))
-    print(MetricsSummary.from_result(result))
+    result = api.simulate(scenario="paper-2018", seed=42)
+    print(api.summarize(result).as_dict())
 
-See README.md for the architecture tour, DESIGN.md for the system
-inventory and per-experiment index, and EXPERIMENTS.md for the
-paper-vs-measured record.
+The supported import surface is :mod:`repro.api` (everything in it is
+also re-exported here); any module not reachable from the facade is
+internal.  See README.md for the architecture tour, DESIGN.md for the
+system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
 """
 
-from repro.simulation import SimulationConfig, SimulationEngine, simulate
-from repro.metrics import MetricsSummary
+from repro import api
+from repro.api import (
+    MECHANISM_NAMES,
+    PRESETS,
+    SELECTOR_NAMES,
+    CandidateTask,
+    DemandCalculator,
+    DemandLevels,
+    DemandWeights,
+    IncentiveMechanism,
+    MetricsSummary,
+    MobileUser,
+    PairwiseComparisonMatrix,
+    Point,
+    RectRegion,
+    RewardSchedule,
+    ScenarioSpec,
+    Selection,
+    Selector,
+    SensingTask,
+    SimulationConfig,
+    SimulationResult,
+    TaskSelectionProblem,
+    World,
+    WorldGenerator,
+    build_config,
+    create_mechanism,
+    create_selector,
+    experiment_ids,
+    load_scenario,
+    make_engine,
+    preset_names,
+    run_experiment,
+    save_spec,
+    simulate,
+    summarize,
+)
 from repro.core import (
     OnDemandMechanism,
     FixedMechanism,
     SteeredMechanism,
     ProportionalDemandMechanism,
     make_mechanism,
-    PairwiseComparisonMatrix,
-    DemandWeights,
-    DemandCalculator,
-    DemandLevels,
-    RewardSchedule,
 )
 from repro.selection import (
     DynamicProgrammingSelector,
     GreedySelector,
     GreedyTwoOptSelector,
     BruteForceSelector,
+    TimeBoundedSelector,
     make_selector,
 )
-from repro.selection import TimeBoundedSelector
+from repro.simulation import SimulationEngine
 from repro.resilience import (
     ReproError,
     ConfigError,
@@ -52,32 +85,60 @@ from repro.resilience import (
     TransientIOError,
     RunJournal,
 )
-from repro.world import World, WorldGenerator, SensingTask, MobileUser
-from repro.geometry import Point, RectRegion
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "SimulationConfig",
-    "SimulationEngine",
-    "simulate",
+    "api",
+    # facade (repro.api re-exports)
+    "MECHANISM_NAMES",
+    "PRESETS",
+    "SELECTOR_NAMES",
+    "CandidateTask",
+    "DemandCalculator",
+    "DemandLevels",
+    "DemandWeights",
+    "IncentiveMechanism",
     "MetricsSummary",
+    "MobileUser",
+    "PairwiseComparisonMatrix",
+    "Point",
+    "RectRegion",
+    "RewardSchedule",
+    "ScenarioSpec",
+    "Selection",
+    "Selector",
+    "SensingTask",
+    "SimulationConfig",
+    "SimulationResult",
+    "TaskSelectionProblem",
+    "World",
+    "WorldGenerator",
+    "build_config",
+    "create_mechanism",
+    "create_selector",
+    "experiment_ids",
+    "load_scenario",
+    "make_engine",
+    "preset_names",
+    "run_experiment",
+    "save_spec",
+    "simulate",
+    "summarize",
+    # concrete classes kept at top level for compatibility
+    "SimulationEngine",
     "OnDemandMechanism",
     "FixedMechanism",
     "SteeredMechanism",
     "ProportionalDemandMechanism",
     "make_mechanism",
-    "PairwiseComparisonMatrix",
-    "DemandWeights",
-    "DemandCalculator",
-    "DemandLevels",
-    "RewardSchedule",
     "DynamicProgrammingSelector",
     "GreedySelector",
     "GreedyTwoOptSelector",
     "BruteForceSelector",
     "TimeBoundedSelector",
     "make_selector",
+    # errors
     "ReproError",
     "ConfigError",
     "SelectorTimeout",
@@ -85,11 +146,5 @@ __all__ = [
     "ResultCorruption",
     "TransientIOError",
     "RunJournal",
-    "World",
-    "WorldGenerator",
-    "SensingTask",
-    "MobileUser",
-    "Point",
-    "RectRegion",
     "__version__",
 ]

@@ -1,0 +1,202 @@
+"""The stable facade: everything downstream code should import.
+
+``repro.api`` (re-exported by the top-level ``repro`` package) is the
+supported surface of the library.  Anything not importable from here —
+engine internals, cache layers, the obs plumbing — is internal and may
+change between releases without notice (see README "Public API").
+
+Typical use::
+
+    from repro import api
+
+    # a named scenario, overriding one knob
+    result = api.simulate(scenario="paper-2018", seed=7)
+
+    # or explicit configuration
+    result = api.simulate(api.SimulationConfig(n_users=500, selector="greedy"))
+
+    print(api.summarize(result).as_dict())
+
+    # a paper panel
+    panel = api.run_experiment("fig6a", repetitions=5)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.core.ahp import PairwiseComparisonMatrix, example_comparison_matrix
+from repro.core.demand import DemandCalculator, DemandWeights, TaskDemandInputs
+from repro.core.levels import DemandLevels
+from repro.core.mechanisms import MECHANISMS, IncentiveMechanism
+from repro.core.rewards import RewardSchedule
+from repro.experiments.registry import experiment_ids, run_experiment
+from repro.geometry import Point, RectRegion
+from repro.io.ascii_chart import render_chart
+from repro.io.events import RoundStreamWriter, read_events_jsonl, write_events_jsonl
+from repro.io.tables import render_experiment, render_table
+from repro.io.worldmap import render_world
+from repro.metrics import (
+    MetricsSummary,
+    average_profit_per_user,
+    coverage,
+    coverage_by_round,
+    measurements_per_round,
+    measurements_per_task,
+    overall_completeness,
+    total_paid,
+    user_profits,
+)
+from repro.scenarios import (
+    PRESETS,
+    ScenarioSpec,
+    get_preset,
+    load_scenario,
+    load_spec,
+    preset_names,
+    save_spec,
+)
+from repro.selection import (
+    SELECTORS,
+    CandidateTask,
+    Selection,
+    Selector,
+    TaskSelectionProblem,
+)
+from repro.simulation import SimulationConfig, SimulationResult, make_engine
+from repro.simulation import simulate as _simulate
+from repro.world import MobileUser, SensingTask, World, WorldGenerator
+
+#: The registered mechanism / selector names, in registration order —
+#: valid values for ``SimulationConfig.mechanism`` / ``.selector``.
+MECHANISM_NAMES = MECHANISMS.available()
+SELECTOR_NAMES = SELECTORS.available()
+
+ScenarioLike = Union[str, Path, ScenarioSpec]
+
+
+def _resolve_scenario(scenario: ScenarioLike) -> ScenarioSpec:
+    if isinstance(scenario, ScenarioSpec):
+        return scenario
+    return load_scenario(scenario)
+
+
+def build_config(
+    scenario: Optional[ScenarioLike] = None, **overrides: Any
+) -> SimulationConfig:
+    """A :class:`SimulationConfig` from a scenario and/or field overrides.
+
+    Args:
+        scenario: a preset name (``"city-50k"``), a ``.toml``/``.json``
+            spec path, or a :class:`ScenarioSpec`; None starts from the
+            config defaults.
+        **overrides: :class:`SimulationConfig` fields applied on top
+            (unknown names raise ``ValueError`` listing the valid ones).
+    """
+    if scenario is not None:
+        return _resolve_scenario(scenario).to_config(**overrides)
+    return SimulationConfig().with_overrides(**overrides)
+
+
+def simulate(
+    config: Optional[SimulationConfig] = None,
+    *,
+    scenario: Optional[ScenarioLike] = None,
+    **overrides: Any,
+) -> SimulationResult:
+    """Run one seeded simulation (the facade's one-call entry point).
+
+    Exactly one of ``config`` / ``scenario`` may be given (neither means
+    the defaults); ``overrides`` are config fields applied on top either
+    way.  The engine honours ``config.engine`` (``scalar``/``batched``).
+
+    >>> simulate(scenario="paper-2018", n_users=30, rounds=3).rounds_played
+    3
+    """
+    if config is not None and scenario is not None:
+        raise ValueError("pass either config or scenario, not both")
+    if config is None:
+        config = build_config(scenario, **overrides)
+    elif overrides:
+        config = config.with_overrides(**overrides)
+    return _simulate(config)
+
+
+def summarize(result: SimulationResult) -> MetricsSummary:
+    """The standard metrics digest for a finished run."""
+    return MetricsSummary.from_result(result)
+
+
+def create_mechanism(name: str, **kwargs: Any) -> IncentiveMechanism:
+    """Instantiate an incentive mechanism from :data:`MECHANISM_NAMES`."""
+    return MECHANISMS.create(name, **kwargs)
+
+
+def create_selector(name: str, **kwargs: Any) -> Selector:
+    """Instantiate a task selector from :data:`SELECTOR_NAMES`."""
+    return SELECTORS.create(name, **kwargs)
+
+
+__all__ = [
+    # run things
+    "SimulationConfig",
+    "SimulationResult",
+    "build_config",
+    "simulate",
+    "make_engine",
+    "summarize",
+    "run_experiment",
+    "experiment_ids",
+    # scenarios
+    "PRESETS",
+    "get_preset",
+    "load_spec",
+    "ScenarioSpec",
+    "load_scenario",
+    "preset_names",
+    "save_spec",
+    # registries
+    "MECHANISM_NAMES",
+    "SELECTOR_NAMES",
+    "create_mechanism",
+    "create_selector",
+    # building blocks
+    "DemandCalculator",
+    "DemandLevels",
+    "DemandWeights",
+    "IncentiveMechanism",
+    "PairwiseComparisonMatrix",
+    "RewardSchedule",
+    "TaskDemandInputs",
+    "example_comparison_matrix",
+    "CandidateTask",
+    "Selection",
+    "Selector",
+    "TaskSelectionProblem",
+    # world
+    "MobileUser",
+    "Point",
+    "RectRegion",
+    "SensingTask",
+    "World",
+    "WorldGenerator",
+    # metrics
+    "MetricsSummary",
+    "average_profit_per_user",
+    "coverage",
+    "coverage_by_round",
+    "measurements_per_round",
+    "measurements_per_task",
+    "overall_completeness",
+    "total_paid",
+    "user_profits",
+    # io
+    "RoundStreamWriter",
+    "read_events_jsonl",
+    "render_chart",
+    "render_experiment",
+    "render_table",
+    "render_world",
+    "write_events_jsonl",
+]

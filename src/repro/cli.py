@@ -110,14 +110,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim = sub.add_parser("simulate", parents=[common],
                          help="run one simulation, print the metrics")
-    sim.add_argument("--users", type=int, default=100)
-    sim.add_argument("--tasks", type=int, default=20)
-    sim.add_argument("--rounds", type=int, default=15)
-    sim.add_argument("--mechanism", default="on-demand")
-    sim.add_argument("--selector", default="dp")
-    sim.add_argument("--mobility", default="follow-path")
-    sim.add_argument("--layout", default="uniform", choices=("uniform", "clustered"))
-    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--scenario", metavar="NAME_OR_PATH", default=None,
+                     help="start from a scenario: a preset name (see "
+                          "'repro scenarios') or a .toml/.json spec file; "
+                          "explicit flags below override the scenario")
+    sim.add_argument("--users", type=int, default=None,
+                     help="number of users (default 100)")
+    sim.add_argument("--tasks", type=int, default=None,
+                     help="number of tasks (default 20)")
+    sim.add_argument("--rounds", type=int, default=None,
+                     help="round horizon (default 15)")
+    sim.add_argument("--mechanism", default=None,
+                     help="incentive mechanism (default on-demand)")
+    sim.add_argument("--selector", default=None,
+                     help="task selector (default dp)")
+    sim.add_argument("--mobility", default=None,
+                     help="mobility policy (default follow-path)")
+    sim.add_argument("--layout", default=None, choices=("uniform", "clustered"))
+    sim.add_argument("--seed", type=int, default=None, help="seed (default 0)")
+    sim.add_argument("--engine", default=None, choices=("scalar", "batched"),
+                     help="round-loop implementation; 'batched' vectorises "
+                          "problem construction and pricing (bit-identical "
+                          "histories, built for 10k+ users)")
+    sim.add_argument("--stream", action="store_true",
+                     help="aggregate rounds on the fly instead of keeping "
+                          "them in memory (bounded-memory large runs; "
+                          "pair with --events to retain the full history)")
+    sim.add_argument("--events", metavar="PATH", default=None,
+                     help="stream every round record to an events JSONL "
+                          "as it finishes (works with or without --stream)")
     sim.add_argument("--selector-timeout", type=float, default=None,
                      metavar="SECONDS",
                      help="wall-clock deadline per task-selection call; on "
@@ -142,6 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "profile when enabled) in a run store for "
                           "trend/regression tracking via 'repro obs'")
 
+    scenarios = sub.add_parser(
+        "scenarios", parents=[common],
+        help="list the built-in scenario presets",
+    )
+    scenarios.add_argument("--verbose-config", action="store_true",
+                           help="also print each preset's full config "
+                                "overrides as TOML")
+
     trace = sub.add_parser("trace", help="inspect trace files written by --trace")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     trace_sum = trace_sub.add_parser(
@@ -165,6 +194,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("field", help="a SimulationConfig field, e.g. n_users")
     sweep.add_argument("values", nargs="+", type=float, help="values to sweep")
+    sweep.add_argument("--scenario", metavar="NAME_OR_PATH", default=None,
+                       help="sweep on top of a scenario (preset name or "
+                            ".toml/.json spec) instead of the defaults")
     sweep.add_argument("--reps", type=int, default=None)
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--chart", action="store_true")
@@ -329,29 +361,51 @@ def _command_tables() -> int:
     return 0
 
 
+def _simulate_config(args: argparse.Namespace) -> SimulationConfig:
+    """Resolve --scenario plus explicit flags into one config.
+
+    Explicitly-passed flags always win; with a scenario the remaining
+    knobs come from the spec, without one they keep the historical CLI
+    defaults.
+    """
+    overrides = {
+        name: value
+        for name, value in (
+            ("n_users", args.users),
+            ("n_tasks", args.tasks),
+            ("rounds", args.rounds),
+            ("mechanism", args.mechanism),
+            ("selector", args.selector),
+            ("mobility", args.mobility),
+            ("layout", args.layout),
+            ("seed", args.seed),
+            ("selector_timeout", args.selector_timeout),
+            ("engine", args.engine),
+        )
+        if value is not None
+    }
+    if args.stream:
+        overrides["stream_rounds"] = True
+    if args.scenario is not None:
+        from repro.scenarios import load_scenario
+
+        return load_scenario(args.scenario).to_config(**overrides)
+    return SimulationConfig().with_overrides(**overrides)
+
+
 def _command_simulate(args: argparse.Namespace, command: Optional[str] = None) -> int:
-    config = SimulationConfig(
-        n_users=args.users,
-        n_tasks=args.tasks,
-        rounds=args.rounds,
-        mechanism=args.mechanism,
-        selector=args.selector,
-        mobility=args.mobility,
-        layout=args.layout,
-        seed=args.seed,
-        selector_timeout=args.selector_timeout,
-    )
+    config = _simulate_config(args)
     tracer = None
     if args.trace:
         from repro.obs.trace import SpanTracer
 
         tracer = SpanTracer(metadata={
-            "mechanism": args.mechanism,
-            "selector": args.selector,
-            "seed": args.seed,
-            "n_users": args.users,
-            "n_tasks": args.tasks,
-            "rounds": args.rounds,
+            "mechanism": config.mechanism,
+            "selector": config.selector,
+            "seed": config.seed,
+            "n_users": config.n_users,
+            "n_tasks": config.n_tasks,
+            "rounds": config.rounds,
         })
     profiler = None
     if args.profile:
@@ -360,17 +414,33 @@ def _command_simulate(args: argparse.Namespace, command: Optional[str] = None) -
         profiler = ResourceProfiler(
             interval=args.profile_interval, tracer=tracer
         ).start()
+    stream_writer = None
     try:
+        from repro.simulation import make_engine
+
+        engine_kwargs = {}
         if tracer is not None:
-            result = simulate(config, tracer=tracer)
-        else:
-            result = simulate(config)
+            engine_kwargs["tracer"] = tracer
+        engine = make_engine(config, **engine_kwargs)
+        if args.events:
+            from repro.io.events import RoundStreamWriter
+
+            stream_writer = RoundStreamWriter(args.events, engine.world)
+            engine.observers.append(stream_writer)
+        result = engine.run()
     finally:
+        if stream_writer is not None:
+            stream_writer.close()
         if profiler is not None:
             profiler.stop()
     summary = MetricsSummary.from_result(result)
     rows = [[name, value] for name, value in summary.as_dict().items()]
     print(render_table(["metric", "value"], rows, precision=4))
+    if stream_writer is not None:
+        print(
+            f"\nstreamed events: {stream_writer.path} "
+            f"({stream_writer.rounds_written} rounds)"
+        )
     perf = result.perf_totals()
     if perf.selector_calls:
         per_call_ms = 1e3 * perf.selector_wall_time / perf.selector_calls
@@ -409,7 +479,7 @@ def _command_simulate(args: argparse.Namespace, command: Optional[str] = None) -
             args.trace, counters=result.metrics_totals().as_dict()
         )
         manifest_path = write_manifest(
-            build_manifest(config, base_seed=args.seed, command=command),
+            build_manifest(config, base_seed=config.seed, command=command),
             trace_path,
         )
         print(f"\nsaved trace: {trace_path} ({len(tracer.spans)} spans)")
@@ -434,18 +504,22 @@ def _command_simulate(args: argparse.Namespace, command: Optional[str] = None) -
             trace_rows = [
                 dataclasses.asdict(phase) for phase in summarize(trace_path)
             ]
+        labels = {
+            "mechanism": config.mechanism,
+            "selector": config.selector,
+            "mobility": config.mobility,
+            "layout": config.layout,
+            "engine": config.engine,
+            "seed": str(config.seed),
+        }
+        if args.scenario is not None:
+            labels["scenario"] = str(args.scenario)
         record, _ = RunStore(args.obs_store).ingest(
             "simulate",
             values,
-            labels={
-                "mechanism": args.mechanism,
-                "selector": args.selector,
-                "mobility": args.mobility,
-                "layout": args.layout,
-                "seed": str(args.seed),
-            },
+            labels=labels,
             manifest=build_manifest(
-                config, base_seed=args.seed, command=command
+                config, base_seed=config.seed, command=command
             ).as_dict(),
             metrics=registry.as_dict(),
             trace_summary=trace_rows,
@@ -511,12 +585,38 @@ def _command_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import PRESETS, dumps_toml
+
+    rows = []
+    for spec in PRESETS.values():
+        config = spec.to_config()
+        rows.append([
+            spec.name, config.n_users, config.n_tasks, config.rounds,
+            config.engine, config.arrival, spec.description,
+        ])
+    print(render_table(
+        ["scenario", "users", "tasks", "rounds", "engine", "arrival",
+         "description"],
+        rows,
+    ))
+    if args.verbose_config:
+        for spec in PRESETS.values():
+            print()
+            print(dumps_toml(spec.to_mapping()).rstrip())
+    return 0
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweeps import config_sweep
 
     # Integer-typed fields arrive as floats from argparse; coerce when exact.
     values = [int(v) if float(v).is_integer() else v for v in args.values]
     kwargs = {"base_seed": args.seed}
+    if args.scenario is not None:
+        from repro.scenarios import load_scenario
+
+        kwargs["base_config"] = load_scenario(args.scenario).to_config()
     if args.reps is not None:
         kwargs["repetitions"] = args.reps
     if args.resume is not None:
@@ -666,6 +766,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "simulate":
         words = list(argv) if argv is not None else sys.argv[1:]
         return _command_simulate(args, command="repro " + " ".join(words))
+    if args.command == "scenarios":
+        return _command_scenarios(args)
     if args.command == "trace":
         return _command_trace(args)
     if args.command == "show":

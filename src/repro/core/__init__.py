@@ -29,6 +29,7 @@ from repro.core.demand import (
 from repro.core.levels import DemandLevels
 from repro.core.rewards import RewardSchedule
 from repro.core.mechanisms import (
+    MECHANISMS,
     IncentiveMechanism,
     OnDemandMechanism,
     FixedMechanism,
@@ -54,5 +55,6 @@ __all__ = [
     "FixedMechanism",
     "SteeredMechanism",
     "ProportionalDemandMechanism",
+    "MECHANISMS",
     "make_mechanism",
 ]

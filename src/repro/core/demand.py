@@ -210,3 +210,65 @@ class DemandCalculator:
             return []
         max_neighbours = max(t.neighbours for t in tasks)
         return [self.normalized_demand(t, max_neighbours) for t in tasks]
+
+    def demands_array(
+        self,
+        round_no: int,
+        deadlines: np.ndarray,
+        received: np.ndarray,
+        required: np.ndarray,
+        neighbours: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised :meth:`demands`, bit-identical per element.
+
+        The log arguments are built with elementwise IEEE arithmetic
+        (identical to the scalar path) and the logs themselves are taken
+        with :func:`math.log` on the *distinct* argument values only —
+        remaining deadlines, progress fractions, and neighbour ratios
+        take few distinct values per round — then broadcast back.  That
+        sidesteps the last-ulp differences between ``np.log`` and libm's
+        ``log`` that would otherwise let the two engine paths drift.
+
+        Raises:
+            ValueError: if any task is already expired (same contract as
+                :func:`deadline_factor`).
+        """
+        n = len(deadlines)
+        if n == 0:
+            return np.zeros(0)
+        remaining = np.asarray(deadlines, dtype=float) - (round_no - 1)
+        if round_no < 1:
+            raise ValueError(f"round_no must be >= 1, got {round_no}")
+        if np.any(remaining < 1):
+            raise ValueError(
+                f"round {round_no} is past a task deadline; "
+                f"expired tasks have no demand"
+            )
+        x1 = self.deadline_scale * _log_unique(1.0 + 1.0 / remaining)
+        progress = np.minimum(1.0, np.asarray(received) / np.asarray(required))
+        x2 = self.progress_scale * _log_unique(2.0 - progress)
+        max_neighbours = int(np.max(neighbours)) if n else 0
+        if max_neighbours == 0:
+            x3 = np.full(n, self.scarcity_scale * math.log(2.0))
+        else:
+            ratio = np.asarray(neighbours) / max_neighbours
+            x3 = self.scarcity_scale * _log_unique(2.0 - ratio)
+        raw = (
+            self.weights.deadline * x1
+            + self.weights.progress * x2
+            + self.weights.scarcity * x3
+        )
+        return np.minimum(1.0, np.maximum(0.0, raw / self.max_demand))
+
+
+def _log_unique(values: np.ndarray) -> np.ndarray:
+    """Elementwise ``math.log``, evaluated once per distinct value.
+
+    ``np.log`` is not guaranteed to round identically to ``math.log``;
+    the demand factors feed from small discrete input sets, so paying
+    one scalar log per distinct value keeps the vectorised demand path
+    bit-identical to the scalar one at negligible cost.
+    """
+    uniq, inverse = np.unique(values, return_inverse=True)
+    logs = np.asarray([math.log(v) for v in uniq])
+    return logs[inverse]

@@ -58,6 +58,27 @@ class DemandLevels:
         """Vector form of :meth:`level_of`."""
         return [self.level_of(d) for d in demands]
 
+    def levels_array(self, demands: "np.ndarray") -> "np.ndarray":
+        """Vectorised :meth:`level_of`, bit-identical per element.
+
+        Replicates the scalar arithmetic exactly (same clamp, same
+        boundary nudge), so the batched pricing path buckets every
+        demand into the same level as the scalar path.
+
+        Raises:
+            ValueError: if any demand lies outside [0, 1] beyond slack.
+        """
+        import numpy as np
+
+        d = np.asarray(demands, dtype=float)
+        if d.size and (np.any(d < -1e-12) or np.any(d > 1.0 + 1e-12)):
+            raise ValueError("normalised demands must lie in [0, 1]")
+        d = np.minimum(np.maximum(d, 0.0), 1.0)
+        levels = np.minimum(
+            np.ceil(d / self.width - 1e-12).astype(int), self.count
+        )
+        return np.where(d <= self.width, 1, levels)
+
     def bounds(self, level: int) -> Tuple[float, float]:
         """The (low, high] bounds of a 1-based level (level 1 is [0, high]).
 

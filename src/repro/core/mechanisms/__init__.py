@@ -22,7 +22,7 @@ from repro.core.mechanisms.fixed import FixedMechanism
 from repro.core.mechanisms.steered import SteeredMechanism
 from repro.core.mechanisms.proportional import ProportionalDemandMechanism
 from repro.core.mechanisms.adaptive import AdaptiveBudgetMechanism
-from repro.core.mechanisms.factory import make_mechanism, MECHANISM_NAMES
+from repro.core.mechanisms.factory import MECHANISMS, make_mechanism, MECHANISM_NAMES
 
 __all__ = [
     "IncentiveMechanism",
@@ -33,5 +33,6 @@ __all__ = [
     "ProportionalDemandMechanism",
     "AdaptiveBudgetMechanism",
     "make_mechanism",
+    "MECHANISMS",
     "MECHANISM_NAMES",
 ]

@@ -2,12 +2,17 @@
 
 Used by the CLI and the experiment harness so a mechanism is always
 addressable by the short name that appears in result rows
-("on-demand", "fixed", "steered", "proportional").
+("on-demand", "fixed", "steered", "proportional", "adaptive").
+
+The blessed surface is the :data:`MECHANISMS` registry
+(``MECHANISMS.create(name, **kwargs)`` / ``MECHANISMS.available()``);
+:func:`make_mechanism` remains as a deprecated shim with the old call
+signature.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Type
+import warnings
 
 from repro.core.mechanisms.adaptive import AdaptiveBudgetMechanism
 from repro.core.mechanisms.base import IncentiveMechanism
@@ -15,31 +20,36 @@ from repro.core.mechanisms.fixed import FixedMechanism
 from repro.core.mechanisms.on_demand import OnDemandMechanism
 from repro.core.mechanisms.proportional import ProportionalDemandMechanism
 from repro.core.mechanisms.steered import SteeredMechanism
+from repro.registry import Registry
 
-_REGISTRY: Dict[str, Type[IncentiveMechanism]] = {
-    OnDemandMechanism.name: OnDemandMechanism,
-    FixedMechanism.name: FixedMechanism,
-    SteeredMechanism.name: SteeredMechanism,
-    ProportionalDemandMechanism.name: ProportionalDemandMechanism,
-    AdaptiveBudgetMechanism.name: AdaptiveBudgetMechanism,
-}
+#: The incentive-mechanism registry (the blessed construction surface).
+MECHANISMS: Registry[IncentiveMechanism] = Registry("mechanism")
+for _cls in (
+    OnDemandMechanism,
+    FixedMechanism,
+    SteeredMechanism,
+    ProportionalDemandMechanism,
+    AdaptiveBudgetMechanism,
+):
+    MECHANISMS.register(_cls)
 
 #: The registered mechanism names, in a stable presentation order.
-MECHANISM_NAMES = ("on-demand", "fixed", "steered", "proportional", "adaptive")
+MECHANISM_NAMES = MECHANISMS.available()
 
 
 def make_mechanism(name: str, **kwargs) -> IncentiveMechanism:
-    """Instantiate a mechanism by registry name.
+    """Deprecated alias for ``MECHANISMS.create(name, **kwargs)``.
 
-    Keyword arguments are forwarded to the mechanism constructor, so e.g.
-    ``make_mechanism("on-demand", budget=2000.0)`` works.
+    Kept for one release so existing call sites keep working; new code
+    should use :data:`MECHANISMS` (or ``repro.api.create_mechanism``).
 
     Raises:
         ValueError: for an unknown name (message lists the valid ones).
     """
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        valid = ", ".join(sorted(_REGISTRY))
-        raise ValueError(f"unknown mechanism {name!r}; valid: {valid}") from None
-    return cls(**kwargs)
+    warnings.warn(
+        "make_mechanism() is deprecated; use MECHANISMS.create(name, ...) "
+        "from repro.core.mechanisms.factory (or repro.api.create_mechanism)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return MECHANISMS.create(name, **kwargs)

@@ -94,6 +94,9 @@ class OnDemandMechanism(IncentiveMechanism):
         #: normalised demands of the last priced round, keyed by task id —
         #: exposed for observability (experiments and tests read it).
         self.last_demands: Dict[int, float] = {}
+        #: when True, :meth:`rewards` runs the vectorised Eq. 2–7 path
+        #: (bit-identical prices; set by the batched engine).
+        self.batched = False
 
     def initialize(self, world: World, rng: np.random.Generator) -> None:
         if self.schedule is None:
@@ -111,6 +114,8 @@ class OnDemandMechanism(IncentiveMechanism):
         if not tasks:
             self.last_demands = {}
             return {}
+        if self.batched:
+            return self._rewards_batched(view, tasks)
         neighbours = self._neighbour_counts(view)
         inputs: List[TaskDemandInputs] = [
             TaskDemandInputs(
@@ -127,6 +132,38 @@ class OnDemandMechanism(IncentiveMechanism):
         prices = {
             task.task_id: self.schedule.reward_for_demand(demand)
             for task, demand in zip(tasks, demands)
+        }
+        return self._require_all_tasks(prices, tasks)
+
+    def _rewards_batched(self, view: RoundView, tasks: List) -> Dict[int, float]:
+        """Vectorised Eq. 2–7: same prices, numpy arithmetic.
+
+        Neighbour counts come from :meth:`GridIndex.counts_array` (exact
+        counts, boundary-rechecked), demands from
+        :meth:`DemandCalculator.demands_array` (distinct-value scalar
+        logs), prices from :meth:`RewardSchedule.rewards_array` — each
+        pinned bit-identical to its scalar counterpart by tests.
+        """
+        if view.user_locations:
+            index = GridIndex(view.user_locations, cell_size=self.neighbour_radius)
+            neighbours = index.counts_array(
+                [t.location for t in tasks], self.neighbour_radius
+            )
+        else:
+            neighbours = np.zeros(len(tasks), dtype=int)
+        demands = self.calculator.demands_array(
+            round_no=view.round_no,
+            deadlines=np.asarray([t.deadline for t in tasks]),
+            received=np.asarray([t.received for t in tasks]),
+            required=np.asarray([t.required_measurements for t in tasks]),
+            neighbours=neighbours,
+        )
+        self.last_demands = {
+            t.task_id: float(d) for t, d in zip(tasks, demands)
+        }
+        rewards = self.schedule.rewards_array(demands)
+        prices = {
+            task.task_id: float(reward) for task, reward in zip(tasks, rewards)
         }
         return self._require_all_tasks(prices, tasks)
 

@@ -101,6 +101,17 @@ class RewardSchedule:
         """Vector form of :meth:`reward_for_demand`."""
         return [self.reward_for_demand(d) for d in demands]
 
+    def rewards_array(self, demands: "np.ndarray") -> "np.ndarray":
+        """Vectorised :meth:`reward_for_demand`, bit-identical per element.
+
+        Levels come from :meth:`DemandLevels.levels_array` and Eq. 7 is
+        the same ``r0 + step * (level - 1)`` IEEE arithmetic elementwise.
+        """
+        import numpy as np
+
+        levels = self.levels.levels_array(demands)
+        return self.base_reward + self.step * (levels - 1).astype(float)
+
     # -- budget accounting ----------------------------------------------------
 
     @property

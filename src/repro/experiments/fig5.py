@@ -25,7 +25,7 @@ from repro.experiments.runner import (
     default_repetitions,
     default_user_counts,
 )
-from repro.selection import make_selector
+from repro.selection import SELECTORS
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.rng import child_seed
@@ -47,8 +47,8 @@ def paired_round2_profits(
     the third holds every individual per-user difference (the Fig. 5(b)
     population).
     """
-    dp = make_selector("dp")
-    greedy = make_selector("greedy")
+    dp = SELECTORS.create("dp")
+    greedy = SELECTORS.create("greedy")
     dp_means: List[float] = []
     greedy_means: List[float] = []
     differences: List[float] = []

@@ -65,28 +65,72 @@ def _round_payload(record: RoundRecord) -> Dict:
     }
 
 
+def _meta_payload(world, rounds_played: int) -> Dict:
+    return {
+        "kind": "meta",
+        "format_version": FORMAT_VERSION,
+        "rounds_played": rounds_played,
+        "n_tasks": len(world.tasks),
+        "n_users": len(world.users),
+        "task_deadlines": {str(t.task_id): t.deadline for t in world.tasks},
+        "task_required": {
+            str(t.task_id): t.required_measurements for t in world.tasks
+        },
+    }
+
+
 def write_events_jsonl(result: SimulationResult, path: Union[str, Path]) -> Path:
     """Write one meta line plus one line per round (parents created)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    meta = {
-        "kind": "meta",
-        "format_version": FORMAT_VERSION,
-        "rounds_played": result.rounds_played,
-        "n_tasks": len(result.world.tasks),
-        "n_users": len(result.world.users),
-        "task_deadlines": {
-            str(t.task_id): t.deadline for t in result.world.tasks
-        },
-        "task_required": {
-            str(t.task_id): t.required_measurements for t in result.world.tasks
-        },
-    }
+    meta = _meta_payload(result.world, result.rounds_played)
     with path.open("w") as handle:
         handle.write(json.dumps(meta) + "\n")
         for record in result.rounds:
             handle.write(json.dumps(_round_payload(record)) + "\n")
     return path
+
+
+class RoundStreamWriter:
+    """Streams round records to an events JSONL as they finish.
+
+    Register an instance as an engine observer and a large run writes
+    its full history to disk without holding any round in memory —
+    pair with ``SimulationConfig(stream_rounds=True)``.  The format is
+    identical to :func:`write_events_jsonl` except that the meta line's
+    ``rounds_played`` is unknown at open time (written as 0; the reader
+    counts round lines, it never trusts the meta figure).
+
+    Usable as a context manager; :meth:`close` is idempotent.
+
+    >>> with RoundStreamWriter("events.jsonl", engine.world) as stream:
+    ...     engine.observers.append(stream)
+    ...     engine.run()                                   # doctest: +SKIP
+    """
+
+    def __init__(self, path: Union[str, Path], world) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.rounds_written = 0
+        self._handle = self.path.open("w")
+        self._handle.write(json.dumps(_meta_payload(world, 0)) + "\n")
+
+    def __call__(self, record: RoundRecord) -> None:
+        if self._handle is None:
+            raise ValueError(f"{self.path}: stream writer already closed")
+        self._handle.write(json.dumps(_round_payload(record)) + "\n")
+        self.rounds_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RoundStreamWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 @dataclass

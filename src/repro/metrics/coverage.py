@@ -24,6 +24,17 @@ def covered_task_ids(
     Args:
         up_to_round: 1-based cutoff; None means the whole run.
     """
+    if result.streamed:
+        # Streamed runs drop round records; the tasks' own measurement
+        # ledgers (round -> count) carry the same information.
+        return {
+            task.task_id
+            for task in result.world.tasks
+            if any(
+                count > 0 and (up_to_round is None or round_no <= up_to_round)
+                for round_no, count in task.measurements_by_round.items()
+            )
+        }
     covered: Set[int] = set()
     for record in result.rounds:
         if up_to_round is not None and record.round_no > up_to_round:

@@ -214,6 +214,7 @@ def regress_series(
 #: Direction heuristics for store series the caller gave no spec for.
 _LOWER_IS_WORSE_HINTS = (
     "speedup", "coverage", "completeness", "hit_rate", "profit", "welfare",
+    "per_second",
 )
 _HIGHER_IS_WORSE_SUFFIXES = (
     "_ms_per_call", "_seconds", "_seconds_total", "_bytes", "/mean",
@@ -238,12 +239,19 @@ def default_spec(name: str) -> MetricSpec:
     return MetricSpec(name, "two-sided")
 
 
-#: Curated specs for the selector bench trajectory.
+#: Curated specs for the perf-smoke bench trajectories.
 BENCH_SPECS: Dict[str, MetricSpec] = {
     "reference_ms_per_call": MetricSpec("reference_ms_per_call", "higher-is-worse"),
     "vectorized_ms_per_call": MetricSpec("vectorized_ms_per_call", "higher-is-worse"),
     "speedup": MetricSpec("speedup", "lower-is-worse"),
     "mean_profit": MetricSpec("mean_profit", "two-sided"),
+    "scalar_rounds_per_second": MetricSpec(
+        "scalar_rounds_per_second", "lower-is-worse"
+    ),
+    "batched_rounds_per_second": MetricSpec(
+        "batched_rounds_per_second", "lower-is-worse"
+    ),
+    "engine_speedup": MetricSpec("engine_speedup", "lower-is-worse"),
 }
 
 

@@ -369,6 +369,9 @@ BENCH_VALUE_FIELDS = (
     "vectorized_ms_per_call",
     "speedup",
     "mean_profit",
+    "scalar_rounds_per_second",
+    "batched_rounds_per_second",
+    "engine_speedup",
 )
 
 
@@ -379,7 +382,10 @@ def ingest_bench_trajectory(
 
     Each trajectory entry becomes one run of ``kind`` (idempotently —
     entries are fingerprinted, so re-ingesting the same file is a
-    no-op).  Returns only the records created *by this call*.
+    no-op).  Entries carrying a ``bench`` field (e.g. the engine
+    throughput bench) land under ``{kind}:{bench}`` so each bench keeps
+    its own regression baseline.  Returns only the records created *by
+    this call*.
 
     Raises:
         StoreError: if the file is not a JSON list of objects.
@@ -404,11 +410,12 @@ def ingest_bench_trajectory(
             if isinstance(entry.get(name), (int, float))
         }
         labels = {"source": path.name}
-        for label in ("scale", "python", "numpy"):
+        for label in ("scale", "python", "numpy", "bench"):
             if entry.get(label) is not None:
                 labels[label] = str(entry[label])
+        entry_kind = f"{kind}:{entry['bench']}" if entry.get("bench") else kind
         record, was_created = store.ingest(
-            kind,
+            entry_kind,
             values,
             labels=labels,
             created_at=entry.get("timestamp"),

@@ -1,0 +1,24 @@
+"""Scenario subsystem: declarative, named, file-loadable worlds.
+
+- :class:`~repro.scenarios.spec.ScenarioSpec` — a validated (name,
+  description, config-overrides) triple.
+- :mod:`~repro.scenarios.presets` — built-ins from ``paper-2018`` to
+  ``city-50k``.
+- :func:`~repro.scenarios.io.load_scenario` — resolve a preset name or
+  a ``.toml``/``.json`` spec file.
+"""
+
+from repro.scenarios.io import dumps_toml, load_scenario, load_spec, save_spec
+from repro.scenarios.presets import PRESETS, get_preset, preset_names
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "PRESETS",
+    "ScenarioSpec",
+    "dumps_toml",
+    "get_preset",
+    "load_scenario",
+    "load_spec",
+    "preset_names",
+    "save_spec",
+]

@@ -1,0 +1,205 @@
+"""Scenario files: TOML/JSON load and dump, plus name-or-path resolution.
+
+The on-disk shape mirrors :meth:`ScenarioSpec.to_mapping`::
+
+    name = "evening-run"
+    description = "..."
+
+    [config]
+    n_users = 500
+    arrival = "poisson"
+    deadline_range = [3, 10]
+
+    [[config.population]]
+    name = "commuters"
+    fraction = 0.4
+    mobility = "stationary"
+
+TOML reading prefers the stdlib ``tomllib`` (3.11+); on older
+interpreters a minimal built-in parser covers the dialect this module
+itself writes (bare keys, JSON-shaped scalar/array values, ``[table]``
+and ``[[array-of-tables]]`` headers) — enough for every scenario file
+the library produces, with a named error for anything fancier.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+try:  # pragma: no cover - exercised per interpreter version
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - python < 3.11
+    tomllib = None
+
+from repro.scenarios.presets import get_preset
+from repro.scenarios.spec import ScenarioSpec
+
+
+# -- minimal TOML (fallback reader + the writer) -------------------------
+
+
+def _parse_toml_minimal(text: str, source: str = "<string>") -> Dict[str, Any]:
+    """Parse the restricted TOML dialect :func:`dumps_toml` emits."""
+    root: Dict[str, Any] = {}
+    current = root
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise ValueError(f"{source}:{lineno}: malformed table header {line!r}")
+            current = _enter(root, line[2:-2].strip(), array=True)
+        elif line.startswith("["):
+            if not line.endswith("]"):
+                raise ValueError(f"{source}:{lineno}: malformed table header {line!r}")
+            current = _enter(root, line[1:-1].strip(), array=False)
+        elif "=" in line:
+            key, _, value = line.partition("=")
+            current[key.strip()] = _parse_value(value.strip(), source, lineno)
+        else:
+            raise ValueError(f"{source}:{lineno}: cannot parse line {line!r}")
+    return root
+
+
+def _enter(root: Dict[str, Any], dotted: str, array: bool) -> Dict[str, Any]:
+    """Resolve a ``[a.b]`` / ``[[a.b]]`` header to its table dict."""
+    parts = [part.strip() for part in dotted.split(".")]
+    node: Dict[str, Any] = root
+    for part in parts[:-1]:
+        node = node.setdefault(part, {})
+        if isinstance(node, list):  # descend into the latest array entry
+            node = node[-1]
+    leaf = parts[-1]
+    if array:
+        entries = node.setdefault(leaf, [])
+        entries.append({})
+        return entries[-1]
+    return node.setdefault(leaf, {})
+
+
+def _parse_value(raw: str, source: str, lineno: int) -> Any:
+    """One scalar/array value.  The dialect is JSON-compatible by design."""
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        raise ValueError(
+            f"{source}:{lineno}: cannot parse value {raw!r} (the built-in "
+            f"TOML reader covers JSON-shaped scalars and arrays only; "
+            f"install python >= 3.11 for full TOML)"
+        ) from None
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        text = repr(value)
+        return text if any(c in text for c in ".einf") else text + ".0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_format_value(item) for item in value) + "]"
+    raise ValueError(f"cannot write {type(value).__name__} value {value!r} as TOML")
+
+
+def dumps_toml(mapping: Dict[str, Any]) -> str:
+    """Serialize a spec mapping as TOML (the dialect the reader covers)."""
+    lines: List[str] = []
+    _dump_table(mapping, prefix="", lines=lines)
+    return "\n".join(lines) + "\n"
+
+
+def _dump_table(table: Dict[str, Any], prefix: str, lines: List[str]) -> None:
+    nested_tables = {}
+    table_arrays = {}
+    for key, value in table.items():
+        if isinstance(value, dict):
+            nested_tables[key] = value
+        elif (
+            isinstance(value, (list, tuple))
+            and value
+            and all(isinstance(item, dict) for item in value)
+        ):
+            table_arrays[key] = value
+        else:
+            lines.append(f"{key} = {_format_value(value)}")
+    for key, value in nested_tables.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if not value:
+            continue  # empty tables carry no information
+        lines.append("")
+        lines.append(f"[{path}]")
+        _dump_table(value, path, lines)
+    for key, entries in table_arrays.items():
+        path = f"{prefix}.{key}" if prefix else key
+        for entry in entries:
+            lines.append("")
+            lines.append(f"[[{path}]]")
+            _dump_table(entry, path, lines)
+
+
+# -- files ---------------------------------------------------------------
+
+
+def load_spec(path: Union[str, Path]) -> ScenarioSpec:
+    """Load a scenario file (``.toml`` or ``.json``).
+
+    Raises:
+        ValueError: for an unrecognised extension or an invalid spec.
+        FileNotFoundError: if the file does not exist.
+    """
+    path = Path(path)
+    text = path.read_text()
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        mapping = json.loads(text)
+    elif suffix == ".toml":
+        if tomllib is not None:
+            mapping = tomllib.loads(text)
+        else:
+            mapping = _parse_toml_minimal(text, source=str(path))
+    else:
+        raise ValueError(
+            f"{path}: unrecognised scenario extension {suffix!r} "
+            f"(expected .toml or .json)"
+        )
+    return ScenarioSpec.from_mapping(mapping)
+
+
+def save_spec(spec: ScenarioSpec, path: Union[str, Path]) -> Path:
+    """Write a spec as ``.toml`` or ``.json`` (by extension; parents made)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    mapping = spec.to_mapping()
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        path.write_text(json.dumps(mapping, indent=2) + "\n")
+    elif suffix == ".toml":
+        path.write_text(dumps_toml(mapping))
+    else:
+        raise ValueError(
+            f"{path}: unrecognised scenario extension {suffix!r} "
+            f"(expected .toml or .json)"
+        )
+    return path
+
+
+def load_scenario(source: Union[str, Path]) -> ScenarioSpec:
+    """Resolve a scenario from a preset name or a spec file path.
+
+    Anything ending in ``.toml``/``.json`` (or naming an existing file)
+    loads as a file; everything else is looked up among the built-in
+    presets.
+
+    >>> load_scenario("paper-2018").config["n_users"]
+    100
+    """
+    text = str(source)
+    if text.lower().endswith((".toml", ".json")) or Path(text).exists():
+        return load_spec(text)
+    return get_preset(text)

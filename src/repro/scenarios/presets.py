@@ -1,0 +1,174 @@
+"""Named scenario presets, from the paper's bench to a 50k-user city.
+
+Every preset validates at import time (:class:`ScenarioSpec` builds its
+config eagerly), and the property tests additionally generate each
+preset's world and check its invariants.  Budgets respect Eq. 9:
+``budget / total_required > step * (levels - 1)`` so the base reward
+:math:`r_0` stays positive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.scenarios.spec import ScenarioSpec
+
+PAPER_2018 = ScenarioSpec(
+    name="paper-2018",
+    description=(
+        "The paper's Section VI reference setup: 100 walkers, 20 tasks "
+        "released at round 1, 15 rounds, AHP-weighted on-demand pricing, "
+        "exact DP task selection."
+    ),
+    config=dict(
+        n_users=100,
+        n_tasks=20,
+        area_side=3000.0,
+        required_measurements=20,
+        deadline_range=[5, 15],
+        rounds=15,
+        budget=1000.0,
+        reward_step=0.5,
+        level_count=5,
+        neighbour_radius=500.0,
+        user_speed=2.0,
+        user_time_budget=900.0,
+        cost_per_meter=0.002,
+        mechanism="on-demand",
+        selector="dp",
+        mobility="follow-path",
+    ),
+)
+
+POISSON_STREAM = ScenarioSpec(
+    name="poisson-stream",
+    description=(
+        "Paper-sized world with tasks arriving as a Poisson stream over "
+        "the horizon instead of all at round 1 — the dynamic-arrival "
+        "stress case for the demand mechanism's deadline factor."
+    ),
+    config=dict(
+        n_users=100,
+        n_tasks=20,
+        rounds=15,
+        budget=1000.0,
+        arrival="poisson",
+        selector="dp",
+    ),
+)
+
+RUSH_HOUR = ScenarioSpec(
+    name="rush-hour",
+    description=(
+        "A burst of tasks lands mid-run on a heterogeneous crowd: half "
+        "are stationary commuters, a fifth are fast cyclists wandering "
+        "between rounds, the rest walk the paper's default."
+    ),
+    config=dict(
+        n_users=150,
+        n_tasks=30,
+        rounds=12,
+        budget=1800.0,
+        arrival="burst",
+        arrival_kwargs={"round_no": 5, "fraction": 0.5},
+        population=[
+            {
+                "name": "commuters",
+                "fraction": 0.5,
+                "mobility": "stationary",
+                "speed": [1.0, 2.0],
+            },
+            {
+                "name": "cyclists",
+                "fraction": 0.2,
+                "mobility": "random-waypoint",
+                "speed": [4.0, 6.0],
+            },
+        ],
+        selector="greedy",
+    ),
+)
+
+CITY_2K = ScenarioSpec(
+    name="city-2k",
+    description=(
+        "Downsized large-scale smoke: 2k users / 200 tasks on a 12 km "
+        "side, batched engine, streamed rounds — the CI-sized stand-in "
+        "for city-50k."
+    ),
+    config=dict(
+        n_users=2000,
+        n_tasks=200,
+        area_side=12000.0,
+        rounds=8,
+        budget=12000.0,
+        deadline_range=[3, 8],
+        arrival="poisson",
+        participation_rate=0.8,
+        selector="greedy",
+        engine="batched",
+        stream_rounds=True,
+    ),
+)
+
+CITY_50K = ScenarioSpec(
+    name="city-50k",
+    description=(
+        "City-scale stress: 50k users / 2k tasks on a 30 km side with a "
+        "heterogeneous population (stationary commuters, fast couriers), "
+        "Poisson task arrivals, batched engine, streamed rounds."
+    ),
+    config=dict(
+        n_users=50_000,
+        n_tasks=2000,
+        area_side=30_000.0,
+        rounds=10,
+        budget=120_000.0,
+        deadline_range=[3, 10],
+        user_time_budget=600.0,
+        arrival="poisson",
+        participation_rate=0.6,
+        population=[
+            {
+                "name": "commuters",
+                "fraction": 0.4,
+                "mobility": "stationary",
+                "speed": [1.5, 2.5],
+            },
+            {
+                "name": "couriers",
+                "fraction": 0.1,
+                "mobility": "random-waypoint",
+                "speed": [3.0, 5.0],
+            },
+        ],
+        selector="greedy",
+        engine="batched",
+        stream_rounds=True,
+    ),
+)
+
+#: Registration order is display order for ``repro scenarios``.
+PRESETS: Dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (PAPER_2018, POISSON_STREAM, RUSH_HOUR, CITY_2K, CITY_50K)
+}
+
+
+def preset_names() -> Tuple[str, ...]:
+    """Every built-in scenario name, in registration order."""
+    return tuple(PRESETS)
+
+
+def get_preset(name: str) -> ScenarioSpec:
+    """Look a preset up by name.
+
+    Raises:
+        ValueError: for an unknown name (lists the valid ones).
+    """
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; valid: {', '.join(sorted(PRESETS))}"
+        ) from None

@@ -36,7 +36,7 @@ from repro.selection.brute_force import BruteForceSelector
 from repro.selection.branch_and_bound import BranchAndBoundSelector
 from repro.selection.two_opt import GreedyTwoOptSelector, improve_order
 from repro.selection.watchdog import TimeBoundedSelector
-from repro.selection.factory import make_selector, SELECTOR_NAMES
+from repro.selection.factory import SELECTORS, make_selector, SELECTOR_NAMES
 
 __all__ = [
     "CandidateTask",
@@ -52,5 +52,6 @@ __all__ = [
     "TimeBoundedSelector",
     "improve_order",
     "make_selector",
+    "SELECTORS",
     "SELECTOR_NAMES",
 ]

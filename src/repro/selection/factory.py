@@ -1,13 +1,17 @@
 """Selector registry: build a selector from its short name.
 
 Mirrors :mod:`repro.core.mechanisms.factory`; the CLI and experiment
-configs refer to selectors by these names.
+configs refer to selectors by these names.  The blessed surface is the
+:data:`SELECTORS` registry (``SELECTORS.create(name, **kwargs)`` /
+``SELECTORS.available()``); :func:`make_selector` remains as a
+deprecated shim with the old call signature.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Type
+import warnings
 
+from repro.registry import Registry
 from repro.selection.base import Selector
 from repro.selection.branch_and_bound import BranchAndBoundSelector
 from repro.selection.brute_force import BruteForceSelector
@@ -17,32 +21,36 @@ from repro.selection.reference_dp import ReferenceDPSelector
 from repro.selection.two_opt import GreedyTwoOptSelector
 from repro.selection.watchdog import TimeBoundedSelector
 
-_REGISTRY: Dict[str, Type[Selector]] = {
-    DynamicProgrammingSelector.name: DynamicProgrammingSelector,
-    ReferenceDPSelector.name: ReferenceDPSelector,
-    GreedySelector.name: GreedySelector,
-    GreedyTwoOptSelector.name: GreedyTwoOptSelector,
-    BruteForceSelector.name: BruteForceSelector,
-    BranchAndBoundSelector.name: BranchAndBoundSelector,
-    TimeBoundedSelector.name: TimeBoundedSelector,
-}
+#: The task-selector registry (the blessed construction surface).
+SELECTORS: Registry[Selector] = Registry("selector")
+for _cls in (
+    DynamicProgrammingSelector,
+    ReferenceDPSelector,
+    BranchAndBoundSelector,
+    GreedySelector,
+    GreedyTwoOptSelector,
+    BruteForceSelector,
+    TimeBoundedSelector,
+):
+    SELECTORS.register(_cls)
 
 #: Registered selector names in presentation order.
-SELECTOR_NAMES = (
-    "dp", "reference-dp", "branch-and-bound", "greedy", "greedy-2opt",
-    "brute-force", "time-bounded",
-)
+SELECTOR_NAMES = SELECTORS.available()
 
 
 def make_selector(name: str, **kwargs) -> Selector:
-    """Instantiate a selector by registry name, forwarding keyword args.
+    """Deprecated alias for ``SELECTORS.create(name, **kwargs)``.
+
+    Kept for one release so existing call sites keep working; new code
+    should use :data:`SELECTORS` (or ``repro.api.create_selector``).
 
     Raises:
         ValueError: for an unknown name (message lists the valid ones).
     """
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        valid = ", ".join(sorted(_REGISTRY))
-        raise ValueError(f"unknown selector {name!r}; valid: {valid}") from None
-    return cls(**kwargs)
+    warnings.warn(
+        "make_selector() is deprecated; use SELECTORS.create(name, ...) "
+        "from repro.selection.factory (or repro.api.create_selector)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return SELECTORS.create(name, **kwargs)

@@ -70,9 +70,9 @@ class TimeBoundedSelector(Selector):
         catch_errors: bool = True,
     ):
         if isinstance(inner, str):
-            from repro.selection.factory import make_selector
+            from repro.selection.factory import SELECTORS
 
-            inner = make_selector(inner)
+            inner = SELECTORS.create(inner)
         if timeout <= 0:
             raise ConfigError(
                 f"selector timeout must be positive seconds, got {timeout}"

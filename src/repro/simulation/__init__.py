@@ -16,7 +16,7 @@ travel & data upload → demand recalculation*.
 """
 
 from repro.simulation.config import SimulationConfig
-from repro.simulation.engine import SimulationEngine, simulate
+from repro.simulation.engine import SimulationEngine, make_engine, simulate
 from repro.simulation.events import (
     MeasurementEvent,
     RejectedContribution,
@@ -34,6 +34,7 @@ __all__ = [
     "RoundProblems",
     "SimulationConfig",
     "SimulationEngine",
+    "make_engine",
     "simulate",
     "MeasurementEvent",
     "RejectedContribution",

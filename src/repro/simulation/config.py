@@ -7,7 +7,7 @@ states a value, and DESIGN.md §3 documents the choices where it does not
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Optional, Tuple
 
 from repro.geometry.region import RectRegion
@@ -50,6 +50,28 @@ class SimulationConfig:
         selector_kwargs: extra constructor arguments for the selector.
         mobility: mobility policy registry name.
         layout: world layout, "uniform" (paper) or "clustered".
+        engine: simulation engine variant — "scalar" (the reference
+            per-user loop) or "batched" (vectorized demand/pricing and
+            batched mobility for large worlds; bit-identical results).
+        arrival: task arrival stream — "static" (all releases drawn from
+            ``release_range``, the paper's setup), "poisson" (release
+            rounds from a truncated Poisson process across the horizon)
+            or "burst" (a background trickle plus one release spike).
+        arrival_kwargs: knobs of the arrival stream (e.g. ``rate`` for
+            "poisson"; ``round``/``fraction`` for "burst"); see
+            :mod:`repro.world.arrivals`.
+        population: optional tuple of population-group specs (mappings)
+            describing a heterogeneous crowd: each group names a
+            ``fraction`` of the users, a ``mobility`` policy, and
+            optional ``speed`` / ``time_budget`` / ``cost_per_meter``
+            values or ``[low, high]`` uniform ranges.  Empty (default)
+            keeps the paper's homogeneous population; see
+            :mod:`repro.world.population`.
+        stream_rounds: when True the engine does not retain per-round
+            records in :class:`SimulationResult` (observers still see
+            every record as it finishes, so a JSONL stream writer keeps
+            the full history on disk); totals and summary metrics stay
+            available.  Bounds memory on 50k-user runs.
         seed: root seed for all random streams.
         selector_timeout: optional wall-clock deadline (seconds) on every
             ``Selector.select`` call.  When set, the engine wraps the
@@ -82,6 +104,11 @@ class SimulationConfig:
     selector_kwargs: Dict[str, Any] = field(default_factory=dict)
     mobility: str = "follow-path"
     layout: str = "uniform"
+    engine: str = "scalar"
+    arrival: str = "static"
+    arrival_kwargs: Dict[str, Any] = field(default_factory=dict)
+    population: Tuple[Dict[str, Any], ...] = ()
+    stream_rounds: bool = False
     seed: int = 0
     selector_timeout: Optional[float] = None
 
@@ -147,6 +174,21 @@ class SimulationConfig:
             raise ConfigError(
                 f"layout must be 'uniform' or 'clustered', got {self.layout!r}"
             )
+        if self.engine not in ("scalar", "batched"):
+            raise ConfigError(
+                f"engine must be 'scalar' or 'batched', got {self.engine!r}"
+            )
+        if self.arrival not in ("static", "poisson", "burst"):
+            raise ConfigError(
+                f"arrival must be 'static', 'poisson' or 'burst', "
+                f"got {self.arrival!r}"
+            )
+        for group in self.population:
+            if not isinstance(group, dict) or "name" not in group:
+                raise ConfigError(
+                    f"each population group must be a mapping with a 'name', "
+                    f"got {group!r}"
+                )
         low, high = self.deadline_range
         if low < 1 or high < low:
             raise ConfigError(
@@ -190,10 +232,27 @@ class SimulationConfig:
             user_time_budget=self.user_time_budget,
             heterogeneity=self.heterogeneity,
             release_range=self.release_range,
+            arrival=self.arrival,
+            arrival_kwargs=dict(self.arrival_kwargs),
+            horizon=self.rounds,
+            population=tuple(self.population),
         )
 
     def with_overrides(self, **changes: Any) -> "SimulationConfig":
-        """A copy of this config with fields replaced (sweep helper)."""
+        """A copy of this config with fields replaced (sweep helper).
+
+        Raises:
+            ValueError: when a key does not name a config field — a typo
+                in a sweep would otherwise be silently absorbed into a
+                confusing ``dataclasses.replace`` traceback.
+        """
+        valid = {f.name for f in fields(self)}
+        unknown = sorted(set(changes) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown SimulationConfig field(s) {', '.join(map(repr, unknown))}; "
+                f"valid fields: {', '.join(sorted(valid))}"
+            )
         return replace(self, **changes)
 
     def mechanism_arguments(self) -> Dict[str, Any]:

@@ -36,17 +36,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 import math
 from time import perf_counter
 
-from repro.core.mechanisms import IncentiveMechanism, RoundView, make_mechanism
+from repro.core.mechanisms import MECHANISMS, IncentiveMechanism, RoundView
 from repro.obs.log import bind
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER
 from repro.resilience.errors import MechanismPriceError
 from repro.selection import (
+    SELECTORS,
     Selection,
     Selector,
     TaskSelectionProblem,
     TimeBoundedSelector,
-    make_selector,
 )
 from repro.simulation.config import SimulationConfig
 from repro.simulation.perf import PerfStats
@@ -60,7 +60,7 @@ from repro.simulation.events import (
 )
 from repro.simulation.rng import spawn_streams
 from repro.world.generator import World
-from repro.world.mobility import MobilityPolicy, make_mobility
+from repro.world.mobility import MixedMobility, MobilityPolicy, make_mobility
 from repro.world.task import SensingTask
 from repro.world.user import MobileUser
 
@@ -106,11 +106,11 @@ class SimulationEngine:
     ):
         self.config = config
         self._streams = spawn_streams(config.seed)
-        self.mechanism = mechanism if mechanism is not None else make_mechanism(
+        self.mechanism = mechanism if mechanism is not None else MECHANISMS.create(
             config.mechanism, **config.mechanism_arguments()
         )
         self.selector = selector if selector is not None else self._build_selector()
-        self.mobility: MobilityPolicy = make_mobility(config.mobility)
+        self.mobility: MobilityPolicy = self._build_mobility()
         self.world = world if world is not None else self._generate_world()
         self.observers = list(observers)
         self.coordinator = coordinator
@@ -129,7 +129,7 @@ class SimulationEngine:
     # -- setup -----------------------------------------------------------
 
     def _build_selector(self) -> Selector:
-        selector = make_selector(self.config.selector, **self.config.selector_kwargs)
+        selector = SELECTORS.create(self.config.selector, **self.config.selector_kwargs)
         if self.config.selector_timeout is not None and not isinstance(
             selector, TimeBoundedSelector
         ):
@@ -137,6 +137,18 @@ class SimulationEngine:
                 selector, timeout=self.config.selector_timeout
             )
         return selector
+
+    def _build_mobility(self) -> MobilityPolicy:
+        """The config's policy, routed per group for mixed populations."""
+        default = make_mobility(self.config.mobility)
+        per_group = {
+            str(group["name"]): make_mobility(group["mobility"])
+            for group in self.config.population
+            if group.get("mobility")
+        }
+        if per_group:
+            return MixedMobility(per_group, default)
+        return default
 
     def _generate_world(self) -> World:
         generator = self.config.world_generator()
@@ -279,7 +291,10 @@ class SimulationEngine:
             round=self._next_round,
         ), self.tracer.span("round", cat="round", round=self._next_round):
             record = self._play_round(self._next_round, self.published_tasks())
-        self.result.rounds.append(record)
+        if self.config.stream_rounds:
+            self.result.absorb(record)
+        else:
+            self.result.rounds.append(record)
         self._next_round += 1
         for observer in self.observers:
             observer(record)
@@ -308,30 +323,7 @@ class SimulationEngine:
                     for user in self.world.users
                 ]
             else:
-                problems = self._round_problems(active, prices)
-                latency = self._metrics.histogram("selector_seconds")
-                selections = []
-                for user in self.world.users:
-                    if user.user_id in available:
-                        problem = problems.problem_for(user)
-                        if tracer.enabled:
-                            with tracer.span(
-                                "select-user", cat="selector",
-                                user=user.user_id, tasks=problem.size,
-                            ):
-                                started = perf_counter()
-                                selection = self.selector.select(problem)
-                                elapsed = perf_counter() - started
-                        else:
-                            started = perf_counter()
-                            selection = self.selector.select(problem)
-                            elapsed = perf_counter() - started
-                        self._perf.selector_wall_time += elapsed
-                        self._perf.selector_calls += 1
-                        latency.observe(elapsed)
-                    else:
-                        selection = Selection.empty()
-                    selections.append((user, selection))
+                selections = self._collect_selections(active, prices, available)
 
         # Step 3: uploads processed in a random arrival order.
         with tracer.span("upload", cat="phase", round=round_no):
@@ -360,7 +352,11 @@ class SimulationEngine:
                         cost=selection.cost,
                     )
                 )
-                self._move_user(user, selection, tasks_by_id)
+            # Mobility is a single post-upload pass in the same arrival
+            # order: nothing in the upload loop reads another user's
+            # position, and the mobility stream is consumed in the same
+            # sequence, so this is bit-identical to interleaved moves.
+            self._apply_moves(arrival, selections, tasks_by_id)
 
         # Step 4 prep: expire tasks whose deadline has passed.
         expired = [
@@ -382,6 +378,57 @@ class SimulationEngine:
                 measurements, rejections, fallbacks, perf
             ),
         )
+
+    def _collect_selections(
+        self,
+        active: List[SensingTask],
+        prices: Dict[int, float],
+        available: set,
+    ) -> List[Tuple[MobileUser, Selection]]:
+        """Step 2 (WST): every user's Eq. 1 answer for this round.
+
+        One entry per user in world order.  Users sitting the round out
+        (participation) select nothing.  Subclasses (the batched engine)
+        override this with a vectorised construction path; the selections
+        themselves must stay bit-identical.
+        """
+        tracer = self.tracer
+        problems = self._round_problems(active, prices)
+        latency = self._metrics.histogram("selector_seconds")
+        selections: List[Tuple[MobileUser, Selection]] = []
+        for user in self.world.users:
+            if user.user_id in available:
+                problem = problems.problem_for(user)
+                if tracer.enabled:
+                    with tracer.span(
+                        "select-user", cat="selector",
+                        user=user.user_id, tasks=problem.size,
+                    ):
+                        started = perf_counter()
+                        selection = self.selector.select(problem)
+                        elapsed = perf_counter() - started
+                else:
+                    started = perf_counter()
+                    selection = self.selector.select(problem)
+                    elapsed = perf_counter() - started
+                self._perf.selector_wall_time += elapsed
+                self._perf.selector_calls += 1
+                latency.observe(elapsed)
+            else:
+                selection = Selection.empty()
+            selections.append((user, selection))
+        return selections
+
+    def _apply_moves(
+        self,
+        arrival: Sequence[int],
+        selections: List[Tuple[MobileUser, Selection]],
+        tasks_by_id: Dict[int, SensingTask],
+    ) -> None:
+        """Advance every user to its next-round position (arrival order)."""
+        for idx in arrival:
+            user, selection = selections[idx]
+            self._move_user(user, selection, tasks_by_id)
 
     def _validate_prices(
         self,
@@ -551,11 +598,28 @@ class SimulationEngine:
         )
 
 
+def make_engine(config: SimulationConfig, **engine_kwargs) -> SimulationEngine:
+    """Build the engine ``config.engine`` names (``scalar`` or ``batched``).
+
+    Both engines produce bit-identical histories for the same config and
+    seed; ``batched`` replaces the per-user python geometry with chunked
+    numpy and is the right choice from ~10k users up.
+    """
+    if config.engine == "batched":
+        # Imported here: batch.py subclasses SimulationEngine.
+        from repro.simulation.batch import BatchedSimulationEngine
+
+        return BatchedSimulationEngine(config, **engine_kwargs)
+    return SimulationEngine(config, **engine_kwargs)
+
+
 def simulate(config: SimulationConfig, **engine_kwargs) -> SimulationResult:
     """Build an engine for ``config`` and run it (the one-call entry point).
+
+    Respects ``config.engine`` (see :func:`make_engine`).
 
     >>> result = simulate(SimulationConfig(n_users=40, seed=7))
     >>> result.rounds_played >= 1
     True
     """
-    return SimulationEngine(config, **engine_kwargs).run()
+    return make_engine(config, **engine_kwargs).run()

@@ -121,33 +121,95 @@ class RoundRecord:
 
 
 @dataclass
+class RunTotals:
+    """Streaming accumulator: everything the metrics suite needs from a
+    run whose per-round records were not retained in memory.
+
+    The engine :meth:`absorb`\\ s each finished :class:`RoundRecord` into
+    this and then drops it (observers — e.g. a JSONL stream writer —
+    still saw the full record), so a 50k-user run holds O(tasks + users)
+    state instead of O(rounds x users)."""
+
+    rounds_played: int = 0
+    total_measurements: int = 0
+    total_paid: float = 0.0
+    total_selector_fallbacks: int = 0
+    measurements_by_task: Dict[int, int] = field(default_factory=dict)
+    perf: PerfStats = field(default_factory=PerfStats)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def absorb(self, record: RoundRecord) -> None:
+        self.rounds_played += 1
+        self.total_measurements += record.measurement_count
+        self.total_paid += record.total_paid
+        self.total_selector_fallbacks += record.selector_fallbacks
+        for event in record.measurements:
+            self.measurements_by_task[event.task_id] = (
+                self.measurements_by_task.get(event.task_id, 0) + 1
+            )
+        if record.perf is not None:
+            self.perf = PerfStats.merged((self.perf, record.perf))
+        if record.metrics is not None:
+            self.metrics = MetricsRegistry.merged((self.metrics, record.metrics))
+
+
+@dataclass
 class SimulationResult:
-    """A finished run: the config, the final world, and the full history."""
+    """A finished run: the config, the final world, and the history.
+
+    The history is either the full per-round record list (``rounds``,
+    the default) or — for memory-bounded streaming runs — the
+    :class:`RunTotals` accumulator (``totals``), in which case
+    ``rounds`` stays empty and per-round accessors raise."""
 
     config: "SimulationConfig"
     world: "World"
     rounds: List[RoundRecord] = field(default_factory=list)
+    totals: Optional[RunTotals] = None
+
+    def absorb(self, record: RoundRecord) -> None:
+        """Fold a finished round into :attr:`totals` without keeping it."""
+        if self.totals is None:
+            self.totals = RunTotals(
+                measurements_by_task={t.task_id: 0 for t in self.world.tasks}
+            )
+        self.totals.absorb(record)
+
+    @property
+    def streamed(self) -> bool:
+        """Whether per-round records were dropped after aggregation."""
+        return self.totals is not None
 
     @property
     def rounds_played(self) -> int:
+        if self.totals is not None:
+            return self.totals.rounds_played
         return len(self.rounds)
 
     @property
     def total_measurements(self) -> int:
+        if self.totals is not None:
+            return self.totals.total_measurements
         return sum(record.measurement_count for record in self.rounds)
 
     @property
     def total_paid(self) -> float:
         """Total platform payout over the whole run (must respect Eq. 8)."""
+        if self.totals is not None:
+            return self.totals.total_paid
         return sum(record.total_paid for record in self.rounds)
 
     @property
     def total_selector_fallbacks(self) -> int:
         """Watchdog degradations over the whole run (0 = fully exact)."""
+        if self.totals is not None:
+            return self.totals.total_selector_fallbacks
         return sum(record.selector_fallbacks for record in self.rounds)
 
     def perf_totals(self) -> PerfStats:
         """All rounds' perf counters merged into one :class:`PerfStats`."""
+        if self.totals is not None:
+            return self.totals.perf
         return PerfStats.merged(record.perf for record in self.rounds)
 
     def metrics_totals(self) -> MetricsRegistry:
@@ -156,14 +218,23 @@ class SimulationResult:
         Counters and histograms sum; gauges keep the last round's value
         (so ``budget_remaining`` ends at the run's final figure).
         """
+        if self.totals is not None:
+            return self.totals.metrics
         return MetricsRegistry.merged(record.metrics for record in self.rounds)
 
     def round(self, round_no: int) -> RoundRecord:
         """The record for a 1-based round number.
 
         Raises:
-            IndexError: if that round was not played (e.g. early stop).
+            IndexError: if that round was not played (e.g. early stop),
+                or if the run streamed its rounds instead of keeping them.
         """
+        if self.totals is not None:
+            raise IndexError(
+                f"round {round_no} not retained: this run streamed its "
+                f"records (config.stream_rounds) — read them back from "
+                f"the events JSONL instead"
+            )
         if not 1 <= round_no <= len(self.rounds):
             raise IndexError(
                 f"round {round_no} not played (history has {len(self.rounds)})"
@@ -173,6 +244,9 @@ class SimulationResult:
     def measurements_by_task(self) -> Dict[int, int]:
         """Accepted measurement counts per task over the whole run."""
         counts: Dict[int, int] = {task.task_id: 0 for task in self.world.tasks}
+        if self.totals is not None:
+            counts.update(self.totals.measurements_by_task)
+            return counts
         for record in self.rounds:
             for event in record.measurements:
                 counts[event.task_id] += 1
@@ -183,9 +257,14 @@ class SimulationResult:
 
         Args:
             round_no: restrict to one 1-based round; None sums all rounds.
+                Per-round profits require retained rounds (non-streaming).
         """
         if round_no is not None:
             return [r.profit for r in self.round(round_no).user_records]
+        if self.totals is not None:
+            # Users accumulate rewards/costs in place; for streamed runs
+            # the final world state is the whole-run ledger.
+            return [u.total_profit for u in self.world.users]
         totals: Dict[int, float] = {u.user_id: 0.0 for u in self.world.users}
         for record in self.rounds:
             for user_record in record.user_records:

@@ -62,11 +62,18 @@ class RoundProblems:
         self.rewards = np.asarray(
             [prices[t.task_id] for t in self.tasks], dtype=float
         )
-        # Same elementwise pipeline as geometry.distances.pairwise_distances:
-        # diff, square, sum over the 2-wide axis, sqrt.
+        # Same arithmetic as geometry.distances.pairwise_distances —
+        # diff, square, one add, sqrt — written per coordinate and in
+        # place so no (n, n, 2) temporary is materialised.  The sum over
+        # the 2-wide axis is a single correctly-rounded add either way,
+        # so the entries are bit-identical to the stacked pipeline.
         if n:
-            diff = self.locations[:, None, :] - self.locations[None, :, :]
-            self.task_matrix = np.sqrt((diff**2).sum(axis=2))
+            dx = self.locations[:, 0, None] - self.locations[None, :, 0]
+            dy = self.locations[:, 1, None] - self.locations[None, :, 1]
+            np.multiply(dx, dx, out=dx)
+            np.multiply(dy, dy, out=dy)
+            np.add(dx, dy, out=dx)
+            self.task_matrix = np.sqrt(dx, out=dx)
         else:
             self.task_matrix = np.empty((0, 0), dtype=float)
         self.candidates = tuple(

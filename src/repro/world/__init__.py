@@ -19,11 +19,21 @@ Section III of the paper:
 from repro.world.task import SensingTask, TaskStatus
 from repro.world.user import MobileUser
 from repro.world.generator import WorldGenerator, World
+from repro.world.arrivals import (
+    ARRIVALS,
+    ArrivalStream,
+    StaticArrival,
+    PoissonArrival,
+    BurstArrival,
+)
+from repro.world.population import PopulationGroup, parse_population
 from repro.world.mobility import (
+    MOBILITY,
     MobilityPolicy,
     StationaryMobility,
     FollowPathMobility,
     RandomWaypointMobility,
+    MixedMobility,
     make_mobility,
 )
 
@@ -33,9 +43,18 @@ __all__ = [
     "MobileUser",
     "WorldGenerator",
     "World",
+    "ARRIVALS",
+    "ArrivalStream",
+    "StaticArrival",
+    "PoissonArrival",
+    "BurstArrival",
+    "PopulationGroup",
+    "parse_population",
+    "MOBILITY",
     "MobilityPolicy",
     "StationaryMobility",
     "FollowPathMobility",
     "RandomWaypointMobility",
+    "MixedMobility",
     "make_mobility",
 ]

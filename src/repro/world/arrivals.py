@@ -1,0 +1,150 @@
+"""Task arrival streams: when each sensing task is released.
+
+The paper publishes every task at round 1; related work (Cheung et al.,
+*Distributed Time-Sensitive Task Selection in Mobile Crowdsensing*)
+studies tasks that arrive over time.  A stream maps the scenario's task
+count and horizon to one release round per task:
+
+- :class:`StaticArrival` — releases drawn uniformly from the generator's
+  ``release_range`` (the paper's setup is the default ``(1, 1)``, which
+  draws nothing so legacy seeds reproduce bit-exactly).
+- :class:`PoissonArrival` — releases from a Poisson process over the
+  horizon (exponential inter-arrival gaps), the standard model for
+  requesters posting tasks independently.
+- :class:`BurstArrival` — a background trickle plus one release spike
+  (a planned event: a concert, a storm warning) at a chosen round.
+
+Each task's deadline then becomes ``release - 1 + duration`` with the
+duration drawn from ``deadline_range``, exactly like the staggered
+``release_range`` path.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.registry import Registry
+
+
+class ArrivalStream(abc.ABC):
+    """Draws one release round per task."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def releases(
+        self,
+        n_tasks: int,
+        horizon: int,
+        release_range: Tuple[int, int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Integer release rounds, one per task, each in ``[1, horizon]``.
+
+        Args:
+            n_tasks: how many tasks the world holds.
+            horizon: the simulated horizon in rounds (releases are
+                clamped so every task is publishable within the run).
+            release_range: the generator's static release window —
+                only :class:`StaticArrival` reads it.
+            rng: the world random stream.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class StaticArrival(ArrivalStream):
+    """The generator's legacy behaviour: uniform draws from ``release_range``."""
+
+    name = "static"
+
+    def releases(
+        self,
+        n_tasks: int,
+        horizon: int,
+        release_range: Tuple[int, int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        low, high = release_range
+        if (low, high) == (1, 1):
+            # No draws so legacy seeds reproduce bit-exactly.
+            return np.ones(n_tasks, dtype=int)
+        return rng.integers(low, high + 1, size=n_tasks)
+
+
+class PoissonArrival(ArrivalStream):
+    """Tasks arrive as a Poisson process across the horizon.
+
+    Args:
+        rate: expected arrivals per round.  None (default) spreads the
+            task count over the horizon (``n_tasks / horizon``), so the
+            stream ends roughly when the run does.
+    """
+
+    name = "poisson"
+
+    def __init__(self, rate: Optional[float] = None):
+        if rate is not None and rate <= 0:
+            raise ValueError(f"poisson arrival rate must be positive, got {rate}")
+        self.rate = rate
+
+    def releases(
+        self,
+        n_tasks: int,
+        horizon: int,
+        release_range: Tuple[int, int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        rate = self.rate if self.rate is not None else n_tasks / max(horizon, 1)
+        gaps = rng.exponential(scale=1.0 / rate, size=n_tasks)
+        times = np.cumsum(gaps)
+        return np.clip(np.ceil(times).astype(int), 1, horizon)
+
+
+class BurstArrival(ArrivalStream):
+    """A background trickle plus one release spike.
+
+    Args:
+        round_no: the round the burst lands on.  None (default) puts it
+            a third of the way into the horizon.
+        fraction: the share of tasks released in the burst (the rest
+            follow the static background draw).
+    """
+
+    name = "burst"
+
+    def __init__(self, round_no: Optional[int] = None, fraction: float = 0.5):
+        if round_no is not None and round_no < 1:
+            raise ValueError(f"burst round_no must be >= 1, got {round_no}")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"burst fraction must be in [0, 1], got {fraction}")
+        self.round_no = round_no
+        self.fraction = fraction
+
+    def releases(
+        self,
+        n_tasks: int,
+        horizon: int,
+        release_range: Tuple[int, int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        burst_round = (
+            self.round_no if self.round_no is not None else max(1, horizon // 3)
+        )
+        burst_round = min(burst_round, horizon)
+        background = StaticArrival().releases(n_tasks, horizon, release_range, rng)
+        n_burst = int(round(n_tasks * self.fraction))
+        if n_burst == 0:
+            return background
+        chosen = rng.permutation(n_tasks)[:n_burst]
+        background[chosen] = burst_round
+        return background
+
+
+ARRIVALS: Registry[ArrivalStream] = Registry("arrival stream")
+for _cls in (StaticArrival, PoissonArrival, BurstArrival):
+    ARRIVALS.register(_cls)

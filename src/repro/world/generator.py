@@ -10,13 +10,15 @@ to stress the popularity-inequality problem the paper motivates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.geometry.point import Point
 from repro.geometry.region import RectRegion
+from repro.world.arrivals import ARRIVALS
+from repro.world.population import apply_population, parse_population
 from repro.world.task import SensingTask
 from repro.world.user import MobileUser
 
@@ -82,6 +84,16 @@ class WorldGenerator:
             reproduce bit-exactly); a wider range staggers arrivals and
             each task's deadline becomes ``release - 1 + duration`` with
             the duration drawn from ``deadline_range``.
+        arrival: arrival-stream registry name ("static", "poisson",
+            "burst"; see :mod:`repro.world.arrivals`).  "static" with
+            the default ``release_range`` is the paper's setup and draws
+            nothing extra, so legacy seeds reproduce bit-exactly.
+        arrival_kwargs: constructor knobs for the arrival stream.
+        horizon: the simulated horizon in rounds — non-static streams
+            clamp releases to it so every task is publishable in-run.
+        population: group specs for a heterogeneous crowd (see
+            :mod:`repro.world.population`); empty keeps the paper's
+            homogeneous population and draws nothing extra.
     """
 
     region: RectRegion
@@ -94,6 +106,10 @@ class WorldGenerator:
     user_time_budget: float
     heterogeneity: float = 0.0
     release_range: Tuple[int, int] = (1, 1)
+    arrival: str = "static"
+    arrival_kwargs: Dict[str, Any] = field(default_factory=dict)
+    horizon: int = 15
+    population: Tuple[Dict[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_tasks < 1:
@@ -110,6 +126,12 @@ class WorldGenerator:
         release_low, release_high = self.release_range
         if release_low < 1 or release_high < release_low:
             raise ValueError(f"bad release_range {self.release_range}")
+        if self.horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {self.horizon}")
+        # Fail at construction, not mid-generation: resolve the arrival
+        # name and parse the population spec eagerly.
+        ARRIVALS.get(self.arrival)
+        parse_population(self.population)
 
     # -- internals -------------------------------------------------------
 
@@ -118,11 +140,8 @@ class WorldGenerator:
         return rng.integers(low, high + 1, size=self.n_tasks)
 
     def _draw_releases(self, rng: np.random.Generator) -> np.ndarray:
-        low, high = self.release_range
-        if (low, high) == (1, 1):
-            # No draws so legacy seeds reproduce bit-exactly.
-            return np.ones(self.n_tasks, dtype=int)
-        return rng.integers(low, high + 1, size=self.n_tasks)
+        stream = ARRIVALS.create(self.arrival, **self.arrival_kwargs)
+        return stream.releases(self.n_tasks, self.horizon, self.release_range, rng)
 
     def _make_tasks(
         self,
@@ -156,7 +175,7 @@ class WorldGenerator:
         else:
             # No draws at h == 0 so existing seeds reproduce bit-exactly.
             speed_factor = cost_factor = budget_factor = np.ones(count)
-        return [
+        users = [
             MobileUser(
                 user_id=i,
                 location=loc,
@@ -166,6 +185,8 @@ class WorldGenerator:
             )
             for i, loc in enumerate(locations)
         ]
+        apply_population(users, parse_population(self.population), rng)
+        return users
 
     # -- public generators -------------------------------------------------
 

@@ -21,12 +21,13 @@ comparisons are insensitive to this choice.
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.geometry.point import Point
 from repro.geometry.region import RectRegion
+from repro.registry import Registry
 from repro.world.user import MobileUser
 
 
@@ -119,11 +120,44 @@ class RandomWaypointMobility(MobilityPolicy):
         return region.clamp(start.towards(waypoint, stride))
 
 
-_POLICIES = {
-    StationaryMobility.name: StationaryMobility,
-    FollowPathMobility.name: FollowPathMobility,
-    RandomWaypointMobility.name: RandomWaypointMobility,
-}
+class MixedMobility(MobilityPolicy):
+    """Routes each user to the policy of its population group.
+
+    Built by the engine when a scenario declares a heterogeneous
+    population: ``policies`` maps a group label to the policy its members
+    follow, resolved through :attr:`MobileUser.group` (users with no
+    group, or a group not in the map, fall back to ``default``).
+    """
+
+    name = "mixed"
+
+    def __init__(
+        self,
+        policies: "Optional[Dict[str, MobilityPolicy]]" = None,
+        default: "Optional[MobilityPolicy]" = None,
+    ):
+        self.policies: Dict[str, MobilityPolicy] = dict(policies or {})
+        self.default: MobilityPolicy = default or FollowPathMobility()
+
+    def policy_for(self, user: MobileUser) -> MobilityPolicy:
+        group = getattr(user, "group", None)
+        if group is not None and group in self.policies:
+            return self.policies[group]
+        return self.default
+
+    def next_position(
+        self,
+        user: MobileUser,
+        path: Sequence[Point],
+        region: RectRegion,
+        rng: np.random.Generator,
+    ) -> Point:
+        return self.policy_for(user).next_position(user, path, region, rng)
+
+
+MOBILITY: Registry[MobilityPolicy] = Registry("mobility policy")
+for _cls in (StationaryMobility, FollowPathMobility, RandomWaypointMobility, MixedMobility):
+    MOBILITY.register(_cls)
 
 
 def make_mobility(name: str) -> MobilityPolicy:
@@ -132,8 +166,4 @@ def make_mobility(name: str) -> MobilityPolicy:
     Raises:
         ValueError: for an unknown name (lists the valid ones).
     """
-    try:
-        return _POLICIES[name]()
-    except KeyError:
-        valid = ", ".join(sorted(_POLICIES))
-        raise ValueError(f"unknown mobility policy {name!r}; valid: {valid}") from None
+    return MOBILITY.create(name)

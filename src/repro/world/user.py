@@ -9,7 +9,7 @@ Fig. 5 experiment can read per-user profits directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.geometry.point import Point
 
@@ -24,6 +24,8 @@ class MobileUser:
         speed: walking speed in m/s (paper default 2 m/s).
         cost_per_meter: movement cost in $/m (paper default 0.002 $/m).
         time_budget: per-round time budget :math:`B^k_{u_i}` in seconds.
+        group: population-group name for heterogeneous crowds (None =
+            the base population; see :mod:`repro.world.population`).
     """
 
     user_id: int
@@ -31,6 +33,7 @@ class MobileUser:
     speed: float
     cost_per_meter: float
     time_budget: float
+    group: Optional[str] = None
     # --- mutable accounting state --------------------------------------
     home: Point = None  # type: ignore[assignment]  # set in __post_init__
     total_reward: float = 0.0

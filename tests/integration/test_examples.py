@@ -68,6 +68,12 @@ def test_event_sensing(capsys):
     assert "adaptive" in out
 
 
+def test_city_scale(capsys):
+    out = run_example("city_scale", capsys)
+    assert "engine=batched" in out
+    assert "replay agrees: True" in out
+
+
 def test_every_example_has_a_smoke_test():
     """Adding an example without a smoke test should fail loudly here."""
     examples = {p.stem for p in EXAMPLES_DIR.glob("*.py")}

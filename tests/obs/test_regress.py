@@ -44,10 +44,15 @@ class TestSpecsAndThresholds:
         assert default_spec("budget_remaining").direction == "two-sided"
 
     def test_bench_specs_cover_the_trajectory_fields(self):
-        assert set(BENCH_SPECS) == {
-            "reference_ms_per_call", "vectorized_ms_per_call",
-            "speedup", "mean_profit",
-        }
+        from repro.obs.store import BENCH_VALUE_FIELDS
+
+        assert set(BENCH_SPECS) == set(BENCH_VALUE_FIELDS)
+
+    def test_throughput_drop_is_a_regression(self):
+        assert BENCH_SPECS["batched_rounds_per_second"].direction == (
+            "lower-is-worse"
+        )
+        assert default_spec("rounds_per_second").direction == "lower-is-worse"
 
 
 class TestDetect:

@@ -1,0 +1,94 @@
+"""Scenario file IO: lossless TOML/JSON round-trips, name-or-path loading.
+
+Round-trips are asserted through the *resolved config*, which is the
+equality that matters: a spec that loads back to a different world is a
+lossy spec, whatever its surface syntax.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.scenarios import (
+    PRESETS,
+    ScenarioSpec,
+    dumps_toml,
+    load_scenario,
+    load_spec,
+    save_spec,
+)
+from repro.scenarios.io import _parse_toml_minimal, tomllib
+
+
+def assert_same_world(left: ScenarioSpec, right: ScenarioSpec):
+    assert left.name == right.name
+    assert left.description == right.description
+    assert dataclasses.asdict(left.to_config()) == dataclasses.asdict(
+        right.to_config()
+    )
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+@pytest.mark.parametrize("extension", ["toml", "json"])
+def test_every_preset_round_trips(tmp_path, name, extension):
+    spec = PRESETS[name]
+    path = save_spec(spec, tmp_path / f"{name}.{extension}")
+    assert_same_world(load_spec(path), spec)
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_minimal_parser_agrees_with_tomllib(name):
+    # The fallback reader (python < 3.11) must parse everything the
+    # writer emits to the same document tomllib produces.
+    text = dumps_toml(PRESETS[name].to_mapping())
+    parsed = _parse_toml_minimal(text)
+    if tomllib is not None:
+        assert parsed == tomllib.loads(text)
+    assert_same_world(ScenarioSpec.from_mapping(parsed), PRESETS[name])
+
+
+class TestMinimalParser:
+    def test_comments_and_blanks_skipped(self):
+        parsed = _parse_toml_minimal('# comment\n\nname = "x"\n')
+        assert parsed == {"name": "x"}
+
+    def test_named_errors(self):
+        with pytest.raises(ValueError, match="spec.toml:1"):
+            _parse_toml_minimal("not toml at all", source="spec.toml")
+        with pytest.raises(ValueError, match="value"):
+            _parse_toml_minimal("when = 1979-05-27", source="spec.toml")
+
+
+class TestLoadSpec:
+    def test_unknown_extension(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("name: x\n")
+        with pytest.raises(ValueError, match=".yaml"):
+            load_spec(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_spec(tmp_path / "absent.toml")
+
+    def test_invalid_spec_in_file_is_named(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text('name = "bad"\n\n[config]\nwarp_factor = 9\n')
+        with pytest.raises(ValueError, match="warp_factor"):
+            load_spec(path)
+
+    def test_save_rejects_unknown_extension(self, tmp_path):
+        with pytest.raises(ValueError, match=".csv"):
+            save_spec(PRESETS["paper-2018"], tmp_path / "spec.csv")
+
+
+class TestLoadScenario:
+    def test_preset_by_name(self):
+        assert load_scenario("paper-2018").name == "paper-2018"
+
+    def test_file_by_path(self, tmp_path):
+        path = save_spec(PRESETS["rush-hour"], tmp_path / "custom.toml")
+        assert_same_world(load_scenario(path), PRESETS["rush-hour"])
+
+    def test_unknown_name_lists_presets(self):
+        with pytest.raises(ValueError, match="city-50k"):
+            load_scenario("atlantis")

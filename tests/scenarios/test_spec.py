@@ -1,0 +1,79 @@
+"""Unit tests for repro.scenarios.spec."""
+
+import pytest
+
+from repro.scenarios import ScenarioSpec
+
+
+class TestConstruction:
+    def test_minimal(self):
+        spec = ScenarioSpec("tiny")
+        assert spec.name == "tiny"
+        assert spec.description == ""
+        assert spec.config == {}
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            ScenarioSpec("")
+        with pytest.raises(ValueError, match="name"):
+            ScenarioSpec("   ")
+
+    def test_bad_config_fails_at_construction(self):
+        # Validation is eager: a bad spec never becomes an object.
+        with pytest.raises(ValueError, match="n_users"):
+            ScenarioSpec("broken", config={"n_users": 0})
+
+    def test_unknown_config_field_named(self):
+        with pytest.raises(ValueError, match="warp_factor"):
+            ScenarioSpec("typo", config={"warp_factor": 9})
+
+
+class TestToConfig:
+    def test_spec_overrides_defaults(self):
+        config = ScenarioSpec("s", config={"n_users": 7, "rounds": 3}).to_config()
+        assert config.n_users == 7
+        assert config.rounds == 3
+        assert config.n_tasks == 20  # untouched default
+
+    def test_caller_overrides_win(self):
+        spec = ScenarioSpec("s", config={"n_users": 7})
+        assert spec.to_config(n_users=9, seed=4).n_users == 9
+
+    def test_lists_coerced_to_tuples(self):
+        spec = ScenarioSpec("s", config={"deadline_range": [3, 8]})
+        assert spec.to_config().deadline_range == (3, 8)
+
+    def test_population_groups_coerced(self):
+        spec = ScenarioSpec(
+            "s",
+            config={
+                "population": [
+                    {"name": "walkers", "fraction": 1.0,
+                     "mobility": "stationary"},
+                ]
+            },
+        )
+        config = spec.to_config()
+        assert isinstance(config.population, tuple)
+        assert config.population[0]["name"] == "walkers"
+
+
+class TestMappingRoundTrip:
+    def test_to_mapping_is_data_shaped(self):
+        spec = ScenarioSpec(
+            "s", description="d", config={"deadline_range": (3, 8)}
+        )
+        mapping = spec.to_mapping()
+        assert mapping["config"]["deadline_range"] == [3, 8]  # tuple -> list
+
+    def test_from_mapping_inverts_to_mapping(self):
+        spec = ScenarioSpec("s", description="d", config={"n_users": 5})
+        assert ScenarioSpec.from_mapping(spec.to_mapping()) == spec
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="flavour"):
+            ScenarioSpec.from_mapping({"name": "s", "flavour": "salty"})
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            ScenarioSpec.from_mapping({"config": {}})

@@ -61,6 +61,17 @@ class TestOverrides:
         base.with_overrides(n_users=55)
         assert base.n_users == 100
 
+    def test_unknown_keys_named_in_error(self):
+        with pytest.raises(ValueError) as excinfo:
+            SimulationConfig().with_overrides(n_userz=5, warp_factor=9)
+        message = str(excinfo.value)
+        assert "n_userz" in message
+        assert "warp_factor" in message
+
+    def test_unknown_key_error_lists_valid_fields(self):
+        with pytest.raises(ValueError, match="n_users"):
+            SimulationConfig().with_overrides(n_userz=5)
+
 
 class TestMechanismArguments:
     def test_on_demand_gets_budget_knobs(self):

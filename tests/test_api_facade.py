@@ -1,0 +1,119 @@
+"""The repro.api facade: the one blessed import surface.
+
+Everything the README and examples use must be reachable from
+``repro.api``; the facade's convenience entry points (scenario-aware
+``simulate``, ``build_config``, ``summarize``, registry-backed
+``create_*``) are pinned here.
+"""
+
+import pytest
+
+from repro import api
+
+
+FACADE_ESSENTIALS = {
+    # run
+    "simulate", "build_config", "make_engine", "summarize",
+    "SimulationConfig", "SimulationResult",
+    # scenarios
+    "ScenarioSpec", "PRESETS", "get_preset", "load_scenario", "save_spec",
+    # factories
+    "create_mechanism", "create_selector",
+    "MECHANISM_NAMES", "SELECTOR_NAMES",
+    # experiments / io / metrics
+    "run_experiment", "experiment_ids", "render_table", "render_experiment",
+    "RoundStreamWriter", "read_events_jsonl", "MetricsSummary", "coverage",
+    # world / geometry / selection
+    "World", "MobileUser", "SensingTask", "Point", "RectRegion",
+    "Selection", "TaskSelectionProblem",
+}
+
+
+def test_facade_names_present_and_resolving():
+    missing = FACADE_ESSENTIALS - set(api.__all__)
+    assert not missing, f"missing from repro.api.__all__: {sorted(missing)}"
+    for name in api.__all__:
+        assert getattr(api, name, None) is not None, name
+
+
+def test_facade_reexported_from_package_root():
+    import repro
+
+    assert repro.api is api
+    assert "api" in repro.__all__
+
+
+class TestSimulate:
+    def test_scenario_by_name(self):
+        result = api.simulate(scenario="paper-2018", n_users=12, n_tasks=4,
+                              rounds=2, seed=0)
+        assert result.rounds_played == 2
+
+    def test_config_object(self):
+        # The campaign may finish early once every task completes, so
+        # assert it ran, not that it exhausted the horizon.
+        config = api.SimulationConfig(n_users=10, n_tasks=4, rounds=2,
+                                      required_measurements=2, seed=1)
+        result = api.simulate(config)
+        assert 1 <= result.rounds_played <= 2
+        assert result.total_measurements > 0
+
+    def test_overrides_only(self):
+        result = api.simulate(n_users=10, n_tasks=4, rounds=2,
+                              required_measurements=2, seed=1)
+        assert 1 <= result.rounds_played <= 2
+
+    def test_config_and_scenario_conflict(self):
+        with pytest.raises(ValueError, match="scenario"):
+            api.simulate(api.SimulationConfig(), scenario="paper-2018")
+
+
+class TestBuildConfig:
+    def test_scenario_plus_overrides(self):
+        config = api.build_config(scenario="city-2k", n_users=50, seed=3)
+        assert config.n_users == 50
+        assert config.engine == "batched"  # from the preset
+
+    def test_defaults_when_no_scenario(self):
+        assert api.build_config().n_users == 100
+
+
+class TestFactories:
+    def test_create_selector(self):
+        selector = api.create_selector("greedy")
+        assert type(selector).__name__ == "GreedySelector"
+
+    def test_create_mechanism(self):
+        mechanism = api.create_mechanism("fixed")
+        assert type(mechanism).__name__ == "FixedMechanism"
+
+    def test_names_match_registries(self):
+        assert "dp" in api.SELECTOR_NAMES
+        assert "on-demand" in api.MECHANISM_NAMES
+
+
+def test_summarize_returns_metrics_summary():
+    result = api.simulate(n_users=10, n_tasks=4, rounds=2,
+                          required_measurements=2, seed=1)
+    summary = api.summarize(result)
+    assert isinstance(summary, api.MetricsSummary)
+    assert 0.0 <= summary.coverage <= 1.0
+
+
+def test_examples_import_only_the_facade():
+    """Examples are facade-only: `from repro.api import ...` (or nothing)."""
+    import re
+    from pathlib import Path
+
+    examples = Path(__file__).resolve().parent.parent / "examples"
+    pattern = re.compile(
+        r"^\s*(?:from\s+(repro[.\w]*)\s+import|import\s+(repro[.\w]*))",
+        re.MULTILINE,
+    )
+    for script in sorted(examples.glob("*.py")):
+        for match in pattern.finditer(script.read_text()):
+            module = match.group(1) or match.group(2)
+            assert module in ("repro", "repro.api"), (
+                f"{script.name} imports {module}; examples must import "
+                f"from repro.api only"
+            )

@@ -94,6 +94,53 @@ class TestSimulate:
         # Compare up to the perf line: its wall-clock numbers vary per run.
         assert noisy.split("\nperf:")[0] == plain.split("\nperf:")[0]
 
+    def test_scenario_preset_with_flag_overrides(self, capsys):
+        code = main([
+            "simulate", "--scenario", "paper-2018", "--users", "12",
+            "--tasks", "4", "--rounds", "2", "--seed", "0",
+        ])
+        assert code == 0
+        assert "coverage" in capsys.readouterr().out
+
+    def test_scenario_file(self, capsys, tmp_path):
+        from repro.scenarios import ScenarioSpec, save_spec
+
+        path = save_spec(
+            ScenarioSpec("mini", config={"n_users": 10, "n_tasks": 4,
+                                         "rounds": 2}),
+            tmp_path / "mini.toml",
+        )
+        assert main(["simulate", "--scenario", str(path), "--seed", "1"]) == 0
+
+    def test_scenario_with_engine_and_events(self, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        code = main([
+            "simulate", "--scenario", "paper-2018", "--users", "12",
+            "--tasks", "4", "--rounds", "2", "--seed", "0",
+            "--engine", "batched", "--events", str(events),
+        ])
+        assert code == 0
+        assert "streamed events" in capsys.readouterr().out
+        assert events.exists()
+
+    def test_unknown_scenario_is_a_named_error(self, capsys):
+        with pytest.raises(ValueError, match="atlantis"):
+            main(["simulate", "--scenario", "atlantis"])
+
+
+class TestScenarios:
+    def test_lists_presets(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper-2018", "city-2k", "city-50k"):
+            assert name in out
+
+    def test_verbose_config_dumps_toml(self, capsys):
+        assert main(["scenarios", "--verbose-config"]) == 0
+        out = capsys.readouterr().out
+        assert 'name = "city-50k"' in out
+        assert "[config]" in out
+
 
 class TestTrace:
     ARGV = [

@@ -1,0 +1,80 @@
+"""The unified factory registries and their deprecated shims.
+
+Mechanisms and selectors construct through one :class:`repro.registry.
+Registry` surface; the old ``make_mechanism``/``make_selector`` helpers
+must keep working — same objects, same error messages — but warn.
+"""
+
+import pytest
+
+from repro.core.mechanisms import MECHANISMS, make_mechanism
+from repro.core.mechanisms.base import IncentiveMechanism
+from repro.registry import Registry
+from repro.selection import SELECTORS, make_selector
+from repro.selection.base import Selector
+
+
+class TestRegistrySurface:
+    def test_selector_names_available(self):
+        names = SELECTORS.available()
+        for name in ("dp", "greedy", "brute-force"):
+            assert name in names
+
+    def test_mechanism_names_available(self):
+        names = MECHANISMS.available()
+        for name in ("on-demand", "fixed"):
+            assert name in names
+
+    def test_create_builds_instances(self):
+        assert isinstance(SELECTORS.create("greedy"), Selector)
+        assert isinstance(MECHANISMS.create("fixed"), IncentiveMechanism)
+
+    def test_create_forwards_kwargs(self):
+        selector = SELECTORS.create("dp", max_exact_tasks=9)
+        assert selector.max_exact_tasks == 9
+
+    def test_unknown_name_lists_valid(self):
+        with pytest.raises(ValueError, match="greedy"):
+            SELECTORS.create("oracle")
+        with pytest.raises(ValueError, match="on-demand"):
+            MECHANISMS.create("telepathy")
+
+    def test_reregistering_same_class_is_noop(self):
+        registry = Registry("widget")
+
+        class Widget:
+            name = "w"
+
+        registry.register(Widget)
+        registry.register(Widget)  # module reloads must stay harmless
+        assert registry.available() == ("w",)
+
+    def test_name_collision_between_classes_rejected(self):
+        registry = Registry("widget")
+
+        class First:
+            name = "w"
+
+        class Second:
+            name = "w"
+
+        registry.register(First)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(Second)
+
+
+class TestDeprecatedShims:
+    def test_make_selector_warns_but_works(self):
+        with pytest.deprecated_call(match="SELECTORS.create"):
+            selector = make_selector("greedy")
+        assert isinstance(selector, Selector)
+
+    def test_make_mechanism_warns_but_works(self):
+        with pytest.deprecated_call(match="MECHANISMS.create"):
+            mechanism = make_mechanism("fixed")
+        assert isinstance(mechanism, IncentiveMechanism)
+
+    def test_shim_and_registry_agree_on_errors(self):
+        with pytest.deprecated_call():
+            with pytest.raises(ValueError, match="greedy"):
+                make_selector("oracle")

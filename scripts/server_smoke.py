@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""CI smoke test for the job service (`repro serve`).
+
+Boots a real server process, then drives the happy path and the two
+control paths CI most needs to guard:
+
+1. submit the ``city-2k`` scenario and tail its NDJSON events to the
+   terminal ``job_state`` line;
+2. submit a second, deliberately long job and cancel it mid-run;
+3. SIGTERM the server and require a clean exit within a deadline.
+
+Every phase runs under a wall-clock budget — a hang anywhere exits
+non-zero, so the CI job fails instead of idling until the runner
+timeout.  Exit code 0 means the whole loop worked.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.server.client import ServerClient, ServerUnavailable  # noqa: E402
+
+#: Long enough (~10s) that the cancel provably lands mid-run.
+SLOW_JOB = {
+    "overrides": {
+        "n_users": 2000, "n_tasks": 50, "rounds": 80,
+        "budget": 1e7, "arrival": "poisson", "seed": 2,
+    }
+}
+
+
+class Phase:
+    """A named wall-clock budget; overruns abort the smoke test."""
+
+    def __init__(self, name, budget_seconds):
+        self.name = name
+        self.deadline = time.monotonic() + budget_seconds
+        print(f"--- {name} (budget {budget_seconds:.0f}s)")
+
+    def check(self):
+        if time.monotonic() > self.deadline:
+            fail(f"phase {self.name!r} exceeded its budget")
+
+    def sleep(self, seconds=0.1):
+        self.check()
+        time.sleep(seconds)
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(condition, message):
+    if not condition:
+        fail(message)
+
+
+def start_server(root):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--root", str(root), "--port", "0", "--concurrency", "1"],
+        env=env,
+        start_new_session=True,
+    )
+
+
+def wait_healthy(root, phase):
+    while True:
+        try:
+            client = ServerClient.from_root(root, timeout=30)
+            status, _ = client.healthz()
+            if status == 200:
+                return client
+        except (ServerUnavailable, OSError):
+            pass
+        phase.sleep()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="server state dir (default: a temp dir)")
+    args = parser.parse_args()
+
+    workdir = args.root or tempfile.mkdtemp(prefix="server-smoke-")
+    root = Path(workdir) / "root"
+    server = start_server(root)
+    try:
+        run_smoke(root)
+    finally:
+        if server.poll() is None:
+            phase = Phase("shutdown", 30)
+            os.kill(server.pid, signal.SIGTERM)
+            while server.poll() is None:
+                phase.sleep()
+            expect(server.returncode == 0,
+                   f"server exited {server.returncode}, wanted 0")
+            print(f"server exited cleanly ({server.returncode})")
+        else:
+            fail(f"server died early (exit {server.returncode})")
+    print("OK: server smoke test passed")
+
+
+def run_smoke(root):
+    phase = Phase("boot", 30)
+    client = wait_healthy(root, phase)
+    status, doc = client.readyz()
+    expect(status == 200, f"readyz {status}: {doc}")
+
+    phase = Phase("submit + tail city-2k", 120)
+    status, body, _ = client.submit({"scenario": "city-2k"})
+    expect(status == 201, f"submit returned {status}: {body}")
+    job_id = body["job"]["job_id"]
+    print(f"submitted {job_id}")
+
+    rounds = 0
+    terminal = None
+    for line in client.tail(job_id, timeout=120):
+        phase.check()
+        if line["kind"] == "round":
+            rounds += 1
+        elif line["kind"] == "job_state":
+            terminal = line
+    expect(terminal is not None, "tail ended without a job_state line")
+    expect(terminal["state"] == "done",
+           f"city-2k finished {terminal['state']}: {terminal['error']}")
+    expect(rounds >= 1, "no round events streamed")
+    print(f"tailed {rounds} rounds to state={terminal['state']}")
+
+    phase = Phase("cancel second job mid-run", 120)
+    status, body, _ = client.submit(SLOW_JOB)
+    expect(status == 201, f"second submit returned {status}: {body}")
+    second_id = body["job"]["job_id"]
+    while True:
+        status, doc = client.status(second_id)
+        if doc["job"]["state"] == "running":
+            break
+        expect(not doc["job"]["terminal"],
+               f"second job terminal before cancel: {doc['job']}")
+        phase.sleep()
+    status, doc = client.cancel(second_id)
+    expect(status == 202, f"cancel returned {status}: {doc}")
+    while True:
+        status, doc = client.status(second_id)
+        if doc["job"]["terminal"]:
+            break
+        phase.sleep()
+    expect(doc["job"]["state"] == "cancelled",
+           f"second job ended {doc['job']['state']}, wanted cancelled")
+    print(f"cancelled {second_id} mid-run "
+          f"(error={doc['job']['error']!r})")
+
+    status, doc = client.list_jobs()
+    print("final job table:")
+    for view in doc["jobs"]:
+        print(f"  {json.dumps(view, sort_keys=True)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,9 @@ Usage::
     repro obs ingest BENCH_selectors.json   # fold a bench trajectory in
     repro obs regress                # gate the latest runs on their history
     repro obs dashboard --html obs.html     # sparklines + one-file HTML
+    repro serve --root .repro-server        # the always-on job service
+    repro jobs submit --scenario city-2k    # submit a job to it
+    repro jobs tail job-000001       # stream its rounds as NDJSON
 
 Every subcommand shares the logging flags ``-v/--verbose`` (repeatable),
 ``--quiet``, and ``--log-json``; the default is warnings-only to stderr,
@@ -273,6 +276,101 @@ def build_parser() -> argparse.ArgumentParser:
                           help="regression baseline window (default 5)")
     obs_dash.add_argument("--html", metavar="PATH", default=None,
                           help="also write a self-contained HTML dashboard")
+
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="run the job service: submissions in, supervised "
+             "simulations out",
+    )
+    serve.add_argument(
+        "--root", metavar="DIR",
+        default=os.environ.get("REPRO_SERVER_ROOT", ".repro-server"),
+        help="service state directory (journal, job dirs, obs store; "
+             "default: $REPRO_SERVER_ROOT or .repro-server)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default 0 = ephemeral; the chosen "
+                            "port lands in <root>/server.json)")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="max queued jobs before submissions get 429 "
+                            "(default 16)")
+    serve.add_argument("--concurrency", type=int, default=2,
+                       help="max simultaneously running workers (default 2)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="worker crashes before a job is poisoned "
+                            "(default 3)")
+    serve.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="default per-job wall-clock budget "
+                            "(default: unlimited)")
+    serve.add_argument("--memory-limit-mb", type=int, default=None, metavar="MB",
+                       help="shed lowest-priority queued jobs when the "
+                            "server RSS exceeds this (default: no shedding)")
+
+    jobs = sub.add_parser(
+        "jobs",
+        help="talk to a running job service (submit, status, cancel, tail)",
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+    server_flag = argparse.ArgumentParser(add_help=False)
+    server_flag.add_argument(
+        "--root", metavar="DIR",
+        default=os.environ.get("REPRO_SERVER_ROOT", ".repro-server"),
+        help="the service's state directory (its server.json names the "
+             "address; default: $REPRO_SERVER_ROOT or .repro-server)",
+    )
+
+    jobs_submit = jobs_sub.add_parser(
+        "submit", parents=[common, server_flag],
+        help="submit a simulation job",
+    )
+    jobs_submit.add_argument("--scenario", default=None,
+                             help="a scenario preset name (see "
+                                  "'repro scenarios')")
+    jobs_submit.add_argument("--override", action="append", default=[],
+                             metavar="FIELD=VALUE",
+                             help="SimulationConfig override (repeatable), "
+                                  "e.g. --override seed=7")
+    jobs_submit.add_argument("--priority", type=int, default=0,
+                             help="admission priority: higher runs first, "
+                                  "lowest is shed first (default 0)")
+    jobs_submit.add_argument("--timeout", type=float, default=None,
+                             metavar="SECONDS",
+                             help="per-job wall-clock budget")
+    jobs_submit.add_argument("--wait", action="store_true",
+                             help="block until the job is terminal and exit "
+                                  "non-zero unless it is DONE")
+
+    jobs_list = jobs_sub.add_parser(
+        "list", parents=[common, server_flag],
+        help="list the service's jobs",
+    )
+    jobs_list.add_argument("--state", default=None,
+                           help="restrict to one lifecycle state "
+                                "(queued, running, done, failed, cancelled, "
+                                "timed_out)")
+
+    jobs_status = jobs_sub.add_parser(
+        "status", parents=[common, server_flag],
+        help="show one job's full status document",
+    )
+    jobs_status.add_argument("job_id", help="a job id from 'repro jobs list'")
+
+    jobs_cancel = jobs_sub.add_parser(
+        "cancel", parents=[common, server_flag],
+        help="cancel a queued or running job",
+    )
+    jobs_cancel.add_argument("job_id")
+
+    jobs_tail = jobs_sub.add_parser(
+        "tail", parents=[common, server_flag],
+        help="stream a job's round events as NDJSON to stdout",
+    )
+    jobs_tail.add_argument("job_id")
+    jobs_tail.add_argument("--no-follow", action="store_true",
+                           help="dump what exists and exit instead of "
+                                "following to the terminal state")
     return parser
 
 
@@ -747,6 +845,147 @@ def _command_obs(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import JobService
+
+    service = JobService(
+        args.root,
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        concurrency=args.concurrency,
+        max_attempts=args.max_attempts,
+        default_timeout=args.timeout,
+        memory_limit_bytes=(
+            args.memory_limit_mb * 1024 * 1024
+            if args.memory_limit_mb is not None
+            else None
+        ),
+    )
+
+    async def _serve() -> None:
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        pass
+    return 0
+
+
+def _parse_override_flags(pairs: List[str]) -> dict:
+    """--override FIELD=VALUE flags into an overrides mapping.
+
+    Values go through TOML-ish literal parsing: ints, floats, and
+    true/false become typed; everything else stays a string (the
+    service's validation reports type mismatches with the field name).
+    """
+    import json as _json
+
+    overrides = {}
+    for pair in pairs:
+        field, sep, raw = pair.partition("=")
+        if not sep or not field:
+            raise SystemExit(
+                f"error: --override needs FIELD=VALUE, got {pair!r}"
+            )
+        try:
+            value = _json.loads(raw)
+        except ValueError:
+            value = raw
+        overrides[field] = value
+    return overrides
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.server.client import ServerClient, ServerUnavailable
+
+    try:
+        client = ServerClient.from_root(args.root)
+    except ServerUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.jobs_command == "submit":
+            submission: dict = {}
+            if args.scenario:
+                submission["scenario"] = args.scenario
+            overrides = _parse_override_flags(args.override)
+            if overrides:
+                submission["overrides"] = overrides
+            if args.priority:
+                submission["priority"] = args.priority
+            if args.timeout is not None:
+                submission["timeout"] = args.timeout
+            status, body, headers = client.submit(submission)
+            print(_json.dumps(body, indent=2, sort_keys=True))
+            if status == 429:
+                retry = headers.get("Retry-After", "?")
+                print(f"queue full; retry after ~{retry}s", file=sys.stderr)
+                return 3
+            if status not in (200, 201):
+                return 1
+            if args.wait:
+                final = client.wait(body["job"]["job_id"])
+                print(_json.dumps(final, indent=2, sort_keys=True))
+                return 0 if final["state"] == "done" else 1
+            return 0
+
+        if args.jobs_command == "list":
+            status, body = client.list_jobs(state=args.state)
+            if status != 200:
+                print(_json.dumps(body, indent=2, sort_keys=True))
+                return 1
+            rows = [
+                [
+                    job["job_id"],
+                    job["state"],
+                    job["priority"],
+                    job["attempts"],
+                    job.get("runtime_seconds", "-"),
+                    (job.get("error") or "")[:48],
+                ]
+                for job in body["jobs"]
+            ]
+            print(render_table(
+                ["job", "state", "prio", "attempts", "runtime", "error"], rows
+            ))
+            return 0
+
+        if args.jobs_command == "status":
+            status, body = client.status(args.job_id)
+            print(_json.dumps(body, indent=2, sort_keys=True))
+            return 0 if status == 200 else 1
+
+        if args.jobs_command == "cancel":
+            status, body = client.cancel(args.job_id)
+            print(_json.dumps(body, indent=2, sort_keys=True))
+            return 0 if status in (200, 202) else 1
+
+        if args.jobs_command == "tail":
+            try:
+                for line in client.tail(args.job_id, follow=not args.no_follow):
+                    print(_json.dumps(line, sort_keys=True))
+            except BrokenPipeError:
+                # Downstream (| head, a closed pager) stopped reading;
+                # that ends the tail, it is not an error.
+                sys.stderr.close()
+                return 0
+            return 0
+    except ServerUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    raise AssertionError(
+        f"unhandled jobs command {args.jobs_command!r}"
+    )  # pragma: no cover
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -776,6 +1015,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_sweep(args)
     if args.command == "obs":
         return _command_obs(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "jobs":
+        return _command_jobs(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -34,6 +34,8 @@ import hashlib
 import json
 import math
 import os
+import random
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
@@ -44,19 +46,35 @@ from repro.obs.metrics import Histogram
 
 try:  # POSIX: real inter-process exclusion.
     import fcntl
+except ImportError:  # pragma: no cover - non-POSIX (e.g. Windows)
+    fcntl = None
 
-    def _flock(handle) -> None:
-        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+#: Env var forcing the portable lockfile path even where fcntl exists —
+#: how the fallback is exercised by the multiprocess stress test.
+NO_FCNTL_ENV = "REPRO_OBS_NO_FCNTL"
 
-    def _funlock(handle) -> None:
-        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+#: A fallback lockfile older than this is presumed left by a dead
+#: process (belt and braces next to the liveness probe on its pid).
+STALE_LOCK_SECONDS = 30.0
 
-except ImportError:  # pragma: no cover - non-POSIX fallback: best-effort
-    def _flock(handle) -> None:
-        return None
 
-    def _funlock(handle) -> None:
-        return None
+def _use_fcntl() -> bool:
+    return fcntl is not None and not os.environ.get(NO_FCNTL_ENV)
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (EPERM counts as alive)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other user's process
+        return True
+    except OSError:  # pragma: no cover - platform oddity: assume alive
+        return True
+    return True
 
 
 FORMAT_VERSION = 1
@@ -168,13 +186,98 @@ class RunStore:
 
     @contextmanager
     def _locked(self) -> Iterator[None]:
-        """Exclusive inter-process lock for the append path."""
-        with self._lock_path.open("a") as handle:
-            _flock(handle)
+        """Exclusive inter-process lock for the append path.
+
+        Where ``fcntl`` exists the lock is a plain ``flock`` on a
+        sidecar file.  Elsewhere (or under ``REPRO_OBS_NO_FCNTL=1``) the
+        fallback is an atomic lockfile: ``O_CREAT|O_EXCL`` creation is
+        the acquisition, so exactly one process wins; losers spin with a
+        short jittered sleep.  The previous fallback was a silent no-op,
+        which let concurrent ingests interleave index lines and mint
+        duplicate run ids — the stress test in
+        ``tests/obs/test_store_locking.py`` hammers one store from 8
+        processes down both paths.
+        """
+        if _use_fcntl():
+            with self._lock_path.open("a") as handle:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                try:
+                    yield
+                finally:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            return
+        self._acquire_lockfile()
+        try:
+            yield
+        finally:
+            self._release_lockfile()
+
+    @property
+    def _lockfile_path(self) -> Path:
+        # Distinct from the flock sidecar: the flock file is opened in
+        # append mode (existence is meaningless), the fallback lockfile's
+        # very existence *is* the lock.
+        return self.root / ".lockfile"
+
+    def _acquire_lockfile(self, timeout: float = 30.0) -> None:
+        """Win the ``O_CREAT|O_EXCL`` race, stealing stale locks.
+
+        A lock is stale when its owner pid is dead, or when it is older
+        than :data:`STALE_LOCK_SECONDS` (covers pid reuse and
+        unreadable lockfiles).  Stealing is itself racy-safe: whoever
+        loses the re-creation race after the unlink simply spins again.
+        """
+        deadline = time.monotonic() + timeout
+        rng = random.Random()
+        while True:
             try:
-                yield
-            finally:
-                _funlock(handle)
+                descriptor = os.open(
+                    self._lockfile_path,
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+            except FileExistsError:
+                self._steal_if_stale()
+                if time.monotonic() >= deadline:
+                    raise StoreError(
+                        f"{self._lockfile_path}: could not acquire the store "
+                        f"lock within {timeout:g}s; if no other process is "
+                        f"ingesting, delete the stale lockfile"
+                    )
+                time.sleep(rng.uniform(0.001, 0.01))
+                continue
+            with os.fdopen(descriptor, "w") as handle:
+                handle.write(f"{os.getpid()} {time.time():.3f}\n")
+            return
+
+    def _steal_if_stale(self) -> None:
+        """Unlink the lockfile when its owner is provably gone."""
+        try:
+            raw = self._lockfile_path.read_text().split()
+            owner = int(raw[0])
+            written_at = float(raw[1])
+        except (OSError, ValueError, IndexError):
+            # Unreadable or half-written: fall back to the age check via
+            # the file's mtime.
+            owner = None
+            try:
+                written_at = self._lockfile_path.stat().st_mtime
+            except OSError:
+                return  # gone already — the next O_EXCL attempt decides
+        stale = (
+            (owner is not None and not _pid_alive(owner))
+            or time.time() - written_at > STALE_LOCK_SECONDS
+        )
+        if stale:
+            try:
+                self._lockfile_path.unlink()
+            except OSError:
+                pass  # someone else stole it first; spin again
+
+    def _release_lockfile(self) -> None:
+        try:
+            self._lockfile_path.unlink()
+        except OSError:  # pragma: no cover - already stolen as stale
+            pass
 
     # -- ingestion -------------------------------------------------------
 

@@ -10,7 +10,11 @@ Four pillars (see docs/architecture.md, "Fault tolerance & resumability"):
 - **run journal** (:mod:`repro.resilience.journal`) — crash-safe
   per-repetition checkpoints making campaigns resumable bit-identically;
 - **fault injection** (:mod:`repro.resilience.faults`) — seeded
-  injectors that prove every recovery path under test.
+  injectors that prove every recovery path under test;
+- **cooperative cancellation** (:mod:`repro.resilience.cancel`) —
+  tokens (flag / deadline / file / composite) that long operations poll
+  at safe boundaries, raising :class:`OperationCancelled` so timeouts
+  and client cancels stop a run cleanly.
 
 The selector watchdog lives with the solvers it guards
 (:class:`repro.selection.watchdog.TimeBoundedSelector`) but is part of
@@ -22,9 +26,18 @@ this package for the error types — import it explicitly as
 ``repro.resilience.faults`` (tests and drills do).
 """
 
+from repro.resilience.cancel import (
+    NEVER_CANCELLED,
+    CancellationToken,
+    CompositeToken,
+    DeadlineToken,
+    FileToken,
+    FlagToken,
+)
 from repro.resilience.errors import (
     ConfigError,
     MechanismPriceError,
+    OperationCancelled,
     ReproError,
     ResultCorruption,
     SelectorTimeout,
@@ -40,8 +53,15 @@ __all__ = [
     "MechanismPriceError",
     "ResultCorruption",
     "TransientIOError",
+    "OperationCancelled",
     "RunJournal",
     "config_fingerprint",
     "with_retries",
     "backoff_delays",
+    "CancellationToken",
+    "FlagToken",
+    "DeadlineToken",
+    "FileToken",
+    "CompositeToken",
+    "NEVER_CANCELLED",
 ]

@@ -69,3 +69,20 @@ class TransientIOError(ReproError, OSError):
     Raised by fault injectors and by retry wrappers when a bounded
     retry budget is exhausted.
     """
+
+
+class OperationCancelled(ReproError, RuntimeError):
+    """A long-running operation was cooperatively cancelled.
+
+    Raised by :meth:`repro.resilience.cancel.CancellationToken.
+    raise_if_cancelled` at the operation's own check points (the engine
+    checks between rounds and inside the selection loop), so the
+    operation stops at a clean boundary instead of being killed mid-
+    write.  ``reason`` distinguishes a client cancel from a deadline:
+    the job service maps ``"timeout"`` reasons to the ``TIMED_OUT``
+    terminal state and everything else to ``CANCELLED``.
+    """
+
+    def __init__(self, message: str, reason: str = "cancelled"):
+        super().__init__(message)
+        self.reason = reason

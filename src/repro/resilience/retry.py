@@ -9,8 +9,9 @@ must surface immediately, so the default retryable set is exactly
 
 from __future__ import annotations
 
+import random
 import time
-from typing import Callable, Tuple, Type, TypeVar
+from typing import Callable, Optional, Tuple, Type, TypeVar
 
 from repro.obs.log import get_logger
 from repro.resilience.errors import TransientIOError
@@ -25,16 +26,66 @@ DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (TransientIOError, OSError)
 
 
 def backoff_delays(
-    attempts: int, base_delay: float = 0.05, multiplier: float = 2.0
+    attempts: int,
+    base_delay: float = 0.05,
+    multiplier: float = 2.0,
+    max_delay: Optional[float] = None,
+    jitter: str = "none",
+    rng: Optional[random.Random] = None,
 ) -> Tuple[float, ...]:
     """The sleep schedule between ``attempts`` tries (length attempts-1).
 
+    The default schedule is pure exponential and fully deterministic —
+    right for single-process retries and for tests.  A *fleet* of
+    restarting workers must not share that property: identical schedules
+    restart crashed processes in lockstep (the thundering herd), so the
+    supervisor asks for ``jitter="decorrelated"`` — the AWS-style
+    decorrelated jitter, where each delay is drawn uniformly from
+    ``[base_delay, 3 * previous]`` — which spreads restarts out while
+    keeping the same growth rate in expectation.  ``max_delay`` caps
+    every delay either way, so a long outage never produces an
+    unboundedly sleepy worker.
+
+    Args:
+        attempts: total tries (>= 1); the schedule has ``attempts - 1``
+            sleeps.
+        base_delay: first backoff sleep in seconds (and the jitter
+            floor).
+        multiplier: growth factor per retry (deterministic mode only).
+        max_delay: inclusive cap on every delay (None = uncapped).
+        jitter: ``"none"`` (deterministic exponential) or
+            ``"decorrelated"``.
+        rng: the random source for jitter — inject a seeded
+            ``random.Random`` to make a jittered schedule reproducible
+            in tests; defaults to a fresh unseeded one.
+
     >>> backoff_delays(4, base_delay=0.1, multiplier=2.0)
     (0.1, 0.2, 0.4)
+    >>> backoff_delays(4, base_delay=0.1, max_delay=0.25)
+    (0.1, 0.2, 0.25)
     """
     if attempts < 1:
         raise ValueError(f"attempts must be >= 1, got {attempts}")
-    return tuple(base_delay * multiplier**i for i in range(attempts - 1))
+    if jitter not in ("none", "decorrelated"):
+        raise ValueError(
+            f"jitter must be 'none' or 'decorrelated', got {jitter!r}"
+        )
+    if max_delay is not None and max_delay < base_delay:
+        raise ValueError(
+            f"max_delay ({max_delay}) must be >= base_delay ({base_delay})"
+        )
+    cap = float("inf") if max_delay is None else max_delay
+    if jitter == "none":
+        return tuple(
+            min(cap, base_delay * multiplier**i) for i in range(attempts - 1)
+        )
+    rng = rng if rng is not None else random.Random()
+    delays = []
+    previous = base_delay
+    for _ in range(attempts - 1):
+        previous = min(cap, rng.uniform(base_delay, 3.0 * previous))
+        delays.append(previous)
+    return tuple(delays)
 
 
 def with_retries(
@@ -44,6 +95,9 @@ def with_retries(
     multiplier: float = 2.0,
     retryable: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE,
     sleep: Callable[[float], None] = time.sleep,
+    max_delay: Optional[float] = None,
+    jitter: str = "none",
+    rng: Optional[random.Random] = None,
 ) -> T:
     """Call ``fn`` up to ``attempts`` times, backing off between tries.
 
@@ -58,8 +112,12 @@ def with_retries(
         multiplier: backoff growth factor per retry.
         retryable: exception types worth retrying.
         sleep: injectable clock for tests.
+        max_delay / jitter / rng: see :func:`backoff_delays`.
     """
-    delays = backoff_delays(attempts, base_delay, multiplier)
+    delays = backoff_delays(
+        attempts, base_delay, multiplier, max_delay=max_delay,
+        jitter=jitter, rng=rng,
+    )
     for attempt in range(attempts):
         try:
             return fn()

@@ -1,0 +1,554 @@
+"""The job service: submissions in, supervised simulations out.
+
+:class:`JobService` composes the server package's parts into one
+always-on process:
+
+- **admission** — POST /jobs runs :func:`~repro.server.validate.
+  parse_submission` (structured 400s), dedups by config fingerprint
+  (an equivalent queued/running/done job is returned instead of
+  re-running it), and offers the job to the
+  :class:`~repro.server.queue.BoundedJobQueue` — a full queue answers
+  HTTP 429 with a ``Retry-After`` derived from observed job runtimes;
+- **dispatch** — an event-loop task drains the queue into at most
+  ``concurrency`` :class:`~repro.server.supervisor.WorkerSupervisor`
+  runs; under memory pressure (:class:`~repro.server.queue.
+  MemoryWatermark`) it sheds the lowest-priority queued jobs instead of
+  dying of OOM;
+- **durability** — every submission and transition lands in the
+  :class:`~repro.server.jobs.JobJournal` *before* the HTTP response, so
+  a SIGKILLed server rebuilds its job table on restart and re-queues
+  whatever was RUNNING (the deterministic workers then resume their
+  event files append-only);
+- **observation** — /healthz is liveness (always 200 while the process
+  serves), /readyz is readiness (503 until recovery finished and while
+  shutting down), GET /jobs/{id}/events streams the round history as
+  NDJSON, following live jobs to their terminal line.
+
+Everything mutating shares the event loop thread, so the in-memory job
+table needs no locking; the journal provides the cross-*restart*
+consistency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+from pathlib import Path
+from typing import AsyncIterator, Optional, Set, Union
+
+from repro.obs.log import get_logger
+from repro.resilience.cancel import FileToken
+from repro.server.http import HttpServer, Request, Response, Router
+from repro.server.jobs import Job, JobJournal, JobState, TERMINAL_STATES
+from repro.server.queue import Admission, BoundedJobQueue, MemoryWatermark
+from repro.server.supervisor import WorkerSupervisor
+from repro.server.validate import InvalidSubmission, parse_submission
+
+log = get_logger("server.app")
+
+#: How often the dispatcher wakes even without a submission (memory
+#: checks, shedding) — seconds.
+DISPATCH_TICK_SECONDS = 0.5
+
+#: Poll interval while tailing a live job's events file — seconds.
+TAIL_POLL_SECONDS = 0.15
+
+#: Retry-After fallback before any job has finished — seconds.
+DEFAULT_RETRY_AFTER = 10
+
+
+class JobService:
+    """The supervised job service over one root directory.
+
+    Root layout::
+
+        <root>/journal.jsonl       the job journal (source of truth)
+        <root>/jobs/<job_id>/      one directory per job (worker contract)
+        <root>/obs/                RunStore the workers ingest into
+        <root>/server.json         {host, port, pid} once serving
+
+    Args:
+        root: the service state directory (created if absent).
+        host / port: bind address (port 0 = ephemeral).
+        queue_limit: max queued jobs before 429.
+        concurrency: max simultaneously running workers.
+        max_attempts: crash retries before a job is poisoned.
+        default_timeout: per-job wall-clock budget when the submission
+            carries none (None = unlimited).
+        memory_limit_bytes: shed queued jobs when RSS exceeds this.
+        supervisor: injectable, for tests; defaults to a
+            :class:`WorkerSupervisor` built from ``max_attempts``.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_limit: int = 16,
+        concurrency: int = 2,
+        max_attempts: int = 3,
+        default_timeout: Optional[float] = None,
+        memory_limit_bytes: Optional[int] = None,
+        supervisor: Optional[WorkerSupervisor] = None,
+    ):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        self.concurrency = concurrency
+        self.default_timeout = default_timeout
+        self.journal = JobJournal(self.root / "journal.jsonl")
+        self.queue = BoundedJobQueue(queue_limit)
+        self.watermark = MemoryWatermark(memory_limit_bytes)
+        self.supervisor = supervisor or WorkerSupervisor(max_attempts=max_attempts)
+        self.http = HttpServer(self._build_router(), host=host, port=port)
+
+        self._ready = False
+        self._stopping = False
+        self._wake = asyncio.Event()
+        self._stop_requested = asyncio.Event()
+        self._tasks: Set[asyncio.Task] = set()
+        self._running: Set[str] = set()
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._ewma_runtime: Optional[float] = None
+        self._shed_count = 0
+
+    # -- paths -----------------------------------------------------------
+
+    def job_dir(self, job_id: str) -> Path:
+        return self.root / "jobs" / job_id
+
+    @property
+    def obs_root(self) -> Path:
+        return self.root / "obs"
+
+    @property
+    def port(self) -> int:
+        return self.http.bound_port
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Recover the journal, start serving, become ready."""
+        self._recover()
+        await self.http.start()
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+        self._write_server_file()
+        self._ready = True
+        log.info(
+            "job service ready",
+            extra={
+                "root": str(self.root),
+                "port": self.port,
+                "jobs": len(self.journal),
+                "queued": len(self.queue),
+            },
+        )
+
+    def _recover(self) -> None:
+        """Re-queue whatever the previous process left unfinished.
+
+        RUNNING means a worker died with the server: the journal's
+        crash-retry edge (RUNNING → QUEUED) puts it back in line, and
+        the worker's append-only events recovery makes the re-run cheap
+        — completed rounds replay without re-writing.
+        """
+        recovered = 0
+        for job in self.journal.non_terminal():
+            if job.state is JobState.RUNNING:
+                job.transition(JobState.QUEUED)
+                self.journal.record_state(job)
+                recovered += 1
+            self.queue.offer(job.job_id, job.priority)
+        if recovered:
+            log.info(
+                "recovered in-flight jobs from journal",
+                extra={"requeued": recovered},
+            )
+
+    def _write_server_file(self) -> None:
+        from repro.io.atomic import atomic_write_text
+
+        atomic_write_text(
+            self.root / "server.json",
+            json.dumps(
+                {
+                    "host": self.http.host,
+                    "port": self.port,
+                    "pid": os.getpid(),
+                    "root": str(self.root.resolve()),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+        )
+
+    def request_stop(self) -> None:
+        """Begin graceful shutdown (signal-handler safe)."""
+        if not self._stopping:
+            log.info("shutdown requested")
+        self._stopping = True
+        self._ready = False
+        self._stop_requested.set()
+        self._wake.set()
+
+    async def stop(self) -> None:
+        """Stop serving, kill workers, leave the journal consistent.
+
+        Jobs still RUNNING in the journal are *left* RUNNING — the next
+        :meth:`start` recovers them through the crash-retry edge, which
+        is exactly the SIGKILL path; a graceful stop just gets there
+        without losing in-progress round events (fsynced per round).
+        """
+        self.request_stop()
+        await self.http.stop()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        await self.supervisor.shutdown()
+        log.info("job service stopped", extra={"root": str(self.root)})
+
+    async def serve_forever(self) -> None:
+        """Start, install signal handlers, serve until stopped."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_stop)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix or nested loop; ctrl-c still raises
+        await self.start()
+        await self._stop_requested.wait()
+        await self.stop()
+
+    # -- dispatch --------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while not self._stopping:
+            self._shed_for_memory()
+            while len(self._running) < self.concurrency:
+                job_id = self.queue.pop()
+                if job_id is None:
+                    break
+                job = self.journal.jobs[job_id]
+                if job.terminal:
+                    continue  # cancelled while queued
+                self._running.add(job_id)
+                task = asyncio.get_running_loop().create_task(
+                    self._supervise(job)
+                )
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+            try:
+                await asyncio.wait_for(
+                    self._wake.wait(), timeout=DISPATCH_TICK_SECONDS
+                )
+            except asyncio.TimeoutError:
+                pass
+            self._wake.clear()
+
+    def _shed_for_memory(self) -> None:
+        """Sacrifice lowest-priority queued jobs while RSS is over limit."""
+        while self.watermark.over_limit:
+            victim_id = self.queue.shed_lowest()
+            if victim_id is None:
+                return
+            job = self.journal.jobs[victim_id]
+            job.error = "shed under memory pressure (rss over limit)"
+            job.transition(JobState.CANCELLED)
+            self.journal.record_state(job)
+            self._shed_count += 1
+            log.warning(
+                "shed queued job under memory pressure",
+                extra={"job": victim_id, "priority": job.priority},
+            )
+
+    async def _supervise(self, job: Job) -> None:
+        try:
+            await self.supervisor.run_to_terminal(
+                job, self.job_dir(job.job_id), self.journal.record_state
+            )
+        except asyncio.CancelledError:
+            raise  # shutdown: journal already holds the last real state
+        except Exception as exc:  # noqa: BLE001 - supervisor bug != dead service
+            log.exception("supervisor failure", extra={"job": job.job_id})
+            if not job.terminal:
+                job.error = f"supervisor failure: {exc}"
+                job.transition(JobState.FAILED)
+                self.journal.record_state(job)
+        finally:
+            self._running.discard(job.job_id)
+            if job.state is JobState.DONE and job.started_at and job.finished_at:
+                self._observe_runtime(job.finished_at - job.started_at)
+            self._wake.set()
+
+    def _observe_runtime(self, seconds: float) -> None:
+        if self._ewma_runtime is None:
+            self._ewma_runtime = seconds
+        else:
+            self._ewma_runtime = 0.7 * self._ewma_runtime + 0.3 * seconds
+
+    def _retry_after(self) -> int:
+        """A Retry-After hint: expected queue drain time per worker."""
+        if self._ewma_runtime is None:
+            return DEFAULT_RETRY_AFTER
+        backlog = len(self.queue) + len(self._running)
+        estimate = self._ewma_runtime * max(1, backlog) / self.concurrency
+        return max(1, min(600, int(round(estimate))))
+
+    # -- admission (shared by HTTP and in-process callers) ---------------
+
+    def submit(self, body) -> "tuple[int, dict, dict]":
+        """Admit one submission; returns (status, payload, headers)."""
+        try:
+            parsed = parse_submission(body)
+        except InvalidSubmission as exc:
+            return 400, exc.as_dict(), {}
+
+        existing = self.journal.by_fingerprint(parsed.fingerprint)
+        if existing is not None:
+            return (
+                200,
+                {"deduplicated": True, "job": existing.public_view()},
+                {},
+            )
+
+        if self._stopping:
+            return 503, {"error": "shutting down"}, {}
+        admission = self._admit()
+        if not admission:
+            return (
+                429,
+                {
+                    "error": "queue full",
+                    "reason": admission.reason,
+                    "retry_after": admission.retry_after,
+                },
+                {"Retry-After": str(admission.retry_after)},
+            )
+
+        timeout = parsed.timeout
+        if timeout is None:
+            timeout = self.default_timeout
+        job = Job(
+            job_id=self.journal.next_job_id(),
+            fingerprint=parsed.fingerprint,
+            payload=parsed.payload,
+            priority=parsed.priority,
+            timeout=timeout,
+        )
+        self._materialise_job_dir(job)
+        self.journal.record_submitted(job)
+        self.queue.offer(job.job_id, job.priority)
+        self._wake.set()
+        log.info(
+            "job accepted",
+            extra={
+                "job": job.job_id,
+                "fingerprint": job.fingerprint,
+                "priority": job.priority,
+            },
+        )
+        return 201, {"deduplicated": False, "job": job.public_view()}, {}
+
+    def _admit(self) -> Admission:
+        if self.queue.is_full:
+            return Admission(
+                False,
+                reason=f"queue at limit ({self.queue.limit})",
+                retry_after=self._retry_after(),
+            )
+        return Admission(True)
+
+    def _materialise_job_dir(self, job: Job) -> None:
+        """Write the worker contract (job.json) before journaling the
+        submission — a journaled job always has a runnable directory."""
+        from repro.io.atomic import atomic_write_text
+
+        job_dir = self.job_dir(job.job_id)
+        job_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            job_dir / "job.json",
+            json.dumps(
+                {
+                    "job_id": job.job_id,
+                    "payload": job.payload,
+                    "obs_store": str(self.obs_root),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+        )
+
+    def cancel(self, job_id: str) -> "tuple[int, dict]":
+        """Cancel a job; queued jobs die now, running ones cooperatively."""
+        job = self.journal.jobs.get(job_id)
+        if job is None:
+            return 404, {"error": "no such job", "job_id": job_id}
+        if job.terminal:
+            return 409, {
+                "error": "job already terminal",
+                "job": job.public_view(),
+            }
+        if job.state is JobState.QUEUED and job_id not in self._running:
+            self.queue.remove(job_id)
+            job.error = "cancelled by client"
+            job.transition(JobState.CANCELLED)
+            self.journal.record_state(job)
+            return 200, {"job": job.public_view()}
+        # Running (or mid-retry): trip the cross-process kill switch; the
+        # worker exits at its next poll and the supervisor records it.
+        FileToken(self.job_dir(job_id) / "cancel").trip("cancelled by client")
+        return 202, {"cancelling": True, "job": job.public_view()}
+
+    # -- HTTP ------------------------------------------------------------
+
+    def _build_router(self) -> Router:
+        router = Router()
+        router.add("GET", "/healthz", self._handle_healthz)
+        router.add("GET", "/readyz", self._handle_readyz)
+        router.add("POST", "/jobs", self._handle_submit)
+        router.add("GET", "/jobs", self._handle_list)
+        router.add("GET", "/jobs/{job_id}", self._handle_status)
+        router.add("POST", "/jobs/{job_id}/cancel", self._handle_cancel)
+        router.add("GET", "/jobs/{job_id}/events", self._handle_events)
+        return router
+
+    async def _handle_healthz(self, request: Request) -> Response:
+        # Liveness only: if this handler runs, the loop is alive.
+        return Response.json(200, {"status": "ok"})
+
+    async def _handle_readyz(self, request: Request) -> Response:
+        if not self._ready or self._stopping:
+            return Response.json(
+                503,
+                {
+                    "status": "not ready",
+                    "stopping": self._stopping,
+                },
+            )
+        return Response.json(
+            200,
+            {
+                "status": "ready",
+                "queued": len(self.queue),
+                "running": len(self._running),
+                "jobs": len(self.journal),
+                "shed": self._shed_count,
+            },
+        )
+
+    async def _handle_submit(self, request: Request) -> Response:
+        try:
+            body = request.json()
+        except ValueError:
+            return Response.json(
+                400,
+                {
+                    "error": "invalid submission",
+                    "field": "body",
+                    "reason": "request body is not valid JSON",
+                },
+            )
+        status, payload, headers = self.submit(body)
+        return Response.json(status, payload, headers=headers)
+
+    async def _handle_list(self, request: Request) -> Response:
+        state_filter = request.query.get("state", [None])[0]
+        if state_filter is not None:
+            try:
+                wanted = JobState(state_filter)
+            except ValueError:
+                return Response.json(
+                    400,
+                    {
+                        "error": "invalid submission",
+                        "field": "state",
+                        "reason": f"unknown state {state_filter!r}; valid: "
+                        + ", ".join(s.value for s in JobState),
+                    },
+                )
+            jobs = [
+                j for j in self.journal.jobs.values() if j.state is wanted
+            ]
+        else:
+            jobs = list(self.journal.jobs.values())
+        jobs.sort(key=lambda j: j.job_id)
+        return Response.json(
+            200, {"jobs": [job.public_view() for job in jobs]}
+        )
+
+    async def _handle_status(self, request: Request) -> Response:
+        job = self.journal.jobs.get(request.params["job_id"])
+        if job is None:
+            return Response.json(
+                404, {"error": "no such job", "job_id": request.params["job_id"]}
+            )
+        return Response.json(200, {"job": job.public_view()})
+
+    async def _handle_cancel(self, request: Request) -> Response:
+        status, payload = self.cancel(request.params["job_id"])
+        return Response.json(status, payload)
+
+    async def _handle_events(self, request: Request) -> Response:
+        job_id = request.params["job_id"]
+        job = self.journal.jobs.get(job_id)
+        if job is None:
+            return Response.json(
+                404, {"error": "no such job", "job_id": job_id}
+            )
+        follow = request.query.get("follow", ["1"])[0] not in ("0", "false")
+        return Response.ndjson(200, self._stream_events(job, follow))
+
+    async def _stream_events(
+        self, job: Job, follow: bool
+    ) -> AsyncIterator[bytes]:
+        """Yield events.jsonl lines, following a live job to the end.
+
+        Only complete (newline-terminated) lines are forwarded — a
+        half-appended round is never shown.  The stream closes with one
+        synthetic ``job_state`` line carrying the terminal state, so a
+        tailing client learns the outcome without a second request.
+        """
+        events = self.job_dir(job.job_id) / "events.jsonl"
+        offset = 0
+        while True:
+            chunk = b""
+            if events.exists():
+                with events.open("rb") as handle:
+                    handle.seek(offset)
+                    data = handle.read()
+                if data:
+                    complete = data.rfind(b"\n")
+                    if complete >= 0:
+                        chunk = data[: complete + 1]
+                        offset += complete + 1
+            if chunk:
+                yield chunk
+            if job.state in TERMINAL_STATES and not chunk:
+                break
+            if not follow and not chunk:
+                break
+            if not chunk:
+                await asyncio.sleep(TAIL_POLL_SECONDS)
+        closing = {
+            "kind": "job_state",
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "error": job.error,
+            "terminal": job.terminal,
+        }
+        yield (json.dumps(closing, sort_keys=True) + "\n").encode()

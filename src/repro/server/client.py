@@ -1,0 +1,179 @@
+"""A small stdlib client for the job service (CLI + tests + scripts).
+
+``http.client`` handles the wire format (including chunked transfer
+decoding, which the NDJSON tail uses), so this layer is just the route
+map plus JSON in/out.  Every call opens a fresh connection — the server
+answers ``Connection: close`` anyway, and a job service is not a
+high-QPS API.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+from repro.resilience.errors import ReproError
+
+
+class ServerUnavailable(ReproError, ConnectionError):
+    """The service at host:port did not answer."""
+
+
+class ServerClient:
+    """Talks to one :class:`~repro.server.app.JobService`.
+
+    Args:
+        host / port: the service address.
+        timeout: per-request socket timeout in seconds (tail requests
+            use a longer one internally).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def from_root(cls, root: Union[str, Path], timeout: float = 10.0) -> "ServerClient":
+        """Connect to the server whose state directory is ``root``.
+
+        Reads the ``server.json`` the service wrote at startup.
+
+        Raises:
+            ServerUnavailable: when no server file exists (the service
+                never started, or uses a different root).
+        """
+        server_file = Path(root) / "server.json"
+        try:
+            doc = json.loads(server_file.read_text())
+        except (OSError, ValueError) as exc:
+            raise ServerUnavailable(
+                f"no readable server.json under {root} — is the service "
+                f"running with this --root?"
+            ) from exc
+        return cls(doc["host"], int(doc["port"]), timeout=timeout)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, str], http.client.HTTPResponse]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+        except (ConnectionError, OSError) as exc:
+            conn.close()
+            raise ServerUnavailable(
+                f"job service at {self.host}:{self.port} unreachable: {exc}"
+            ) from exc
+        return response.status, dict(response.getheaders()), response
+
+    def _json_call(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        status, headers, response = self._request(method, path, body)
+        try:
+            raw = response.read()
+        finally:
+            response.close()
+        try:
+            doc = json.loads(raw) if raw else {}
+        except ValueError:
+            doc = {"error": "unparseable response", "raw": raw.decode("utf-8", "replace")}
+        return status, doc, headers
+
+    # -- API -------------------------------------------------------------
+
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        status, doc, _ = self._json_call("GET", "/healthz")
+        return status, doc
+
+    def readyz(self) -> Tuple[int, Dict[str, Any]]:
+        status, doc, _ = self._json_call("GET", "/readyz")
+        return status, doc
+
+    def submit(
+        self, submission: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """POST /jobs; returns (status, body, headers) — 429 included."""
+        return self._json_call("POST", "/jobs", submission)
+
+    def status(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        status, doc, _ = self._json_call("GET", f"/jobs/{job_id}")
+        return status, doc
+
+    def list_jobs(self, state: Optional[str] = None) -> Tuple[int, Dict[str, Any]]:
+        path = "/jobs" + (f"?state={state}" if state else "")
+        status, doc, _ = self._json_call("GET", path)
+        return status, doc
+
+    def cancel(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        status, doc, _ = self._json_call("POST", f"/jobs/{job_id}/cancel")
+        return status, doc
+
+    def tail(
+        self, job_id: str, follow: bool = True, timeout: float = 600.0
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield the job's NDJSON event lines as parsed dicts.
+
+        With ``follow`` the stream runs until the service sends the
+        terminal ``job_state`` line; the socket timeout bounds a stalled
+        stream.
+        """
+        path = f"/jobs/{job_id}/events" + ("" if follow else "?follow=0")
+        status, _, response = self._request("GET", path, timeout=timeout)
+        try:
+            if status != 200:
+                raw = response.read()
+                doc = json.loads(raw) if raw else {"error": f"HTTP {status}"}
+                raise ServerUnavailable(
+                    f"tail of {job_id} failed: HTTP {status}: "
+                    f"{doc.get('error', '?')}"
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            response.close()
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_seconds: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final view.
+
+        Raises:
+            TimeoutError: when the budget runs out first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status, doc = self.status(job_id)
+            if status == 200 and doc["job"]["terminal"]:
+                return doc["job"]
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} not terminal after {timeout}s "
+                    f"(last status: HTTP {status})"
+                )
+            time.sleep(poll_seconds)

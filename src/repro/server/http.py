@@ -1,0 +1,323 @@
+"""A minimal asyncio HTTP/1.1 layer — stdlib only, service-sized.
+
+The job service needs six routes, JSON bodies, a couple of headers
+(``Retry-After``, ``Content-Type``) and one streaming response shape
+(NDJSON via chunked transfer encoding).  That is small enough that a
+dependency-free implementation on ``asyncio`` streams is simpler to
+audit than a framework, and — robustness being this layer's point — it
+fails *closed*: oversized bodies get 413, unparseable requests 400,
+unknown routes 404, handler exceptions 500 with a JSON body, and every
+response carries ``Connection: close`` so a confused client can never
+wedge a connection slot.
+
+Handlers are ``async def handler(request) -> Response``; a
+:class:`Response` whose body is an async iterator of ``bytes`` streams
+chunk by chunk (how ``/jobs/{id}/events`` tails NDJSON to a client
+while the job is still running).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from typing import Any, AsyncIterator, Callable, Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.obs.log import get_logger
+
+log = get_logger("server.http")
+
+#: Request bodies above this are refused with 413 (a scenario spec is
+#: a few KB; a megabyte of "spec" is an attack or a bug).
+MAX_BODY_BYTES = 1_000_000
+MAX_HEADER_BYTES = 64_000
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, List[str]],
+        headers: Dict[str, str],
+        body: bytes,
+        params: Optional[Dict[str, str]] = None,
+    ):
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+        #: Path parameters bound by the router (e.g. ``{job_id}``).
+        self.params: Dict[str, str] = params or {}
+
+    def json(self) -> Any:
+        """The body parsed as JSON.
+
+        Raises:
+            ValueError: for undecodable or unparseable content.
+        """
+        return json.loads(self.body.decode("utf-8"))
+
+
+class Response:
+    """One response: status, headers, and a bytes or streaming body."""
+
+    def __init__(
+        self,
+        status: int,
+        body: Union[bytes, AsyncIterator[bytes]] = b"",
+        content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
+    ):
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers = dict(headers or {})
+
+    @classmethod
+    def json(
+        cls, status: int, payload: Any, headers: Optional[Dict[str, str]] = None
+    ) -> "Response":
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        return cls(status, body, headers=headers)
+
+    @classmethod
+    def ndjson(cls, status: int, lines: AsyncIterator[bytes]) -> "Response":
+        return cls(status, lines, content_type="application/x-ndjson")
+
+
+#: A route handler.
+Handler = Callable[[Request], "asyncio.Future[Response]"]
+
+
+class Router:
+    """Method + path-template routing (``/jobs/{job_id}/events``)."""
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, re.Pattern, Handler]] = []
+
+    def add(self, method: str, template: str, handler: Handler) -> None:
+        pattern = re.compile(
+            "^"
+            + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", template)
+            + "$"
+        )
+        self._routes.append((method.upper(), pattern, handler))
+
+    def resolve(
+        self, method: str, path: str
+    ) -> Tuple[Optional[Handler], Optional[Dict[str, str]], bool]:
+        """(handler, params, path_known) for a request line."""
+        path_known = False
+        for route_method, pattern, handler in self._routes:
+            match = pattern.match(path)
+            if match is None:
+                continue
+            path_known = True
+            if route_method == method.upper():
+                return handler, {
+                    k: unquote(v) for k, v in match.groupdict().items()
+                }, True
+        return None, None, path_known
+
+
+class HttpServer:
+    """The asyncio server around a :class:`Router`.
+
+    Args:
+        router: the route table.
+        host / port: bind address (port 0 = ephemeral; see
+            :attr:`bound_port` after :meth:`start`).
+    """
+
+    def __init__(self, router: Router, host: str = "127.0.0.1", port: int = 0):
+        self.router = router
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def bound_port(self) -> int:
+        """The actual port after :meth:`start` (resolves port 0)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                await self._write_simple(
+                    writer, Response.json(400, {"error": "malformed request"})
+                )
+                return
+            if isinstance(request, Response):  # parse-stage refusal (413)
+                await self._write_simple(writer, request)
+                return
+            await self._dispatch(request, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        except Exception:  # noqa: BLE001 - last-resort 500, keep serving
+            log.exception("unhandled error in connection handler")
+            try:
+                await self._write_simple(
+                    writer, Response.json(500, {"error": "internal error"})
+                )
+            except ConnectionError:  # pragma: no cover - double fault
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Union[Request, Response, None]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            return Response.json(413, {"error": "headers too large"})
+        except asyncio.IncompleteReadError:
+            return None
+        if len(head) > MAX_HEADER_BYTES:
+            return Response.json(413, {"error": "headers too large"})
+        try:
+            request_line, *header_lines = head.decode("latin-1").split("\r\n")
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_raw = headers.get("content-length", "0")
+        try:
+            length = int(length_raw)
+        except ValueError:
+            return None
+        if length < 0:
+            return None
+        if length > MAX_BODY_BYTES:
+            return Response.json(
+                413,
+                {
+                    "error": "payload too large",
+                    "limit_bytes": MAX_BODY_BYTES,
+                },
+            )
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return None
+        split = urlsplit(target)
+        return Request(
+            method=method,
+            path=unquote(split.path),
+            query=parse_qs(split.query),
+            headers=headers,
+            body=body,
+        )
+
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        handler, params, path_known = self.router.resolve(
+            request.method, request.path
+        )
+        if handler is None:
+            status = 405 if path_known else 404
+            await self._write_simple(
+                writer,
+                Response.json(
+                    status,
+                    {"error": _REASONS[status].lower(), "path": request.path},
+                ),
+            )
+            return
+        request.params = params or {}
+        try:
+            response = await handler(request)
+        except Exception:  # noqa: BLE001 - handler bug must not kill server
+            log.exception(
+                "handler error", extra={"path": request.path}
+            )
+            response = Response.json(500, {"error": "internal error"})
+        if isinstance(response.body, bytes):
+            await self._write_simple(writer, response)
+        else:
+            await self._write_streaming(writer, response)
+
+    # -- wire format -----------------------------------------------------
+
+    def _head(self, response: Response, extra: Dict[str, str]) -> bytes:
+        reason = _REASONS.get(response.status, "Unknown")
+        lines = [f"HTTP/1.1 {response.status} {reason}"]
+        headers = {
+            "Content-Type": response.content_type,
+            "Connection": "close",
+            **response.headers,
+            **extra,
+        }
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    async def _write_simple(
+        self, writer: asyncio.StreamWriter, response: Response
+    ) -> None:
+        body = response.body if isinstance(response.body, bytes) else b""
+        writer.write(
+            self._head(response, {"Content-Length": str(len(body))}) + body
+        )
+        await writer.drain()
+
+    async def _write_streaming(
+        self, writer: asyncio.StreamWriter, response: Response
+    ) -> None:
+        writer.write(self._head(response, {"Transfer-Encoding": "chunked"}))
+        await writer.drain()
+        async for chunk in response.body:
+            if not chunk:
+                continue
+            writer.write(f"{len(chunk):X}\r\n".encode() + chunk + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()

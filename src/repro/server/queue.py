@@ -1,0 +1,152 @@
+"""The bounded admission queue: backpressure made explicit.
+
+The paper's platform is always-on; an always-on service cannot let its
+queue grow without bound, so admission is a first-class decision with
+three outcomes:
+
+- **accepted** — the job takes a slot (priority order, FIFO within a
+  priority);
+- **rejected** — the queue is full; the caller gets a ``Retry-After``
+  hint derived from observed job durations (HTTP 429 upstream);
+- **shed** — under memory pressure the service calls
+  :meth:`BoundedJobQueue.shed_lowest` and the *lowest-priority queued*
+  job is sacrificed (CANCELLED with a shed reason) to keep the service
+  itself alive — graceful degradation, not OOM death.
+
+The queue stores job ids only; the job table owns the records.  All
+methods are synchronous and O(log n) / O(n) — the service serializes
+access on the event loop, so no internal locking is needed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+from repro.obs.log import get_logger
+from repro.obs.profiler import read_rss_bytes
+
+log = get_logger("server.queue")
+
+
+class Admission:
+    """One admission decision (truthy == accepted)."""
+
+    def __init__(
+        self, accepted: bool, reason: str = "", retry_after: Optional[int] = None
+    ):
+        self.accepted = accepted
+        self.reason = reason
+        self.retry_after = retry_after
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Admission(accepted={self.accepted}, reason={self.reason!r}, "
+            f"retry_after={self.retry_after})"
+        )
+
+
+class BoundedJobQueue:
+    """A bounded max-priority queue of job ids.
+
+    Args:
+        limit: maximum queued jobs (>= 1); the running pool is bounded
+            separately by the supervisor's concurrency.
+    """
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+        # Heap entries: (-priority, seq, job_id) → pop order is highest
+        # priority first, submission order within a priority.
+        self._heap: List[tuple] = []
+        self._seq = itertools.count()
+        self._removed: set = set()
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._removed)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self) >= self.limit
+
+    def offer(self, job_id: str, priority: int = 0) -> bool:
+        """Admit ``job_id`` unless the queue is full (returns success)."""
+        if self.is_full:
+            return False
+        heapq.heappush(self._heap, (-priority, next(self._seq), job_id))
+        return True
+
+    def pop(self) -> Optional[str]:
+        """The next job id to run (None when empty)."""
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            if job_id in self._removed:
+                self._removed.discard(job_id)
+                continue
+            return job_id
+        return None
+
+    def remove(self, job_id: str) -> bool:
+        """Withdraw a queued job (cancellation); True when it was queued."""
+        if any(
+            entry[2] == job_id and entry[2] not in self._removed
+            for entry in self._heap
+        ):
+            self._removed.add(job_id)
+            return True
+        return False
+
+    def shed_lowest(self) -> Optional[str]:
+        """Drop and return the lowest-priority queued job id (LIFO among
+        equals: the newest of the least important goes first)."""
+        live = [entry for entry in self._heap if entry[2] not in self._removed]
+        if not live:
+            return None
+        # max() on (-priority, seq) finds the lowest priority, newest.
+        victim = max(live)
+        self._removed.add(victim[2])
+        return victim[2]
+
+    def snapshot(self) -> List[str]:
+        """Queued job ids in pop order (for status endpoints)."""
+        live = sorted(e for e in self._heap if e[2] not in self._removed)
+        return [entry[2] for entry in live]
+
+
+class MemoryWatermark:
+    """RSS-based load-shedding trigger.
+
+    Reuses the observatory profiler's RSS read (one ``/proc`` read), so
+    the check is cheap enough to run on every admission and supervisor
+    tick.
+
+    Args:
+        limit_bytes: shed when the process RSS exceeds this (None
+            disables shedding).
+        read: injectable RSS reader for tests.
+    """
+
+    def __init__(
+        self,
+        limit_bytes: Optional[int],
+        read: Callable[[], int] = read_rss_bytes,
+    ):
+        if limit_bytes is not None and limit_bytes <= 0:
+            raise ValueError(
+                f"memory limit must be positive bytes, got {limit_bytes}"
+            )
+        self.limit_bytes = limit_bytes
+        self._read = read
+
+    @property
+    def over_limit(self) -> bool:
+        if self.limit_bytes is None:
+            return False
+        rss = self._read()
+        return rss > 0 and rss > self.limit_bytes

@@ -1,0 +1,309 @@
+"""Worker supervision: one job driven to a terminal state, whatever dies.
+
+The supervisor owns the *process* half of the lifecycle: it launches
+``python -m repro.server.worker <job_dir>`` for each attempt, maps exit
+codes back onto :class:`~repro.server.jobs.JobState` transitions, and
+decides whether a dead worker means *retry* or *poison*:
+
+- exit 0 — DONE (``result.json`` is read back onto the job);
+- exit 3 / 4 — cooperative CANCELLED / TIMED_OUT;
+- exit 2 — the job directory itself is bad: FAILED immediately, no
+  retry (retrying a malformed input can only fail again);
+- anything else (uncaught exception, SIGKILL, injected crash) — a
+  *crash*: the job goes RUNNING → QUEUED and is relaunched after a
+  capped decorrelated-jitter backoff
+  (:func:`repro.resilience.retry.backoff_delays`), until
+  ``max_attempts`` is spent — then the job is **poisoned**: FAILED with
+  a diagnostic instead of retry-looping forever.
+
+Timeouts are enforced twice, deliberately.  The worker carries a
+cooperative deadline token (checked between rounds); the supervisor
+*also* arms a wall-clock watchdog slightly past the deadline, trips the
+job's cancel file with reason ``timeout``, grants a grace period, and
+kills the process if it still won't die — so even a worker stuck inside
+one round cannot hold a slot forever.  The budget spans *all* attempts
+of a job (a crash-looping job does not get a fresh clock per retry).
+
+The supervisor never touches the journal directly: every transition is
+reported through the ``record`` callback so the owning service applies
+its single-writer journaling discipline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.log import get_logger
+from repro.resilience.cancel import FileToken
+from repro.resilience.retry import backoff_delays
+from repro.server import worker as worker_mod
+from repro.server.jobs import Job, JobState
+
+log = get_logger("server.supervisor")
+
+#: Extra wall-clock slack the watchdog grants past the cooperative
+#: deadline before tripping the cancel file itself.
+WATCHDOG_SLACK_SECONDS = 2.0
+
+
+def worker_environment(extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+    """The subprocess environment for a worker.
+
+    Ensures the worker can ``import repro`` even when the service was
+    started from an installed checkout with no PYTHONPATH: the package
+    root is derived from ``repro.__file__`` and prepended.
+    """
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    parts = [src_root] + ([existing] if existing else [])
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    if extra:
+        env.update(extra)
+    return env
+
+
+class WorkerSupervisor:
+    """Drives jobs to terminal states across worker process attempts.
+
+    Args:
+        max_attempts: worker launches before a crashing job is poisoned.
+        backoff_base: first-retry delay in seconds.
+        backoff_cap: upper bound on any retry delay.
+        grace_seconds: how long a timed-out worker gets to exit
+            cooperatively before SIGKILL.
+        env: extra environment for workers (fault-injection knobs in
+            drills); merged over :func:`worker_environment`.
+        rng: injectable randomness for the jitter schedule (tests pin
+            it; production uses a fresh :class:`random.Random`).
+        clock: injectable monotonic clock.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 8.0,
+        grace_seconds: float = 2.0,
+        env: Optional[Dict[str, str]] = None,
+        rng: Optional[random.Random] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.grace_seconds = grace_seconds
+        self.env = worker_environment(env)
+        self.rng = rng if rng is not None else random.Random()
+        self.clock = clock
+        #: Live worker processes by job id (for shutdown).
+        self.processes: Dict[str, asyncio.subprocess.Process] = {}
+
+    # -- public API ------------------------------------------------------
+
+    async def run_to_terminal(
+        self,
+        job: Job,
+        job_dir: Path,
+        record: Callable[[Job], None],
+    ) -> None:
+        """Run ``job`` until it reaches a terminal state.
+
+        ``job`` must currently be QUEUED; ``record`` is called after
+        every transition (the service's journaling hook).
+        """
+        deadline_at: Optional[float] = (
+            self.clock() + job.timeout if job.timeout is not None else None
+        )
+        delays = self._delays()
+        while True:
+            if self._cancel_requested(job_dir):
+                job.error = self._cancel_reason(job_dir)
+                job.transition(JobState.CANCELLED)
+                record(job)
+                return
+
+            job.attempts += 1
+            job.transition(JobState.RUNNING)
+            record(job)
+
+            remaining = None
+            if deadline_at is not None:
+                remaining = deadline_at - self.clock()
+                if remaining <= 0:
+                    job.error = f"wall-clock budget of {job.timeout}s exhausted"
+                    job.transition(JobState.TIMED_OUT)
+                    record(job)
+                    return
+
+            returncode = await self._run_attempt(job, job_dir, remaining)
+            terminal = self._apply_exit(job, job_dir, returncode)
+            if terminal:
+                record(job)
+                return
+
+            # Crash: bounded retry with capped decorrelated jitter.
+            if job.attempts >= self.max_attempts:
+                job.error = (
+                    f"poisoned: worker crashed {job.attempts} times "
+                    f"(last exit code {returncode})"
+                )
+                job.transition(JobState.FAILED)
+                record(job)
+                log.warning(
+                    "job poisoned",
+                    extra={"job": job.job_id, "attempts": job.attempts},
+                )
+                return
+
+            job.transition(JobState.QUEUED)
+            record(job)
+            delay = delays[job.attempts - 1]
+            log.info(
+                "worker crashed; retrying",
+                extra={
+                    "job": job.job_id,
+                    "exit_code": returncode,
+                    "attempt": job.attempts,
+                    "backoff_seconds": round(delay, 3),
+                },
+            )
+            await asyncio.sleep(delay)
+
+    async def shutdown(self) -> None:
+        """Kill any still-live workers (service shutdown path)."""
+        procs = list(self.processes.values())
+        for proc in procs:
+            if proc.returncode is None:
+                proc.kill()
+        for proc in procs:
+            try:
+                await proc.wait()
+            except ProcessLookupError:  # pragma: no cover - already gone
+                pass
+        self.processes.clear()
+
+    # -- internals -------------------------------------------------------
+
+    def _delays(self) -> List[float]:
+        if self.max_attempts == 1:
+            return []
+        return list(
+            backoff_delays(
+                self.max_attempts,
+                base_delay=self.backoff_base,
+                max_delay=self.backoff_cap,
+                jitter="decorrelated",
+                rng=self.rng,
+            )
+        )
+
+    @staticmethod
+    def _cancel_requested(job_dir: Path) -> bool:
+        return (job_dir / "cancel").exists()
+
+    @staticmethod
+    def _cancel_reason(job_dir: Path) -> str:
+        return FileToken(job_dir / "cancel").reason or "cancelled"
+
+    async def _run_attempt(
+        self, job: Job, job_dir: Path, remaining: Optional[float]
+    ) -> int:
+        """One worker launch; returns its exit code (external timeout
+        included: a watchdog-killed worker reports as timed out)."""
+        args = [
+            sys.executable,
+            "-m",
+            "repro.server.worker",
+            str(job_dir),
+            "--attempt",
+            str(job.attempts),
+        ]
+        if remaining is not None:
+            args.extend(["--deadline", f"{remaining:.3f}"])
+        log_path = job_dir / "worker.log"
+        with log_path.open("ab") as log_handle:
+            proc = await asyncio.create_subprocess_exec(
+                *args,
+                stdout=log_handle,
+                stderr=log_handle,
+                env=self.env,
+            )
+            self.processes[job.job_id] = proc
+            try:
+                if remaining is None:
+                    return await proc.wait()
+                try:
+                    return await asyncio.wait_for(
+                        proc.wait(), timeout=remaining + WATCHDOG_SLACK_SECONDS
+                    )
+                except asyncio.TimeoutError:
+                    return await self._enforce_timeout(job, job_dir, proc)
+            finally:
+                self.processes.pop(job.job_id, None)
+
+    async def _enforce_timeout(
+        self, job: Job, job_dir: Path, proc: asyncio.subprocess.Process
+    ) -> int:
+        """The watchdog path: cancel file → grace → SIGKILL."""
+        log.warning(
+            "worker exceeded deadline; tripping cancel file",
+            extra={"job": job.job_id},
+        )
+        FileToken(job_dir / "cancel").trip("timeout")
+        try:
+            return await asyncio.wait_for(proc.wait(), timeout=self.grace_seconds)
+        except asyncio.TimeoutError:
+            log.warning(
+                "worker ignored cancel; killing", extra={"job": job.job_id}
+            )
+            proc.kill()
+            await proc.wait()
+            return worker_mod.EXIT_TIMED_OUT
+
+    def _apply_exit(self, job: Job, job_dir: Path, returncode: int) -> bool:
+        """Map an exit code onto the job; True when the job is terminal."""
+        if returncode == worker_mod.EXIT_DONE:
+            job.result = self._read_result(job_dir)
+            job.transition(JobState.DONE)
+            return True
+        if returncode == worker_mod.EXIT_CANCELLED:
+            job.error = self._cancel_reason(job_dir)
+            job.transition(JobState.CANCELLED)
+            return True
+        if returncode == worker_mod.EXIT_TIMED_OUT:
+            job.error = f"wall-clock budget of {job.timeout}s exhausted"
+            job.transition(JobState.TIMED_OUT)
+            return True
+        if returncode == worker_mod.EXIT_BAD_JOB:
+            job.error = (
+                "worker rejected the job directory (see worker.log); "
+                "not retrying a malformed input"
+            )
+            job.transition(JobState.FAILED)
+            return True
+        return False  # crash — caller decides retry vs poison
+
+    @staticmethod
+    def _read_result(job_dir: Path) -> Optional[dict]:
+        import json
+
+        result_path = job_dir / "result.json"
+        try:
+            return json.loads(result_path.read_text())
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            log.warning(
+                "DONE worker left no readable result.json",
+                extra={"job_dir": str(job_dir)},
+            )
+            return None

@@ -1,0 +1,362 @@
+"""The worker process: one job, run to a terminal state, resumably.
+
+The supervisor launches ``python -m repro.server.worker <job_dir>`` per
+attempt.  The job directory is the whole contract:
+
+- ``job.json`` (in) — the job id, the validated submission payload, and
+  the obs-store path;
+- ``events.jsonl`` (out) — the streamed round history, events-JSONL
+  format, appended round by round with the journal's atomic-append +
+  fsync discipline;
+- ``cancel`` (in, optional) — the supervisor's kill switch, polled by
+  the engine through a :class:`~repro.resilience.cancel.FileToken`;
+- ``result.json`` (out, on success) — the metrics summary, written
+  atomically.
+
+**Crash recovery is append-only replay.**  On start the worker loads
+any existing ``events.jsonl``, truncates a partial trailing line (the
+signature of a SIGKILL mid-append), and counts the completed rounds.
+The engine then re-runs the *same* seeded simulation — bit-identical by
+construction — while the :class:`ResumingRoundWriter` suppresses rounds
+already on disk and appends only the new ones.  The result: a killed
+and restarted job produces an events file with exactly one record per
+round — no duplicates, no losses — identical to an uninterrupted run up
+to wall-clock timing telemetry (``selector_wall_time`` and friends,
+which no replay can reproduce; :func:`canonical_round` strips them for
+comparisons).
+
+Exit codes are the worker half of the lifecycle state machine:
+
+====  =========================================================
+0     DONE (result.json written, obs store ingested)
+3     CANCELLED (cooperative, via the cancel file)
+4     TIMED_OUT (cooperative, via the wall-clock deadline token)
+2     invalid job dir / unparseable job.json (poison — do not retry)
+13    injected crash (fault drills; see REPRO_SERVER_FAULT_CRASH_P)
+else  crash (uncaught exception, killed, …) — supervisor retries
+====  =========================================================
+
+Fault injection (chaos drills): ``REPRO_SERVER_FAULT_CRASH_P`` sets a
+per-round crash probability; the draw stream is seeded from
+``REPRO_SERVER_FAULT_SEED`` x job id x attempt, so a drill is exactly
+reproducible yet each retry crashes (or survives) at a different round.
+The crash fires *after* the round is persisted — the worst case for
+duplicate detection, which is exactly what the recovery tests want.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.obs.log import configure_logging, get_logger
+from repro.resilience.cancel import (
+    CompositeToken,
+    DeadlineToken,
+    FileToken,
+)
+from repro.resilience.errors import OperationCancelled, ResultCorruption
+from repro.io.events import _meta_payload, _round_payload
+
+log = get_logger("server.worker")
+
+#: Exit codes (see module docstring).
+EXIT_DONE = 0
+EXIT_BAD_JOB = 2
+EXIT_CANCELLED = 3
+EXIT_TIMED_OUT = 4
+EXIT_INJECTED_CRASH = 13
+
+CRASH_P_ENV = "REPRO_SERVER_FAULT_CRASH_P"
+CRASH_SEED_ENV = "REPRO_SERVER_FAULT_SEED"
+
+#: Round-payload keys that carry wall-clock timings — the only fields a
+#: deterministic replay cannot reproduce.
+_TIMING_PERF_KEYS = frozenset(("selector_wall_time",))
+_TIMING_METRIC_PREFIXES = ("selector_seconds",)
+
+
+def canonical_round(payload: dict) -> dict:
+    """A round record with its wall-clock timing telemetry removed.
+
+    The simulation content of a round (selections, rewards, coverage,
+    budget) is bit-reproducible across replays; the timings are not.
+    Recovery tests compare canonical rounds, so "no duplicate or lost
+    round events" is checked on exactly the fields that must match.
+    """
+    clean = dict(payload)
+    if isinstance(clean.get("perf"), dict):
+        clean["perf"] = {
+            k: v
+            for k, v in clean["perf"].items()
+            if k not in _TIMING_PERF_KEYS
+        }
+    if isinstance(clean.get("metrics"), dict):
+        clean["metrics"] = {
+            k: v
+            for k, v in clean["metrics"].items()
+            if not k.startswith(_TIMING_METRIC_PREFIXES)
+        }
+    return clean
+
+
+class ResumingRoundWriter:
+    """An events-JSONL writer that survives (and resumes after) SIGKILL.
+
+    Differences from :class:`repro.io.events.RoundStreamWriter`:
+
+    - appends with per-line flush + fsync, so a completed round is
+      durable the moment the observer returns;
+    - on an existing file it truncates a partial trailing line, counts
+      the completed rounds, and *skips* re-writing them when the
+      deterministic engine replays — append-only resume;
+    - a mid-stream corrupt line raises
+      :class:`~repro.resilience.errors.ResultCorruption` (the file is
+      damaged, not merely crashed).
+
+    Args:
+        path: the events file.
+        world: the (regenerated, identical) world for the meta line.
+    """
+
+    def __init__(self, path: Union[str, Path], world) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.completed_rounds = self._recover()
+        if self.completed_rounds == 0 and not self.path.exists():
+            with self.path.open("w") as handle:
+                handle.write(json.dumps(_meta_payload(world, 0)) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        self.rounds_written = 0
+        self._handle = self.path.open("a")
+
+    def _recover(self) -> int:
+        """Truncate a partial tail; return the completed round count."""
+        if not self.path.exists():
+            return 0
+        raw = self.path.read_bytes().decode("utf-8", errors="replace")
+        lines = raw.split("\n")
+        trailing = lines.pop() if lines else ""
+        if trailing:
+            # No final newline: the last append was cut mid-line.
+            log.warning(
+                "events file has a partial trailing line; truncating",
+                extra={"events": str(self.path)},
+            )
+            self._rewrite(lines)
+        completed = 0
+        for index, line in enumerate(lines):
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ResultCorruption(
+                    f"{self.path}: corrupt events line {index + 1}; the "
+                    f"file is damaged mid-stream — delete it and resubmit "
+                    f"the job"
+                ) from exc
+            if index == 0:
+                if payload.get("kind") != "meta":
+                    raise ResultCorruption(
+                        f"{self.path}: first line is not an events meta line"
+                    )
+                continue
+            if payload.get("kind") != "round":
+                raise ResultCorruption(
+                    f"{self.path}: unexpected line kind "
+                    f"{payload.get('kind')!r} at line {index + 1}"
+                )
+            expected = completed + 1
+            if payload.get("round_no") != expected:
+                raise ResultCorruption(
+                    f"{self.path}: round sequence broken at line "
+                    f"{index + 1} (expected round {expected}, got "
+                    f"{payload.get('round_no')!r})"
+                )
+            completed += 1
+        return completed
+
+    def _rewrite(self, keep_lines: List[str]) -> None:
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text("".join(line + "\n" for line in keep_lines))
+        os.replace(tmp, self.path)
+
+    def __call__(self, record) -> None:
+        if record.round_no <= self.completed_rounds:
+            return  # replayed round, already durable — append-only resume
+        line = json.dumps(_round_payload(record)) + "\n"
+        self._handle.write(line)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.rounds_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResumingRoundWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _CrashInjector:
+    """A round observer that kills the process with probability p.
+
+    Deterministic per (seed, job_id, attempt); fires *after* the round
+    writer persisted the round (observer registration order).
+    """
+
+    def __init__(self, probability: float, seed: int, job_id: str, attempt: int):
+        self.probability = probability
+        self._rng = random.Random(f"{seed}:{job_id}:{attempt}")
+
+    def __call__(self, record) -> None:
+        if self._rng.random() < self.probability:
+            log.warning(
+                "injected worker crash",
+                extra={"round": record.round_no, "p": self.probability},
+            )
+            os._exit(EXIT_INJECTED_CRASH)
+
+
+def _maybe_crash_injector(job_id: str, attempt: int):
+    raw = os.environ.get(CRASH_P_ENV)
+    if not raw:
+        return None
+    probability = float(raw)
+    if probability <= 0:
+        return None
+    seed = int(os.environ.get(CRASH_SEED_ENV, "0"))
+    return _CrashInjector(probability, seed, job_id, attempt)
+
+
+def run_job(job_dir: Path, attempt: int, deadline: Optional[float]) -> int:
+    """Execute the job in ``job_dir``; returns the process exit code."""
+    from repro.metrics import MetricsSummary
+    from repro.server.validate import InvalidSubmission, parse_submission
+    from repro.simulation import make_engine
+
+    job_path = job_dir / "job.json"
+    try:
+        job_doc = json.loads(job_path.read_text())
+        parsed = parse_submission(job_doc["payload"])
+    except (OSError, ValueError, KeyError, InvalidSubmission) as exc:
+        sys.stderr.write(f"worker: bad job dir {job_dir}: {exc}\n")
+        return EXIT_BAD_JOB
+    job_id = job_doc.get("job_id", job_dir.name)
+
+    # Streamed rounds bound worker memory; the events file *is* the
+    # retained history.
+    config = parsed.config.with_overrides(stream_rounds=True)
+
+    tokens = [FileToken(job_dir / "cancel")]
+    if deadline is not None:
+        tokens.append(DeadlineToken(deadline))
+    cancel = CompositeToken(tokens)
+
+    engine = make_engine(config, cancel=cancel)
+    writer = ResumingRoundWriter(job_dir / "events.jsonl", engine.world)
+    engine.observers.append(writer)
+    injector = _maybe_crash_injector(job_id, attempt)
+    if injector is not None:
+        engine.observers.append(injector)
+
+    try:
+        result = engine.run()
+    except OperationCancelled as exc:
+        writer.close()
+        log.info(
+            "worker cancelled cooperatively",
+            extra={"job": job_id, "reason": exc.reason},
+        )
+        return EXIT_TIMED_OUT if exc.reason == "timeout" else EXIT_CANCELLED
+    finally:
+        writer.close()
+
+    summary = MetricsSummary.from_result(result)
+    _write_result(job_dir, job_id, parsed, summary, result)
+    _ingest_obs(job_doc.get("obs_store"), job_id, parsed, summary, result)
+    return EXIT_DONE
+
+
+def _write_result(job_dir: Path, job_id: str, parsed, summary, result) -> None:
+    from repro.io.atomic import atomic_write_text
+
+    atomic_write_text(
+        job_dir / "result.json",
+        json.dumps(
+            {
+                "status": "done",
+                "job_id": job_id,
+                "fingerprint": parsed.fingerprint,
+                "rounds_played": result.rounds_played,
+                "summary": summary.as_dict(),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+    )
+
+
+def _ingest_obs(obs_store, job_id: str, parsed, summary, result) -> None:
+    """Record the finished job in the service's run store (when any).
+
+    The store's inter-process lock (flock or the portable lockfile) is
+    what makes concurrent workers safe here; ``dedupe_key=job_id`` makes
+    a replayed ingest idempotent.
+    """
+    if not obs_store:
+        return
+    from repro.obs.store import RunStore, registry_values
+
+    values = registry_values(result.metrics_totals().as_dict())
+    for name, value in summary.as_dict().items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            values[f"summary/{name}"] = float(value)
+    config = parsed.config
+    RunStore(obs_store).ingest(
+        "server-job",
+        values,
+        labels={
+            "job_id": job_id,
+            "fingerprint": parsed.fingerprint,
+            "mechanism": config.mechanism,
+            "selector": config.selector,
+            "engine": config.engine,
+            "seed": str(config.seed),
+            **(
+                {"scenario": parsed.payload["scenario"]}
+                if parsed.payload.get("scenario")
+                else {}
+            ),
+        },
+        dedupe_key=job_id,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-server-worker",
+        description="Run one job directory to a terminal state (internal).",
+    )
+    parser.add_argument("job_dir", help="the job directory (job.json inside)")
+    parser.add_argument("--attempt", type=int, default=1,
+                        help="1-based attempt number (for fault seeding)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="remaining wall-clock budget in seconds")
+    args = parser.parse_args(argv)
+    configure_logging(verbosity=0)
+    return run_job(Path(args.job_dir), args.attempt, args.deadline)
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry point
+    sys.exit(main())

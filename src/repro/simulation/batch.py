@@ -206,7 +206,14 @@ class BatchedSimulationEngine(SimulationEngine):
         latency = self._metrics.histogram("selector_seconds")
         participants = [u for u in self.world.users if u.user_id in available]
         by_id: Dict[int, Selection] = {}
-        for user, problem in problems.iter_problems(participants):
+        for count, (user, problem) in enumerate(
+            problems.iter_problems(participants)
+        ):
+            # Same cancellation contract as the scalar loop: poll at a
+            # bounded stride so a 50k-user round stops within a grace
+            # period instead of at the round boundary only.
+            if count % self.CANCEL_CHECK_EVERY == 0:
+                self.cancel.raise_if_cancelled()
             if problem.size == 0:
                 # Selectors answer empty problems with the empty
                 # selection (solver contract); skip the call.

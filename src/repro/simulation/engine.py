@@ -40,6 +40,7 @@ from repro.core.mechanisms import MECHANISMS, IncentiveMechanism, RoundView
 from repro.obs.log import bind
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER
+from repro.resilience.cancel import NEVER_CANCELLED, CancellationToken
 from repro.resilience.errors import MechanismPriceError
 from repro.selection import (
     SELECTORS,
@@ -92,7 +93,21 @@ class SimulationEngine:
             upload, plus per-user selector spans).  Tracing reads clocks
             only — never the random streams — so traced runs are
             bit-identical to untraced ones.
+        cancel: optional :class:`~repro.resilience.cancel.
+            CancellationToken`.  The engine polls it at safe boundaries
+            — before every round, and every few hundred selector calls
+            inside a round — and raises
+            :class:`~repro.resilience.errors.OperationCancelled` when it
+            trips.  Rounds already recorded stay valid (observers saw
+            them, streamed events are on disk), which is what makes a
+            cancelled run resumable: re-running the same config replays
+            the completed rounds bit-identically.  The default token
+            never cancels and costs one attribute read per check.
     """
+
+    #: How many selector calls between cancellation polls inside a round
+    #: (a trade between responsiveness and per-user overhead).
+    CANCEL_CHECK_EVERY = 512
 
     def __init__(
         self,
@@ -103,6 +118,7 @@ class SimulationEngine:
         observers: Sequence[RoundObserver] = (),
         coordinator: Optional["Coordinator"] = None,
         tracer=None,
+        cancel: Optional[CancellationToken] = None,
     ):
         self.config = config
         self._streams = spawn_streams(config.seed)
@@ -115,6 +131,7 @@ class SimulationEngine:
         self.observers = list(observers)
         self.coordinator = coordinator
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.cancel = cancel if cancel is not None else NEVER_CANCELLED
         self.result = SimulationResult(config=self.config, world=self.world)
         self._next_round = 1
         self._mechanism_ready = False
@@ -259,7 +276,13 @@ class SimulationEngine:
     # -- main loop -------------------------------------------------------------
 
     def run(self) -> SimulationResult:
-        """Play every remaining round and return the accumulated result."""
+        """Play every remaining round and return the accumulated result.
+
+        Raises:
+            OperationCancelled: when the engine's cancellation token
+                trips; the result retains every round completed before
+                the check (`self.result` on the engine).
+        """
         with self.tracer.span(
             "run",
             cat="run",
@@ -268,6 +291,7 @@ class SimulationEngine:
             selector=self.config.selector,
         ):
             while not self.finished:
+                self.cancel.raise_if_cancelled()
                 self.step()
         return self.result
 
@@ -396,7 +420,9 @@ class SimulationEngine:
         problems = self._round_problems(active, prices)
         latency = self._metrics.histogram("selector_seconds")
         selections: List[Tuple[MobileUser, Selection]] = []
-        for user in self.world.users:
+        for count, user in enumerate(self.world.users):
+            if count % self.CANCEL_CHECK_EVERY == 0:
+                self.cancel.raise_if_cancelled()
             if user.user_id in available:
                 problem = problems.problem_for(user)
                 if tracer.enabled:

@@ -1,0 +1,137 @@
+"""Concurrent-ingest stress tests for the run store's two lock paths.
+
+The flock path (fcntl platforms) and the portable ``O_CREAT|O_EXCL``
+lockfile fallback must both serialize the read-index / write-payload /
+append-index critical section; without a working lock, 8 processes
+hammering one store interleave index lines and mint duplicate run ids.
+The fallback is forced via ``REPRO_OBS_NO_FCNTL=1``, so the stress runs
+down both paths on any platform.
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs.store import (
+    NO_FCNTL_ENV,
+    RunStore,
+    StoreError,
+    _use_fcntl,
+)
+
+WORKER_SCRIPT = r"""
+import os, sys
+from repro.obs.store import RunStore
+
+root, worker_id, n_ingests = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+store = RunStore(root)
+for i in range(n_ingests):
+    store.ingest(
+        "stress",
+        {"value": float(worker_id * 1000 + i)},
+        labels={"worker": str(worker_id), "i": str(i)},
+    )
+"""
+
+N_PROCESSES = 8
+INGESTS_EACH = 12
+
+
+def _hammer(tmp_path, extra_env):
+    env = dict(os.environ)
+    env.update(extra_env)
+    src_root = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", WORKER_SCRIPT,
+             str(tmp_path / "store"), str(worker), str(INGESTS_EACH)],
+            env=env, stderr=subprocess.PIPE,
+        )
+        for worker in range(N_PROCESSES)
+    ]
+    for proc in procs:
+        _, stderr = proc.communicate(timeout=240)
+        assert proc.returncode == 0, stderr.decode()
+
+
+def _assert_store_consistent(tmp_path):
+    store = RunStore(tmp_path / "store")
+    entries = store.entries(kind="stress")
+    assert len(entries) == N_PROCESSES * INGESTS_EACH
+    run_ids = [entry["run_id"] for entry in entries]
+    assert len(set(run_ids)) == len(run_ids), "duplicate run ids minted"
+    # Every index line parses (no interleaved/torn writes) and every
+    # (worker, i) ingest landed exactly once.
+    seen = {(e["labels"]["worker"], e["labels"]["i"]) for e in entries}
+    assert len(seen) == N_PROCESSES * INGESTS_EACH
+    for entry in entries:
+        assert store.load(entry["run_id"]).values["value"] >= 0
+
+
+class TestMultiprocessStress:
+    def test_lockfile_fallback_path(self, tmp_path):
+        """8 processes, fcntl disabled: the portable lock must hold."""
+        _hammer(tmp_path, {NO_FCNTL_ENV: "1"})
+        _assert_store_consistent(tmp_path)
+
+    @pytest.mark.skipif(not _use_fcntl(), reason="no fcntl on this platform")
+    def test_flock_path(self, tmp_path):
+        _hammer(tmp_path, {})
+        _assert_store_consistent(tmp_path)
+
+
+class TestStaleLockStealing:
+    def _store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(NO_FCNTL_ENV, "1")
+        return RunStore(tmp_path / "store")
+
+    def test_dead_owner_lock_is_stolen(self, tmp_path, monkeypatch):
+        store = self._store(tmp_path, monkeypatch)
+        # A pid from a long-dead process: spawn-and-reap one.
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        store._lockfile_path.write_text(f"{proc.pid} {time.time():.3f}\n")
+        record, created = store.ingest("k", {"v": 1.0})
+        assert created
+        assert not store._lockfile_path.exists()
+
+    def test_ancient_lock_is_stolen_even_with_live_pid(
+        self, tmp_path, monkeypatch
+    ):
+        store = self._store(tmp_path, monkeypatch)
+        ancient = time.time() - 10_000
+        store._lockfile_path.write_text(f"{os.getpid()} {ancient:.3f}\n")
+        os.utime(store._lockfile_path, (ancient, ancient))
+        record, created = store.ingest("k", {"v": 1.0})
+        assert created
+
+    def test_unreadable_lockfile_uses_mtime(self, tmp_path, monkeypatch):
+        store = self._store(tmp_path, monkeypatch)
+        store._lockfile_path.write_text("garbage\n")
+        ancient = time.time() - 10_000
+        os.utime(store._lockfile_path, (ancient, ancient))
+        record, created = store.ingest("k", {"v": 1.0})
+        assert created
+
+    def test_live_fresh_lock_times_out(self, tmp_path, monkeypatch):
+        """A held lock (live pid, recent stamp) must NOT be stolen."""
+        store = self._store(tmp_path, monkeypatch)
+        store._lockfile_path.write_text(f"{os.getpid()} {time.time():.3f}\n")
+        with pytest.raises(StoreError, match="could not acquire"):
+            store._acquire_lockfile(timeout=0.3)
+
+    def test_fallback_forced_by_env(self, tmp_path, monkeypatch):
+        """With the env var set, ingest uses (and cleans up) the lockfile."""
+        store = self._store(tmp_path, monkeypatch)
+        store.ingest("k", {"v": 1.0})
+        assert not store._lockfile_path.exists()
+        # Under fcntl the flock sidecar exists instead; both paths must
+        # leave the store readable.
+        assert len(store.entries(kind="k")) == 1

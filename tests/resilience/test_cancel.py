@@ -1,0 +1,166 @@
+"""Tests for cooperative cancellation tokens and the jittered backoff."""
+
+import random
+
+import pytest
+
+from repro.resilience.cancel import (
+    NEVER_CANCELLED,
+    TIMEOUT_REASON,
+    CompositeToken,
+    DeadlineToken,
+    FileToken,
+    FlagToken,
+    maybe_deadline,
+)
+from repro.resilience.errors import OperationCancelled
+from repro.resilience.retry import backoff_delays
+
+
+class TestTokens:
+    def test_never_cancelled_is_free(self):
+        assert not NEVER_CANCELLED.cancelled
+        NEVER_CANCELLED.raise_if_cancelled()  # no-op
+
+    def test_flag_token_raises_with_reason(self):
+        token = FlagToken()
+        token.raise_if_cancelled()
+        token.cancel("shutting down")
+        with pytest.raises(OperationCancelled) as excinfo:
+            token.raise_if_cancelled()
+        assert excinfo.value.reason == "shutting down"
+
+    def test_flag_first_reason_sticks(self):
+        token = FlagToken()
+        token.cancel("first")
+        token.cancel("second")
+        assert token.reason == "first"
+
+    def test_deadline_token(self):
+        clock = {"now": 0.0}
+        token = DeadlineToken(10.0, clock=lambda: clock["now"])
+        assert not token.cancelled
+        assert token.remaining == 10.0
+        clock["now"] = 10.0
+        assert token.cancelled
+        assert token.remaining == 0.0
+        with pytest.raises(OperationCancelled) as excinfo:
+            token.raise_if_cancelled()
+        assert excinfo.value.reason == TIMEOUT_REASON
+
+    def test_deadline_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            DeadlineToken(0)
+
+    def test_file_token_cross_process_switch(self, tmp_path):
+        flag = tmp_path / "cancel"
+        token = FileToken(flag)
+        assert not token.cancelled
+        FileToken(flag).trip("cancelled by client")
+        assert token.cancelled
+        assert token.reason == "cancelled by client"
+
+    def test_file_token_empty_file_defaults_reason(self, tmp_path):
+        flag = tmp_path / "cancel"
+        flag.touch()
+        assert FileToken(flag).reason == "cancelled"
+
+    def test_composite_first_tripped_wins(self):
+        a, b = FlagToken(), FlagToken()
+        both = CompositeToken([a, b])
+        assert not both.cancelled
+        b.cancel("b says stop")
+        assert both.cancelled
+        assert both.reason == "b says stop"
+        with pytest.raises(OperationCancelled):
+            both.raise_if_cancelled()
+
+    def test_maybe_deadline(self):
+        assert maybe_deadline(None) is NEVER_CANCELLED
+        assert isinstance(maybe_deadline(5.0), DeadlineToken)
+
+
+class TestEngineCancellation:
+    def test_engine_stops_between_rounds(self):
+        from repro.simulation import SimulationConfig, make_engine
+
+        token = FlagToken()
+        config = SimulationConfig(n_users=20, n_tasks=5, rounds=10, seed=3)
+        engine = make_engine(config, cancel=token)
+
+        class StopAfterTwo:
+            rounds = 0
+
+            def __call__(self, record):
+                StopAfterTwo.rounds += 1
+                if StopAfterTwo.rounds == 2:
+                    token.cancel("test stop")
+
+        engine.observers.append(StopAfterTwo())
+        with pytest.raises(OperationCancelled) as excinfo:
+            engine.run()
+        assert excinfo.value.reason == "test stop"
+        assert StopAfterTwo.rounds == 2  # no third round ran
+
+    def test_uncancelled_run_is_bit_identical(self):
+        """Polling a token must not perturb the simulation."""
+        from repro.metrics import MetricsSummary
+        from repro.simulation import SimulationConfig, simulate
+
+        config = SimulationConfig(n_users=25, n_tasks=6, rounds=5, seed=9)
+        plain = MetricsSummary.from_result(simulate(config)).as_dict()
+        with_token = MetricsSummary.from_result(
+            simulate(config, cancel=FlagToken())
+        ).as_dict()
+        assert plain == with_token
+
+
+class TestDecorrelatedJitter:
+    def test_deterministic_with_injected_rng(self):
+        a = backoff_delays(6, base_delay=0.1, jitter="decorrelated",
+                           rng=random.Random(42))
+        b = backoff_delays(6, base_delay=0.1, jitter="decorrelated",
+                           rng=random.Random(42))
+        assert a == b
+        assert len(a) == 5
+
+    def test_cap_is_respected(self):
+        delays = backoff_delays(
+            50, base_delay=1.0, max_delay=4.0, jitter="decorrelated",
+            rng=random.Random(0),
+        )
+        assert all(d <= 4.0 for d in delays)
+        assert all(d >= 1.0 for d in delays)
+
+    def test_decorrelated_draws_stay_in_band(self):
+        """Each delay is in [base, 3 * previous] (the AWS recipe)."""
+        base = 0.5
+        delays = backoff_delays(
+            20, base_delay=base, jitter="decorrelated", rng=random.Random(7)
+        )
+        previous = base
+        for delay in delays:
+            assert base <= delay <= 3.0 * previous + 1e-12
+            previous = delay
+
+    def test_two_rngs_decorrelate(self):
+        a = backoff_delays(10, jitter="decorrelated", rng=random.Random(1))
+        b = backoff_delays(10, jitter="decorrelated", rng=random.Random(2))
+        assert a != b
+
+    def test_plain_schedule_unchanged(self):
+        """The deterministic default survives the new knobs (regression)."""
+        assert backoff_delays(4, base_delay=0.1, multiplier=2.0) == (0.1, 0.2, 0.4)
+
+    def test_cap_applies_without_jitter(self):
+        assert backoff_delays(5, base_delay=0.1, max_delay=0.3) == (
+            0.1, 0.2, 0.3, 0.3,
+        )
+
+    def test_rejects_unknown_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            backoff_delays(3, jitter="full")
+
+    def test_rejects_cap_below_base(self):
+        with pytest.raises(ValueError, match="max_delay"):
+            backoff_delays(3, base_delay=1.0, max_delay=0.5)

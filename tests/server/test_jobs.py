@@ -1,0 +1,166 @@
+"""Tests for the job lifecycle state machine and its crash-safe journal."""
+
+import json
+
+import pytest
+
+from repro.resilience.errors import ResultCorruption
+from repro.server.jobs import (
+    Job,
+    JobJournal,
+    JobState,
+    JobStateError,
+    TERMINAL_STATES,
+    VALID_TRANSITIONS,
+)
+
+
+def make_job(job_id="job-000001", **kwargs):
+    defaults = dict(
+        job_id=job_id,
+        fingerprint="abc123",
+        payload={"overrides": {"seed": 1}},
+    )
+    defaults.update(kwargs)
+    return Job(**defaults)
+
+
+class TestStateMachine:
+    def test_new_job_is_queued(self):
+        assert make_job().state is JobState.QUEUED
+        assert not make_job().terminal
+
+    def test_happy_path(self):
+        job = make_job()
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.DONE)
+        assert job.terminal
+        assert job.started_at is not None
+        assert job.finished_at is not None
+
+    def test_crash_retry_edge(self):
+        """RUNNING -> QUEUED is legal: a dead worker re-queues the job."""
+        job = make_job()
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.QUEUED)
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.FAILED)
+        assert job.state is JobState.FAILED
+
+    @pytest.mark.parametrize("terminal", sorted(TERMINAL_STATES, key=lambda s: s.value))
+    def test_terminal_states_have_no_exits(self, terminal):
+        assert VALID_TRANSITIONS[terminal] == frozenset()
+        job = make_job()
+        job.transition(JobState.RUNNING)
+        job.transition(terminal)
+        with pytest.raises(JobStateError, match="illegal transition"):
+            job.transition(JobState.QUEUED)
+
+    def test_queued_cannot_jump_to_done(self):
+        with pytest.raises(JobStateError, match="queued -> done"):
+            make_job().transition(JobState.DONE)
+
+    def test_roundtrip_through_dict(self):
+        job = make_job(priority=3, timeout=12.5)
+        job.transition(JobState.RUNNING)
+        clone = Job.from_dict(json.loads(json.dumps(job.as_dict())))
+        assert clone.state is JobState.RUNNING
+        assert clone.priority == 3
+        assert clone.timeout == 12.5
+
+    def test_public_view_has_terminal_and_runtime(self):
+        job = make_job()
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.DONE)
+        view = job.public_view()
+        assert view["terminal"] is True
+        assert view["runtime_seconds"] >= 0
+
+
+class TestJobJournal:
+    def test_submissions_assign_sequential_ids(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        assert journal.next_job_id() == "job-000001"
+        journal.record_submitted(make_job(journal.next_job_id()))
+        assert journal.next_job_id() == "job-000002"
+
+    def test_reload_rebuilds_job_table(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        job = make_job(journal.next_job_id(), priority=2)
+        journal.record_submitted(job)
+        job.transition(JobState.RUNNING)
+        job.attempts = 1
+        journal.record_state(job)
+
+        reloaded = JobJournal(path)
+        assert len(reloaded) == 1
+        loaded = reloaded.jobs["job-000001"]
+        assert loaded.state is JobState.RUNNING
+        assert loaded.attempts == 1
+        assert loaded.priority == 2
+        assert reloaded.next_job_id() == "job-000002"
+
+    def test_partial_trailing_line_is_truncated(self, tmp_path):
+        """A SIGKILL mid-append loses only the unfinished line."""
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        journal.record_submitted(make_job(journal.next_job_id()))
+        with path.open("a") as handle:
+            handle.write('{"kind": "state", "job_id": "job-0000')  # torn
+
+        reloaded = JobJournal(path)
+        assert reloaded.jobs["job-000001"].state is JobState.QUEUED
+        # The torn line is gone from disk too.
+        assert JobJournal(path).jobs["job-000001"].state is JobState.QUEUED
+
+    def test_midstream_corruption_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        journal.record_submitted(make_job(journal.next_job_id()))
+        lines = path.read_text().splitlines()
+        lines[1] = "NOT JSON"
+        lines.append(lines[0])  # keep a valid final line
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ResultCorruption, match="damaged mid-stream"):
+            JobJournal(path)
+
+    def test_wrong_header_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"kind": "meta", "format_version": 999}\n')
+        with pytest.raises(ResultCorruption, match="not a version"):
+            JobJournal(path)
+
+    def test_non_terminal_in_submission_order(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        first = make_job(journal.next_job_id())
+        journal.record_submitted(first)
+        second = make_job(journal.next_job_id(), fingerprint="def456")
+        journal.record_submitted(second)
+        first.transition(JobState.RUNNING)
+        first.transition(JobState.DONE)
+        journal.record_state(first)
+        assert [j.job_id for j in journal.non_terminal()] == ["job-000002"]
+
+    def test_dedup_probe_ignores_failed_jobs(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        job = make_job(journal.next_job_id())
+        journal.record_submitted(job)
+        assert journal.by_fingerprint("abc123") is job
+
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.FAILED)
+        journal.record_state(job)
+        # A failed run must not block resubmission of the same config.
+        assert journal.by_fingerprint("abc123") is None
+
+    def test_dedup_probe_prefers_latest(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        old = make_job(journal.next_job_id())
+        journal.record_submitted(old)
+        old.transition(JobState.RUNNING)
+        old.transition(JobState.DONE)
+        journal.record_state(old)
+        new = make_job(journal.next_job_id())
+        journal.record_submitted(new)
+        assert journal.by_fingerprint("abc123") is new

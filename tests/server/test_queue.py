@@ -1,0 +1,82 @@
+"""Tests for the bounded admission queue and the memory watermark."""
+
+import pytest
+
+from repro.server.queue import BoundedJobQueue, MemoryWatermark
+
+
+class TestBoundedJobQueue:
+    def test_priority_order_fifo_within_priority(self):
+        queue = BoundedJobQueue(10)
+        queue.offer("low", priority=0)
+        queue.offer("high", priority=5)
+        queue.offer("low2", priority=0)
+        assert [queue.pop(), queue.pop(), queue.pop()] == ["high", "low", "low2"]
+        assert queue.pop() is None
+
+    def test_offer_refuses_when_full(self):
+        queue = BoundedJobQueue(2)
+        assert queue.offer("a")
+        assert queue.offer("b")
+        assert not queue.offer("c")
+        assert queue.is_full
+
+    def test_remove_frees_a_slot(self):
+        queue = BoundedJobQueue(2)
+        queue.offer("a")
+        queue.offer("b")
+        assert queue.remove("a")
+        assert not queue.is_full
+        assert queue.offer("c")
+        assert queue.pop() == "b"
+        assert queue.pop() == "c"
+
+    def test_remove_unknown_is_false(self):
+        queue = BoundedJobQueue(2)
+        queue.offer("a")
+        assert not queue.remove("nope")
+        assert len(queue) == 1
+
+    def test_shed_lowest_takes_newest_least_important(self):
+        queue = BoundedJobQueue(10)
+        queue.offer("keep", priority=5)
+        queue.offer("old-low", priority=0)
+        queue.offer("new-low", priority=0)
+        assert queue.shed_lowest() == "new-low"
+        assert queue.shed_lowest() == "old-low"
+        assert queue.shed_lowest() == "keep"
+        assert queue.shed_lowest() is None
+
+    def test_snapshot_matches_pop_order(self):
+        queue = BoundedJobQueue(10)
+        queue.offer("b", priority=1)
+        queue.offer("a", priority=9)
+        queue.offer("c", priority=1)
+        assert queue.snapshot() == ["a", "b", "c"]
+        # snapshot does not consume
+        assert len(queue) == 3
+
+    def test_rejects_non_positive_limit(self):
+        with pytest.raises(ValueError, match="limit"):
+            BoundedJobQueue(0)
+
+
+class TestMemoryWatermark:
+    def test_disabled_without_limit(self):
+        mark = MemoryWatermark(None, read=lambda: 10**12)
+        assert not mark.over_limit
+
+    def test_trips_over_limit(self):
+        readings = iter([100, 300])
+        mark = MemoryWatermark(200, read=lambda: next(readings))
+        assert not mark.over_limit
+        assert mark.over_limit
+
+    def test_unreadable_rss_never_trips(self):
+        # read_rss_bytes returns 0 on platforms without /proc.
+        mark = MemoryWatermark(200, read=lambda: 0)
+        assert not mark.over_limit
+
+    def test_rejects_non_positive_limit(self):
+        with pytest.raises(ValueError, match="memory limit"):
+            MemoryWatermark(0)

@@ -1,0 +1,105 @@
+"""Tests for boundary validation: structured 400s with field-level blame."""
+
+import pytest
+
+from repro.server.validate import (
+    InvalidSubmission,
+    parse_submission,
+)
+
+
+def reject(body):
+    with pytest.raises(InvalidSubmission) as excinfo:
+        parse_submission(body)
+    return excinfo.value
+
+
+class TestShapeValidation:
+    def test_non_mapping_body(self):
+        err = reject([1, 2, 3])
+        assert err.field == "body"
+        assert "JSON object" in err.reason
+
+    def test_unknown_key_named(self):
+        err = reject({"scnario": "city-2k"})
+        assert err.field == "scnario"
+        assert "valid keys" in err.reason
+
+    def test_scenario_and_spec_are_exclusive(self):
+        err = reject({"scenario": "city-2k", "spec": {"name": "x"}})
+        assert err.field == "scenario"
+        assert "not both" in err.reason
+
+    def test_priority_must_be_int(self):
+        assert reject({"priority": "high"}).field == "priority"
+        assert reject({"priority": True}).field == "priority"
+
+    def test_timeout_must_be_positive_number(self):
+        assert reject({"timeout": "soon"}).field == "timeout"
+        assert reject({"timeout": -3}).field == "timeout"
+        assert reject({"timeout": 0}).field == "timeout"
+
+    def test_overrides_must_be_mapping(self):
+        assert reject({"overrides": ["seed", 7]}).field == "overrides"
+
+
+class TestConfigBlame:
+    def test_unknown_scenario_lists_presets(self):
+        err = reject({"scenario": "atlantis"})
+        assert err.field == "scenario"
+        assert "city-2k" in err.reason  # the valid names are in the message
+
+    def test_unknown_override_field(self):
+        err = reject({"overrides": {"bogus_knob": 1}})
+        assert err.field == "overrides"
+        assert "bogus_knob" in err.reason
+
+    def test_bad_config_value_blames_the_field(self):
+        """A ConfigError surfaces under the config field it names."""
+        err = reject({"overrides": {"n_users": -5}})
+        assert err.field == "n_users"
+
+    def test_as_dict_is_the_http_body(self):
+        err = reject({"overrides": {"n_users": -5}})
+        body = err.as_dict()
+        assert body["error"] == "invalid submission"
+        assert body["field"] == "n_users"
+        assert body["reason"]
+
+
+class TestAcceptedSubmissions:
+    def test_defaults(self):
+        parsed = parse_submission({})
+        assert parsed.priority == 0
+        assert parsed.timeout is None
+        assert parsed.fingerprint
+        assert parsed.payload["scenario"] is None
+
+    def test_scenario_preset(self):
+        parsed = parse_submission(
+            {"scenario": "paper-2018", "overrides": {"seed": 9}}
+        )
+        assert parsed.payload["scenario"] == "paper-2018"
+        assert parsed.config.seed == 9
+
+    def test_fingerprint_is_config_equality(self):
+        a = parse_submission({"overrides": {"seed": 5, "n_users": 30}})
+        b = parse_submission({"overrides": {"n_users": 30, "seed": 5}})
+        c = parse_submission({"overrides": {"n_users": 31, "seed": 5}})
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != c.fingerprint
+
+    def test_inline_spec(self):
+        parsed = parse_submission(
+            {
+                "spec": {
+                    "name": "custom",
+                    "description": "inline",
+                    "config": {"n_users": 25, "seed": 4},
+                }
+            }
+        )
+        assert parsed.config.n_users == 25
+
+    def test_timeout_normalised_to_float(self):
+        assert parse_submission({"timeout": 30}).timeout == 30.0

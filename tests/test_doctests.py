@@ -13,6 +13,8 @@ import pytest
 import repro.core.ahp
 import repro.core.levels
 import repro.geometry.point
+import repro.resilience.cancel
+import repro.resilience.retry
 import repro.simulation.engine
 
 MODULES_WITH_DOCTESTS = [
@@ -20,6 +22,8 @@ MODULES_WITH_DOCTESTS = [
     repro.core.levels,
     repro.core.ahp,
     repro.simulation.engine,
+    repro.resilience.retry,
+    repro.resilience.cancel,
 ]
 
 

@@ -122,8 +122,22 @@ ENGINE_SCALES = {
 }
 
 
-def run_engine(n_users, n_tasks, rounds, area_side, budget, seed):
-    """Round throughput of the scalar vs batched engine on one shared world."""
+def _peak_rss_mb(profiler) -> float:
+    """The profiler's peak RSS in MiB (0.0 when it never sampled)."""
+    summary = profiler.summary()
+    return round(summary.get("rss_peak_bytes", 0) / (1024 * 1024), 1)
+
+
+def run_engine(n_users, n_tasks, rounds, area_side, budget, seed, workers=None):
+    """Round throughput of the scalar vs batched engine on one shared world.
+
+    With ``workers`` (>= 2) the batched run is repeated with the sharded
+    select phase and timed as ``sharded_rounds_per_second`` — the
+    histories must stay identical at every worker count.  Peak RSS over
+    the whole bench is sampled on a background thread and recorded
+    alongside the throughput numbers.
+    """
+    from repro.obs.profiler import ResourceProfiler
     from repro.simulation import SimulationConfig, make_engine
 
     base = SimulationConfig(
@@ -139,22 +153,37 @@ def run_engine(n_users, n_tasks, rounds, area_side, budget, seed):
         stream_rounds=True,
         seed=seed,
     )
-    timings, results = {}, {}
-    for engine_name in ("scalar", "batched"):
-        engine = make_engine(base.with_overrides(engine=engine_name))
-        started = time.perf_counter()
-        results[engine_name] = engine.run()
-        timings[engine_name] = time.perf_counter() - started
+    profiler = ResourceProfiler(interval=0.05).start()
+    try:
+        timings, results = {}, {}
+        variants = [("scalar", "scalar", None), ("batched", "batched", None)]
+        if workers and workers > 1:
+            variants.append(("sharded", "batched", workers))
+        for label, engine_name, engine_workers in variants:
+            kwargs = {} if engine_workers is None else {"workers": engine_workers}
+            engine = make_engine(
+                base.with_overrides(engine=engine_name), **kwargs
+            )
+            started = time.perf_counter()
+            results[label] = engine.run()
+            timings[label] = time.perf_counter() - started
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+    finally:
+        profiler.stop()
     scalar, batched = results["scalar"], results["batched"]
     # Throughput only counts if both engines played the same campaign.
-    assert scalar.total_measurements == batched.total_measurements, (
-        f"engines disagree on measurements: {scalar.total_measurements} "
-        f"vs {batched.total_measurements}"
-    )
-    assert abs(scalar.total_paid - batched.total_paid) < 1e-9, (
-        f"engines disagree on payout: {scalar.total_paid} vs {batched.total_paid}"
-    )
-    return {
+    for label, result in results.items():
+        assert scalar.total_measurements == result.total_measurements, (
+            f"engines disagree on measurements: scalar "
+            f"{scalar.total_measurements} vs {label} {result.total_measurements}"
+        )
+        assert abs(scalar.total_paid - result.total_paid) < 1e-9, (
+            f"engines disagree on payout: scalar {scalar.total_paid} "
+            f"vs {label} {result.total_paid}"
+        )
+    entry = {
         "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -166,18 +195,80 @@ def run_engine(n_users, n_tasks, rounds, area_side, budget, seed):
         "scalar_rounds_per_second": rounds / timings["scalar"],
         "batched_rounds_per_second": rounds / timings["batched"],
         "engine_speedup": timings["scalar"] / timings["batched"],
+        "peak_rss_mb": _peak_rss_mb(profiler),
         "total_measurements": scalar.total_measurements,
     }
+    if "sharded" in timings:
+        entry["sharded_rounds_per_second"] = rounds / timings["sharded"]
+        entry["shard_workers"] = workers
+    return entry
+
+
+def run_scenario(scenario, seed=None, workers=None):
+    """One preset end to end: wall time, throughput, and peak RSS.
+
+    The scenario bench is the city-scale anchor recorder: it runs a
+    named preset (``city-2k`` in CI, ``city-50k`` / ``city-1m`` for the
+    pinned anchors) through the public facade, optionally sharded, and
+    reports the numbers the obs regression gate tracks.
+    """
+    from repro.obs.profiler import ResourceProfiler
+    from repro.scenarios import get_preset
+    from repro.simulation import make_engine
+
+    overrides = {} if seed is None else {"seed": seed}
+    config = get_preset(scenario).to_config(**overrides)
+    profiler = ResourceProfiler(interval=0.05).start()
+    try:
+        kwargs = {} if not workers or workers <= 1 else {"workers": workers}
+        engine = make_engine(config, **kwargs)
+        started = time.perf_counter()
+        result = engine.run()
+        wall = time.perf_counter() - started
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+    finally:
+        profiler.stop()
+    entry = {
+        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        # The bench name carries the preset so every scenario keeps its
+        # own obs series (and regression baseline): mixing city-2k and
+        # city-1m wall times in one series would gate on noise.
+        "bench": f"scenario-{scenario}",
+        "scenario": scenario,
+        "n_users": config.n_users,
+        "n_tasks": config.n_tasks,
+        "rounds": config.rounds,
+        "distance_dtype": config.distance_dtype,
+        "seed": config.seed,
+        "wall_seconds": round(wall, 3),
+        "rounds_per_second": result.rounds_played / wall,
+        "peak_rss_mb": _peak_rss_mb(profiler),
+        "total_measurements": result.total_measurements,
+    }
+    if workers and workers > 1:
+        entry["shard_workers"] = workers
+    return entry
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--bench", choices=("selector", "engine"),
+    parser.add_argument("--bench", choices=("selector", "engine", "scenario"),
                         default="selector",
                         help="selector = DP microbench (default); "
-                             "engine = scalar vs batched round throughput")
+                             "engine = scalar vs batched round throughput; "
+                             "scenario = one named preset end to end "
+                             "(wall/rounds-per-second/peak-RSS)")
     parser.add_argument("--scale", choices=("full", "tiny"), default="full",
                         help="tiny = a seconds-long CI smoke run")
+    parser.add_argument("--scenario", default="city-2k", metavar="NAME",
+                        help="preset for --bench scenario (default city-2k)")
+    parser.add_argument("--engine-workers", type=int, default=None, metavar="N",
+                        help="also time the sharded select phase with N "
+                             "worker processes (engine/scenario benches)")
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_selectors.json"),
                         help="trajectory file to append to")
     parser.add_argument("--min-speedup", type=float, default=None,
@@ -189,7 +280,14 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     if args.bench == "engine":
-        entry = run_engine(seed=args.seed, **ENGINE_SCALES[args.scale])
+        entry = run_engine(
+            seed=args.seed, workers=args.engine_workers,
+            **ENGINE_SCALES[args.scale],
+        )
+    elif args.bench == "scenario":
+        entry = run_scenario(
+            args.scenario, seed=args.seed, workers=args.engine_workers
+        )
     elif args.scale == "tiny":
         entry = run(n_tasks=12, instances=5, repeats=2, seed=args.seed)
     else:
@@ -233,12 +331,34 @@ def main(argv=None):
 
     if args.bench == "engine":
         speedup = entry["engine_speedup"]
+        sharded = (
+            f", sharded({entry['shard_workers']}w) "
+            f"{entry['sharded_rounds_per_second']:.2f} rounds/s"
+            if "sharded_rounds_per_second" in entry
+            else ""
+        )
         print(
             f"{entry['n_users']} users x {entry['n_tasks']} tasks x "
             f"{entry['rounds']} rounds: "
             f"scalar {entry['scalar_rounds_per_second']:.2f} rounds/s, "
-            f"batched {entry['batched_rounds_per_second']:.2f} rounds/s "
-            f"-> {speedup:.1f}x"
+            f"batched {entry['batched_rounds_per_second']:.2f} rounds/s"
+            f"{sharded} -> {speedup:.1f}x "
+            f"(peak RSS {entry['peak_rss_mb']:.0f} MiB)"
+        )
+    elif args.bench == "scenario":
+        speedup = None
+        workers_note = (
+            f" ({entry['shard_workers']} workers)"
+            if "shard_workers" in entry
+            else ""
+        )
+        print(
+            f"{entry['scenario']}{workers_note}: {entry['n_users']} users x "
+            f"{entry['n_tasks']} tasks x {entry['rounds']} rounds "
+            f"[{entry['distance_dtype']}] in {entry['wall_seconds']:.1f}s "
+            f"({entry['rounds_per_second']:.2f} rounds/s, "
+            f"peak RSS {entry['peak_rss_mb']:.0f} MiB, "
+            f"{entry['total_measurements']} measurements)"
         )
     else:
         speedup = entry["speedup"]
@@ -249,6 +369,13 @@ def main(argv=None):
             f"-> {speedup:.1f}x"
         )
     print(f"recorded in {out}")
+    if args.min_speedup is not None and speedup is None:
+        print(
+            "NOTE: --min-speedup has no meaning for --bench scenario "
+            "(no reference engine is timed); ignoring",
+            file=sys.stderr,
+        )
+        return 0
     if args.min_speedup is not None and speedup < args.min_speedup:
         print(
             f"FAIL: speedup {speedup:.2f}x below the "

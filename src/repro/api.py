@@ -103,6 +103,7 @@ def simulate(
     config: Optional[SimulationConfig] = None,
     *,
     scenario: Optional[ScenarioLike] = None,
+    workers: Optional[int] = None,
     **overrides: Any,
 ) -> SimulationResult:
     """Run one seeded simulation (the facade's one-call entry point).
@@ -110,6 +111,12 @@ def simulate(
     Exactly one of ``config`` / ``scenario`` may be given (neither means
     the defaults); ``overrides`` are config fields applied on top either
     way.  The engine honours ``config.engine`` (``scalar``/``batched``).
+
+    Args:
+        workers: select-phase worker processes for the batched engine
+            (``None``/``1`` = in-process).  An execution knob, not a
+            config field: results are bit-identical at every worker
+            count, so it never enters run fingerprints.
 
     >>> simulate(scenario="paper-2018", n_users=30, rounds=3).rounds_played
     3
@@ -120,7 +127,15 @@ def simulate(
         config = build_config(scenario, **overrides)
     elif overrides:
         config = config.with_overrides(**overrides)
-    return _simulate(config)
+    if workers is None:
+        return _simulate(config)
+    engine = make_engine(config, workers=workers)
+    try:
+        return engine.run()
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
 
 
 def summarize(result: SimulationResult) -> MetricsSummary:

@@ -137,6 +137,34 @@ def scarcity_factor(neighbours: int, max_neighbours: int, scale: float = 1.0) ->
     return scale * math.log(2.0 - neighbours / max_neighbours)
 
 
+def scarcity_factors(
+    neighbours: Sequence[int],
+    max_neighbours: int,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Array-native :func:`scarcity_factor`: one Eq. 5 factor per task.
+
+    Validation runs once over the whole vector instead of once per task,
+    and the logs go through :func:`_log_unique` — neighbour ratios take
+    few distinct values per round, so the result is bit-identical to the
+    scalar factor per element (same IEEE divisions, same ``math.log``).
+    """
+    counts = np.asarray(neighbours)
+    if counts.size == 0:
+        return np.zeros(0)
+    if np.any(counts < 0):
+        bad = int(counts[counts < 0][0])
+        raise ValueError(f"neighbours must be non-negative, got {bad}")
+    if max_neighbours < int(counts.max()):
+        raise ValueError(
+            f"max_neighbours ({max_neighbours}) < neighbours "
+            f"({int(counts.max())})"
+        )
+    if max_neighbours == 0:
+        return np.full(counts.shape, scale * math.log(2.0))
+    return scale * _log_unique(2.0 - counts / max_neighbours)
+
+
 @dataclass(frozen=True)
 class TaskDemandInputs:
     """Everything the demand indicator needs to know about one task at round k."""
@@ -209,7 +237,31 @@ class DemandCalculator:
         if not tasks:
             return []
         max_neighbours = max(t.neighbours for t in tasks)
-        return [self.normalized_demand(t, max_neighbours) for t in tasks]
+        # Eq. 5 is the only factor coupling tasks (through N_max), so it
+        # is computed for the whole population at once via the
+        # array-native variant; the per-task factors stay scalar.  Each
+        # x3 element is bitwise the scalar factor, and the weighted sum
+        # below evaluates in raw_demand's exact order, so this routing
+        # is invisible in the produced demands.
+        x3 = scarcity_factors(
+            [t.neighbours for t in tasks], max_neighbours, self.scarcity_scale
+        )
+        bound = self.max_demand
+        demands: List[float] = []
+        for inputs, x3_i in zip(tasks, x3):
+            x1 = deadline_factor(
+                inputs.round_no, inputs.deadline, self.deadline_scale
+            )
+            x2 = progress_factor(
+                inputs.received, inputs.required, self.progress_scale
+            )
+            raw = (
+                self.weights.deadline * x1
+                + self.weights.progress * x2
+                + self.weights.scarcity * float(x3_i)
+            )
+            demands.append(min(1.0, max(0.0, raw / bound)))
+        return demands
 
     def demands_array(
         self,
@@ -248,11 +300,7 @@ class DemandCalculator:
         progress = np.minimum(1.0, np.asarray(received) / np.asarray(required))
         x2 = self.progress_scale * _log_unique(2.0 - progress)
         max_neighbours = int(np.max(neighbours)) if n else 0
-        if max_neighbours == 0:
-            x3 = np.full(n, self.scarcity_scale * math.log(2.0))
-        else:
-            ratio = np.asarray(neighbours) / max_neighbours
-            x3 = self.scarcity_scale * _log_unique(2.0 - ratio)
+        x3 = scarcity_factors(neighbours, max_neighbours, self.scarcity_scale)
         raw = (
             self.weights.deadline * x1
             + self.weights.progress * x2

@@ -97,6 +97,11 @@ class OnDemandMechanism(IncentiveMechanism):
         #: when True, :meth:`rewards` runs the vectorised Eq. 2–7 path
         #: (bit-identical prices; set by the batched engine).
         self.batched = False
+        #: optional :class:`~repro.geometry.grid_index.
+        #: IncrementalNeighbourCounter` answering Eq. 5 queries without a
+        #: per-round grid rebuild (injected by the batched engine, which
+        #: keeps it current from its own move loop; exact counts).
+        self.neighbour_counter = None
 
     def initialize(self, world: World, rng: np.random.Generator) -> None:
         if self.schedule is None:
@@ -144,7 +149,11 @@ class OnDemandMechanism(IncentiveMechanism):
         logs), prices from :meth:`RewardSchedule.rewards_array` — each
         pinned bit-identical to its scalar counterpart by tests.
         """
-        if view.user_locations:
+        if self.neighbour_counter is not None:
+            neighbours = self.neighbour_counter.counts_array(
+                [t.location for t in tasks]
+            )
+        elif view.user_locations:
             index = GridIndex(view.user_locations, cell_size=self.neighbour_radius)
             neighbours = index.counts_array(
                 [t.location for t in tasks], self.neighbour_radius

@@ -139,3 +139,198 @@ class GridIndex:
                     )
             counts[i] = int(np.count_nonzero(inside))
         return counts
+
+
+# -- bulk counting and incremental maintenance ---------------------------
+
+#: The 3x3 block of cell offsets a radius-sized cell query inspects.
+_NINE_CELLS = np.asarray(
+    [(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)], dtype=np.int64
+)
+#: Cell coordinates are packed into one int64 key for sorted lookup;
+#: coordinates must stay within +-_CELL_OFFSET cells of the origin.
+_CELL_OFFSET = np.int64(1) << 20
+_CELL_STRIDE = np.int64(1) << 21
+
+
+def _encode_cells(cells: np.ndarray) -> np.ndarray:
+    """Pack ``(k, 2)`` integer cell coordinates into ``(k,)`` int64 keys."""
+    if cells.size and np.abs(cells).max() >= _CELL_OFFSET:
+        raise ValueError(
+            "points lie too many cells from the origin for the packed "
+            "cell encoding (|cell index| must stay below 2^20)"
+        )
+    return (cells[:, 0] + _CELL_OFFSET) * _CELL_STRIDE + (
+        cells[:, 1] + _CELL_OFFSET
+    )
+
+
+def bulk_counts(
+    points: Sequence[Point], centers: Sequence[Point], radius: float
+) -> np.ndarray:
+    """Fixed-radius neighbour counts, fully vectorised across centers.
+
+    Returns exactly what ``GridIndex(points, cell_size=radius)
+    .counts_for(centers, radius)`` returns (pinned by tests), without
+    the per-center Python loop: cell membership, the 3x3 block gather,
+    and the distance predicate all run as whole-array expressions, with
+    the same :data:`GridIndex._BOUNDARY_TOL` band re-decided by
+    ``Point.distance_to``.
+
+    Raises:
+        ValueError: for a non-positive radius (a zero radius has no
+            grid cell to hash into).
+    """
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    m = len(centers)
+    counts = np.zeros(m, dtype=int)
+    n = len(points)
+    if n == 0 or m == 0:
+        return counts
+    coords = np.asarray(
+        [(p.x, p.y) for p in points], dtype=float
+    ).reshape(n, 2)
+    keys = _encode_cells(np.floor(coords / radius).astype(np.int64))
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    carr = np.asarray(
+        [(c.x, c.y) for c in centers], dtype=float
+    ).reshape(m, 2)
+    ccells = np.floor(carr / radius).astype(np.int64)
+    nkeys = _encode_cells(
+        (ccells[:, None, :] + _NINE_CELLS[None, :, :]).reshape(-1, 2)
+    )
+    lo = np.searchsorted(sorted_keys, nkeys, side="left")
+    hi = np.searchsorted(sorted_keys, nkeys, side="right")
+    lengths = hi - lo
+    total = int(lengths.sum())
+    if total == 0:
+        return counts
+    # Expand the 9m [lo, hi) ranges into one flat candidate vector:
+    # positions within each range are 0..len-1, offset by the range's lo.
+    reps = np.repeat(np.arange(lengths.size), lengths)
+    starts = np.cumsum(lengths) - lengths
+    flat = np.arange(total) - np.repeat(starts, lengths) + np.repeat(lo, lengths)
+    cand = order[flat]
+    center_of = reps // 9
+    dx = coords[cand, 0] - carr[center_of, 0]
+    dy = coords[cand, 1] - carr[center_of, 1]
+    distances = np.hypot(dx, dy)
+    inside = distances <= radius
+    near = np.abs(distances - radius) <= GridIndex._BOUNDARY_TOL
+    if np.any(near):
+        for j in np.nonzero(near)[0].tolist():
+            inside[j] = (
+                points[int(cand[j])].distance_to(centers[int(center_of[j])])
+                <= radius
+            )
+    return np.bincount(center_of[inside], minlength=m).astype(int)
+
+
+class IncrementalNeighbourCounter:
+    """Eq. 5 neighbour counts maintained by movement deltas, not rebuilds.
+
+    The per-round grid rebuild (:class:`GridIndex` + ``counts_array``)
+    touches every user every round; at city scale most users do not move
+    between rounds (stationary commuters, users with no reachable
+    tasks), so the counter instead keeps one running count per *primed*
+    center and updates it from the movers alone: a user moving from p to
+    p' subtracts its old-position indicator and adds its new-position
+    indicator for every center.  Indicators are computed by
+    :func:`bulk_counts` with the exact :class:`GridIndex` predicate, and
+    counts are integers, so any sequence of updates leaves every count
+    bitwise equal to a from-scratch rebuild (pinned by tests).
+
+    When a round moves at least :data:`FULL_REBUILD_FRACTION` of the
+    population, two delta passes would cost more than one rebuild, so
+    the counter recomputes everything instead — same counts, fewer
+    flops.
+
+    Args:
+        points: the tracked population's starting positions, in a fixed
+            index order (``apply_moves`` refers to these indices).
+        radius: the neighbourhood radius R (also the grid cell size).
+    """
+
+    FULL_REBUILD_FRACTION = 0.5
+
+    def __init__(self, points: Sequence[Point], radius: float):
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        self._radius = float(radius)
+        self._points: List[Point] = list(points)
+        self._centers: List[Point] = []
+        self._slots: Dict[Tuple[float, float], int] = {}
+        self._counts = np.zeros(0, dtype=int)
+
+    @property
+    def radius(self) -> float:
+        return self._radius
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def prime(self, centers: Sequence[Point]) -> None:
+        """Start tracking counts for ``centers`` (idempotent per location).
+
+        Priming costs one full count over the current population, so
+        callers should prime every center they will ever query up front
+        (the engine primes all task locations before round 1) — queries
+        and moves after that never rescan the full population.
+        """
+        fresh: List[Point] = []
+        for center in centers:
+            key = (center.x, center.y)
+            if key not in self._slots and not any(
+                key == (c.x, c.y) for c in fresh
+            ):
+                fresh.append(center)
+        if not fresh:
+            return
+        fresh_counts = bulk_counts(self._points, fresh, self._radius)
+        for center, count in zip(fresh, fresh_counts):
+            self._slots[(center.x, center.y)] = len(self._centers)
+            self._centers.append(center)
+        self._counts = np.concatenate([self._counts, fresh_counts])
+
+    def counts_for(self, centers: Sequence[Point]) -> List[int]:
+        """Current neighbour count per center (priming any new ones)."""
+        if any((c.x, c.y) not in self._slots for c in centers):
+            self.prime(centers)
+        counts = self._counts
+        return [int(counts[self._slots[(c.x, c.y)]]) for c in centers]
+
+    def counts_array(self, centers: Sequence[Point]) -> np.ndarray:
+        """:meth:`counts_for` as an array (the batched pricing shape)."""
+        return np.asarray(self.counts_for(centers), dtype=int)
+
+    def apply_moves(
+        self,
+        rows: Sequence[int],
+        old_points: Sequence[Point],
+        new_points: Sequence[Point],
+    ) -> None:
+        """Fold one round of movement into every tracked count.
+
+        Args:
+            rows: indices (into the constructor's ``points`` order) of
+                the users that moved.
+            old_points: their positions before the move — must be the
+                positions previously reported, or counts would drift.
+            new_points: their positions after the move.
+        """
+        for row, point in zip(rows, new_points):
+            self._points[row] = point
+        if not self._centers or not rows:
+            return
+        if len(rows) >= self.FULL_REBUILD_FRACTION * len(self._points):
+            self._counts = bulk_counts(
+                self._points, self._centers, self._radius
+            )
+            return
+        self._counts = (
+            self._counts
+            - bulk_counts(old_points, self._centers, self._radius)
+            + bulk_counts(new_points, self._centers, self._radius)
+        )

@@ -474,7 +474,11 @@ BENCH_VALUE_FIELDS = (
     "mean_profit",
     "scalar_rounds_per_second",
     "batched_rounds_per_second",
+    "sharded_rounds_per_second",
     "engine_speedup",
+    "rounds_per_second",
+    "wall_seconds",
+    "peak_rss_mb",
 )
 
 
@@ -513,7 +517,7 @@ def ingest_bench_trajectory(
             if isinstance(entry.get(name), (int, float))
         }
         labels = {"source": path.name}
-        for label in ("scale", "python", "numpy", "bench"):
+        for label in ("scale", "python", "numpy", "bench", "scenario"):
             if entry.get(label) is not None:
                 labels[label] = str(entry[label])
         entry_kind = f"{kind}:{entry['bench']}" if entry.get("bench") else kind

@@ -1,4 +1,4 @@
-"""Named scenario presets, from the paper's bench to a 50k-user city.
+"""Named scenario presets, from the paper's bench to a million-user city.
 
 Every preset validates at import time (:class:`ScenarioSpec` builds its
 config eagerly), and the property tests additionally generate each
@@ -107,6 +107,7 @@ CITY_2K = ScenarioSpec(
         participation_rate=0.8,
         selector="greedy",
         engine="batched",
+        distance_dtype="float32",
         stream_rounds=True,
     ),
 )
@@ -144,6 +145,47 @@ CITY_50K = ScenarioSpec(
         ],
         selector="greedy",
         engine="batched",
+        distance_dtype="float32",
+        stream_rounds=True,
+    ),
+)
+
+CITY_1M = ScenarioSpec(
+    name="city-1m",
+    description=(
+        "Million-user stress: 1M users / 5k tasks on a 100 km side, "
+        "mostly-stationary commuters plus roaming couriers, Poisson "
+        "arrivals, batched engine with the float32 distance pipeline "
+        "and streamed rounds (peak RSS stays flat in the round count; "
+        "add --engine-workers to shard the select phase)."
+    ),
+    config=dict(
+        n_users=1_000_000,
+        n_tasks=5000,
+        area_side=100_000.0,
+        rounds=5,
+        budget=600_000.0,
+        deadline_range=[3, 5],
+        user_time_budget=600.0,
+        arrival="poisson",
+        participation_rate=0.4,
+        population=[
+            {
+                "name": "commuters",
+                "fraction": 0.5,
+                "mobility": "stationary",
+                "speed": [1.5, 2.5],
+            },
+            {
+                "name": "couriers",
+                "fraction": 0.05,
+                "mobility": "random-waypoint",
+                "speed": [3.0, 5.0],
+            },
+        ],
+        selector="greedy",
+        engine="batched",
+        distance_dtype="float32",
         stream_rounds=True,
     ),
 )
@@ -151,7 +193,7 @@ CITY_50K = ScenarioSpec(
 #: Registration order is display order for ``repro scenarios``.
 PRESETS: Dict[str, ScenarioSpec] = {
     spec.name: spec
-    for spec in (PAPER_2018, POISSON_STREAM, RUSH_HOUR, CITY_2K, CITY_50K)
+    for spec in (PAPER_2018, POISSON_STREAM, RUSH_HOUR, CITY_2K, CITY_50K, CITY_1M)
 }
 
 

@@ -72,8 +72,18 @@ class Selection:
 
     @classmethod
     def empty(cls) -> "Selection":
-        """The sit-out selection: travel nothing, earn nothing."""
-        return cls(task_ids=(), distance=0.0, reward=0.0, cost=0.0)
+        """The sit-out selection: travel nothing, earn nothing.
+
+        Returns a per-class singleton — the instance is frozen and the
+        engine asks for it once per non-participating user per round,
+        which at city scale is hundreds of thousands of constructions a
+        round for a value that never varies.
+        """
+        cached = cls.__dict__.get("_EMPTY")
+        if cached is None:
+            cached = cls(task_ids=(), distance=0.0, reward=0.0, cost=0.0)
+            cls._EMPTY = cached
+        return cached
 
 
 class Selector(abc.ABC):

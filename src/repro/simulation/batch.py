@@ -9,9 +9,9 @@ replaces that with chunked numpy:
 - one ``(chunk, tasks)`` origin-to-task distance matrix per user chunk,
   computed with the exact elementwise pipeline ``RoundProblems`` uses
   (diff, square, sum, sqrt — add/multiply/sqrt are correctly rounded, so
-  the entries are bit-identical to the per-user rows),
+  the float64 entries are bit-identical to the per-user rows),
 - a boolean reachability mask against each user's travel budget, with
-  any distance within :data:`BOUNDARY_TOL` of the budget re-decided by
+  any distance within the boundary tolerance of the budget re-decided by
   ``Point.distance_to`` (``math.hypot``) exactly as the scalar pruning
   rule does — the sqrt pipeline and hypot can disagree only in the last
   ulp, far inside the tolerance band,
@@ -20,24 +20,46 @@ replaces that with chunked numpy:
   return the empty selection for empty problems — pinned by the solver
   contract tests).
 
-The batched engine also flips the mechanism's vectorised pricing path
-on (``mechanism.batched``) and inherits the engine's single post-upload
-mobility pass.  Histories are **bit-identical** to the scalar engine for
-the same config and seed — pinned by ``tests/simulation/test_batch.py``.
+**Precision.** The chunk pipeline runs in a configurable dtype
+(``SimulationConfig.distance_dtype``).  float64 (the default) is
+bit-identical to the scalar engine.  float32 halves the distance-matrix
+memory traffic — the right trade at city scale — and widens the
+reachability recheck band to :func:`float32_boundary_tol` so every
+decision the reduced precision could flip is re-decided in float64:
+candidate sets are identical to the float64 pipeline's (pinned by
+tests), only the low-order bits of the matrix entries differ.
+
+**Scale.** At 50k+ users three further costs dominate, each handled
+here (see docs/architecture.md "Scaling"):
+
+- the mechanism's per-round grid rebuild for Eq. 5 neighbour counts —
+  replaced by an :class:`~repro.geometry.grid_index.
+  IncrementalNeighbourCounter` fed from the engine's own move loop,
+- the per-round task-to-task distance matrix — computed once over *all*
+  world tasks (task locations never change) and sliced per round via a
+  row mapping instead of rebuilt,
+- the per-chunk position/budget gathering — answered from persistent
+  per-world arrays maintained in place as users move.
+
+With ``workers > 1`` the select phase fans out across a process pool
+over shared-memory arrays (:mod:`repro.simulation.shard`); results are
+bit-identical at every worker count.
 
 Memory stays bounded: distance chunks are sized by
-:attr:`BatchedSimulationEngine.chunk_elements` (~16 MB of float64 by
-default) and dropped as soon as a chunk's problems are built, so a
-50k-user round never materialises the full user-by-task matrix.
+:attr:`BatchedSimulationEngine.chunk_bytes` (~16 MB per chunk in either
+dtype — the element count adapts to the dtype's width) and dropped as
+soon as a chunk's problems are built, so a city-scale round never
+materialises the full user-by-task matrix.
 """
 
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.geometry.grid_index import IncrementalNeighbourCounter
 from repro.selection import Selection
 from repro.selection.problem import TaskSelectionProblem
 from repro.simulation.engine import SimulationEngine
@@ -50,6 +72,30 @@ from repro.world.user import MobileUser
 #: disagreement can never flip a reachability decision.
 BOUNDARY_TOL = 1e-6
 
+#: Per-chunk byte budget of the distance pipeline.  The chunk *element*
+#: count is derived from this per dtype, so float32 chunks hold twice
+#: the rows in the same footprint instead of silently halving it.
+DEFAULT_CHUNK_BYTES = 16 << 20
+
+#: Safety factor (in float32 ulps of the dominant magnitude) bounding
+#: how far a float32 distance can sit from its float64 value: coordinate
+#: rounding contributes ~2 ulps of the coordinate magnitude, the
+#: diff/square/sum pipeline a few more, and sqrt halves relative error.
+#: 32 ulps covers the worst case with an order of magnitude to spare.
+_F32_GUARD = 32.0 * float(np.finfo(np.float32).eps)
+
+
+def float32_boundary_tol(coordinate_scale: float, budget_scale: float) -> float:
+    """The reachability recheck band for the float32 pipeline (meters).
+
+    Any |d32 - budget| inside this band is re-decided in float64; the
+    band bounds |d32 - d64| + |budget32 - budget64|, so a float32
+    reach decision outside it always agrees with the float64 one.
+    """
+    return BOUNDARY_TOL + _F32_GUARD * (
+        abs(coordinate_scale) + abs(budget_scale)
+    )
+
 
 class BatchedRoundProblems(RoundProblems):
     """Round-problem construction over user chunks instead of users.
@@ -57,8 +103,27 @@ class BatchedRoundProblems(RoundProblems):
     Extends :class:`RoundProblems` with :meth:`iter_problems`: the same
     per-user :class:`TaskSelectionProblem` objects ``problem_for`` would
     build, produced from chunked ``(users, tasks)`` distance matrices.
-    ``problem_for`` itself still works (it is inherited), so paired
-    experiments that freeze a round keep functioning on this class.
+    ``problem_for`` itself still works (it is inherited, with the row
+    mapping applied), so paired experiments that freeze a round keep
+    functioning on this class.
+
+    Args:
+        tasks: the round's published tasks, in engine order.
+        prices: the mechanism's price per task id.
+        stats: optional :class:`PerfStats` (see :class:`RoundProblems`).
+        chunk_elements: elements per distance chunk; ``None`` (default)
+            derives the count from ``chunk_bytes`` and ``dtype``.
+        dtype: the distance pipeline precision — ``np.float64``
+            (bit-identical to the scalar engine) or ``np.float32``
+            (reachability boundary re-decided in float64).
+        chunk_bytes: per-chunk byte budget when ``chunk_elements`` is
+            not given (default ~16 MB regardless of dtype).
+        task_matrix: optional precomputed distance matrix.  May cover a
+            superset of ``tasks`` (e.g. the engine's all-tasks matrix),
+            in which case ``task_rows`` maps each task's position in
+            ``tasks`` to its row in the matrix.
+        task_rows: the row mapping for ``task_matrix`` (identity when
+            omitted).
     """
 
     def __init__(
@@ -66,93 +131,239 @@ class BatchedRoundProblems(RoundProblems):
         tasks: Sequence[SensingTask],
         prices: Dict[int, float],
         stats=None,
-        chunk_elements: int = 2_000_000,
+        chunk_elements: Optional[int] = None,
+        dtype=np.float64,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        task_matrix: Optional[np.ndarray] = None,
+        task_rows: Optional[np.ndarray] = None,
     ):
-        super().__init__(tasks, prices, stats=stats)
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(
+                f"dtype must be float32 or float64, got {dtype}"
+            )
+        self.dtype = dtype
+        if chunk_elements is None:
+            if chunk_bytes < dtype.itemsize:
+                raise ValueError(
+                    f"chunk_bytes must hold at least one {dtype} element, "
+                    f"got {chunk_bytes}"
+                )
+            chunk_elements = chunk_bytes // dtype.itemsize
         if chunk_elements < 1:
             raise ValueError(f"chunk_elements must be >= 1, got {chunk_elements}")
-        self.chunk_elements = chunk_elements
+        self.chunk_elements = int(chunk_elements)
+        self._task_rows = (
+            None if task_rows is None else np.asarray(task_rows, dtype=np.int64)
+        )
+        if self._task_rows is not None and len(self._task_rows) != len(tasks):
+            raise ValueError(
+                f"task_rows must map every task: got {len(self._task_rows)} "
+                f"rows for {len(tasks)} tasks"
+            )
+        super().__init__(tasks, prices, stats=stats, task_matrix=task_matrix)
+        # Task locations in the working dtype (float32 mode casts once;
+        # float64 mode reuses the base array).
+        self._work_locations = (
+            self.locations
+            if dtype == np.float64
+            else self.locations.astype(np.float32)
+        )
+
+    def _build_task_matrix(self) -> np.ndarray:
+        if self.dtype == np.float64:
+            return super()._build_task_matrix()
+        n = len(self.tasks)
+        if not n:
+            return np.empty((0, 0), dtype=self.dtype)
+        locations = self.locations.astype(np.float32)
+        dx = locations[:, 0, None] - locations[None, :, 0]
+        dy = locations[:, 1, None] - locations[None, :, 1]
+        np.multiply(dx, dx, out=dx)
+        np.multiply(dy, dy, out=dy)
+        np.add(dx, dy, out=dx)
+        return np.sqrt(dx, out=dx)
+
+    def _matrix_rows(self, idx: np.ndarray) -> np.ndarray:
+        return idx if self._task_rows is None else self._task_rows[idx]
+
+    def problem_for(self, user: MobileUser) -> TaskSelectionProblem:
+        if self._task_rows is None:
+            return super().problem_for(user)
+        # Re-run the scalar path with the row mapping applied to the
+        # shared matrix slice (same values, superset-matrix layout).
+        origin = user.location
+        max_distance = float(user.max_travel_distance)
+        keep: List[int] = []
+        for index, task in enumerate(self.tasks):
+            if user.user_id in task.contributors:
+                continue
+            if origin.distance_to(task.location) <= max_distance:
+                keep.append(index)
+        if keep:
+            idx = np.asarray(keep, dtype=int)
+            diff = self.locations[idx] - (origin.x, origin.y)
+            origin_row = np.sqrt((diff**2).sum(axis=1))
+            k = len(keep)
+            matrix = np.empty((k + 1, k + 1), dtype=float)
+            matrix[0, 0] = 0.0
+            matrix[0, 1:] = origin_row
+            matrix[1:, 0] = origin_row
+            rows = self._matrix_rows(idx)
+            matrix[1:, 1:] = self.task_matrix[np.ix_(rows, rows)]
+            candidates = tuple(self.candidates[i] for i in keep)
+        else:
+            matrix = np.zeros((1, 1), dtype=float)
+            candidates = ()
+        if self._stats is not None:
+            self._stats.problem_cache_hits += 1
+        return TaskSelectionProblem(
+            origin=origin,
+            candidates=candidates,
+            max_distance=max_distance,
+            cost_per_meter=float(user.cost_per_meter),
+            distance_matrix=matrix,
+        )
 
     def iter_problems(
-        self, users: Sequence[MobileUser]
+        self,
+        users: Sequence[MobileUser],
+        origins: Optional[np.ndarray] = None,
+        budgets: Optional[np.ndarray] = None,
     ) -> Iterator[Tuple[MobileUser, TaskSelectionProblem]]:
-        """Yield ``(user, problem)`` for each user, in the given order."""
+        """Yield ``(user, problem)`` for each user, in the given order.
+
+        Args:
+            users: the users to build problems for.
+            origins: optional ``(len(users), 2)`` float64 positions
+                aligned with ``users`` (the engine's persistent position
+                array); gathered from the user objects when omitted.
+            budgets: optional ``(len(users),)`` float64 travel budgets,
+                same convention.
+        """
         n_tasks = len(self.tasks)
         if n_tasks == 0:
             for user in users:
                 yield user, self._assemble(user, [], None)
             return
+        n_users = len(users)
+        if origins is None:
+            origins = np.asarray(
+                [(u.location.x, u.location.y) for u in users], dtype=float
+            ).reshape(n_users, 2)
+        if budgets is None:
+            budgets = np.asarray(
+                [u.max_travel_distance for u in users], dtype=float
+            )
+        float32 = self.dtype == np.float32
+        if float32:
+            origins_w = origins.astype(np.float32)
+            budgets_w = budgets.astype(np.float32)
+            # The recheck band must cover the float32 representation
+            # error of every quantity feeding a reach decision.
+            coordinate_scale = max(
+                float(np.abs(self._work_locations).max(initial=0.0)),
+                float(np.abs(origins_w).max(initial=0.0)),
+            )
+            budget_scale = float(np.abs(budgets_w).max(initial=0.0))
+            tol = float32_boundary_tol(coordinate_scale, budget_scale)
+        else:
+            origins_w, budgets_w, tol = origins, budgets, BOUNDARY_TOL
         chunk_size = max(1, self.chunk_elements // n_tasks)
         contributors = [task.contributors for task in self.tasks]
-        for start in range(0, len(users), chunk_size):
-            chunk = users[start:start + chunk_size]
-            origins = np.asarray(
-                [(u.location.x, u.location.y) for u in chunk], dtype=float
-            ).reshape(len(chunk), 2)
-            budgets = np.asarray(
-                [u.max_travel_distance for u in chunk], dtype=float
-            )
+        # Contributor exclusion, vectorised: resolve every (contributor,
+        # task) pair to a (user position, column) pair once per round,
+        # then clear those reach bits chunk by chunk — instead of a
+        # set-membership filter per (user, candidate) pair.
+        pair_rows = pair_cols = None
+        if any(contributors):
+            position_of = {u.user_id: i for i, u in enumerate(users)}
+            pairs = [
+                (position, col)
+                for col, contributed in enumerate(contributors)
+                for user_id in contributed
+                if (position := position_of.get(user_id)) is not None
+            ]
+            if pairs:
+                pair_rows = np.asarray([p[0] for p in pairs], dtype=np.int64)
+                pair_cols = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        locations = self._work_locations
+        tasks = self.tasks
+        for start in range(0, n_users, chunk_size):
+            stop = min(start + chunk_size, n_users)
+            chunk = users[start:stop]
+            chunk_origins = origins_w[start:stop]
+            chunk_budgets = budgets_w[start:stop]
             # Same arithmetic as RoundProblems.problem_for — diff,
             # square, one add, sqrt — written per coordinate so no
             # (chunk, tasks, 2) temporary is materialised.  dx*dx+dy*dy
             # is the scalar pipeline's sum over the 2-wide axis (a
             # single correctly-rounded add either way), and (a-b)^2 is
-            # exact under negation, so origin-minus-task equals the
-            # scalar task-minus-origin rows bitwise.
-            dx = origins[:, 0, None] - self.locations[None, :, 0]
-            dy = origins[:, 1, None] - self.locations[None, :, 1]
+            # exact under negation, so float64 origin-minus-task equals
+            # the scalar task-minus-origin rows bitwise.
+            dx = chunk_origins[:, 0, None] - locations[None, :, 0]
+            dy = chunk_origins[:, 1, None] - locations[None, :, 1]
             np.multiply(dx, dx, out=dx)
             np.multiply(dy, dy, out=dy)
             np.add(dx, dy, out=dx)
             distances = np.sqrt(dx, out=dx)
             del dy
-            reach = distances <= budgets[:, None]
-            near = np.abs(distances - budgets[:, None]) <= BOUNDARY_TOL
-            for row in np.nonzero(near.any(axis=1))[0].tolist():
-                origin, budget = chunk[row].location, budgets[row]
-                for col in np.nonzero(near[row])[0].tolist():
+            reach = distances <= chunk_budgets[:, None]
+            # Boundary band = within tol above the budget, or reachable
+            # but not clearly below it.  Two threshold comparisons beat
+            # an abs-difference here: bool temporaries instead of a
+            # full-size float one.
+            near = distances <= (chunk_budgets + tol)[:, None]
+            near &= ~(distances <= (chunk_budgets - tol)[:, None])
+            # Boundary-band decisions re-run the scalar float64
+            # predicate, one pair at a time (rare at any realistic
+            # geometry — the band is micrometers wide in float64 and
+            # sub-meter in float32).
+            nrows, ncols = np.nonzero(near)
+            if len(nrows):
+                for row, col in zip(nrows.tolist(), ncols.tolist()):
                     reach[row, col] = (
-                        origin.distance_to(self.tasks[col].location) <= budget
+                        chunk[row].location.distance_to(tasks[col].location)
+                        <= budgets[start + row]
                     )
+            if pair_rows is not None:
+                in_chunk = (pair_rows >= start) & (pair_rows < stop)
+                if in_chunk.any():
+                    reach[pair_rows[in_chunk] - start, pair_cols[in_chunk]] = False
             # One nonzero over the whole chunk instead of one per user;
             # rows come out ascending, columns ascending within a row —
             # the same candidate order problem_for produces.
             rows, cols = np.nonzero(reach)
             bounds = np.searchsorted(rows, np.arange(len(chunk) + 1))
-            any_contributors = any(contributors)
             for row, user in enumerate(chunk):
-                span = cols[bounds[row]:bounds[row + 1]].tolist()
-                if any_contributors:
-                    user_id = user.user_id
-                    keep = [c for c in span if user_id not in contributors[c]]
-                else:
-                    keep = span
+                keep = cols[bounds[row]:bounds[row + 1]]
                 yield user, self._assemble(user, keep, distances[row])
 
     def _assemble(
         self,
         user: MobileUser,
-        keep: List[int],
+        keep: Sequence[int],
         distance_row,
     ) -> TaskSelectionProblem:
         """Build one user's problem from precomputed distances.
 
         Mirrors the tail of :meth:`RoundProblems.problem_for` exactly;
         the origin row is sliced from the chunk matrix instead of being
-        recomputed (same pipeline, bit-identical values).
+        recomputed (same pipeline; bit-identical values in float64).
         """
-        if keep:
+        k = len(keep)
+        if k:
             idx = np.asarray(keep, dtype=int)
             origin_row = distance_row[idx]
-            k = len(keep)
-            matrix = np.empty((k + 1, k + 1), dtype=float)
+            matrix = np.empty((k + 1, k + 1), dtype=self.dtype)
             matrix[0, 0] = 0.0
             matrix[0, 1:] = origin_row
             matrix[1:, 0] = origin_row
-            matrix[1:, 1:] = self.task_matrix[idx[:, None], idx]
+            rows = self._matrix_rows(idx)
+            matrix[1:, 1:] = self.task_matrix[rows[:, None], rows]
             candidates = tuple(self.candidates[i] for i in keep)
         else:
-            matrix = np.zeros((1, 1), dtype=float)
+            matrix = np.zeros((1, 1), dtype=self.dtype)
             candidates = ()
         if self._stats is not None:
             self._stats.problem_cache_hits += 1
@@ -171,29 +382,181 @@ class BatchedSimulationEngine(SimulationEngine):
     Differences from :class:`SimulationEngine` — none of them visible in
     the produced history:
 
-    - problems come from :class:`BatchedRoundProblems` chunks,
+    - problems come from :class:`BatchedRoundProblems` chunks, sliced
+      from a cross-round all-tasks distance matrix,
     - users with zero candidates skip the selector call entirely,
     - mechanisms exposing a ``batched`` flag price rounds through their
-      vectorised Eq. 2–7 path (grid-index neighbour counts included).
+      vectorised Eq. 2–7 path, fed by an incremental neighbour counter
+      (mechanisms exposing a ``neighbour_counter`` hook) instead of a
+      per-round grid rebuild,
+    - with ``workers > 1``, the select phase fans out across a process
+      pool over shared-memory arrays (see :mod:`repro.simulation.shard`);
+      per-user selections are merged back in world order, so the history
+      is identical at every worker count.
+
+    Args:
+        workers: select-phase worker processes (``None``/``0``/``1`` =
+            in-process).  Workers are an execution knob, not a config
+            field: they never change results, so they stay out of run
+            fingerprints.
     """
 
-    #: float64 elements per distance chunk (~16 MB at the default).
-    chunk_elements = 2_000_000
+    #: Per-chunk byte budget for the distance pipeline (the element
+    #: count adapts to the configured dtype).
+    chunk_bytes = DEFAULT_CHUNK_BYTES
 
-    def __init__(self, *args, **kwargs):
+    #: Explicit element override; ``None`` derives from ``chunk_bytes``.
+    chunk_elements: Optional[int] = None
+
+    def __init__(self, *args, workers: Optional[int] = None, **kwargs):
         super().__init__(*args, **kwargs)
         if hasattr(self.mechanism, "batched"):
             self.mechanism.batched = True
+        self._dtype = np.dtype(
+            np.float32 if self.config.distance_dtype == "float32" else np.float64
+        )
+        users = self.world.users
+        self._user_rows = {u.user_id: i for i, u in enumerate(users)}
+        self._positions = np.asarray(
+            [(u.location.x, u.location.y) for u in users], dtype=float
+        ).reshape(len(users), 2)
+        self._budgets = np.asarray(
+            [u.max_travel_distance for u in users], dtype=float
+        )
+        self._full_task_matrix: Optional[np.ndarray] = None
+        self._task_row_of: Dict[int, int] = {
+            t.task_id: i for i, t in enumerate(self.world.tasks)
+        }
+        self._neighbour_counter = self._build_neighbour_counter()
+        self._workers = int(workers) if workers else 1
+        self._shard_fallbacks = 0
+        self._shards = None
+        if self._workers > 1:
+            from repro.simulation.shard import ShardedSelectionPool
+
+            self._shards = ShardedSelectionPool(self, self._workers)
+
+    def close(self) -> None:
+        """Release the worker pool and its shared memory (if any)."""
+        if self._shards is not None:
+            self._shards.close()
+            self._shards = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _drain_selector_fallbacks(self) -> int:
+        # Watchdog degradations that happened inside shard workers are
+        # reported back with each shard and accumulated here.
+        count = super()._drain_selector_fallbacks() + self._shard_fallbacks
+        self._shard_fallbacks = 0
+        return count
+
+    # -- incremental neighbour counts -----------------------------------
+
+    def _build_neighbour_counter(self) -> Optional[IncrementalNeighbourCounter]:
+        """An Eq. 5 counter primed with every task the world will publish.
+
+        Only mechanisms exposing a ``neighbour_counter`` hook get one;
+        priming everything up front means later task releases (Poisson /
+        burst arrivals) never trigger a full population rescan.
+        """
+        radius = getattr(self.mechanism, "neighbour_radius", None)
+        if not radius or not hasattr(self.mechanism, "neighbour_counter"):
+            return None
+        counter = IncrementalNeighbourCounter(
+            [u.location for u in self.world.users], radius=float(radius)
+        )
+        counter.prime([t.location for t in self.world.tasks])
+        self.mechanism.neighbour_counter = counter
+        return counter
+
+    def _round_user_locations(self):
+        # With an incremental counter injected, the mechanism never
+        # reads per-round user locations — skip building the O(users)
+        # list every round.
+        if self._neighbour_counter is not None:
+            return ()
+        return super()._round_user_locations()
+
+    def _apply_moves(self, arrival, selections, tasks_by_id) -> None:
+        """The scalar move pass, plus position-array and counter upkeep.
+
+        Mobility policies return the *same object* when a user does not
+        move (stationary users sit on their home point; path followers
+        with no path keep their location), so an identity check finds
+        the movers without a coordinate comparison.  A returned new
+        object with equal coordinates is treated as a move — harmless:
+        its counter delta is exactly zero.
+        """
+        counter = self._neighbour_counter
+        positions = self._positions
+        user_rows = self._user_rows
+        moved_rows: List[int] = []
+        moved_old: List = []
+        moved_new: List = []
+        for idx in arrival:
+            user, selection = selections[idx]
+            old = user.location
+            self._move_user(user, selection, tasks_by_id)
+            new = user.location
+            if new is old:
+                continue
+            row = user_rows[user.user_id]
+            positions[row, 0] = new.x
+            positions[row, 1] = new.y
+            if counter is not None:
+                moved_rows.append(row)
+                moved_old.append(old)
+                moved_new.append(new)
+        if counter is not None and moved_rows:
+            counter.apply_moves(moved_rows, moved_old, moved_new)
+
+    # -- problem construction -------------------------------------------
+
+    def _task_geometry(self) -> np.ndarray:
+        """The all-tasks distance matrix, built once per run.
+
+        Task locations never change, so every round's active-set matrix
+        is a row/column slice of this one (each entry depends only on
+        its two endpoints — slices are bit-identical to a fresh build).
+        """
+        if self._full_task_matrix is None:
+            all_tasks = self.world.tasks
+            shim = BatchedRoundProblems(
+                [], {}, dtype=self._dtype, chunk_elements=1
+            )
+            shim.tasks = list(all_tasks)
+            shim.locations = np.asarray(
+                [(t.location.x, t.location.y) for t in all_tasks], dtype=float
+            ).reshape(len(all_tasks), 2)
+            self._full_task_matrix = shim._build_task_matrix()
+        return self._full_task_matrix
 
     def _round_problems(self, active, prices) -> BatchedRoundProblems:
         cached = self._problems_cache
         if cached is not None and cached[0] == self._next_round:
             return cached[1]
+        task_rows = np.asarray(
+            [self._task_row_of[t.task_id] for t in active], dtype=np.int64
+        )
         problems = BatchedRoundProblems(
-            active, prices, stats=self._perf, chunk_elements=self.chunk_elements
+            active,
+            prices,
+            stats=self._perf,
+            chunk_elements=self.chunk_elements,
+            dtype=self._dtype,
+            chunk_bytes=self.chunk_bytes,
+            task_matrix=self._task_geometry(),
+            task_rows=task_rows,
         )
         self._problems_cache = (self._next_round, problems)
         return problems
+
+    # -- the select phase -----------------------------------------------
 
     def _collect_selections(
         self,
@@ -201,13 +564,29 @@ class BatchedSimulationEngine(SimulationEngine):
         prices: Dict[int, float],
         available: set,
     ) -> List[Tuple[MobileUser, Selection]]:
+        if self._shards is not None:
+            return self._shards.collect(active, prices, available)
         tracer = self.tracer
         problems = self._round_problems(active, prices)
         latency = self._metrics.histogram("selector_seconds")
-        participants = [u for u in self.world.users if u.user_id in available]
+        users = self.world.users
+        if len(available) == len(users):
+            participants = users
+            rows = None
+        else:
+            rows = np.asarray(
+                [i for i, u in enumerate(users) if u.user_id in available],
+                dtype=np.int64,
+            )
+            participants = [users[i] for i in rows.tolist()]
+        origins = self._positions if rows is None else self._positions[rows]
+        budgets = self._budgets if rows is None else self._budgets[rows]
+        full = len(participants) == len(users)
+        selections: List[Tuple[MobileUser, Selection]] = []
         by_id: Dict[int, Selection] = {}
+        empty = Selection.empty()
         for count, (user, problem) in enumerate(
-            problems.iter_problems(participants)
+            problems.iter_problems(participants, origins=origins, budgets=budgets)
         ):
             # Same cancellation contract as the scalar loop: poll at a
             # bounded stride so a 50k-user round stops within a grace
@@ -217,9 +596,8 @@ class BatchedSimulationEngine(SimulationEngine):
             if problem.size == 0:
                 # Selectors answer empty problems with the empty
                 # selection (solver contract); skip the call.
-                by_id[user.user_id] = Selection.empty()
-                continue
-            if tracer.enabled:
+                selection = empty
+            elif tracer.enabled:
                 with tracer.span(
                     "select-user", cat="selector",
                     user=user.user_id, tasks=problem.size,
@@ -227,15 +605,23 @@ class BatchedSimulationEngine(SimulationEngine):
                     started = perf_counter()
                     selection = self.selector.select(problem)
                     elapsed = perf_counter() - started
+                self._perf.selector_wall_time += elapsed
+                self._perf.selector_calls += 1
+                latency.observe(elapsed)
             else:
                 started = perf_counter()
                 selection = self.selector.select(problem)
                 elapsed = perf_counter() - started
-            self._perf.selector_wall_time += elapsed
-            self._perf.selector_calls += 1
-            latency.observe(elapsed)
-            by_id[user.user_id] = selection
+                self._perf.selector_wall_time += elapsed
+                self._perf.selector_calls += 1
+                latency.observe(elapsed)
+            if full:
+                selections.append((user, selection))
+            else:
+                by_id[user.user_id] = selection
+        if full:
+            return selections
         return [
-            (user, by_id.get(user.user_id, Selection.empty()))
-            for user in self.world.users
+            (user, by_id.get(user.user_id, empty))
+            for user in users
         ]

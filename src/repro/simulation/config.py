@@ -53,6 +53,12 @@ class SimulationConfig:
         engine: simulation engine variant — "scalar" (the reference
             per-user loop) or "batched" (vectorized demand/pricing and
             batched mobility for large worlds; bit-identical results).
+        distance_dtype: precision of the batched engine's chunked
+            distance pipeline — "float64" (default, bit-identical to the
+            scalar engine) or "float32" (half the memory traffic at
+            city scale; reachability decisions within the float32 error
+            band are re-decided in float64 so candidate sets never flip
+            on precision).  "float32" requires ``engine="batched"``.
         arrival: task arrival stream — "static" (all releases drawn from
             ``release_range``, the paper's setup), "poisson" (release
             rounds from a truncated Poisson process across the horizon)
@@ -105,6 +111,7 @@ class SimulationConfig:
     mobility: str = "follow-path"
     layout: str = "uniform"
     engine: str = "scalar"
+    distance_dtype: str = "float64"
     arrival: str = "static"
     arrival_kwargs: Dict[str, Any] = field(default_factory=dict)
     population: Tuple[Dict[str, Any], ...] = ()
@@ -177,6 +184,17 @@ class SimulationConfig:
         if self.engine not in ("scalar", "batched"):
             raise ConfigError(
                 f"engine must be 'scalar' or 'batched', got {self.engine!r}"
+            )
+        if self.distance_dtype not in ("float64", "float32"):
+            raise ConfigError(
+                f"distance_dtype must be 'float64' or 'float32', "
+                f"got {self.distance_dtype!r}"
+            )
+        if self.distance_dtype == "float32" and self.engine != "batched":
+            raise ConfigError(
+                "distance_dtype='float32' requires engine='batched' (the "
+                "scalar reference engine always computes in float64; a "
+                "silently ignored dtype would make runs incomparable)"
             )
         if self.arrival not in ("static", "poisson", "burst"):
             raise ConfigError(

@@ -223,11 +223,20 @@ class SimulationEngine:
         view = RoundView(
             round_no=self._next_round,
             active_tasks=self.published_tasks(),
-            user_locations=[u.location for u in self.world.users],
+            user_locations=self._round_user_locations(),
         )
         prices = self.mechanism.rewards(view)
         self._price_cache = (self._next_round, dict(prices))
         return prices
+
+    def _round_user_locations(self) -> Sequence:
+        """User locations for the mechanism's round view.
+
+        A hook so the batched engine can skip building the O(users)
+        list when an incremental neighbour counter already answers the
+        mechanism's Eq. 5 queries.
+        """
+        return [u.location for u in self.world.users]
 
     def build_problems(
         self, prices: Optional[Dict[int, float]] = None
@@ -636,6 +645,14 @@ def make_engine(config: SimulationConfig, **engine_kwargs) -> SimulationEngine:
         from repro.simulation.batch import BatchedSimulationEngine
 
         return BatchedSimulationEngine(config, **engine_kwargs)
+    if engine_kwargs.get("workers", None) not in (None, 0, 1):
+        from repro.resilience.errors import ConfigError
+
+        raise ConfigError(
+            f"workers={engine_kwargs['workers']} requires engine='batched' "
+            f"(the scalar reference engine has no sharded select phase)"
+        )
+    engine_kwargs.pop("workers", None)
     return SimulationEngine(config, **engine_kwargs)
 
 

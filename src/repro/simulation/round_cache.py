@@ -52,6 +52,7 @@ class RoundProblems:
         tasks: Sequence[SensingTask],
         prices: Dict[int, float],
         stats: "PerfStats" = None,
+        task_matrix: np.ndarray = None,
     ):
         self.tasks: List[SensingTask] = list(tasks)
         self._stats = stats
@@ -62,20 +63,18 @@ class RoundProblems:
         self.rewards = np.asarray(
             [prices[t.task_id] for t in self.tasks], dtype=float
         )
-        # Same arithmetic as geometry.distances.pairwise_distances —
-        # diff, square, one add, sqrt — written per coordinate and in
-        # place so no (n, n, 2) temporary is materialised.  The sum over
-        # the 2-wide axis is a single correctly-rounded add either way,
-        # so the entries are bit-identical to the stacked pipeline.
-        if n:
-            dx = self.locations[:, 0, None] - self.locations[None, :, 0]
-            dy = self.locations[:, 1, None] - self.locations[None, :, 1]
-            np.multiply(dx, dx, out=dx)
-            np.multiply(dy, dy, out=dy)
-            np.add(dx, dy, out=dx)
-            self.task_matrix = np.sqrt(dx, out=dx)
+        if task_matrix is not None:
+            # A caller-precomputed matrix (the batched engine caches the
+            # all-tasks matrix across rounds; every entry depends only
+            # on its two endpoints, so slices of it are bit-identical to
+            # a fresh active-set build).
+            if task_matrix.ndim != 2 or task_matrix.shape[0] != task_matrix.shape[1]:
+                raise ValueError(
+                    f"task_matrix must be square, got shape {task_matrix.shape}"
+                )
+            self.task_matrix = task_matrix
         else:
-            self.task_matrix = np.empty((0, 0), dtype=float)
+            self.task_matrix = self._build_task_matrix()
         self.candidates = tuple(
             CandidateTask(
                 task_id=task.task_id,
@@ -86,6 +85,25 @@ class RoundProblems:
         )
         if stats is not None:
             stats.problem_cache_misses += 1
+
+    def _build_task_matrix(self) -> np.ndarray:
+        """The ``(n, n)`` task-to-task distance matrix.
+
+        Same arithmetic as ``geometry.distances.pairwise_distances`` —
+        diff, square, one add, sqrt — written per coordinate and in
+        place so no ``(n, n, 2)`` temporary is materialised.  The sum
+        over the 2-wide axis is a single correctly-rounded add either
+        way, so the entries are bit-identical to the stacked pipeline.
+        """
+        n = len(self.tasks)
+        if not n:
+            return np.empty((0, 0), dtype=float)
+        dx = self.locations[:, 0, None] - self.locations[None, :, 0]
+        dy = self.locations[:, 1, None] - self.locations[None, :, 1]
+        np.multiply(dx, dx, out=dx)
+        np.multiply(dy, dy, out=dy)
+        np.add(dx, dy, out=dx)
+        return np.sqrt(dx, out=dx)
 
     def problem_for(self, user: MobileUser) -> TaskSelectionProblem:
         """The user's Eq. 1 instance, assembled from the shared state.

@@ -71,13 +71,18 @@ class SensingTask:
                 f"release_round must be in [1, deadline={self.deadline}], "
                 f"got {self.release_round}"
             )
+        # Cached measurement total: `received` sits on the engine's
+        # per-upload hot path (can_accept/remaining), where re-summing
+        # the per-round dict is O(rounds) per read.  The count only
+        # changes through record_measurement, which maintains it.
+        self._received = sum(self.measurements_by_round.values())
 
     # -- derived quantities -------------------------------------------
 
     @property
     def received(self) -> int:
         """Total measurements received so far (:math:`\\pi_i`)."""
-        return sum(self.measurements_by_round.values())
+        return self._received
 
     @property
     def progress(self) -> float:
@@ -142,6 +147,7 @@ class SensingTask:
         self.measurements_by_round[round_no] = (
             self.measurements_by_round.get(round_no, 0) + 1
         )
+        self._received += 1
         if self.remaining == 0:
             self.status = TaskStatus.COMPLETED
             self.completed_round = round_no

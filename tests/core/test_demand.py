@@ -11,6 +11,7 @@ from repro.core.demand import (
     deadline_factor,
     progress_factor,
     scarcity_factor,
+    scarcity_factors,
 )
 
 LN2 = math.log(2.0)
@@ -95,6 +96,33 @@ class TestScarcityFactor:
             scarcity_factor(-1, 10)
         with pytest.raises(ValueError, match="max_neighbours"):
             scarcity_factor(5, 3)
+
+
+class TestScarcityFactors:
+    def test_matches_scalar_elementwise(self):
+        counts = list(range(11))
+        vectorized = scarcity_factors(counts, 10)
+        for n, value in zip(counts, vectorized):
+            # Bit-identical, not approx: both paths share _log_unique.
+            assert float(value) == scarcity_factor(n, 10)
+
+    def test_scale_matches_scalar(self):
+        vectorized = scarcity_factors([0, 3, 7], 7, scale=2.5)
+        for n, value in zip([0, 3, 7], vectorized):
+            assert float(value) == scarcity_factor(n, 7, scale=2.5)
+
+    def test_empty_input(self):
+        assert scarcity_factors([], 10).shape == (0,)
+
+    def test_everyone_starved_is_maximal(self):
+        values = scarcity_factors([0, 0, 0], 0)
+        assert values == pytest.approx([LN2, LN2, LN2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="neighbours"):
+            scarcity_factors([2, -1], 10)
+        with pytest.raises(ValueError, match="max_neighbours"):
+            scarcity_factors([5], 3)
 
 
 class TestDemandWeights:

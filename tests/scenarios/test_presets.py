@@ -97,3 +97,20 @@ class TestCityPresets:
         config = PRESETS["city-2k"].to_config()
         assert config.n_users == 2_000
         assert config.engine == "batched"
+
+    def test_city_presets_use_float32_distances(self):
+        for name in ("city-2k", "city-50k", "city-1m"):
+            assert PRESETS[name].to_config().distance_dtype == "float32"
+        # The paper-fidelity presets stay in float64.
+        assert PRESETS["paper-2018"].to_config().distance_dtype == "float64"
+
+    def test_city_1m_is_million_scale(self):
+        config = PRESETS["city-1m"].to_config()
+        assert config.n_users == 1_000_000
+        assert config.n_tasks == 5_000
+        assert config.engine == "batched"
+        assert config.stream_rounds is True
+        assert config.distance_dtype == "float32"
+        # Eq. 9 feasibility at full scale: r0 > 0.
+        per_measurement = config.budget / config.total_required_measurements
+        assert per_measurement > config.reward_step * (config.level_count - 1)

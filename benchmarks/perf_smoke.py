@@ -254,14 +254,90 @@ def run_scenario(scenario, seed=None, workers=None):
     return entry
 
 
+def run_dynamics(scenario="task-stream-2k", seed=None, scale="full", workers=None):
+    """Churn-on vs churn-off throughput of one open-world preset.
+
+    Runs the named preset twice through the batched engine — once as
+    configured (dynamics on) and once with an emptied dynamics block
+    (the closed-world control) — and reports both throughputs plus
+    ``dynamics_overhead``, the *per-round* wall-time ratio
+    (mean churn-round seconds / mean closed-round seconds).  The two
+    runs can play very different round counts (the closed control stops
+    once its seed tasks settle; the churn run keeps going while the
+    stream owes tasks), so raw wall times are not comparable — the
+    per-round ratio is.  Gating on it catches the open-world
+    bookkeeping (array rebuilds, counter re-priming, shard refresh)
+    getting slower without conflating it with general engine drift.
+    """
+    from repro.obs.profiler import ResourceProfiler
+    from repro.scenarios import get_preset
+    from repro.simulation import make_engine
+
+    overrides = {} if seed is None else {"seed": seed}
+    if scale == "tiny":
+        overrides.update(n_users=400, rounds=5)
+    config = get_preset(scenario).to_config(**overrides)
+    if not config.dynamics:
+        raise SystemExit(
+            f"--bench dynamics needs an open-world scenario; "
+            f"{scenario!r} has an empty dynamics block"
+        )
+    profiler = ResourceProfiler(interval=0.05).start()
+    try:
+        timings, results = {}, {}
+        for label, cfg in (
+            ("churn", config),
+            ("baseline", config.with_overrides(dynamics={})),
+        ):
+            kwargs = {} if not workers or workers <= 1 else {"workers": workers}
+            engine = make_engine(cfg, **kwargs)
+            started = time.perf_counter()
+            results[label] = engine.run()
+            timings[label] = time.perf_counter() - started
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+    finally:
+        profiler.stop()
+    entry = {
+        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "bench": "dynamics",
+        "scenario": scenario,
+        "n_users": config.n_users,
+        "n_tasks": config.n_tasks,
+        "rounds": config.rounds,
+        "seed": config.seed,
+        "churn_rounds_per_second": (
+            results["churn"].rounds_played / timings["churn"]
+        ),
+        "baseline_rounds_per_second": (
+            results["baseline"].rounds_played / timings["baseline"]
+        ),
+        "dynamics_overhead": (
+            (timings["churn"] / max(1, results["churn"].rounds_played))
+            / (timings["baseline"] / max(1, results["baseline"].rounds_played))
+        ),
+        "peak_rss_mb": _peak_rss_mb(profiler),
+        "total_measurements": results["churn"].total_measurements,
+    }
+    if workers and workers > 1:
+        entry["shard_workers"] = workers
+    return entry
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--bench", choices=("selector", "engine", "scenario"),
+    parser.add_argument("--bench",
+                        choices=("selector", "engine", "scenario", "dynamics"),
                         default="selector",
                         help="selector = DP microbench (default); "
                              "engine = scalar vs batched round throughput; "
                              "scenario = one named preset end to end "
-                             "(wall/rounds-per-second/peak-RSS)")
+                             "(wall/rounds-per-second/peak-RSS); "
+                             "dynamics = churn-on vs churn-off throughput "
+                             "of an open-world preset")
     parser.add_argument("--scale", choices=("full", "tiny"), default="full",
                         help="tiny = a seconds-long CI smoke run")
     parser.add_argument("--scenario", default="city-2k", metavar="NAME",
@@ -287,6 +363,14 @@ def main(argv=None):
     elif args.bench == "scenario":
         entry = run_scenario(
             args.scenario, seed=args.seed, workers=args.engine_workers
+        )
+    elif args.bench == "dynamics":
+        scenario = (
+            args.scenario if args.scenario != "city-2k" else "task-stream-2k"
+        )
+        entry = run_dynamics(
+            scenario, seed=args.seed, scale=args.scale,
+            workers=args.engine_workers,
         )
     elif args.scale == "tiny":
         entry = run(n_tasks=12, instances=5, repeats=2, seed=args.seed)
@@ -358,6 +442,21 @@ def main(argv=None):
             f"[{entry['distance_dtype']}] in {entry['wall_seconds']:.1f}s "
             f"({entry['rounds_per_second']:.2f} rounds/s, "
             f"peak RSS {entry['peak_rss_mb']:.0f} MiB, "
+            f"{entry['total_measurements']} measurements)"
+        )
+    elif args.bench == "dynamics":
+        speedup = None
+        workers_note = (
+            f" ({entry['shard_workers']} workers)"
+            if "shard_workers" in entry
+            else ""
+        )
+        print(
+            f"{entry['scenario']}{workers_note}: "
+            f"churn {entry['churn_rounds_per_second']:.2f} rounds/s vs "
+            f"closed {entry['baseline_rounds_per_second']:.2f} rounds/s "
+            f"-> per-round overhead {entry['dynamics_overhead']:.2f}x "
+            f"(peak RSS {entry['peak_rss_mb']:.0f} MiB, "
             f"{entry['total_measurements']} measurements)"
         )
     else:

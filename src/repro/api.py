@@ -31,6 +31,7 @@ from repro.core.demand import DemandCalculator, DemandWeights, TaskDemandInputs
 from repro.core.levels import DemandLevels
 from repro.core.mechanisms import MECHANISMS, IncentiveMechanism
 from repro.core.rewards import RewardSchedule
+from repro.dynamics import DynamicsSpec, WorldEvent
 from repro.experiments.registry import experiment_ids, run_experiment
 from repro.geometry import Point, RectRegion
 from repro.io.ascii_chart import render_chart
@@ -189,6 +190,9 @@ __all__ = [
     "Selection",
     "Selector",
     "TaskSelectionProblem",
+    # open-world dynamics
+    "DynamicsSpec",
+    "WorldEvent",
     # world
     "MobileUser",
     "Point",

@@ -702,11 +702,13 @@ def _command_scenarios(args: argparse.Namespace) -> int:
         config = spec.to_config()
         rows.append([
             spec.name, config.n_users, config.n_tasks, config.rounds,
-            config.engine, config.arrival, spec.description,
+            config.engine, config.arrival,
+            "open" if config.dynamics else "closed",
+            spec.description,
         ])
     print(render_table(
         ["scenario", "users", "tasks", "rounds", "engine", "arrival",
-         "description"],
+         "world", "description"],
         rows,
     ))
     if args.verbose_config:

@@ -20,6 +20,7 @@ from repro.core.mechanisms.fixed import FixedMechanism
 from repro.core.mechanisms.on_demand import OnDemandMechanism
 from repro.core.mechanisms.proportional import ProportionalDemandMechanism
 from repro.core.mechanisms.steered import SteeredMechanism
+from repro.dynamics.online import IncentMeMechanism, OMGOnlineMechanism
 from repro.registry import Registry
 
 #: The incentive-mechanism registry (the blessed construction surface).
@@ -30,6 +31,8 @@ for _cls in (
     SteeredMechanism,
     ProportionalDemandMechanism,
     AdaptiveBudgetMechanism,
+    OMGOnlineMechanism,
+    IncentMeMechanism,
 ):
     MECHANISMS.register(_cls)
 

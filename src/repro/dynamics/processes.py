@@ -1,0 +1,357 @@
+"""Seeded open-world processes, pre-generated as an event stream.
+
+Dynamic runs must be as reproducible as closed ones, so nothing here
+happens "live": all churn and task-publication randomness is drawn once,
+up front, from the dedicated ``dynamics`` stream, and frozen into an
+:class:`EventStream` the engine replays between rounds.  Runtime state
+(which tasks complete, who contributes) can never perturb the draws,
+which is what makes a churn run bit-identical across engines, worker
+counts, and resume boundaries.
+
+The processes, in the fixed per-round draw order (do not reorder —
+order is part of the reproducibility contract):
+
+1. **User departures** — each alive user leaves before round ``r`` with
+   probability ``user_departure_rate`` (one uniform per alive user).
+2. **User arrivals** — ``Poisson(user_arrival_rate)`` new users join,
+   placed by the region's uniform sampler, with the generator's
+   heterogeneity idiom (three uniform factors per arrival iff
+   ``heterogeneity > 0``).
+3. **Task publications** — ``Poisson(task_arrival_rate)`` new tasks are
+   published with uniform locations and durations from
+   ``task_deadline_range`` (deadline = round - 1 + duration).
+
+After the per-round passes, renewal lotteries are pre-drawn per task id
+(``max_deadline_renewals`` (uniform, duration) pairs each, consumed
+lazily by :meth:`~repro.dynamics.stream.WorldTimeline.try_renew` only
+when a task actually reaches its deadline unmet).
+
+A spec whose every rate is zero draws nothing at all, mirroring the
+closed-world precedent (``heterogeneity=0`` / ``release_range=(1,1)``
+consume no randomness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.region import RectRegion
+from repro.resilience.errors import ConfigError
+
+#: The event kinds a timeline can emit, in lifecycle order.
+EVENT_KINDS = (
+    "user_arrived",
+    "user_departed",
+    "task_published",
+    "task_expired",
+    "deadline_renewed",
+)
+
+
+@dataclass(frozen=True)
+class WorldEvent:
+    """One open-world transition, attributable to a round.
+
+    Args:
+        kind: one of :data:`EVENT_KINDS`.
+        round_no: the 1-based round the event takes effect in (arrival/
+            departure/publication events apply *before* the round plays;
+            expiry/renewal events happen at its end).
+        subject_id: the user or task id the event concerns.
+        payload: extra data as a sorted tuple of (key, value) pairs —
+            kept hashable so events compare and serialise stably.
+    """
+
+    kind: str
+    round_no: int
+    subject_id: int
+    payload: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {self.kind!r}; valid: {EVENT_KINDS}"
+            )
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.payload:
+            if k == key:
+                return v
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The JSONL shape (see :mod:`repro.io.events`)."""
+        return {
+            "kind": self.kind,
+            "round_no": self.round_no,
+            "subject_id": self.subject_id,
+            **({"payload": dict(self.payload)} if self.payload else {}),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorldEvent":
+        payload = data.get("payload", {})
+        return cls(
+            kind=data["kind"],
+            round_no=int(data["round_no"]),
+            subject_id=int(data["subject_id"]),
+            payload=tuple(sorted((str(k), v) for k, v in payload.items())),
+        )
+
+
+#: The keys a ``dynamics`` config mapping may contain.
+_SPEC_KEYS = (
+    "user_arrival_rate",
+    "user_departure_rate",
+    "task_arrival_rate",
+    "task_deadline_range",
+    "deadline_renewal_prob",
+    "max_deadline_renewals",
+)
+
+
+@dataclass(frozen=True)
+class DynamicsSpec:
+    """The validated shape of a config's ``dynamics`` mapping.
+
+    Args:
+        user_arrival_rate: mean new users per round (Poisson; 0 = none).
+        user_departure_rate: per-user per-round departure probability in
+            [0, 1) (1 would empty the crowd before round 2).
+        task_arrival_rate: mean new tasks per round (Poisson; 0 = none).
+        task_deadline_range: inclusive duration range (rounds) for
+            streamed tasks and renewal extensions; ``None`` falls back
+            to the config's ``deadline_range``.
+        deadline_renewal_prob: probability an unmet task's deadline is
+            renewed instead of expiring, in [0, 1].
+        max_deadline_renewals: renewal lotteries pre-drawn per task.
+    """
+
+    user_arrival_rate: float = 0.0
+    user_departure_rate: float = 0.0
+    task_arrival_rate: float = 0.0
+    task_deadline_range: Optional[Tuple[int, int]] = None
+    deadline_renewal_prob: float = 0.0
+    max_deadline_renewals: int = 1
+
+    def __post_init__(self) -> None:
+        if self.user_arrival_rate < 0:
+            raise ConfigError(
+                f"dynamics.user_arrival_rate must be >= 0, "
+                f"got {self.user_arrival_rate}"
+            )
+        if not 0.0 <= self.user_departure_rate < 1.0:
+            raise ConfigError(
+                f"dynamics.user_departure_rate must be in [0, 1), got "
+                f"{self.user_departure_rate} (1 would empty the crowd "
+                f"before round 2)"
+            )
+        if self.task_arrival_rate < 0:
+            raise ConfigError(
+                f"dynamics.task_arrival_rate must be >= 0, "
+                f"got {self.task_arrival_rate}"
+            )
+        if self.task_deadline_range is not None:
+            low, high = self.task_deadline_range
+            if low < 1 or high < low:
+                raise ConfigError(
+                    f"bad dynamics.task_deadline_range "
+                    f"{self.task_deadline_range}: need 1 <= low <= high"
+                )
+        if not 0.0 <= self.deadline_renewal_prob <= 1.0:
+            raise ConfigError(
+                f"dynamics.deadline_renewal_prob must be in [0, 1], "
+                f"got {self.deadline_renewal_prob}"
+            )
+        if self.max_deadline_renewals < 0:
+            raise ConfigError(
+                f"dynamics.max_deadline_renewals must be >= 0, "
+                f"got {self.max_deadline_renewals}"
+            )
+
+    @property
+    def empty(self) -> bool:
+        """Whether this spec can never produce an event."""
+        return (
+            self.user_arrival_rate == 0
+            and self.user_departure_rate == 0
+            and self.task_arrival_rate == 0
+            and self.deadline_renewal_prob == 0
+        )
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "DynamicsSpec":
+        """Build from a config/TOML-shaped mapping.
+
+        Raises:
+            ConfigError: for unknown keys or out-of-range values (each
+                named, with the accepted range).
+        """
+        unknown = sorted(set(mapping) - set(_SPEC_KEYS))
+        if unknown:
+            raise ConfigError(
+                f"unknown dynamics key(s) {', '.join(map(repr, unknown))}; "
+                f"valid keys: {', '.join(_SPEC_KEYS)}"
+            )
+        kwargs: Dict[str, Any] = dict(mapping)
+        if kwargs.get("task_deadline_range") is not None:
+            value = kwargs["task_deadline_range"]
+            if not isinstance(value, (list, tuple)) or len(value) != 2:
+                raise ConfigError(
+                    f"dynamics.task_deadline_range must be a [low, high] "
+                    f"pair, got {value!r}"
+                )
+            kwargs["task_deadline_range"] = (int(value[0]), int(value[1]))
+        if "max_deadline_renewals" in kwargs:
+            kwargs["max_deadline_renewals"] = int(kwargs["max_deadline_renewals"])
+        return cls(**kwargs)
+
+    def as_mapping(self) -> Dict[str, Any]:
+        """The lossless data shape (tuples as lists, defaults dropped)."""
+        out: Dict[str, Any] = {}
+        default = DynamicsSpec()
+        for key in _SPEC_KEYS:
+            value = getattr(self, key)
+            if value != getattr(default, key):
+                out[key] = list(value) if isinstance(value, tuple) else value
+        return out
+
+
+@dataclass(frozen=True)
+class EventStream:
+    """A run's pre-generated open-world history.
+
+    Args:
+        events: every arrival/departure/publication event, sorted by
+            round (then generation order within a round).
+        renewals: per task id, the pre-drawn (uniform draw, duration)
+            renewal lotteries, in consumption order.
+        last_task_round: the latest round any task is published in (0
+            when no tasks stream) — the engine's "keep running, work is
+            coming" horizon.
+    """
+
+    events: Tuple[WorldEvent, ...]
+    renewals: Dict[int, Tuple[Tuple[float, int], ...]]
+    last_task_round: int
+
+    def events_for(self, round_no: int) -> Tuple[WorldEvent, ...]:
+        return tuple(e for e in self.events if e.round_no == round_no)
+
+
+def generate_stream(
+    spec: DynamicsSpec,
+    *,
+    region: RectRegion,
+    rounds: int,
+    seed_user_ids: List[int],
+    seed_task_ids: List[int],
+    required_measurements: int,
+    deadline_range: Tuple[int, int],
+    user_speed: float,
+    cost_per_meter: float,
+    user_time_budget: float,
+    heterogeneity: float,
+    rng: np.random.Generator,
+) -> EventStream:
+    """Draw the whole run's open-world history from the dynamics stream.
+
+    The roster is evolved *inside* the generator (departures shrink it,
+    arrivals grow it) so the number of departure draws per round is a
+    deterministic function of the spec and seed alone.
+    """
+    events: List[WorldEvent] = []
+    alive: List[int] = list(seed_user_ids)
+    next_user_id = max(seed_user_ids, default=-1) + 1
+    next_task_id = max(seed_task_ids, default=-1) + 1
+    streamed_task_ids: List[int] = []
+    duration_range = (
+        spec.task_deadline_range
+        if spec.task_deadline_range is not None
+        else deadline_range
+    )
+    low, high = duration_range
+    last_task_round = 0
+    hetero_low, hetero_high = 1.0 - heterogeneity, 1.0 + heterogeneity
+    for round_no in range(2, rounds + 1):
+        if spec.user_departure_rate > 0 and alive:
+            draws = rng.random(len(alive))
+            departed = {
+                uid
+                for uid, draw in zip(alive, draws)
+                if draw < spec.user_departure_rate
+            }
+            if departed:
+                alive = [uid for uid in alive if uid not in departed]
+                events.extend(
+                    WorldEvent("user_departed", round_no, uid)
+                    for uid in sorted(departed)
+                )
+        if spec.user_arrival_rate > 0:
+            count = int(rng.poisson(spec.user_arrival_rate))
+            if count:
+                points = region.sample(rng, count)
+                if heterogeneity > 0.0:
+                    speed_factor = rng.uniform(hetero_low, hetero_high, count)
+                    cost_factor = rng.uniform(hetero_low, hetero_high, count)
+                    budget_factor = rng.uniform(hetero_low, hetero_high, count)
+                else:
+                    speed_factor = cost_factor = budget_factor = np.ones(count)
+                for i, point in enumerate(points):
+                    uid = next_user_id
+                    next_user_id += 1
+                    alive.append(uid)
+                    events.append(
+                        WorldEvent(
+                            "user_arrived",
+                            round_no,
+                            uid,
+                            payload=(
+                                ("cost_per_meter", cost_per_meter * float(cost_factor[i])),
+                                ("speed", user_speed * float(speed_factor[i])),
+                                ("time_budget", user_time_budget * float(budget_factor[i])),
+                                ("x", point.x),
+                                ("y", point.y),
+                            ),
+                        )
+                    )
+        if spec.task_arrival_rate > 0:
+            count = int(rng.poisson(spec.task_arrival_rate))
+            if count:
+                points = region.sample(rng, count)
+                durations = rng.integers(low, high + 1, size=count)
+                last_task_round = round_no
+                for point, duration in zip(points, durations):
+                    tid = next_task_id
+                    next_task_id += 1
+                    streamed_task_ids.append(tid)
+                    events.append(
+                        WorldEvent(
+                            "task_published",
+                            round_no,
+                            tid,
+                            payload=(
+                                ("deadline", round_no - 1 + int(duration)),
+                                ("required", required_measurements),
+                                ("x", point.x),
+                                ("y", point.y),
+                            ),
+                        )
+                    )
+    renewals: Dict[int, Tuple[Tuple[float, int], ...]] = {}
+    if spec.deadline_renewal_prob > 0 and spec.max_deadline_renewals > 0:
+        for tid in [*seed_task_ids, *streamed_task_ids]:
+            draws = rng.random(spec.max_deadline_renewals)
+            durations = rng.integers(low, high + 1, size=spec.max_deadline_renewals)
+            renewals[tid] = tuple(
+                (float(draw), int(duration))
+                for draw, duration in zip(draws, durations)
+            )
+    return EventStream(
+        events=tuple(events),
+        renewals=renewals,
+        last_task_round=last_task_round,
+    )

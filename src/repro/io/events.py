@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Union
 
+from repro.dynamics.processes import WorldEvent
 from repro.simulation.events import (
     MeasurementEvent,
     RejectedContribution,
@@ -61,6 +62,13 @@ def _round_payload(record: RoundRecord) -> Dict:
         ),
         **(
             {"metrics": record.metrics.as_dict()} if record.metrics else {}
+        ),
+        # Only open-world rounds carry dynamics events; closed-world
+        # lines stay byte-identical to pre-dynamics logs.
+        **(
+            {"dynamics": [e.as_dict() for e in record.dynamics]}
+            if record.dynamics
+            else {}
         ),
     }
 
@@ -160,7 +168,10 @@ class SimulationReplay:
         counts = {task_id: 0 for task_id in self.task_deadlines}
         for record in self.rounds:
             for event in record.measurements:
-                counts[event.task_id] += 1
+                # .get tolerates tasks the meta line predates (open-world
+                # logs publish tasks mid-run; the loader folds them in,
+                # but older tooling may hand-build partial replays).
+                counts[event.task_id] = counts.get(event.task_id, 0) + 1
         return counts
 
 
@@ -221,11 +232,27 @@ def read_events_jsonl(path: Union[str, Path]) -> SimulationReplay:
                 if "metrics" in payload
                 else None
             ),
+            # absent in closed-world logs (and all pre-dynamics ones)
+            dynamics=tuple(
+                WorldEvent.from_dict(entry)
+                for entry in payload.get("dynamics", ())
+            ),
         ))
+    task_deadlines = {int(k): v for k, v in meta["task_deadlines"].items()}
+    task_required = {int(k): v for k, v in meta["task_required"].items()}
+    # Open-world logs publish tasks mid-run (and may renew deadlines);
+    # fold those into the task tables so replay metrics cover them.
+    for record in rounds:
+        for event in record.dynamics:
+            if event.kind == "task_published":
+                task_deadlines[event.subject_id] = event.get("deadline")
+                task_required[event.subject_id] = event.get("required")
+            elif event.kind == "deadline_renewed":
+                task_deadlines[event.subject_id] = event.get("deadline")
     return SimulationReplay(
         rounds=rounds,
-        n_tasks=meta["n_tasks"],
+        n_tasks=len(task_deadlines),
         n_users=meta["n_users"],
-        task_deadlines={int(k): v for k, v in meta["task_deadlines"].items()},
-        task_required={int(k): v for k, v in meta["task_required"].items()},
+        task_deadlines=task_deadlines,
+        task_required=task_required,
     )

@@ -8,6 +8,14 @@ We report the mean, over tasks, of the fraction of required measurements
 received *by the deadline* (capped at 1).  :func:`completed_fraction`
 additionally reports the stricter all-or-nothing variant (fraction of
 tasks fully complete by their deadline); both appear in EXPERIMENTS.md.
+
+**Denominator basis.** Closed-world runs average over every task (the
+paper's definition).  Open-world runs can instead declare
+``completeness_basis="exclude-expired"`` in their config, dropping tasks
+that expired unmet from the denominator — the mechanism never got a full
+deadline window for a task whose renewal lottery failed, so scoring it
+is a scenario-level choice, made explicit in the config rather than
+silently by the metric.
 """
 
 from __future__ import annotations
@@ -15,13 +23,32 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.simulation.events import SimulationResult
+from repro.world.task import TaskStatus
+
+
+def _basis_tasks(result: SimulationResult) -> List:
+    """The tasks the run's configured completeness basis scores.
+
+    ``"all"`` (the default, and the paper's definition) scores every
+    task; ``"exclude-expired"`` drops tasks that expired without
+    completing (open-world runs opt in via the config knob).
+    """
+    basis = getattr(result.config, "completeness_basis", "all")
+    tasks = result.world.tasks
+    if basis == "exclude-expired":
+        return [t for t in tasks if t.status is not TaskStatus.EXPIRED]
+    return list(tasks)
 
 
 def per_task_completeness(result: SimulationResult) -> Dict[int, float]:
-    """Per task: received-by-deadline / required, capped at 1."""
+    """Per task: received-by-deadline / required, capped at 1.
+
+    Covers the tasks the config's ``completeness_basis`` selects (all
+    of them unless the scenario opted expired-unmet tasks out).
+    """
     return {
         task.task_id: min(1.0, task.received_by_deadline() / task.required_measurements)
-        for task in result.world.tasks
+        for task in _basis_tasks(result)
     }
 
 
@@ -45,7 +72,7 @@ def completeness_at_round(result: SimulationResult, round_no: int) -> float:
     """
     if round_no < 1:
         raise ValueError(f"round_no must be >= 1, got {round_no}")
-    tasks = result.world.tasks
+    tasks = _basis_tasks(result)
     if not tasks:
         return 1.0
     total = 0.0

@@ -258,6 +258,15 @@ BENCH_SPECS: Dict[str, MetricSpec] = {
     "rounds_per_second": MetricSpec("rounds_per_second", "lower-is-worse"),
     "wall_seconds": MetricSpec("wall_seconds", "higher-is-worse"),
     "peak_rss_mb": MetricSpec("peak_rss_mb", "higher-is-worse"),
+    "churn_rounds_per_second": MetricSpec(
+        "churn_rounds_per_second", "lower-is-worse"
+    ),
+    "baseline_rounds_per_second": MetricSpec(
+        "baseline_rounds_per_second", "lower-is-worse"
+    ),
+    # churn-on wall time over churn-off wall time: growing means the
+    # dynamics path itself got slower relative to the closed world.
+    "dynamics_overhead": MetricSpec("dynamics_overhead", "higher-is-worse"),
 }
 
 

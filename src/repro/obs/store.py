@@ -479,6 +479,9 @@ BENCH_VALUE_FIELDS = (
     "rounds_per_second",
     "wall_seconds",
     "peak_rss_mb",
+    "churn_rounds_per_second",
+    "baseline_rounds_per_second",
+    "dynamics_overhead",
 )
 
 

@@ -43,17 +43,75 @@ PAPER_2018 = ScenarioSpec(
 POISSON_STREAM = ScenarioSpec(
     name="poisson-stream",
     description=(
-        "Paper-sized world with tasks arriving as a Poisson stream over "
-        "the horizon instead of all at round 1 — the dynamic-arrival "
-        "stress case for the demand mechanism's deadline factor."
+        "Paper-sized world where most tasks are *published mid-run* as "
+        "a Poisson stream (the dynamics block) on top of a small seed "
+        "batch — the open-world dynamic-arrival stress case for the "
+        "demand mechanism's deadline factor."
     ),
     config=dict(
         n_users=100,
-        n_tasks=20,
+        n_tasks=8,
         rounds=15,
         budget=1000.0,
-        arrival="poisson",
         selector="dp",
+        dynamics={
+            "task_arrival_rate": 1.5,
+            "task_deadline_range": [4, 8],
+        },
+    ),
+)
+
+POISSON_CHURN = ScenarioSpec(
+    name="poisson-churn",
+    description=(
+        "Open-world churn at bench scale: users arrive as a Poisson "
+        "stream and depart with a per-round hazard while tasks renew "
+        "expiring deadlines — the reference scenario for the dynamics "
+        "bit-identity contract (scalar = batched = sharded = resumed)."
+    ),
+    config=dict(
+        n_users=60,
+        n_tasks=10,
+        rounds=10,
+        budget=800.0,
+        required_measurements=10,
+        selector="greedy",
+        engine="batched",
+        dynamics={
+            "user_arrival_rate": 3.0,
+            "user_departure_rate": 0.05,
+            "deadline_renewal_prob": 0.3,
+            "max_deadline_renewals": 1,
+        },
+    ),
+)
+
+TASK_STREAM_2K = ScenarioSpec(
+    name="task-stream-2k",
+    description=(
+        "CI-sized open-world stress: 2k users with mild churn and a "
+        "steady mid-run task stream on a 12 km side — the dynamics "
+        "benchmark scenario (churn-on vs churn-off rounds/s) and the "
+        "stage for comparing on-demand vs omg-online vs incentme under "
+        "an open world."
+    ),
+    config=dict(
+        n_users=2000,
+        n_tasks=40,
+        area_side=12000.0,
+        rounds=10,
+        budget=15000.0,
+        deadline_range=[3, 6],
+        selector="greedy",
+        engine="batched",
+        distance_dtype="float32",
+        stream_rounds=True,
+        dynamics={
+            "user_arrival_rate": 20.0,
+            "user_departure_rate": 0.01,
+            "task_arrival_rate": 6.0,
+            "task_deadline_range": [3, 6],
+        },
     ),
 )
 
@@ -193,7 +251,16 @@ CITY_1M = ScenarioSpec(
 #: Registration order is display order for ``repro scenarios``.
 PRESETS: Dict[str, ScenarioSpec] = {
     spec.name: spec
-    for spec in (PAPER_2018, POISSON_STREAM, RUSH_HOUR, CITY_2K, CITY_50K, CITY_1M)
+    for spec in (
+        PAPER_2018,
+        POISSON_STREAM,
+        POISSON_CHURN,
+        TASK_STREAM_2K,
+        RUSH_HOUR,
+        CITY_2K,
+        CITY_50K,
+        CITY_1M,
+    )
 }
 
 

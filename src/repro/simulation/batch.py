@@ -482,6 +482,45 @@ class BatchedSimulationEngine(SimulationEngine):
             return ()
         return super()._round_user_locations()
 
+    # -- open-world churn ------------------------------------------------
+
+    def _apply_dynamics(self, changes) -> None:
+        """The scalar world mutation, plus array/counter/shard upkeep.
+
+        Population changes invalidate every user-aligned array (rows
+        shift when users leave), so positions/budgets/row maps are
+        rebuilt and the incremental neighbour counter gets a forced
+        full rebuild over the new population (which also re-primes
+        every task, including any published this round).  A task-only
+        change keeps the counter and just primes the new centers.  With
+        a sharded pool, the shared-memory blocks are re-published under
+        a new generation so workers re-attach on their next job.
+        """
+        super()._apply_dynamics(changes)
+        rebuilt_counter = False
+        if changes.population_changed:
+            users = self.world.users
+            self._user_rows = {u.user_id: i for i, u in enumerate(users)}
+            self._positions = np.asarray(
+                [(u.location.x, u.location.y) for u in users], dtype=float
+            ).reshape(len(users), 2)
+            self._budgets = np.asarray(
+                [u.max_travel_distance for u in users], dtype=float
+            )
+            self._neighbour_counter = self._build_neighbour_counter()
+            rebuilt_counter = True
+        if changes.tasks:
+            self._task_row_of = {
+                t.task_id: i for i, t in enumerate(self.world.tasks)
+            }
+            self._full_task_matrix = None
+            if self._neighbour_counter is not None and not rebuilt_counter:
+                self._neighbour_counter.prime(
+                    [t.location for t in changes.tasks]
+                )
+        if self._shards is not None:
+            self._shards.refresh()
+
     def _apply_moves(self, arrival, selections, tasks_by_id) -> None:
         """The scalar move pass, plus position-array and counter upkeep.
 

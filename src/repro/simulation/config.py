@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Optional, Tuple
 
+from repro.dynamics.processes import DynamicsSpec
 from repro.geometry.region import RectRegion
 from repro.resilience.errors import ConfigError
 from repro.world.generator import WorldGenerator
@@ -73,6 +74,21 @@ class SimulationConfig:
             values or ``[low, high]`` uniform ranges.  Empty (default)
             keeps the paper's homogeneous population; see
             :mod:`repro.world.population`.
+        dynamics: open-world knobs (see :class:`~repro.dynamics.
+            processes.DynamicsSpec`): ``user_arrival_rate`` /
+            ``user_departure_rate`` (Poisson churn),
+            ``task_arrival_rate`` / ``task_deadline_range`` (mid-run
+            task publication), ``deadline_renewal_prob`` /
+            ``max_deadline_renewals`` (deadline extension lotteries).
+            The empty mapping (default) is the closed world and is
+            bit-identical to runs predating this field — no extra
+            randomness is consumed.
+        completeness_basis: which tasks count in the completeness
+            denominator — ``"all"`` (default: every task, the paper's
+            Fig. 7 definition) or ``"exclude-expired"`` (tasks that
+            expired unmet are dropped from the denominator, the
+            open-world convention where renewable deadlines make
+            expiry a scheduling outcome rather than a failure).
         stream_rounds: when True the engine does not retain per-round
             records in :class:`SimulationResult` (observers still see
             every record as it finishes, so a JSONL stream writer keeps
@@ -115,6 +131,8 @@ class SimulationConfig:
     arrival: str = "static"
     arrival_kwargs: Dict[str, Any] = field(default_factory=dict)
     population: Tuple[Dict[str, Any], ...] = ()
+    dynamics: Dict[str, Any] = field(default_factory=dict)
+    completeness_basis: str = "all"
     stream_rounds: bool = False
     seed: int = 0
     selector_timeout: Optional[float] = None
@@ -220,6 +238,15 @@ class SimulationConfig:
                 f"bad release_range {self.release_range}: need "
                 f"1 <= low <= high"
             )
+        if self.dynamics:
+            # Eager, named validation of the open-world knobs (raises
+            # ConfigError for unknown keys / out-of-range rates).
+            DynamicsSpec.from_mapping(self.dynamics)
+        if self.completeness_basis not in ("all", "exclude-expired"):
+            raise ConfigError(
+                f"completeness_basis must be 'all' or 'exclude-expired', "
+                f"got {self.completeness_basis!r}"
+            )
         if self.selector_timeout is not None and self.selector_timeout <= 0:
             raise ConfigError(
                 f"selector_timeout must be positive seconds (or None to "
@@ -280,7 +307,15 @@ class SimulationConfig:
         knobs from the config; the steered baseline takes none of those,
         so only explicit ``mechanism_kwargs`` reach it.
         """
-        if self.mechanism in ("on-demand", "fixed", "proportional", "adaptive"):
+        demand_driven = (
+            "on-demand",
+            "fixed",
+            "proportional",
+            "adaptive",
+            "omg-online",
+            "incentme",
+        )
+        if self.mechanism in demand_driven:
             from repro.core.levels import DemandLevels
 
             base: Dict[str, Any] = {
@@ -288,8 +323,10 @@ class SimulationConfig:
                 "step": self.reward_step,
                 "levels": DemandLevels(self.level_count),
             }
-            if self.mechanism in ("on-demand", "proportional", "adaptive"):
+            if self.mechanism in ("on-demand", "proportional", "adaptive", "incentme"):
                 base["neighbour_radius"] = self.neighbour_radius
+            if self.mechanism == "omg-online":
+                base["horizon"] = self.rounds
         else:
             base = {}
         base.update(self.mechanism_kwargs)

@@ -37,6 +37,7 @@ import math
 from time import perf_counter
 
 from repro.core.mechanisms import MECHANISMS, IncentiveMechanism, RoundView
+from repro.dynamics.processes import WorldEvent
 from repro.obs.log import bind
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER
@@ -62,7 +63,7 @@ from repro.simulation.events import (
 from repro.simulation.rng import spawn_streams
 from repro.world.generator import World
 from repro.world.mobility import MixedMobility, MobilityPolicy, make_mobility
-from repro.world.task import SensingTask
+from repro.world.task import SensingTask, TaskStatus
 from repro.world.user import MobileUser
 
 #: Observer callback invoked with each finished RoundRecord.
@@ -128,6 +129,20 @@ class SimulationEngine:
         self.selector = selector if selector is not None else self._build_selector()
         self.mobility: MobilityPolicy = self._build_mobility()
         self.world = world if world is not None else self._generate_world()
+        # Open-world timeline: pre-generates every churn/publication draw
+        # from the dedicated "dynamics" stream at construction.  An empty
+        # dynamics block builds no timeline and consumes no randomness,
+        # so closed-world histories stay bit-identical.
+        self.timeline = None
+        self._pending_dynamics: List[WorldEvent] = []
+        if config.dynamics:
+            from repro.dynamics.stream import WorldTimeline
+
+            self.timeline = WorldTimeline.from_config(
+                config, self.world, self._streams["dynamics"]
+            )
+        if self.timeline is not None and hasattr(self.mechanism, "timeline"):
+            self.mechanism.timeline = self.timeline
         self.observers = list(observers)
         self.coordinator = coordinator
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -188,10 +203,19 @@ class SimulationEngine:
 
     @property
     def finished(self) -> bool:
-        """Whether the horizon is exhausted or no task remains active."""
+        """Whether the horizon is exhausted or no task remains active.
+
+        An open world also keeps going while the timeline still has
+        tasks left to publish, even if every published task is done.
+        """
         if self._next_round > self.config.rounds:
             return True
-        return not any(t.is_active for t in self.world.tasks)
+        if any(t.is_active for t in self.world.tasks):
+            return False
+        return not (
+            self.timeline is not None
+            and self.timeline.has_pending_tasks(self._next_round)
+        )
 
     def active_tasks(self) -> List[SensingTask]:
         """Tasks neither completed nor expired (published or not)."""
@@ -315,6 +339,13 @@ class SimulationEngine:
                 f"simulation finished after round {self._next_round - 1}"
             )
         self._ensure_mechanism()
+        # Open world: fold this round's arrivals/departures/publications
+        # in before the round plays (they invalidate the price cache, so
+        # the published prices see the post-churn world).
+        if self.timeline is not None:
+            self._pending_dynamics = self.timeline.advance(
+                self._next_round, self
+            )
         # Bind log provenance for the round: any warning raised below
         # (watchdog fallback, price-map violation, retried IO) carries
         # which run and round it happened in.
@@ -391,10 +422,20 @@ class SimulationEngine:
             # sequence, so this is bit-identical to interleaved moves.
             self._apply_moves(arrival, selections, tasks_by_id)
 
-        # Step 4 prep: expire tasks whose deadline has passed.
-        expired = [
-            t.task_id for t in active if t.expire_if_due(next_round=round_no + 1)
-        ]
+        # Step 4 prep: expire tasks whose deadline has passed.  The open
+        # world first offers each overdue task its pre-drawn renewal
+        # lottery (deadline extension) before letting it expire.
+        dynamics = tuple(self._pending_dynamics)
+        self._pending_dynamics = []
+        if self.timeline is None:
+            expired = [
+                t.task_id
+                for t in active
+                if t.expire_if_due(next_round=round_no + 1)
+            ]
+        else:
+            expired, lifecycle = self._expire_or_renew(active, round_no)
+            dynamics += tuple(lifecycle)
         fallbacks = self._drain_selector_fallbacks()
         perf = self._drain_perf()
         return RoundRecord(
@@ -405,12 +446,69 @@ class SimulationEngine:
             rejections=tuple(rejections),
             completed_task_ids=tuple(completed),
             expired_task_ids=tuple(expired),
+            dynamics=dynamics,
             selector_fallbacks=fallbacks,
             perf=perf,
             metrics=self._drain_round_metrics(
                 measurements, rejections, fallbacks, perf
             ),
         )
+
+    def _expire_or_renew(
+        self, active: List[SensingTask], round_no: int
+    ) -> Tuple[List[int], List[WorldEvent]]:
+        """Open-world step 4 prep: renew or expire each overdue task.
+
+        Mirrors :meth:`~repro.world.task.SensingTask.expire_if_due`'s
+        condition exactly; a task that wins its pre-drawn renewal
+        lottery gets a later deadline instead of expiring.
+        """
+        expired: List[int] = []
+        lifecycle: List[WorldEvent] = []
+        for task in active:
+            if not (task.is_active and round_no + 1 > task.deadline):
+                continue
+            renewed = self.timeline.try_renew(task, round_no)
+            if renewed is not None:
+                task.deadline = renewed
+                lifecycle.append(
+                    WorldEvent(
+                        kind="deadline_renewed",
+                        round_no=round_no,
+                        subject_id=task.task_id,
+                        payload=(("deadline", renewed),),
+                    )
+                )
+            else:
+                task.status = TaskStatus.EXPIRED
+                expired.append(task.task_id)
+                lifecycle.append(
+                    WorldEvent(
+                        kind="task_expired",
+                        round_no=round_no,
+                        subject_id=task.task_id,
+                    )
+                )
+        return expired, lifecycle
+
+    def _apply_dynamics(self, changes) -> None:
+        """Fold one round's open-world changes into the live world.
+
+        Called by the :class:`~repro.dynamics.stream.WorldTimeline`
+        before the round plays.  The batched engine extends this to
+        rebuild its persistent arrays, neighbour counter, and shards.
+        """
+        if changes.departures:
+            departed = set(changes.departures)
+            self.world.users[:] = [
+                u for u in self.world.users if u.user_id not in departed
+            ]
+        if changes.arrivals:
+            self.world.users.extend(changes.arrivals)
+        if changes.tasks:
+            self.world.tasks.extend(changes.tasks)
+        self._price_cache = None
+        self._problems_cache = None
 
     def _collect_selections(
         self,

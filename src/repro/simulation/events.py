@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from repro.dynamics.processes import WorldEvent
 from repro.obs.metrics import MetricsRegistry
 from repro.simulation.perf import PerfStats
 
@@ -93,6 +94,10 @@ class RoundRecord:
             histogram; see :mod:`repro.obs.metrics`) — observability
             only; None in replays of event logs written before the
             registry existed.
+        dynamics: the open-world events applied around this round
+            (arrivals/departures/publications before it played, renewals
+            and expiries after) — always empty for closed-world runs,
+            so their serialised records are unchanged byte for byte.
     """
 
     round_no: int
@@ -105,6 +110,7 @@ class RoundRecord:
     selector_fallbacks: int = 0
     perf: Optional[PerfStats] = None
     metrics: Optional[MetricsRegistry] = None
+    dynamics: Tuple[WorldEvent, ...] = ()
 
     @property
     def measurement_count(self) -> int:
@@ -268,7 +274,10 @@ class SimulationResult:
         totals: Dict[int, float] = {u.user_id: 0.0 for u in self.world.users}
         for record in self.rounds:
             for user_record in record.user_records:
-                totals[user_record.user_id] += user_record.profit
+                # Users who departed mid-run (open world) appear in
+                # early records but not the final roster; skip them.
+                if user_record.user_id in totals:
+                    totals[user_record.user_id] += user_record.profit
         return [totals[u.user_id] for u in self.world.users]
 
 

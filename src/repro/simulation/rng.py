@@ -22,7 +22,14 @@ import numpy as np
 #: The streams a simulation consumes, in spawn order (order is part of
 #: the reproducibility contract — do not reorder; appending is safe
 #: because SeedSequence children are derived by index).
-STREAM_NAMES = ("world", "mechanism", "arrival", "mobility", "participation")
+STREAM_NAMES = (
+    "world",
+    "mechanism",
+    "arrival",
+    "mobility",
+    "participation",
+    "dynamics",
+)
 
 
 def spawn_streams(

@@ -103,19 +103,26 @@ def _attach(name: str) -> shared_memory.SharedMemory:
     return shared_memory.SharedMemory(name=name)
 
 
-def _worker_init(payload: dict) -> None:
-    """Build the per-worker state: shared views + the selector."""
-    global _STATE
+def _attach_blocks(specs: Dict[str, Tuple[str, tuple, str]]) -> Tuple[dict, dict]:
+    """Attach every block in ``specs``; return (blocks, arrays)."""
     blocks = {}
     arrays = {}
     for key in _BLOCKS:
-        name, shape, dtype = payload["blocks"][key]
+        name, shape, dtype = specs[key]
         shm = _attach(name)
         blocks[key] = shm
         arrays[key] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+    return blocks, arrays
+
+
+def _worker_init(payload: dict) -> None:
+    """Build the per-worker state: shared views + the selector."""
+    global _STATE
+    blocks, arrays = _attach_blocks(payload["blocks"])
     _STATE = {
         "blocks": blocks,
         "arrays": arrays,
+        "generation": payload["generation"],
         "selector": pickle.loads(payload["selector"]),
         "dtype": np.dtype(payload["dtype"]),
         "chunk_elements": payload["chunk_elements"],
@@ -126,6 +133,18 @@ def _worker_init(payload: dict) -> None:
 def _worker_select(job: dict) -> Tuple[List[Selection], dict]:
     """Solve one shard: selections for ``job['rows']``, plus partials."""
     state = _STATE
+    if job["generation"] != state["generation"]:
+        # The parent re-published the world (open-world churn): drop the
+        # stale views and re-attach the job's generation.  The parent
+        # may already have unlinked the old blocks — POSIX keeps the
+        # memory alive until this close, which cannot fail the round.
+        for shm in state["blocks"].values():
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - close is best effort
+                pass
+        state["blocks"], state["arrays"] = _attach_blocks(job["blocks"])
+        state["generation"] = job["generation"]
     arrays = state["arrays"]
     active_rows = np.asarray(job["active_rows"], dtype=np.int64)
     contributors: List[Set[int]] = [set() for _ in range(len(active_rows))]
@@ -242,9 +261,41 @@ class ShardedSelectionPool:
                 f"worker process runs its own copy); pickling "
                 f"{type(engine.selector).__name__} failed: {exc}"
             ) from exc
+        self._shms: List[shared_memory.SharedMemory] = []
+        self._generation = 0
+        self._publish_world()
+        payload = {
+            "blocks": self._block_specs,
+            "generation": self._generation,
+            "selector": selector_bytes,
+            "dtype": str(engine._dtype),
+            "chunk_elements": engine.chunk_elements,
+            "chunk_bytes": engine.chunk_bytes,
+        }
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context("spawn")
+        self._executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(payload,),
+        )
+        self._closed = False
+
+    def _publish_world(self) -> None:
+        """Copy the engine's world state into fresh shared blocks.
+
+        The engine's live position/budget/matrix arrays are re-bound
+        onto the blocks, so the parent's in-place updates stay visible
+        to workers with zero per-round copying (and the task matrix is
+        not held twice).
+        """
+        engine = self.engine
         users = engine.world.users
         tasks = engine.world.tasks
-        self._shms: List[shared_memory.SharedMemory] = []
+        self._block_specs: Dict[str, Tuple[str, tuple, str]] = {}
         positions = self._share("positions", engine._positions)
         budgets = self._share("budgets", engine._budgets)
         self._share(
@@ -264,36 +315,33 @@ class ShardedSelectionPool:
             "task_ids", np.asarray([t.task_id for t in tasks], dtype=np.int64)
         )
         matrix = self._share("task_matrix", engine._task_geometry())
-        # Re-bind the engine's live arrays onto the shared blocks: the
-        # parent's in-place position updates become visible to workers
-        # without any per-round copy, and the task matrix is not held
-        # twice.
         engine._positions = positions
         engine._budgets = budgets
         engine._full_task_matrix = matrix
-        payload = {
-            "blocks": self._block_specs,
-            "selector": selector_bytes,
-            "dtype": str(engine._dtype),
-            "chunk_elements": engine.chunk_elements,
-            "chunk_bytes": engine.chunk_bytes,
-        }
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            context = multiprocessing.get_context("spawn")
-        self._executor = concurrent.futures.ProcessPoolExecutor(
-            max_workers=self.workers,
-            mp_context=context,
-            initializer=_worker_init,
-            initargs=(payload,),
-        )
-        self._closed = False
+
+    def refresh(self) -> None:
+        """Re-publish the shared blocks after open-world churn.
+
+        The world's shapes changed (users left/joined, tasks appeared),
+        so every block is re-shared under a bumped generation; each
+        worker re-attaches lazily when its next job's generation tag
+        does not match.  The previous generation's blocks are unlinked
+        right away — POSIX keeps them alive for any worker still
+        holding the old mapping until it closes them.
+        """
+        old = self._shms
+        self._shms = []
+        self._publish_world()
+        self._generation += 1
+        for shm in old:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:  # pragma: no cover - double-close safety
+                pass
 
     def _share(self, key: str, array: np.ndarray) -> np.ndarray:
         """Copy ``array`` into a fresh shared block; return the view."""
-        if not hasattr(self, "_block_specs"):
-            self._block_specs: Dict[str, Tuple[str, tuple, str]] = {}
         array = np.ascontiguousarray(array)
         shm = shared_memory.SharedMemory(
             create=True, size=max(1, array.nbytes)
@@ -346,6 +394,8 @@ class ShardedSelectionPool:
             "prices": price_vector,
             "contrib_task": np.asarray(contrib_task, dtype=np.int64),
             "contrib_user": np.asarray(contrib_user, dtype=np.int64),
+            "generation": self._generation,
+            "blocks": self._block_specs,
         }
         futures = [
             self._executor.submit(_worker_select, {**base, "rows": shard})

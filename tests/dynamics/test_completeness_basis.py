@@ -1,0 +1,113 @@
+"""The completeness_basis knob: which tasks the denominator counts."""
+
+import pytest
+
+from repro.metrics.completeness import (
+    overall_completeness,
+    per_task_completeness,
+)
+from repro.resilience.errors import ConfigError
+from repro.simulation import SimulationConfig, make_engine
+from repro.world.task import TaskStatus
+
+
+def expiring_config(**overrides):
+    """A run guaranteed to strand some tasks: too few users, tight
+    deadlines, demand nobody can meet."""
+    base = dict(
+        n_users=6,
+        n_tasks=8,
+        area_side=2500.0,
+        required_measurements=6,
+        deadline_range=(2, 5),
+        rounds=6,
+        budget=300.0,
+        seed=2,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestConfigKnob:
+    def test_default_is_all(self):
+        assert expiring_config().completeness_basis == "all"
+
+    def test_rejects_unknown_basis(self):
+        with pytest.raises(ConfigError, match="completeness_basis"):
+            expiring_config(completeness_basis="only-on-tuesdays")
+
+    def test_accepts_exclude_expired(self):
+        config = expiring_config(completeness_basis="exclude-expired")
+        assert config.completeness_basis == "exclude-expired"
+
+
+class TestBasisSemantics:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        """The same seed run under both bases (identical histories)."""
+        all_basis = make_engine(expiring_config()).run()
+        excl = make_engine(
+            expiring_config(completeness_basis="exclude-expired")
+        ).run()
+        return all_basis, excl
+
+    def test_fixture_strands_tasks(self, runs):
+        all_basis, _ = runs
+        expired = [
+            t for t in all_basis.world.tasks if t.status is TaskStatus.EXPIRED
+        ]
+        assert expired, "the fixture must expire at least one task"
+        assert len(expired) < len(all_basis.world.tasks)
+
+    def test_basis_does_not_change_the_simulation(self, runs):
+        all_basis, excl = runs
+        assert [r.round_no for r in all_basis.rounds] == [
+            r.round_no for r in excl.rounds
+        ]
+        assert [
+            tuple(sorted(r.published_rewards.items())) for r in all_basis.rounds
+        ] == [tuple(sorted(r.published_rewards.items())) for r in excl.rounds]
+
+    def test_exclude_expired_shrinks_the_denominator(self, runs):
+        all_basis, excl = runs
+        full = per_task_completeness(all_basis)
+        partial = per_task_completeness(excl)
+        expired_ids = {
+            t.task_id
+            for t in all_basis.world.tasks
+            if t.status is TaskStatus.EXPIRED
+        }
+        assert set(full) - set(partial) == expired_ids
+        for tid, value in partial.items():
+            assert value == full[tid]
+
+    def test_exclude_expired_never_lowers_overall_completeness(self, runs):
+        all_basis, excl = runs
+        # Expired tasks are exactly the sub-1.0 stragglers; dropping
+        # them can only raise (or preserve) the mean.
+        assert overall_completeness(excl) >= overall_completeness(all_basis)
+
+    def test_all_basis_counts_every_task(self, runs):
+        all_basis, _ = runs
+        assert set(per_task_completeness(all_basis)) == {
+            t.task_id for t in all_basis.world.tasks
+        }
+
+
+class TestOpenWorldBasis:
+    def test_streamed_tasks_enter_the_basis(self):
+        config = expiring_config(
+            n_users=20,
+            required_measurements=6,
+            budget=400.0,
+            dynamics={"task_arrival_rate": 1.5, "task_deadline_range": [2, 3]},
+        )
+        result = make_engine(config).run()
+        streamed = {
+            e.subject_id
+            for r in result.rounds
+            for e in r.dynamics
+            if e.kind == "task_published"
+        }
+        assert streamed, "the fixture must stream tasks"
+        assert streamed <= set(per_task_completeness(result))

@@ -1,0 +1,105 @@
+"""Open-world events through the JSONL log and back."""
+
+import json
+
+from repro.io.events import read_events_jsonl, write_events_jsonl
+from repro.simulation import SimulationConfig, make_engine
+
+CHURN = {
+    "user_arrival_rate": 2.0,
+    "user_departure_rate": 0.1,
+    "task_arrival_rate": 1.5,
+    "task_deadline_range": [3, 5],
+    "deadline_renewal_prob": 0.5,
+}
+
+
+def run_config(**overrides):
+    base = dict(
+        n_users=20,
+        n_tasks=5,
+        area_side=1500.0,
+        required_measurements=6,
+        deadline_range=(3, 6),
+        rounds=8,
+        budget=300.0,
+        seed=9,
+        dynamics=dict(CHURN),
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestRoundTrip:
+    def test_dynamics_survive_write_read(self, tmp_path):
+        result = make_engine(run_config()).run()
+        assert any(r.dynamics for r in result.rounds)
+        path = write_events_jsonl(result, tmp_path / "events.jsonl")
+        replay = read_events_jsonl(path)
+        assert [r.dynamics for r in replay.rounds] == [
+            r.dynamics for r in result.rounds
+        ]
+
+    def test_streamed_tasks_fold_into_the_task_tables(self, tmp_path):
+        result = make_engine(run_config()).run()
+        path = write_events_jsonl(result, tmp_path / "events.jsonl")
+        replay = read_events_jsonl(path)
+        published = {
+            e.subject_id: e
+            for r in result.rounds
+            for e in r.dynamics
+            if e.kind == "task_published"
+        }
+        assert published, "the fixture must stream tasks"
+        for tid, event in published.items():
+            assert replay.task_required[tid] == event.get("required")
+            assert tid in replay.task_deadlines
+        assert replay.n_tasks == 5 + len(published)
+        # Measurements on streamed tasks count in the replay totals.
+        counts = replay.measurements_by_task()
+        assert set(published) <= set(counts)
+
+    def test_renewals_override_published_deadlines(self, tmp_path):
+        config = run_config(
+            n_users=4,
+            required_measurements=30,
+            budget=1500.0,
+            deadline_range=(2, 2),
+            dynamics={
+                "deadline_renewal_prob": 1.0,
+                "max_deadline_renewals": 1,
+                "task_deadline_range": [3, 4],
+            },
+        )
+        result = make_engine(config).run()
+        renewed = {
+            e.subject_id: e.get("deadline")
+            for r in result.rounds
+            for e in r.dynamics
+            if e.kind == "deadline_renewed"
+        }
+        assert renewed, "prob=1.0 must renew unmet deadlines"
+        path = write_events_jsonl(result, tmp_path / "events.jsonl")
+        replay = read_events_jsonl(path)
+        for tid, deadline in renewed.items():
+            assert replay.task_deadlines[tid] == deadline
+
+    def test_closed_world_lines_carry_no_dynamics_key(self, tmp_path):
+        result = make_engine(run_config(dynamics={})).run()
+        path = write_events_jsonl(result, tmp_path / "events.jsonl")
+        for line in path.read_text().splitlines():
+            assert "dynamics" not in json.loads(line)
+
+    def test_round_payload_dynamics_shape(self, tmp_path):
+        """The on-disk shape is the documented dict-of-primitives."""
+        result = make_engine(run_config()).run()
+        path = write_events_jsonl(result, tmp_path / "events.jsonl")
+        seen_kinds = set()
+        for line in path.read_text().splitlines()[1:]:
+            payload = json.loads(line)
+            for entry in payload.get("dynamics", ()):
+                assert set(entry) <= {"kind", "round_no", "subject_id", "payload"}
+                assert entry["round_no"] == payload["round_no"]
+                seen_kinds.add(entry["kind"])
+        assert "user_arrived" in seen_kinds
+        assert "task_published" in seen_kinds

@@ -1,0 +1,209 @@
+"""The pre-generated event stream: validation, determinism, shape."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.processes import DynamicsSpec, WorldEvent, generate_stream
+from repro.geometry import Point, RectRegion
+from repro.resilience.errors import ConfigError
+
+REGION = RectRegion.square(3000.0)
+
+
+def make_stream(spec, rounds=10, seed=0, rng=None, **overrides):
+    kwargs = dict(
+        region=REGION,
+        rounds=rounds,
+        seed_user_ids=list(range(20)),
+        seed_task_ids=list(range(5)),
+        required_measurements=4,
+        deadline_range=(3, 8),
+        user_speed=2.0,
+        cost_per_meter=0.002,
+        user_time_budget=900.0,
+        heterogeneity=0.0,
+    )
+    kwargs.update(overrides)
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    return generate_stream(spec, rng=rng, **kwargs)
+
+
+class TestWorldEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            WorldEvent(kind="user_teleported", round_no=2, subject_id=1)
+
+    def test_dict_round_trip(self):
+        event = WorldEvent(
+            kind="task_published",
+            round_no=3,
+            subject_id=7,
+            payload=(("deadline", 6), ("required", 4), ("x", 1.5), ("y", -2.0)),
+        )
+        assert WorldEvent.from_dict(event.as_dict()) == event
+
+    def test_payload_omitted_when_empty(self):
+        event = WorldEvent(kind="task_expired", round_no=4, subject_id=2)
+        assert "payload" not in event.as_dict()
+
+    def test_get_with_default(self):
+        event = WorldEvent(
+            kind="deadline_renewed", round_no=2, subject_id=0,
+            payload=(("deadline", 9),),
+        )
+        assert event.get("deadline") == 9
+        assert event.get("missing", -1) == -1
+
+
+class TestDynamicsSpec:
+    def test_defaults_are_empty(self):
+        assert DynamicsSpec().empty
+
+    @pytest.mark.parametrize("field, value", [
+        ("user_arrival_rate", -0.5),
+        ("task_arrival_rate", -1.0),
+        ("user_departure_rate", 1.0),
+        ("user_departure_rate", -0.1),
+        ("deadline_renewal_prob", 1.5),
+        ("max_deadline_renewals", -1),
+    ])
+    def test_rejects_out_of_range(self, field, value):
+        with pytest.raises(ConfigError):
+            DynamicsSpec(**{field: value})
+
+    def test_rejects_bad_deadline_range(self):
+        with pytest.raises(ConfigError):
+            DynamicsSpec(task_deadline_range=(5, 3))
+        with pytest.raises(ConfigError):
+            DynamicsSpec(task_deadline_range=(0, 3))
+
+    def test_from_mapping_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="poisson_rate"):
+            DynamicsSpec.from_mapping({"poisson_rate": 1.0})
+
+    def test_mapping_round_trip(self):
+        spec = DynamicsSpec(
+            user_arrival_rate=2.0,
+            user_departure_rate=0.05,
+            task_arrival_rate=1.5,
+            task_deadline_range=(4, 8),
+            deadline_renewal_prob=0.3,
+            max_deadline_renewals=2,
+        )
+        assert DynamicsSpec.from_mapping(spec.as_mapping()) == spec
+
+    def test_as_mapping_drops_defaults(self):
+        assert DynamicsSpec().as_mapping() == {}
+        assert DynamicsSpec(task_arrival_rate=1.0).as_mapping() == {
+            "task_arrival_rate": 1.0
+        }
+
+
+class TestGenerateStream:
+    def test_empty_spec_consumes_no_randomness(self):
+        rng = np.random.default_rng(42)
+        stream = make_stream(DynamicsSpec(), rng=rng)
+        assert stream.events == ()
+        assert stream.renewals == {}
+        assert stream.last_task_round == 0
+        # The generator's state is untouched: an all-zero spec draws
+        # nothing, mirroring the closed-world zero-heterogeneity idiom.
+        assert rng.random() == np.random.default_rng(42).random()
+
+    def test_deterministic_for_same_seed(self):
+        spec = DynamicsSpec(
+            user_arrival_rate=2.0,
+            user_departure_rate=0.1,
+            task_arrival_rate=1.0,
+            deadline_renewal_prob=0.5,
+            max_deadline_renewals=2,
+        )
+        assert make_stream(spec, seed=3) == make_stream(spec, seed=3)
+        assert make_stream(spec, seed=3) != make_stream(spec, seed=4)
+
+    def test_ids_continue_from_seed_world(self):
+        spec = DynamicsSpec(user_arrival_rate=3.0, task_arrival_rate=2.0)
+        stream = make_stream(spec)
+        user_ids = [
+            e.subject_id for e in stream.events if e.kind == "user_arrived"
+        ]
+        task_ids = [
+            e.subject_id for e in stream.events if e.kind == "task_published"
+        ]
+        assert user_ids and min(user_ids) == 20  # seed users are 0..19
+        assert user_ids == sorted(user_ids) and len(set(user_ids)) == len(user_ids)
+        assert task_ids and min(task_ids) == 5  # seed tasks are 0..4
+        assert len(set(task_ids)) == len(task_ids)
+
+    def test_events_start_at_round_two(self):
+        spec = DynamicsSpec(
+            user_arrival_rate=5.0,
+            user_departure_rate=0.2,
+            task_arrival_rate=3.0,
+        )
+        stream = make_stream(spec)
+        assert stream.events
+        assert all(2 <= e.round_no <= 10 for e in stream.events)
+
+    def test_departures_only_hit_live_users(self):
+        spec = DynamicsSpec(user_arrival_rate=1.0, user_departure_rate=0.3)
+        stream = make_stream(spec, rounds=15)
+        alive = set(range(20))
+        for event in stream.events:
+            if event.kind == "user_arrived":
+                alive.add(event.subject_id)
+            elif event.kind == "user_departed":
+                assert event.subject_id in alive
+                alive.remove(event.subject_id)
+
+    def test_published_tasks_carry_valid_deadlines(self):
+        spec = DynamicsSpec(
+            task_arrival_rate=2.0, task_deadline_range=(4, 6)
+        )
+        stream = make_stream(spec)
+        published = [e for e in stream.events if e.kind == "task_published"]
+        assert published
+        for event in published:
+            duration = event.get("deadline") - (event.round_no - 1)
+            assert 4 <= duration <= 6
+            assert event.get("required") == 4
+            assert REGION.contains(Point(event.get("x"), event.get("y")))
+        assert stream.last_task_round == max(e.round_no for e in published)
+
+    def test_renewals_pre_drawn_per_task(self):
+        spec = DynamicsSpec(
+            task_arrival_rate=1.0,
+            deadline_renewal_prob=0.5,
+            max_deadline_renewals=3,
+        )
+        stream = make_stream(spec)
+        published = {
+            e.subject_id for e in stream.events if e.kind == "task_published"
+        }
+        assert set(stream.renewals) == set(range(5)) | published
+        for pairs in stream.renewals.values():
+            assert len(pairs) == 3
+            for draw, duration in pairs:
+                assert 0.0 <= draw < 1.0
+                assert 3 <= duration <= 8  # falls back to deadline_range
+
+    def test_no_renewals_when_prob_zero(self):
+        spec = DynamicsSpec(task_arrival_rate=1.0)
+        assert make_stream(spec).renewals == {}
+
+    def test_heterogeneity_draws_user_traits(self):
+        spec = DynamicsSpec(user_arrival_rate=4.0)
+        homogeneous = make_stream(spec, heterogeneity=0.0)
+        varied = make_stream(spec, heterogeneity=0.5)
+        arrivals = [
+            e for e in varied.events if e.kind == "user_arrived"
+        ]
+        assert arrivals
+        speeds = {e.get("speed") for e in arrivals}
+        assert len(speeds) > 1
+        assert all(
+            e.get("speed") == 2.0
+            for e in homogeneous.events
+            if e.kind == "user_arrived"
+        )

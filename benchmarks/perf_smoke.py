@@ -327,10 +327,103 @@ def run_dynamics(scenario="task-stream-2k", seed=None, scale="full", workers=Non
     return entry
 
 
+def run_obs(scale="tiny", seed=0):
+    """Live-layer overhead: the engine bare vs fully observed.
+
+    Runs one engine-bench world twice — once bare, once with the whole
+    live-operations stack attached (a :class:`SpanTracer` collecting
+    round/phase spans plus a :class:`ProgressWriter` streaming an atomic
+    ``progress.json`` to disk after every round) — and reports the
+    per-round wall ratio as ``obs_overhead``.  Gating on the ratio
+    rather than either throughput keeps the live layer regress-gated
+    without conflating it with general engine drift.  The two runs must
+    agree on measurements and payout: observability never changes the
+    simulated numbers.
+    """
+    import tempfile
+
+    from repro.obs.live import ProgressWriter
+    from repro.obs.profiler import ResourceProfiler
+    from repro.obs.trace import SpanTracer
+    from repro.simulation import SimulationConfig, make_engine
+
+    dims = ENGINE_SCALES[scale]
+    config = SimulationConfig(
+        n_users=dims["n_users"],
+        n_tasks=dims["n_tasks"],
+        rounds=dims["rounds"],
+        area_side=dims["area_side"],
+        budget=dims["budget"],
+        deadline_range=(dims["rounds"], dims["rounds"]),
+        user_time_budget=600.0,
+        selector="greedy",
+        mechanism="on-demand",
+        stream_rounds=True,
+        engine="batched",
+        seed=seed,
+    )
+    profiler = ResourceProfiler(interval=0.05).start()
+    try:
+        timings, results = {}, {}
+        with tempfile.TemporaryDirectory(prefix="repro-obs-bench-") as tmp:
+            for label in ("plain", "live"):
+                kwargs = {}
+                if label == "live":
+                    kwargs["tracer"] = SpanTracer(metadata={"bench": "obs"})
+                engine = make_engine(config, **kwargs)
+                if label == "live":
+                    engine.observers.append(ProgressWriter(
+                        tmp, "bench-obs",
+                        rounds_total=config.rounds,
+                        budget=config.budget,
+                        n_tasks=len(engine.world.tasks),
+                    ))
+                started = time.perf_counter()
+                results[label] = engine.run()
+                timings[label] = time.perf_counter() - started
+                close = getattr(engine, "close", None)
+                if close is not None:
+                    close()
+    finally:
+        profiler.stop()
+    plain, live = results["plain"], results["live"]
+    assert plain.total_measurements == live.total_measurements, (
+        f"live layer changed the campaign: {plain.total_measurements} "
+        f"vs {live.total_measurements} measurements"
+    )
+    assert abs(plain.total_paid - live.total_paid) < 1e-9, (
+        f"live layer changed the payout: {plain.total_paid} "
+        f"vs {live.total_paid}"
+    )
+    return {
+        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "bench": "obs",
+        "n_users": config.n_users,
+        "n_tasks": config.n_tasks,
+        "rounds": config.rounds,
+        "seed": seed,
+        "plain_rounds_per_second": (
+            plain.rounds_played / timings["plain"]
+        ),
+        "live_rounds_per_second": (
+            live.rounds_played / timings["live"]
+        ),
+        "obs_overhead": (
+            (timings["live"] / max(1, live.rounds_played))
+            / (timings["plain"] / max(1, plain.rounds_played))
+        ),
+        "peak_rss_mb": _peak_rss_mb(profiler),
+        "total_measurements": plain.total_measurements,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench",
-                        choices=("selector", "engine", "scenario", "dynamics"),
+                        choices=("selector", "engine", "scenario", "dynamics",
+                                 "obs"),
                         default="selector",
                         help="selector = DP microbench (default); "
                              "engine = scalar vs batched round throughput; "
@@ -372,6 +465,8 @@ def main(argv=None):
             scenario, seed=args.seed, scale=args.scale,
             workers=args.engine_workers,
         )
+    elif args.bench == "obs":
+        entry = run_obs(scale=args.scale, seed=args.seed)
     elif args.scale == "tiny":
         entry = run(n_tasks=12, instances=5, repeats=2, seed=args.seed)
     else:
@@ -456,6 +551,17 @@ def main(argv=None):
             f"churn {entry['churn_rounds_per_second']:.2f} rounds/s vs "
             f"closed {entry['baseline_rounds_per_second']:.2f} rounds/s "
             f"-> per-round overhead {entry['dynamics_overhead']:.2f}x "
+            f"(peak RSS {entry['peak_rss_mb']:.0f} MiB, "
+            f"{entry['total_measurements']} measurements)"
+        )
+    elif args.bench == "obs":
+        speedup = None
+        print(
+            f"{entry['n_users']} users x {entry['n_tasks']} tasks x "
+            f"{entry['rounds']} rounds: "
+            f"plain {entry['plain_rounds_per_second']:.2f} rounds/s vs "
+            f"live {entry['live_rounds_per_second']:.2f} rounds/s "
+            f"-> per-round overhead {entry['obs_overhead']:.2f}x "
             f"(peak RSS {entry['peak_rss_mb']:.0f} MiB, "
             f"{entry['total_measurements']} measurements)"
         )

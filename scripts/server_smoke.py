@@ -4,10 +4,18 @@
 Boots a real server process, then drives the happy path and the two
 control paths CI most needs to guard:
 
-1. submit the ``city-2k`` scenario and tail its NDJSON events to the
+1. scrape ``/metrics`` on the idle server (twice — the scrapes must be
+   byte-identical) and require the queue/job series to exist;
+2. submit the ``city-2k`` scenario and tail its NDJSON events to the
    terminal ``job_state`` line;
-2. submit a second, deliberately long job and cancel it mid-run;
-3. SIGTERM the server and require a clean exit within a deadline.
+3. submit a second, deliberately long job, require its live progress
+   gauges to appear on ``/metrics`` and then cancel it mid-run;
+4. re-scrape ``/metrics`` and hard-fail unless the job-state gauges and
+   submission counters reflect the work that just happened;
+5. merge the first job's cross-process trace shards into one Chrome
+   trace (uploaded as a CI artifact) and render one ``repro jobs top``
+   frame;
+6. SIGTERM the server and require a clean exit within a deadline.
 
 Every phase runs under a wall-clock budget — a hang anywhere exits
 non-zero, so the CI job fails instead of idling until the runner
@@ -27,6 +35,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.obs.live import metric_value, parse_prometheus  # noqa: E402
 from repro.server.client import ServerClient, ServerUnavailable  # noqa: E402
 
 #: Long enough (~10s) that the cancel provably lands mid-run.
@@ -116,11 +125,33 @@ def main():
     print("OK: server smoke test passed")
 
 
+def scrape(client):
+    status, text = client.metrics()
+    expect(status == 200, f"/metrics returned {status}")
+    return text
+
+
 def run_smoke(root):
     phase = Phase("boot", 30)
     client = wait_healthy(root, phase)
     status, doc = client.readyz()
     expect(status == 200, f"readyz {status}: {doc}")
+
+    phase = Phase("idle /metrics scrape", 30)
+    first_text = scrape(client)
+    expect(first_text == scrape(client),
+           "two idle /metrics scrapes differ — exposition is not "
+           "deterministic")
+    idle = parse_prometheus(first_text)
+    expect(metric_value(idle, "repro_queue_depth") == 0.0,
+           "idle scrape missing repro_queue_depth == 0")
+    expect(metric_value(idle, "repro_running_jobs") == 0.0,
+           "idle scrape missing repro_running_jobs == 0")
+    for state in ("queued", "running", "done", "failed", "cancelled",
+                  "timed_out"):
+        expect(metric_value(idle, "repro_jobs", state=state) == 0.0,
+               f"idle scrape missing repro_jobs{{state={state}}} == 0")
+    print("idle scrapes byte-identical; queue/job series present")
 
     phase = Phase("submit + tail city-2k", 120)
     status, body, _ = client.submit({"scenario": "city-2k"})
@@ -142,7 +173,7 @@ def run_smoke(root):
     expect(rounds >= 1, "no round events streamed")
     print(f"tailed {rounds} rounds to state={terminal['state']}")
 
-    phase = Phase("cancel second job mid-run", 120)
+    phase = Phase("live progress gauges + cancel second job mid-run", 120)
     status, body, _ = client.submit(SLOW_JOB)
     expect(status == 201, f"second submit returned {status}: {body}")
     second_id = body["job"]["job_id"]
@@ -153,6 +184,32 @@ def run_smoke(root):
         expect(not doc["job"]["terminal"],
                f"second job terminal before cancel: {doc['job']}")
         phase.sleep()
+    # The worker writes progress.json after every round; its gauges
+    # must surface for this job id while it is still running.
+    while True:
+        live = parse_prometheus(scrape(client))
+        round_no = metric_value(live, "repro_job_round", job=second_id)
+        if round_no is not None:
+            break
+        phase.sleep()
+    expect(round_no >= 1, f"repro_job_round is {round_no}, wanted >= 1")
+    expect(metric_value(live, "repro_job_rounds_total", job=second_id) == 80.0,
+           "repro_job_rounds_total missing or wrong for the running job")
+    expect(metric_value(live, "repro_job_budget", job=second_id) == 1e7,
+           "repro_job_budget missing or wrong for the running job")
+    spend = metric_value(live, "repro_job_spend", job=second_id)
+    expect(spend is not None and spend >= 0.0,
+           f"repro_job_spend is {spend}, wanted a gauge")
+    expect(metric_value(live, "repro_job_completeness",
+                        job=second_id) is not None,
+           "repro_job_completeness missing for the running job")
+    expect(metric_value(live, "repro_running_jobs") == 1.0,
+           "repro_running_jobs should be 1 during the slow job")
+    status, doc = client.progress(second_id)
+    expect(status == 200 and doc["progress"] is not None,
+           f"progress endpoint returned {status}: {doc}")
+    print(f"live gauges present at round {round_no:.0f} "
+          f"(spend {spend:.0f})")
     status, doc = client.cancel(second_id)
     expect(status == 202, f"cancel returned {status}: {doc}")
     while True:
@@ -165,10 +222,67 @@ def run_smoke(root):
     print(f"cancelled {second_id} mid-run "
           f"(error={doc['job']['error']!r})")
 
+    phase = Phase("post-work /metrics scrape", 30)
+    done = parse_prometheus(scrape(client))
+    expect(metric_value(done, "repro_jobs", state="done") == 1.0,
+           "repro_jobs{state=done} should be 1 after city-2k")
+    expect(metric_value(done, "repro_jobs", state="cancelled") == 1.0,
+           "repro_jobs{state=cancelled} should be 1 after the cancel")
+    expect(metric_value(done, "repro_running_jobs") == 0.0,
+           "repro_running_jobs should be back to 0")
+    accepted = metric_value(done, "repro_submissions_total",
+                            outcome="accepted")
+    expect(accepted == 2.0,
+           f"repro_submissions_total{{outcome=accepted}} is {accepted}, "
+           f"wanted 2")
+    attempts = metric_value(done, "repro_attempt_seconds_count")
+    expect(attempts is not None and attempts >= 2.0,
+           f"repro_attempt_seconds_count is {attempts}, wanted >= 2")
+    print("post-work scrape consistent with the job table")
+
+    phase = Phase("trace merge + jobs top frame", 60)
+    trace_dir = root / "jobs" / job_id / "trace"
+    merged_path = root.parent / "merged_trace.json"
+    code = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "trace", "merge",
+         str(trace_dir), "--out", str(merged_path)],
+        env=_cli_env(),
+    ).returncode
+    expect(code == 0, f"repro trace merge exited {code}")
+    merged = json.loads(merged_path.read_text())
+    processes = merged["otherData"]["processes"]
+    expect("server" in processes and "worker-a1" in processes,
+           f"merged trace misses a process: {processes}")
+    expect(any(e.get("name") == "supervise"
+               for e in merged["traceEvents"]),
+           "merged trace has no supervise span")
+    print(f"merged {merged['otherData']['shards']} shards "
+          f"({len(merged['traceEvents'])} events) -> {merged_path}")
+
+    top = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "jobs", "top",
+         "--root", str(root), "--iterations", "1", "--no-clear"],
+        env=_cli_env(), capture_output=True, text=True,
+    )
+    expect(top.returncode == 0,
+           f"repro jobs top exited {top.returncode}: {top.stderr}")
+    expect("queue=" in top.stdout and job_id in top.stdout,
+           f"jobs top frame incomplete:\n{top.stdout}")
+    print("jobs top rendered one frame")
+
     status, doc = client.list_jobs()
     print("final job table:")
     for view in doc["jobs"]:
         print(f"  {json.dumps(view, sort_keys=True)}")
+
+
+def _cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return env
 
 
 if __name__ == "__main__":

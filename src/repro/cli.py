@@ -188,6 +188,19 @@ def build_parser() -> argparse.ArgumentParser:
     trace_sum.add_argument("path", help="a trace file (Chrome JSON or JSONL)")
     trace_sum.add_argument("--precision", type=int, default=3,
                            help="decimal places in the printed table")
+    trace_merge = trace_sub.add_parser(
+        "merge", parents=[common],
+        help="stitch per-process trace shards into one Chrome trace",
+    )
+    trace_merge.add_argument(
+        "paths", nargs="+",
+        help="trace shard files (*.trace.jsonl), or directories to scan "
+             "for them — e.g. a job's trace/ directory",
+    )
+    trace_merge.add_argument(
+        "--out", required=True, metavar="FILE",
+        help="output Chrome trace JSON (load in Perfetto / chrome://tracing)",
+    )
 
     show = sub.add_parser("show", parents=[common],
                           help="render a saved experiment JSON")
@@ -376,6 +389,20 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_tail.add_argument("--no-follow", action="store_true",
                            help="dump what exists and exit instead of "
                                 "following to the terminal state")
+
+    jobs_top = jobs_sub.add_parser(
+        "top", parents=[common, server_flag],
+        help="live dashboard: queue + running jobs with round progress, "
+             "spend, ETA, and a completeness sparkline per job",
+    )
+    jobs_top.add_argument("--interval", type=float, default=1.0,
+                          metavar="SECONDS",
+                          help="seconds between refreshes (default 1.0)")
+    jobs_top.add_argument("--iterations", type=int, default=None, metavar="N",
+                          help="stop after N frames (default: run until ^C)")
+    jobs_top.add_argument("--no-clear", action="store_true",
+                          help="print frames one after another instead of "
+                               "redrawing in place (for logs/pipes)")
     return parser
 
 
@@ -637,7 +664,45 @@ def _command_simulate(args: argparse.Namespace, command: Optional[str] = None) -
     return 0
 
 
+def _command_trace_merge(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.obs.trace import merge_traces
+
+    shards = []
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            shards.extend(sorted(path.glob("*.trace.jsonl")))
+        else:
+            shards.append(path)
+    if not shards:
+        print("error: no trace shards found", file=sys.stderr)
+        return 2
+    try:
+        payload = merge_traces(shards)
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(_json.dumps(payload, indent=1))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    other = payload["otherData"]
+    print(
+        f"merged {len(shards)} shard(s), "
+        f"{len(payload['traceEvents'])} event(s), "
+        f"trace id {other['trace_id']} -> {args.out}"
+    )
+    for process in other["processes"]:
+        parent = other["parents"].get(process) or "-"
+        print(f"  {process} (parent span: {parent})")
+    return 0
+
+
 def _command_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "merge":
+        return _command_trace_merge(args)
     from repro.obs.metrics import Histogram
     from repro.obs.trace import load_trace, summarize
 
@@ -673,6 +738,10 @@ def _command_trace(args: argparse.Namespace) -> int:
                         f" p50={histogram.percentile(50.0):.4g}"
                         f" p95={histogram.percentile(95.0):.4g}"
                     )
+                else:
+                    # percentile() is None on an empty histogram;
+                    # render a placeholder instead of "None"/crashing.
+                    value += " p50=- p95=-"
             else:
                 value = state.get("value")
             counter_rows.append([series, kind, value])
@@ -912,6 +981,49 @@ def _parse_override_flags(pairs: List[str]) -> dict:
     return overrides
 
 
+def _command_jobs_top(args: argparse.Namespace, client) -> int:
+    """Redraw a metrics-fed dashboard until ^C (or --iterations frames).
+
+    Each frame is one ``/metrics`` scrape plus one job listing; the
+    per-job sparkline accumulates the completeness gauge across frames,
+    so history lives client-side and the server stays stateless.
+    """
+    import time as _time
+
+    from repro.obs.live import metric_value, parse_prometheus, render_top_frame
+
+    history: dict = {}
+    frame_no = 0
+    try:
+        while True:
+            status, text = client.metrics()
+            if status != 200:
+                print(f"error: GET /metrics -> HTTP {status}", file=sys.stderr)
+                return 1
+            parsed = parse_prometheus(text)
+            status, body = client.list_jobs()
+            jobs = body.get("jobs", []) if status == 200 else []
+            for job in jobs:
+                if job["state"] != "running":
+                    continue
+                done = metric_value(
+                    parsed, "repro_job_completeness", job=job["job_id"]
+                )
+                if done is not None:
+                    history.setdefault(job["job_id"], []).append(done)
+            frame = render_top_frame(parsed, jobs, history)
+            if not args.no_clear and frame_no:
+                # Home the cursor and clear below it: repaint in place.
+                sys.stdout.write("\x1b[H\x1b[J")
+            print(frame, flush=True)
+            frame_no += 1
+            if args.iterations is not None and frame_no >= args.iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _command_jobs(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -990,6 +1102,9 @@ def _command_jobs(args: argparse.Namespace) -> int:
                 sys.stderr.close()
                 return 0
             return 0
+
+        if args.jobs_command == "top":
+            return _command_jobs_top(args, client)
     except ServerUnavailable as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -28,13 +28,28 @@ a run with full observability enabled produces bit-identical simulated
 numbers to a run with none.
 """
 
+from repro.obs.live import (
+    JobProgress,
+    ProgressWriter,
+    format_number,
+    metric_value,
+    parse_prometheus,
+    progress_gauges,
+    render_prometheus,
+    render_top_frame,
+    sparkline,
+)
 from repro.obs.log import (
     JsonFormatter,
     KeyValueFormatter,
+    LOG_JSON_ENV,
+    LOG_LEVEL_ENV,
     bind,
     configure_logging,
+    configure_logging_from_env,
     current_context,
     get_logger,
+    logging_environment,
     verbosity_to_level,
 )
 from repro.obs.manifest import (
@@ -87,17 +102,36 @@ from repro.obs.trace import (
     PhaseSummary,
     SpanRecord,
     SpanTracer,
+    TraceContext,
+    TraceShardWriter,
     load_trace,
+    merge_traces,
+    read_trace_shard,
     summarize,
+    trace_id_for_job,
+    write_merged_trace,
 )
 
 __all__ = [
+    "JobProgress",
+    "ProgressWriter",
+    "format_number",
+    "metric_value",
+    "parse_prometheus",
+    "progress_gauges",
+    "render_prometheus",
+    "render_top_frame",
+    "sparkline",
     "JsonFormatter",
     "KeyValueFormatter",
+    "LOG_JSON_ENV",
+    "LOG_LEVEL_ENV",
     "bind",
     "configure_logging",
+    "configure_logging_from_env",
     "current_context",
     "get_logger",
+    "logging_environment",
     "verbosity_to_level",
     "RunManifest",
     "build_manifest",
@@ -136,6 +170,12 @@ __all__ = [
     "PhaseSummary",
     "SpanRecord",
     "SpanTracer",
+    "TraceContext",
+    "TraceShardWriter",
     "load_trace",
+    "merge_traces",
+    "read_trace_shard",
     "summarize",
+    "trace_id_for_job",
+    "write_merged_trace",
 ]

@@ -32,6 +32,12 @@ from typing import Any, Dict, Iterator, Optional, TextIO
 #: Root of the library's logger tree; every get_logger() name hangs off it.
 ROOT_LOGGER_NAME = "repro"
 
+#: Environment carriers for the logging mode, so subprocesses (the job
+#: service's workers) inherit the parent's format and level instead of
+#: silently reverting to key=value warnings.
+LOG_JSON_ENV = "REPRO_LOG_JSON"
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
 #: The ambient structured context attached to every log record.
 _CONTEXT: contextvars.ContextVar[Dict[str, Any]] = contextvars.ContextVar(
     "repro_log_context", default={}
@@ -172,4 +178,48 @@ def configure_logging(
     # The library's records stop here; the application root keeps its
     # own handlers for its own loggers.
     root.propagate = False
+    return root
+
+
+def logging_environment() -> Dict[str, str]:
+    """The current logging mode as subprocess environment variables.
+
+    Inspects the handler :func:`configure_logging` installed (format and
+    level) so a parent can hand its exact mode to child processes — the
+    supervisor merges this into every worker launch.  Returns an empty
+    mapping when logging was never configured.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in root.handlers:
+        if getattr(handler, "_repro_obs_handler", False):
+            return {
+                LOG_JSON_ENV: (
+                    "1" if isinstance(handler.formatter, JsonFormatter) else "0"
+                ),
+                LOG_LEVEL_ENV: str(root.getEffectiveLevel()),
+            }
+    return {}
+
+
+def configure_logging_from_env(
+    environ: Optional[Dict[str, str]] = None,
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """Configure logging from :func:`logging_environment` variables.
+
+    The subprocess half of log-mode propagation: workers call this at
+    startup so their per-attempt ``worker.log`` lines match the parent
+    server's format (``--log-json``) and level.  Absent or malformed
+    variables fall back to the defaults (key=value, warnings only).
+    """
+    import os
+
+    environ = os.environ if environ is None else environ
+    json_output = environ.get(LOG_JSON_ENV, "0") in ("1", "true", "yes")
+    try:
+        level = int(environ.get(LOG_LEVEL_ENV, str(logging.WARNING)))
+    except ValueError:
+        level = logging.WARNING
+    root = configure_logging(json_output=json_output, stream=stream)
+    root.setLevel(level)
     return root

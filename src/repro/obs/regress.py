@@ -267,6 +267,15 @@ BENCH_SPECS: Dict[str, MetricSpec] = {
     # churn-on wall time over churn-off wall time: growing means the
     # dynamics path itself got slower relative to the closed world.
     "dynamics_overhead": MetricSpec("dynamics_overhead", "higher-is-worse"),
+    "plain_rounds_per_second": MetricSpec(
+        "plain_rounds_per_second", "lower-is-worse"
+    ),
+    "live_rounds_per_second": MetricSpec(
+        "live_rounds_per_second", "lower-is-worse"
+    ),
+    # live-layer-on per-round wall time over bare: growing means the
+    # tracing + progress plumbing itself got more expensive.
+    "obs_overhead": MetricSpec("obs_overhead", "higher-is-worse"),
 }
 
 

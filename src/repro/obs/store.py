@@ -482,6 +482,9 @@ BENCH_VALUE_FIELDS = (
     "churn_rounds_per_second",
     "baseline_rounds_per_second",
     "dynamics_overhead",
+    "plain_rounds_per_second",
+    "live_rounds_per_second",
+    "obs_overhead",
 )
 
 

@@ -25,15 +25,29 @@ to an untraced one (pinned by ``tests/simulation/test_tracing.py``).
 
 :func:`summarize` aggregates a written trace file back into per-phase
 timing rows — the engine behind ``repro trace summarize``.
+
+**Cross-process stitching** (the job service's live-operations layer):
+a :class:`TraceContext` — trace id, parent span id, shard directory —
+travels through environment variables from the server's supervisor into
+the worker subprocess and on into the sharded selection pool's worker
+processes.  Each process writes its own JSONL *shard*
+(:class:`TraceShardWriter` appends spans as they finish, so even a
+SIGKILLed process leaves its completed spans behind), and
+:func:`merge_traces` rebases every shard onto the shared wall clock
+(``epoch_unix``) and emits one Chrome trace in which worker and shard
+spans sit inside the server's ``supervise`` span — one trace id, one
+timeline (``repro trace merge``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 
 class _NullSpan:
@@ -127,6 +141,10 @@ class SpanTracer:
 
     def __init__(self, metadata: Optional[Mapping[str, Any]] = None):
         self.epoch = perf_counter()
+        #: Wall-clock time at the perf_counter epoch: spans are recorded
+        #: relative to ``epoch``, so ``epoch_unix + span.start`` is an
+        #: absolute timestamp — what cross-process merging rebases on.
+        self.epoch_unix = time.time()
         self.spans: List[SpanRecord] = []
         self.metadata: Dict[str, Any] = dict(metadata or {})
         # The stack of open span names.  Its length is the depth; its top
@@ -164,7 +182,12 @@ class SpanTracer:
         path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("w") as handle:
             handle.write(json.dumps(
-                {"kind": "meta", "format": "repro-trace", **self.metadata}
+                {
+                    "kind": "meta",
+                    "format": "repro-trace",
+                    "epoch_unix": self.epoch_unix,
+                    **self.metadata,
+                }
             ) + "\n")
             for record in sorted(self.spans, key=lambda s: s.start):
                 handle.write(json.dumps({
@@ -300,8 +323,311 @@ def load_trace(path: Union[str, Path]) -> Dict[str, Any]:
             raise ValueError(f"{path}: unexpected trace line kind "
                              f"{entry.get('kind')!r}")
         spans.append((entry["name"], float(entry["duration"])))
-    metadata = {k: v for k, v in meta.items() if k not in ("kind", "format")}
+    metadata = {
+        k: v
+        for k, v in meta.items()
+        if k not in ("kind", "format", "epoch_unix")
+    }
     return {"spans": spans, "counters": {}, "metadata": metadata}
+
+
+# -- cross-process trace stitching --------------------------------------
+
+TRACE_ID_ENV = "REPRO_TRACE_ID"
+TRACE_PARENT_ENV = "REPRO_TRACE_PARENT_SPAN"
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+TRACE_PROCESS_ENV = "REPRO_TRACE_PROCESS"
+
+
+def trace_id_for_job(job_id: str) -> str:
+    """A deterministic 16-hex-digit trace id for one job.
+
+    Derived from the job id alone, so a SIGKILLed-and-recovered job's
+    new supervise attempt lands in the *same* trace as the shards its
+    first life wrote — restarts extend a trace, they never fork one.
+
+    >>> trace_id_for_job("job-000001") == trace_id_for_job("job-000001")
+    True
+    """
+    digest = hashlib.sha256(f"repro-job:{job_id}".encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The trace lineage one process hands to the processes it spawns.
+
+    Travels by environment variables (:meth:`to_env` /
+    :meth:`from_env`): server → supervisor-launched worker → fork-pool
+    shard workers (fork children inherit the worker's environ).  The
+    context carries *identity only* — each process still records its
+    own spans into its own shard file under ``trace_dir``.
+    """
+
+    trace_id: str
+    trace_dir: str
+    parent_span_id: str = ""
+    process: str = "main"
+
+    def to_env(self) -> Dict[str, str]:
+        return {
+            TRACE_ID_ENV: self.trace_id,
+            TRACE_DIR_ENV: self.trace_dir,
+            TRACE_PARENT_ENV: self.parent_span_id,
+            TRACE_PROCESS_ENV: self.process,
+        }
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> Optional["TraceContext"]:
+        """The context in ``environ`` (default ``os.environ``), or None."""
+        if environ is None:
+            import os
+
+            environ = os.environ
+        trace_id = environ.get(TRACE_ID_ENV, "")
+        trace_dir = environ.get(TRACE_DIR_ENV, "")
+        if not trace_id or not trace_dir:
+            return None
+        return cls(
+            trace_id=trace_id,
+            trace_dir=trace_dir,
+            parent_span_id=environ.get(TRACE_PARENT_ENV, ""),
+            process=environ.get(TRACE_PROCESS_ENV, "main"),
+        )
+
+    def child(
+        self, process: str, parent_span_id: Optional[str] = None
+    ) -> "TraceContext":
+        """The context for a process this one spawns."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            trace_dir=self.trace_dir,
+            parent_span_id=(
+                self.parent_span_id
+                if parent_span_id is None
+                else parent_span_id
+            ),
+            process=process,
+        )
+
+    def shard_path(self, name: Optional[str] = None) -> Path:
+        """This process's shard file under ``trace_dir``."""
+        return Path(self.trace_dir) / f"{name or self.process}.trace.jsonl"
+
+    def metadata(self) -> Dict[str, Any]:
+        """The meta-line fields a shard written under this context carries."""
+        return {
+            "trace_id": self.trace_id,
+            "process": self.process,
+            "parent_span_id": self.parent_span_id,
+        }
+
+
+class TraceShardWriter:
+    """A tracer that streams each finished span straight to a JSONL shard.
+
+    Same ``span()`` interface as :class:`SpanTracer`, different
+    durability contract: pooled or supervised processes can be killed at
+    any moment, so spans hit the file (meta line first, then one line
+    per finished span, flushed) instead of accumulating in memory.  The
+    file format matches :meth:`SpanTracer.write_jsonl`, so
+    :func:`load_trace`, :func:`summarize`, and :func:`merge_traces` read
+    shards and in-memory exports interchangeably.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        metadata: Optional[Mapping[str, Any]] = None,
+    ):
+        self.path = Path(path)
+        self.epoch = perf_counter()
+        self.epoch_unix = time.time()
+        self.metadata: Dict[str, Any] = dict(metadata or {})
+        self._stack: List[str] = []
+        self._handle = None
+
+    def span(self, name: str, cat: str = "", **args: Any) -> _Span:
+        return _Span(self, name, cat, args)
+
+    @property
+    def current_span_name(self) -> str:
+        try:
+            return self._stack[-1]
+        except IndexError:
+            return ""
+
+    def _enter(self, name: str) -> int:
+        depth = len(self._stack)
+        self._stack.append(name)
+        return depth
+
+    def _exit(self, record: SpanRecord) -> None:
+        self._stack.pop()
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._handle = self.path.open("a")
+            if fresh:
+                self._handle.write(json.dumps(
+                    {
+                        "kind": "meta",
+                        "format": "repro-trace",
+                        "epoch_unix": self.epoch_unix,
+                        **self.metadata,
+                    }
+                ) + "\n")
+        self._handle.write(json.dumps({
+            "kind": "span",
+            "name": record.name,
+            "cat": record.cat,
+            "start": record.start,
+            "duration": record.duration,
+            "depth": record.depth,
+            "args": record.args,
+        }) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceShardWriter({str(self.path)!r})"
+
+
+def read_trace_shard(path: Union[str, Path]) -> Dict[str, Any]:
+    """One JSONL shard as ``{"meta": {...}, "spans": [span-dicts]}``.
+
+    Raises:
+        ValueError: for a file that is not a repro JSONL trace.
+    """
+    path = Path(path)
+    lines = [
+        line for line in path.read_text().splitlines() if line.strip()
+    ]
+    if not lines:
+        raise ValueError(f"{path}: empty trace shard")
+    meta = json.loads(lines[0])
+    if meta.get("kind") != "meta" or meta.get("format") != "repro-trace":
+        raise ValueError(f"{path}: not a repro trace file")
+    spans = []
+    for line in lines[1:]:
+        entry = json.loads(line)
+        if entry.get("kind") != "span":
+            raise ValueError(
+                f"{path}: unexpected trace line kind {entry.get('kind')!r}"
+            )
+        spans.append(entry)
+    return {"meta": meta, "spans": spans}
+
+
+def merge_traces(paths: Iterable[Union[str, Path]]) -> Dict[str, Any]:
+    """Stitch per-process JSONL shards into one Chrome trace payload.
+
+    Every shard's spans are rebased from its own ``perf_counter`` epoch
+    onto the shared wall clock (``epoch_unix``, written by every shard
+    writer), so spans from different processes line up on one timeline:
+    the server's ``supervise`` span visibly contains the worker's
+    ``run``/``round`` spans, which contain the pool's ``shard-select``
+    spans.  Each source process becomes its own named thread of a
+    single merged process (``ph: "M"`` metadata events carry the
+    names), and the shared trace id lands in ``otherData``.
+
+    Raises:
+        ValueError: for no shards, a shard without a trace id, or
+            shards from different traces (merging unrelated jobs is a
+            mistake, not a union).
+    """
+    shards = []
+    for path in sorted(Path(p) for p in paths):
+        loaded = read_trace_shard(path)
+        loaded["path"] = path
+        shards.append(loaded)
+    if not shards:
+        raise ValueError("no trace shards to merge")
+    trace_ids = {s["meta"].get("trace_id") for s in shards}
+    if None in trace_ids or "" in trace_ids:
+        missing = [
+            str(s["path"]) for s in shards if not s["meta"].get("trace_id")
+        ]
+        raise ValueError(
+            f"shard(s) without a trace_id cannot be merged: "
+            f"{', '.join(missing)}"
+        )
+    if len(trace_ids) > 1:
+        raise ValueError(
+            f"refusing to merge shards from different traces: "
+            f"{', '.join(sorted(trace_ids))}"
+        )
+    trace_id = trace_ids.pop()
+    base = min(float(s["meta"].get("epoch_unix", 0.0)) for s in shards)
+    processes = sorted(
+        {str(s["meta"].get("process", "main")) for s in shards}
+    )
+    tid_of = {process: tid for tid, process in enumerate(processes, start=1)}
+
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": f"repro trace {trace_id}"},
+        }
+    ]
+    for process in processes:
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid_of[process],
+            "args": {"name": process},
+        })
+    lineage = {}
+    for shard in shards:
+        meta = shard["meta"]
+        process = str(meta.get("process", "main"))
+        lineage[process] = meta.get("parent_span_id", "")
+        offset = float(meta.get("epoch_unix", 0.0)) - base
+        tid = tid_of[process]
+        for span in shard["spans"]:
+            events.append({
+                "name": span["name"],
+                "cat": span.get("cat") or "repro",
+                "ph": "X",
+                "ts": round((offset + float(span["start"])) * 1e6, 3),
+                "dur": round(float(span["duration"]) * 1e6, 3),
+                "pid": 1,
+                "tid": tid,
+                "args": span.get("args", {}),
+            })
+    events.sort(key=lambda e: (e["ph"] != "M", e.get("ts", 0.0), e["tid"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_id": trace_id,
+            "processes": processes,
+            "parents": lineage,
+            "shards": len(shards),
+        },
+    }
+
+
+def write_merged_trace(
+    out: Union[str, Path], paths: Iterable[Union[str, Path]]
+) -> Path:
+    """Write :func:`merge_traces` output as one Chrome trace file."""
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(merge_traces(paths), indent=1))
+    return out
 
 
 def summarize(path: Union[str, Path]) -> List[PhaseSummary]:

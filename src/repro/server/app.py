@@ -38,7 +38,9 @@ import signal
 from pathlib import Path
 from typing import AsyncIterator, Optional, Set, Union
 
+from repro.obs.live import JobProgress, progress_gauges, render_prometheus
 from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.resilience.cancel import FileToken
 from repro.server.http import HttpServer, Request, Response, Router
 from repro.server.jobs import Job, JobJournal, JobState, TERMINAL_STATES
@@ -103,7 +105,15 @@ class JobService:
         self.journal = JobJournal(self.root / "journal.jsonl")
         self.queue = BoundedJobQueue(queue_limit)
         self.watermark = MemoryWatermark(memory_limit_bytes)
+        #: Process-lifetime counters and histograms behind GET /metrics.
+        #: Gauges (queue depth, per-state jobs, job progress) are *not*
+        #: kept here — they are recomputed from the journal and progress
+        #: files at scrape time, so a restarted server never
+        #: double-counts terminal jobs.
+        self.metrics = MetricsRegistry()
         self.supervisor = supervisor or WorkerSupervisor(max_attempts=max_attempts)
+        if self.supervisor.metrics is None:
+            self.supervisor.metrics = self.metrics
         self.http = HttpServer(self._build_router(), host=host, port=port)
 
         self._ready = False
@@ -270,6 +280,7 @@ class JobService:
             job.transition(JobState.CANCELLED)
             self.journal.record_state(job)
             self._shed_count += 1
+            self.metrics.counter("repro_shed_jobs_total").inc()
             log.warning(
                 "shed queued job under memory pressure",
                 extra={"job": victim_id, "priority": job.priority},
@@ -315,10 +326,12 @@ class JobService:
         try:
             parsed = parse_submission(body)
         except InvalidSubmission as exc:
+            self._count_submission("invalid")
             return 400, exc.as_dict(), {}
 
         existing = self.journal.by_fingerprint(parsed.fingerprint)
         if existing is not None:
+            self._count_submission("deduplicated")
             return (
                 200,
                 {"deduplicated": True, "job": existing.public_view()},
@@ -326,9 +339,11 @@ class JobService:
             )
 
         if self._stopping:
+            self._count_submission("refused_stopping")
             return 503, {"error": "shutting down"}, {}
         admission = self._admit()
         if not admission:
+            self._count_submission("refused_queue_full")
             return (
                 429,
                 {
@@ -352,6 +367,7 @@ class JobService:
         self._materialise_job_dir(job)
         self.journal.record_submitted(job)
         self.queue.offer(job.job_id, job.priority)
+        self._count_submission("accepted")
         self._wake.set()
         log.info(
             "job accepted",
@@ -420,12 +436,69 @@ class JobService:
         router = Router()
         router.add("GET", "/healthz", self._handle_healthz)
         router.add("GET", "/readyz", self._handle_readyz)
+        router.add("GET", "/metrics", self._handle_metrics)
         router.add("POST", "/jobs", self._handle_submit)
         router.add("GET", "/jobs", self._handle_list)
         router.add("GET", "/jobs/{job_id}", self._handle_status)
         router.add("POST", "/jobs/{job_id}/cancel", self._handle_cancel)
         router.add("GET", "/jobs/{job_id}/events", self._handle_events)
+        router.add("GET", "/jobs/{job_id}/progress", self._handle_progress)
         return router
+
+    # -- live operations -------------------------------------------------
+
+    def _count_submission(self, outcome: str) -> None:
+        self.metrics.counter("repro_submissions_total", outcome=outcome).inc()
+
+    def _metrics_snapshot(self) -> MetricsRegistry:
+        """The scrape-time registry: process counters + derived gauges.
+
+        Counters and histograms come from the process-lifetime registry
+        (submissions, sheds, crash retries, attempt latency); everything
+        gauge-shaped is *recomputed* — queue depth and running count
+        from the live structures, per-state job gauges from the
+        journal's job table (which the recovery path rebuilds, so a
+        SIGKILL + restart never double-counts terminal jobs), and
+        per-job progress gauges from the running jobs' progress files.
+        """
+        snapshot = MetricsRegistry().merge(self.metrics)
+        snapshot.gauge("repro_queue_depth").set(len(self.queue))
+        snapshot.gauge("repro_running_jobs").set(len(self._running))
+        for state in JobState:
+            snapshot.gauge("repro_jobs", state=state.value).set(0)
+        for job in self.journal.jobs.values():
+            gauge = snapshot.gauge("repro_jobs", state=job.state.value)
+            gauge.set(gauge.value + 1)
+        for job_id in sorted(self._running):
+            progress = JobProgress.read(self.job_dir(job_id))
+            if progress is not None:
+                progress_gauges(snapshot, progress)
+        return snapshot
+
+    async def _handle_metrics(self, request: Request) -> Response:
+        text = render_prometheus(self._metrics_snapshot())
+        return Response(
+            200,
+            text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    async def _handle_progress(self, request: Request) -> Response:
+        job_id = request.params["job_id"]
+        job = self.journal.jobs.get(job_id)
+        if job is None:
+            return Response.json(
+                404, {"error": "no such job", "job_id": job_id}
+            )
+        progress = JobProgress.read(self.job_dir(job_id))
+        return Response.json(
+            200,
+            {
+                "job_id": job_id,
+                "state": job.state.value,
+                "progress": progress.as_dict() if progress else None,
+            },
+        )
 
     async def _handle_healthz(self, request: Request) -> Response:
         # Liveness only: if this handler runs, the loop is alive.

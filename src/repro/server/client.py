@@ -126,6 +126,19 @@ class ServerClient:
         status, doc, _ = self._json_call("POST", f"/jobs/{job_id}/cancel")
         return status, doc
 
+    def metrics(self) -> Tuple[int, str]:
+        """GET /metrics; returns (status, raw exposition text)."""
+        status, _, response = self._request("GET", "/metrics")
+        try:
+            raw = response.read()
+        finally:
+            response.close()
+        return status, raw.decode("utf-8", "replace")
+
+    def progress(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        status, doc, _ = self._json_call("GET", f"/jobs/{job_id}/progress")
+        return status, doc
+
     def tail(
         self, job_id: str, follow: bool = True, timeout: float = 600.0
     ) -> Iterator[Dict[str, Any]]:

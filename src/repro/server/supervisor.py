@@ -39,7 +39,9 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
-from repro.obs.log import get_logger
+from repro.obs.log import get_logger, logging_environment
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanTracer, TraceContext, trace_id_for_job
 from repro.resilience.cancel import FileToken
 from repro.resilience.retry import backoff_delays
 from repro.server import worker as worker_mod
@@ -50,6 +52,16 @@ log = get_logger("server.supervisor")
 #: Extra wall-clock slack the watchdog grants past the cooperative
 #: deadline before tripping the cancel file itself.
 WATCHDOG_SLACK_SECONDS = 2.0
+
+#: Attempt-latency histogram bounds (seconds): jobs run seconds to
+#: many minutes, not the sub-second TIME_BUCKETS defaults.
+ATTEMPT_SECONDS_BUCKETS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+    60.0, 120.0, 300.0, 600.0, 1800.0,
+)
+
+#: The per-job trace shard directory name (under the job dir).
+TRACE_DIR_NAME = "trace"
 
 
 def worker_environment(extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
@@ -85,6 +97,8 @@ class WorkerSupervisor:
         rng: injectable randomness for the jitter schedule (tests pin
             it; production uses a fresh :class:`random.Random`).
         clock: injectable monotonic clock.
+        metrics: optional registry for attempt-latency histograms and
+            crash-retry counters (the owning service shares its own).
     """
 
     def __init__(
@@ -96,6 +110,7 @@ class WorkerSupervisor:
         env: Optional[Dict[str, str]] = None,
         rng: Optional[random.Random] = None,
         clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -106,6 +121,7 @@ class WorkerSupervisor:
         self.env = worker_environment(env)
         self.rng = rng if rng is not None else random.Random()
         self.clock = clock
+        self.metrics = metrics
         #: Live worker processes by job id (for shutdown).
         self.processes: Dict[str, asyncio.subprocess.Process] = {}
 
@@ -121,11 +137,48 @@ class WorkerSupervisor:
 
         ``job`` must currently be QUEUED; ``record`` is called after
         every transition (the service's journaling hook).
+
+        The whole drive — every attempt, every backoff — runs inside
+        one ``supervise`` span; the trace context (deterministic trace
+        id, shard directory) rides the worker environment so the worker
+        and its selection-pool processes write shards into the same
+        trace (``repro trace merge`` stitches them).
         """
         deadline_at: Optional[float] = (
             self.clock() + job.timeout if job.timeout is not None else None
         )
         delays = self._delays()
+        trace = TraceContext(
+            trace_id=trace_id_for_job(job.job_id),
+            trace_dir=str(job_dir / TRACE_DIR_NAME),
+            parent_span_id="supervise",
+            process="server",
+        )
+        tracer = SpanTracer(metadata={**trace.metadata(), "job_id": job.job_id})
+        try:
+            with tracer.span("supervise", cat="server", job=job.job_id):
+                await self._drive(
+                    job, job_dir, record, deadline_at, delays, trace, tracer
+                )
+        finally:
+            try:
+                tracer.write_jsonl(trace.shard_path("server"))
+            except OSError:  # pragma: no cover - tracing is advisory
+                log.warning(
+                    "could not write server trace shard",
+                    extra={"job": job.job_id},
+                )
+
+    async def _drive(
+        self,
+        job: Job,
+        job_dir: Path,
+        record: Callable[[Job], None],
+        deadline_at: Optional[float],
+        delays: List[float],
+        trace: TraceContext,
+        tracer: SpanTracer,
+    ) -> None:
         while True:
             if self._cancel_requested(job_dir):
                 job.error = self._cancel_reason(job_dir)
@@ -146,7 +199,17 @@ class WorkerSupervisor:
                     record(job)
                     return
 
-            returncode = await self._run_attempt(job, job_dir, remaining)
+            started = self.clock()
+            with tracer.span(
+                "attempt", cat="server", job=job.job_id, attempt=job.attempts
+            ):
+                returncode = await self._run_attempt(
+                    job, job_dir, remaining, trace=trace
+                )
+            if self.metrics is not None:
+                self.metrics.histogram(
+                    "repro_attempt_seconds", bounds=ATTEMPT_SECONDS_BUCKETS
+                ).observe(self.clock() - started)
             terminal = self._apply_exit(job, job_dir, returncode)
             if terminal:
                 record(job)
@@ -166,6 +229,8 @@ class WorkerSupervisor:
                 )
                 return
 
+            if self.metrics is not None:
+                self.metrics.counter("repro_crash_retries_total").inc()
             job.transition(JobState.QUEUED)
             record(job)
             delay = delays[job.attempts - 1]
@@ -217,10 +282,20 @@ class WorkerSupervisor:
         return FileToken(job_dir / "cancel").reason or "cancelled"
 
     async def _run_attempt(
-        self, job: Job, job_dir: Path, remaining: Optional[float]
+        self,
+        job: Job,
+        job_dir: Path,
+        remaining: Optional[float],
+        trace: Optional[TraceContext] = None,
     ) -> int:
         """One worker launch; returns its exit code (external timeout
-        included: a watchdog-killed worker reports as timed out)."""
+        included: a watchdog-killed worker reports as timed out).
+
+        The child environment carries the parent's logging mode
+        (:func:`logging_environment`) and, when supervised under a
+        trace, the job's :class:`TraceContext` — both read back by the
+        worker at startup.
+        """
         args = [
             sys.executable,
             "-m",
@@ -231,13 +306,19 @@ class WorkerSupervisor:
         ]
         if remaining is not None:
             args.extend(["--deadline", f"{remaining:.3f}"])
+        env = dict(self.env)
+        env.update(logging_environment())
+        if trace is not None:
+            env.update(
+                trace.child(f"worker-a{job.attempts}").to_env()
+            )
         log_path = job_dir / "worker.log"
         with log_path.open("ab") as log_handle:
             proc = await asyncio.create_subprocess_exec(
                 *args,
                 stdout=log_handle,
                 stderr=log_handle,
-                env=self.env,
+                env=env,
             )
             self.processes[job.job_id] = proc
             try:

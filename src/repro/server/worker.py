@@ -54,7 +54,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Union
 
-from repro.obs.log import configure_logging, get_logger
+from repro.obs.log import configure_logging_from_env, get_logger
 from repro.resilience.cancel import (
     CompositeToken,
     DeadlineToken,
@@ -241,6 +241,8 @@ def _maybe_crash_injector(job_id: str, attempt: int):
 def run_job(job_dir: Path, attempt: int, deadline: Optional[float]) -> int:
     """Execute the job in ``job_dir``; returns the process exit code."""
     from repro.metrics import MetricsSummary
+    from repro.obs.live import ProgressWriter
+    from repro.obs.trace import SpanTracer, TraceContext
     from repro.server.validate import InvalidSubmission, parse_submission
     from repro.simulation import make_engine
 
@@ -262,9 +264,33 @@ def run_job(job_dir: Path, attempt: int, deadline: Optional[float]) -> int:
         tokens.append(DeadlineToken(deadline))
     cancel = CompositeToken(tokens)
 
-    engine = make_engine(config, cancel=cancel)
+    # The supervisor hands down a trace context (trace id + shard dir)
+    # via the environment; inside it the worker records its engine spans
+    # and leaves a shard next to the server's supervise span.  The
+    # sharded selection pool's fork children inherit the same variables.
+    trace_ctx = TraceContext.from_env(os.environ)
+    tracer = None
+    engine_kwargs = {"cancel": cancel}
+    if trace_ctx is not None:
+        tracer = SpanTracer(
+            metadata={**trace_ctx.metadata(), "job_id": job_id,
+                      "attempt": attempt}
+        )
+        engine_kwargs["tracer"] = tracer
+
+    engine = make_engine(config, **engine_kwargs)
     writer = ResumingRoundWriter(job_dir / "events.jsonl", engine.world)
     engine.observers.append(writer)
+    # Progress after the events append: a snapshot never gets ahead of
+    # the durable round history.
+    engine.observers.append(ProgressWriter(
+        job_dir,
+        job_id,
+        rounds_total=config.rounds,
+        budget=config.budget,
+        n_tasks=len(engine.world.tasks),
+        attempt=attempt,
+    ))
     injector = _maybe_crash_injector(job_id, attempt)
     if injector is not None:
         engine.observers.append(injector)
@@ -272,7 +298,6 @@ def run_job(job_dir: Path, attempt: int, deadline: Optional[float]) -> int:
     try:
         result = engine.run()
     except OperationCancelled as exc:
-        writer.close()
         log.info(
             "worker cancelled cooperatively",
             extra={"job": job_id, "reason": exc.reason},
@@ -280,6 +305,12 @@ def run_job(job_dir: Path, attempt: int, deadline: Optional[float]) -> int:
         return EXIT_TIMED_OUT if exc.reason == "timeout" else EXIT_CANCELLED
     finally:
         writer.close()
+        if tracer is not None and trace_ctx is not None:
+            try:
+                tracer.write_jsonl(trace_ctx.shard_path())
+            except OSError:  # pragma: no cover - tracing is advisory
+                log.warning("could not write worker trace shard",
+                            extra={"job": job_id})
 
     summary = MetricsSummary.from_result(result)
     _write_result(job_dir, job_id, parsed, summary, result)
@@ -354,7 +385,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--deadline", type=float, default=None,
                         help="remaining wall-clock budget in seconds")
     args = parser.parse_args(argv)
-    configure_logging(verbosity=0)
+    # Inherit the server's logging mode (format + level) from the
+    # environment the supervisor injected, instead of hardcoding the
+    # default key=value/WARNING config.
+    configure_logging_from_env()
+    log.info(
+        "worker starting",
+        extra={"job_dir": args.job_dir, "attempt": args.attempt},
+    )
     return run_job(Path(args.job_dir), args.attempt, args.deadline)
 
 

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import os
 import pickle
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -53,6 +54,7 @@ import numpy as np
 
 from repro.geometry.point import Point
 from repro.obs.metrics import Histogram
+from repro.obs.trace import NULL_TRACER, TraceContext, TraceShardWriter
 from repro.resilience.errors import ConfigError
 from repro.selection import Selection
 
@@ -116,9 +118,26 @@ def _attach_blocks(specs: Dict[str, Tuple[str, tuple, str]]) -> Tuple[dict, dict
 
 
 def _worker_init(payload: dict) -> None:
-    """Build the per-worker state: shared views + the selector."""
+    """Build the per-worker state: shared views + the selector.
+
+    When the owning process carries a :class:`TraceContext` (a job
+    supervised under the live-operations layer), every pool worker
+    opens its own per-process trace shard — ``shard-<pid>.trace.jsonl``
+    in the job's trace directory — and records one span per shard
+    solve, streamed to disk as it finishes.
+    """
     global _STATE
     blocks, arrays = _attach_blocks(payload["blocks"])
+    tracer = NULL_TRACER
+    trace_env = payload.get("trace")
+    if trace_env:
+        ctx = TraceContext.from_env(trace_env)
+        if ctx is not None:
+            name = f"shard-{os.getpid()}"
+            shard_ctx = ctx.child(name, parent_span_id="select")
+            tracer = TraceShardWriter(
+                shard_ctx.shard_path(), metadata=shard_ctx.metadata()
+            )
     _STATE = {
         "blocks": blocks,
         "arrays": arrays,
@@ -127,6 +146,7 @@ def _worker_init(payload: dict) -> None:
         "dtype": np.dtype(payload["dtype"]),
         "chunk_elements": payload["chunk_elements"],
         "chunk_bytes": payload["chunk_bytes"],
+        "tracer": tracer,
     }
 
 
@@ -192,23 +212,27 @@ def _worker_select(job: dict) -> Tuple[List[Selection], dict]:
         for row in rows.tolist()
     ]
     selector = state["selector"]
+    tracer = state.get("tracer", NULL_TRACER)
     latency = Histogram()
     selections: List[Selection] = []
     calls = 0
     wall = 0.0
-    for user, problem in problems.iter_problems(
-        users, origins=positions[rows], budgets=budgets[rows]
+    with tracer.span(
+        "shard-select", cat="shard", users=len(users), tasks=len(tasks)
     ):
-        if problem.size == 0:
-            selections.append(Selection.empty())
-            continue
-        started = perf_counter()
-        selection = selector.select(problem)
-        elapsed = perf_counter() - started
-        calls += 1
-        wall += elapsed
-        latency.observe(elapsed)
-        selections.append(selection)
+        for user, problem in problems.iter_problems(
+            users, origins=positions[rows], budgets=budgets[rows]
+        ):
+            if problem.size == 0:
+                selections.append(Selection.empty())
+                continue
+            started = perf_counter()
+            selection = selector.select(problem)
+            elapsed = perf_counter() - started
+            calls += 1
+            wall += elapsed
+            latency.observe(elapsed)
+            selections.append(selection)
     consume = getattr(selector, "consume_round_fallbacks", None)
     fallbacks = consume() if consume is not None else 0
     states = 0
@@ -264,6 +288,10 @@ class ShardedSelectionPool:
         self._shms: List[shared_memory.SharedMemory] = []
         self._generation = 0
         self._publish_world()
+        # Hand the owning process's trace context (if any) to the pool
+        # explicitly: fork children would inherit the environment anyway,
+        # but spawn children would not.
+        trace_ctx = TraceContext.from_env()
         payload = {
             "blocks": self._block_specs,
             "generation": self._generation,
@@ -271,6 +299,7 @@ class ShardedSelectionPool:
             "dtype": str(engine._dtype),
             "chunk_elements": engine.chunk_elements,
             "chunk_bytes": engine.chunk_bytes,
+            "trace": trace_ctx.to_env() if trace_ctx is not None else None,
         }
         try:
             context = multiprocessing.get_context("fork")

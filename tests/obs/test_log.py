@@ -124,3 +124,69 @@ class TestFormatters:
     def test_json_formatter_handles_unserialisable_values(self):
         payload = json.loads(JsonFormatter().format(_record("msg", obj=object())))
         assert payload["obj"].startswith("<object")
+
+
+class TestLogModePropagation:
+    # Also rolled back by the autouse _restore_repro_logger fixture.
+
+    def test_unconfigured_logging_exports_nothing(self):
+        root = logging.getLogger("repro")
+        saved = list(root.handlers)
+        root.handlers = [
+            h for h in saved if not getattr(h, "_repro_obs_handler", False)
+        ]
+        try:
+            from repro.obs.log import logging_environment
+
+            assert logging_environment() == {}
+        finally:
+            root.handlers = saved
+
+    def test_environment_reflects_json_mode_and_level(self):
+        from repro.obs.log import (
+            LOG_JSON_ENV,
+            LOG_LEVEL_ENV,
+            logging_environment,
+        )
+
+        stream = io.StringIO()
+        configure_logging(verbosity=1, json_output=True, stream=stream)
+        env = logging_environment()
+        assert env[LOG_JSON_ENV] == "1"
+        assert env[LOG_LEVEL_ENV] == str(logging.INFO)
+        configure_logging(stream=stream)
+        assert logging_environment()[LOG_JSON_ENV] == "0"
+
+    def test_round_trip_through_a_child_configuration(self):
+        from repro.obs.log import (
+            configure_logging_from_env,
+            logging_environment,
+        )
+
+        parent_stream = io.StringIO()
+        configure_logging(verbosity=2, json_output=True, stream=parent_stream)
+        env = logging_environment()
+        child_stream = io.StringIO()
+        root = configure_logging_from_env(env, stream=child_stream)
+        assert root.getEffectiveLevel() == logging.DEBUG
+        get_logger("worker").debug("child line", extra={"attempt": 1})
+        payload = json.loads(child_stream.getvalue().strip())
+        assert payload["message"] == "child line"
+        assert payload["attempt"] == 1
+
+    def test_malformed_level_falls_back_to_warning(self):
+        from repro.obs.log import (
+            LOG_JSON_ENV,
+            LOG_LEVEL_ENV,
+            configure_logging_from_env,
+        )
+
+        stream = io.StringIO()
+        root = configure_logging_from_env(
+            {LOG_JSON_ENV: "nope", LOG_LEVEL_ENV: "loud"}, stream=stream,
+        )
+        assert root.getEffectiveLevel() == logging.WARNING
+        get_logger("x").warning("kv line")
+        assert "kv line" in stream.getvalue()
+        # "nope" is not a truthy flag: key=value format, not JSON.
+        assert not stream.getvalue().lstrip().startswith("{")

@@ -101,6 +101,23 @@ class TestHistogramPercentile:
     def test_empty_histogram_has_no_percentiles(self):
         assert Histogram(bounds=(1.0,)).percentile(50.0) is None
 
+    def test_empty_histogram_has_no_edge_percentiles_either(self):
+        histogram = Histogram(bounds=(1.0,))
+        assert histogram.percentile(0.0) is None
+        assert histogram.percentile(100.0) is None
+
+    def test_single_bucket_single_observation(self):
+        histogram = Histogram(bounds=(10.0,))
+        histogram.observe(4.0)
+        # Every quantile of one sample is that sample.
+        for q in (0.0, 1.0, 50.0, 100.0):
+            assert histogram.percentile(q) == pytest.approx(4.0)
+
+    def test_q_one_stays_within_the_lowest_mass(self):
+        histogram = self._uniform()
+        value = histogram.percentile(1.0)
+        assert 2.0 <= value <= 10.0
+
     def test_q_out_of_range_rejected(self):
         histogram = self._uniform()
         for q in (-1.0, 101.0):

@@ -1,4 +1,4 @@
-"""Tests for the span tracer: null tracer, exports, summarize."""
+"""Tests for the span tracer: null tracer, exports, stitching, summarize."""
 
 import json
 
@@ -7,8 +7,18 @@ import pytest
 from repro.obs.trace import (
     NULL_TRACER,
     SpanTracer,
+    TRACE_DIR_ENV,
+    TRACE_ID_ENV,
+    TRACE_PARENT_ENV,
+    TRACE_PROCESS_ENV,
+    TraceContext,
+    TraceShardWriter,
     load_trace,
+    merge_traces,
+    read_trace_shard,
     summarize,
+    trace_id_for_job,
+    write_merged_trace,
 )
 
 
@@ -91,6 +101,190 @@ class TestSpanTracer:
         jsonl = load_trace(tracer.write_jsonl(tmp_path / "t.jsonl"))
         names = lambda loaded: sorted(name for name, _ in loaded["spans"])  # noqa: E731
         assert names(chrome) == names(jsonl)
+
+
+class TestTraceContext:
+    def test_trace_id_is_deterministic_per_job(self):
+        assert trace_id_for_job("job-000001") == trace_id_for_job("job-000001")
+        assert trace_id_for_job("job-000001") != trace_id_for_job("job-000002")
+        assert len(trace_id_for_job("job-1")) == 16
+
+    def test_env_round_trip(self):
+        ctx = TraceContext(
+            trace_id="abc123", trace_dir="/tmp/t",
+            parent_span_id="supervise", process="server",
+        )
+        env = ctx.to_env()
+        assert env[TRACE_ID_ENV] == "abc123"
+        assert env[TRACE_DIR_ENV] == "/tmp/t"
+        assert env[TRACE_PARENT_ENV] == "supervise"
+        assert env[TRACE_PROCESS_ENV] == "server"
+        assert TraceContext.from_env(env) == ctx
+
+    def test_from_env_needs_id_and_dir(self):
+        assert TraceContext.from_env({}) is None
+        assert TraceContext.from_env({TRACE_ID_ENV: "abc"}) is None
+        assert TraceContext.from_env({TRACE_DIR_ENV: "/tmp"}) is None
+
+    def test_child_keeps_the_trace_and_renames_the_process(self):
+        ctx = TraceContext("t1", "/dir", parent_span_id="supervise")
+        child = ctx.child("worker-a1")
+        assert child.trace_id == "t1"
+        assert child.process == "worker-a1"
+        assert child.parent_span_id == "supervise"
+        grandchild = child.child("shard-9", parent_span_id="select")
+        assert grandchild.parent_span_id == "select"
+
+    def test_shard_path_is_named_after_the_process(self, tmp_path):
+        ctx = TraceContext("t1", str(tmp_path), process="worker-a1")
+        assert ctx.shard_path().name == "worker-a1.trace.jsonl"
+        assert ctx.shard_path("custom").name == "custom.trace.jsonl"
+
+
+class TestTraceShardWriter:
+    def _shard(self, tmp_path, process="server", trace_id="t1"):
+        ctx = TraceContext(trace_id, str(tmp_path), process=process)
+        writer = TraceShardWriter(ctx.shard_path(), metadata=ctx.metadata())
+        return ctx, writer
+
+    def test_spans_stream_to_disk_immediately(self, tmp_path):
+        _, writer = self._shard(tmp_path)
+        with writer.span("supervise", cat="server", job="j1"):
+            pass
+        # Before close(): the span must already be durable (SIGKILL-safe).
+        loaded = read_trace_shard(writer.path)
+        assert loaded["meta"]["trace_id"] == "t1"
+        assert [s["name"] for s in loaded["spans"]] == ["supervise"]
+        writer.close()
+
+    def test_shards_are_load_trace_compatible(self, tmp_path):
+        _, writer = self._shard(tmp_path)
+        with writer.span("run"):
+            with writer.span("round", round=1):
+                pass
+        writer.close()
+        loaded = load_trace(writer.path)
+        assert sorted(name for name, _ in loaded["spans"]) == ["round", "run"]
+        rows = {row.name: row for row in summarize(writer.path)}
+        assert rows["round"].count == 1
+
+    def test_tracks_nesting_like_the_span_tracer(self, tmp_path):
+        _, writer = self._shard(tmp_path)
+        assert writer.current_span_name == ""
+        with writer.span("outer"):
+            assert writer.current_span_name == "outer"
+            with writer.span("inner"):
+                assert writer.current_span_name == "inner"
+        writer.close()
+        spans = read_trace_shard(writer.path)["spans"]
+        depths = {s["name"]: s["depth"] for s in spans}
+        assert depths == {"outer": 0, "inner": 1}
+
+    def test_reopening_appends_instead_of_rewriting_meta(self, tmp_path):
+        ctx, writer = self._shard(tmp_path)
+        with writer.span("first"):
+            pass
+        writer.close()
+        again = TraceShardWriter(ctx.shard_path(), metadata=ctx.metadata())
+        with again.span("second"):
+            pass
+        again.close()
+        loaded = read_trace_shard(ctx.shard_path())
+        assert [s["name"] for s in loaded["spans"]] == ["first", "second"]
+
+    def test_empty_shard_rejected_by_reader(self, tmp_path):
+        path = tmp_path / "x.trace.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_trace_shard(path)
+
+
+class TestMergeTraces:
+    def _write_shard(self, tmp_path, process, epoch_unix, spans,
+                     trace_id="t1", parent=""):
+        """A hand-built shard: (name, start, duration) triples."""
+        path = tmp_path / f"{process}.trace.jsonl"
+        lines = [json.dumps({
+            "kind": "meta", "format": "repro-trace",
+            "epoch_unix": epoch_unix, "trace_id": trace_id,
+            "process": process, "parent_span_id": parent,
+        })]
+        for name, start, duration in spans:
+            lines.append(json.dumps({
+                "kind": "span", "name": name, "cat": "test",
+                "start": start, "duration": duration, "depth": 0,
+                "args": {},
+            }))
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_rebases_shards_onto_one_wall_clock(self, tmp_path):
+        server = self._write_shard(
+            tmp_path, "server", 1000.0, [("supervise", 0.0, 10.0)],
+        )
+        worker = self._write_shard(
+            tmp_path, "worker-a1", 1002.0, [("run", 0.0, 6.0)],
+            parent="supervise",
+        )
+        payload = merge_traces([server, worker])
+        x_events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in x_events}
+        supervise, run = by_name["supervise"], by_name["run"]
+        # worker epoch is 2 s after the server's: its span shifts right
+        # and lands inside the supervise span.
+        assert run["ts"] == supervise["ts"] + 2e6
+        assert supervise["ts"] <= run["ts"]
+        assert run["ts"] + run["dur"] <= supervise["ts"] + supervise["dur"]
+
+    def test_each_process_is_a_named_thread(self, tmp_path):
+        paths = [
+            self._write_shard(tmp_path, "server", 0.0, [("a", 0, 1)]),
+            self._write_shard(tmp_path, "worker-a1", 0.0, [("b", 0, 1)]),
+        ]
+        payload = merge_traces(paths)
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert set(names.values()) == {"server", "worker-a1"}
+        assert payload["otherData"]["processes"] == ["server", "worker-a1"]
+
+    def test_lineage_lands_in_other_data(self, tmp_path):
+        paths = [
+            self._write_shard(tmp_path, "server", 0.0, [("a", 0, 1)]),
+            self._write_shard(
+                tmp_path, "worker-a1", 0.0, [("b", 0, 1)],
+                parent="supervise",
+            ),
+        ]
+        payload = merge_traces(paths)
+        assert payload["otherData"]["trace_id"] == "t1"
+        assert payload["otherData"]["parents"]["worker-a1"] == "supervise"
+
+    def test_mixed_trace_ids_refused(self, tmp_path):
+        paths = [
+            self._write_shard(tmp_path, "a", 0.0, [("x", 0, 1)], trace_id="t1"),
+            self._write_shard(tmp_path, "b", 0.0, [("y", 0, 1)], trace_id="t2"),
+        ]
+        with pytest.raises(ValueError, match="different traces"):
+            merge_traces(paths)
+
+    def test_shard_without_trace_id_refused(self, tmp_path):
+        path = self._write_shard(tmp_path, "a", 0.0, [("x", 0, 1)], trace_id="")
+        with pytest.raises(ValueError, match="without a trace_id"):
+            merge_traces([path])
+
+    def test_no_shards_refused(self):
+        with pytest.raises(ValueError, match="no trace shards"):
+            merge_traces([])
+
+    def test_write_merged_trace_is_a_chrome_file(self, tmp_path):
+        shard = self._write_shard(tmp_path, "server", 0.0, [("a", 0, 1)])
+        out = write_merged_trace(tmp_path / "merged.json", [shard])
+        payload = json.loads(out.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert {"traceEvents", "otherData"} <= set(payload)
 
 
 class TestSummarize:

@@ -136,3 +136,47 @@ class TestWorkerKnobValidation:
         # in-process path (shared arrays were copied back private).
         record = engine.step()
         assert record.round_no == 2
+
+
+class TestShardTracePropagation:
+    def test_pool_workers_write_trace_shards(self, tmp_path, monkeypatch):
+        from repro.obs.trace import (
+            TRACE_DIR_ENV,
+            TRACE_ID_ENV,
+            merge_traces,
+            read_trace_shard,
+        )
+
+        monkeypatch.setenv(TRACE_ID_ENV, "feedcafe00000001")
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        config = preset_config("city-2k")
+        engine = BatchedSimulationEngine(config, workers=2)
+        try:
+            engine.run()
+        finally:
+            engine.close()
+        shards = sorted(tmp_path.glob("shard-*.trace.jsonl"))
+        assert shards, "pool workers wrote no trace shards"
+        for shard in shards:
+            loaded = read_trace_shard(shard)
+            assert loaded["meta"]["trace_id"] == "feedcafe00000001"
+            assert loaded["meta"]["parent_span_id"] == "select"
+            assert all(
+                span["name"] == "shard-select" for span in loaded["spans"]
+            )
+        payload = merge_traces(shards)
+        assert payload["otherData"]["trace_id"] == "feedcafe00000001"
+
+    def test_pool_is_silent_without_a_trace_context(self, tmp_path,
+                                                    monkeypatch):
+        from repro.obs.trace import TRACE_DIR_ENV, TRACE_ID_ENV
+
+        monkeypatch.delenv(TRACE_ID_ENV, raising=False)
+        monkeypatch.delenv(TRACE_DIR_ENV, raising=False)
+        config = preset_config("city-2k")
+        engine = BatchedSimulationEngine(config, workers=2)
+        try:
+            engine.run()
+        finally:
+            engine.close()
+        assert not list(tmp_path.glob("*.trace.jsonl"))

@@ -195,6 +195,68 @@ class TestTrace:
         with pytest.raises(ValueError, match="not a repro trace"):
             main(["trace", "summarize", str(bogus)])
 
+    def test_summarize_renders_dash_for_empty_histogram(self, capsys,
+                                                        tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import SpanTracer
+
+        registry = MetricsRegistry()
+        registry.histogram("never_observed", bounds=(1.0,))
+        tracer = SpanTracer()
+        with tracer.span("run"):
+            pass
+        path = tracer.write_chrome(
+            tmp_path / "t.json", counters=registry.as_dict()
+        )
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "p50=- p95=-" in out
+        assert "None" not in out
+
+
+class TestTraceMerge:
+    def _shard(self, directory, process, trace_id="cafe0123deadbeef"):
+        from repro.obs.trace import TraceContext, TraceShardWriter
+
+        ctx = TraceContext(trace_id, str(directory), process=process)
+        writer = TraceShardWriter(ctx.shard_path(), metadata=ctx.metadata())
+        with writer.span("work", cat="test"):
+            pass
+        writer.close()
+        return ctx.shard_path()
+
+    def test_merges_a_directory_of_shards(self, capsys, tmp_path):
+        self._shard(tmp_path, "server")
+        self._shard(tmp_path, "worker-a1")
+        out = tmp_path / "merged.json"
+        assert main(["trace", "merge", str(tmp_path), "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "cafe0123deadbeef" in stdout
+        assert "2 shard(s)" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["otherData"]["processes"] == ["server", "worker-a1"]
+
+    def test_explicit_shard_paths_work_too(self, capsys, tmp_path):
+        first = self._shard(tmp_path, "server")
+        out = tmp_path / "merged.json"
+        assert main(["trace", "merge", str(first), "--out", str(out)]) == 0
+        assert json.loads(out.read_text())["displayTimeUnit"] == "ms"
+
+    def test_mixed_trace_ids_fail_with_exit_2(self, capsys, tmp_path):
+        self._shard(tmp_path, "a", trace_id="1111111111111111")
+        self._shard(tmp_path, "b", trace_id="2222222222222222")
+        out = tmp_path / "merged.json"
+        assert main(["trace", "merge", str(tmp_path), "--out", str(out)]) == 2
+        assert "different traces" in capsys.readouterr().err
+
+    def test_empty_directory_fails_with_exit_2(self, capsys, tmp_path):
+        (tmp_path / "void").mkdir()
+        out = tmp_path / "merged.json"
+        assert main(
+            ["trace", "merge", str(tmp_path / "void"), "--out", str(out)]
+        ) == 2
+        assert "no trace shards" in capsys.readouterr().err
+
 
 class TestRun:
     def test_run_prints_rows_and_saves(self, capsys, tmp_path, monkeypatch):

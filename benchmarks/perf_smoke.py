@@ -419,11 +419,88 @@ def run_obs(scale="tiny", seed=0):
     }
 
 
+def run_env(scale="tiny", seed=0):
+    """Session-stepping overhead: ``simulate()`` vs an actionless session.
+
+    Runs one engine-bench world twice — once through the run-to-
+    completion entry point and once stepped round by round through
+    :func:`~repro.simulation.session.open_session` with an ``observe()``
+    before every ``step()`` (the environment's access pattern) — and
+    reports the per-round wall ratio as ``session_overhead``.  The two
+    histories must agree on measurements and payout: the session is the
+    same kernel, so any drift is a bug, and any overhead beyond ~1.1x
+    means the session shell (snapshot building, cache bookkeeping) has
+    started costing real time.
+    """
+    from repro.obs.profiler import ResourceProfiler
+    from repro.simulation import SimulationConfig, open_session, simulate
+
+    dims = ENGINE_SCALES[scale]
+    config = SimulationConfig(
+        n_users=dims["n_users"],
+        n_tasks=dims["n_tasks"],
+        rounds=dims["rounds"],
+        area_side=dims["area_side"],
+        budget=dims["budget"],
+        deadline_range=(dims["rounds"], dims["rounds"]),
+        user_time_budget=600.0,
+        selector="greedy",
+        mechanism="on-demand",
+        stream_rounds=True,
+        engine="batched",
+        seed=seed,
+    )
+    profiler = ResourceProfiler(interval=0.05).start()
+    try:
+        started = time.perf_counter()
+        direct = simulate(config)
+        direct_wall = time.perf_counter() - started
+        started = time.perf_counter()
+        with open_session(config) as session:
+            while not session.finished:
+                session.observe()
+                session.step()
+            stepped = session.result()
+        session_wall = time.perf_counter() - started
+    finally:
+        profiler.stop()
+    assert direct.total_measurements == stepped.total_measurements, (
+        f"session drifted from simulate(): {direct.total_measurements} "
+        f"vs {stepped.total_measurements} measurements"
+    )
+    assert abs(direct.total_paid - stepped.total_paid) < 1e-9, (
+        f"session drifted from simulate(): paid {direct.total_paid} "
+        f"vs {stepped.total_paid}"
+    )
+    return {
+        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "bench": "env",
+        "n_users": config.n_users,
+        "n_tasks": config.n_tasks,
+        "rounds": config.rounds,
+        "seed": seed,
+        "simulate_rounds_per_second": (
+            direct.rounds_played / direct_wall
+        ),
+        "session_rounds_per_second": (
+            stepped.rounds_played / session_wall
+        ),
+        "session_overhead": (
+            (session_wall / max(1, stepped.rounds_played))
+            / (direct_wall / max(1, direct.rounds_played))
+        ),
+        "peak_rss_mb": _peak_rss_mb(profiler),
+        "total_measurements": direct.total_measurements,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench",
                         choices=("selector", "engine", "scenario", "dynamics",
-                                 "obs"),
+                                 "obs", "env"),
                         default="selector",
                         help="selector = DP microbench (default); "
                              "engine = scalar vs batched round throughput; "
@@ -467,6 +544,8 @@ def main(argv=None):
         )
     elif args.bench == "obs":
         entry = run_obs(scale=args.scale, seed=args.seed)
+    elif args.bench == "env":
+        entry = run_env(scale=args.scale, seed=args.seed)
     elif args.scale == "tiny":
         entry = run(n_tasks=12, instances=5, repeats=2, seed=args.seed)
     else:
@@ -562,6 +641,17 @@ def main(argv=None):
             f"plain {entry['plain_rounds_per_second']:.2f} rounds/s vs "
             f"live {entry['live_rounds_per_second']:.2f} rounds/s "
             f"-> per-round overhead {entry['obs_overhead']:.2f}x "
+            f"(peak RSS {entry['peak_rss_mb']:.0f} MiB, "
+            f"{entry['total_measurements']} measurements)"
+        )
+    elif args.bench == "env":
+        speedup = None
+        print(
+            f"{entry['n_users']} users x {entry['n_tasks']} tasks x "
+            f"{entry['rounds']} rounds: "
+            f"simulate {entry['simulate_rounds_per_second']:.2f} rounds/s vs "
+            f"session {entry['session_rounds_per_second']:.2f} rounds/s "
+            f"-> per-round overhead {entry['session_overhead']:.2f}x "
             f"(peak RSS {entry['peak_rss_mb']:.0f} MiB, "
             f"{entry['total_measurements']} measurements)"
         )

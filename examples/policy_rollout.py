@@ -1,0 +1,101 @@
+"""Learned incentive policies: session stepping, the env, and deployment.
+
+Three stages of the same idea, all through the public facade:
+
+1. drive a simulation round by round with ``open_session`` and verify
+   the actionless session replays ``simulate()`` bit-identically;
+2. tune a per-round incentive policy by random search in the
+   ``IncentiveEnv`` (no gymnasium required — pure ``reset``/``step``);
+3. deploy the tuned policy as a regular mechanism via
+   ``mechanism="policy"`` and compare it against the paper's static
+   AHP pricing over held-out seeds.
+
+Run:  python examples/policy_rollout.py
+"""
+
+import numpy as np
+
+from repro.api import (
+    SimulationConfig,
+    make_env,
+    open_session,
+    overall_completeness,
+    render_table,
+    result_fingerprint,
+    simulate,
+)
+
+BASE = dict(n_users=60, n_tasks=12, rounds=10)
+TRAIN_SEEDS = range(3)
+EVAL_SEEDS = range(10, 15)
+
+
+def main() -> None:
+    # --- 1. Sessions: the same kernel, one round at a time. ------------
+    config = SimulationConfig(seed=0, **BASE)
+    direct = simulate(config)
+    with open_session(config) as session:
+        while not session.finished:
+            snapshot = session.observe()
+            session.step()          # no action: the paper's pricing
+        stepped = session.result()
+    assert result_fingerprint(direct) == result_fingerprint(stepped)
+    print(f"session == simulate: fingerprint "
+          f"{result_fingerprint(stepped)[:16]} "
+          f"(final completeness {snapshot.completeness:.3f})")
+
+    # --- 2. Random-search a constant action in the env. ----------------
+    # The 'incentive' adapter maps [0,1]^5 onto AHP weights, the Eq. 7
+    # ladder step, and the level count; a constant action per episode is
+    # the simplest policy class worth searching.
+    env = make_env(config=SimulationConfig(**BASE), reward="platform-utility")
+    rng = np.random.default_rng(42)
+    best_action, best_score = None, -np.inf
+    for trial in range(20):
+        action = rng.uniform(0.0, 1.0, size=env.action_space.shape)
+        score = 0.0
+        for seed in TRAIN_SEEDS:
+            env.reset(seed=seed)
+            terminated = False
+            while not terminated:
+                _, reward, terminated, _, _ = env.step(action)
+                score += reward
+        if score > best_score:
+            best_action, best_score = action, score
+    env.close()
+    weights = best_action[:3] / best_action[:3].sum()
+    print(f"\nbest constant action after 20 trials "
+          f"(mean utility {best_score / len(TRAIN_SEEDS):.3f}):")
+    print(f"  weights   {np.round(weights, 3).tolist()} "
+          f"(paper AHP: [0.648, 0.230, 0.122])")
+
+    # --- 3. Deploy through MECHANISMS['policy'] and compare. -----------
+    # A callable policy receives the round context and returns an
+    # incentive action; here it replays the tuned constant action.
+    tuned = {
+        "weights": weights.tolist(),
+        "reward_step": float(0.25 + best_action[3] * 3.75) * 0.5,
+    }
+    rows = []
+    for label, overrides in (
+        ("paper AHP", dict(mechanism="on-demand")),
+        ("tuned policy", dict(
+            mechanism="policy",
+            mechanism_kwargs={"policy": lambda ctx: tuned},
+        )),
+    ):
+        completeness, paid = [], []
+        for seed in EVAL_SEEDS:
+            result = simulate(SimulationConfig(seed=seed, **BASE, **overrides))
+            completeness.append(overall_completeness(result))
+            paid.append(result.total_paid)
+        rows.append([label,
+                     f"{np.mean(completeness):.3f}",
+                     f"{np.mean(paid):.1f}"])
+    print()
+    print(f"Held-out seeds {list(EVAL_SEEDS)}:")
+    print(render_table(["mechanism", "completeness", "paid ($)"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -12,10 +12,14 @@ control paths CI most needs to guard:
    gauges to appear on ``/metrics`` and then cancel it mid-run;
 4. re-scrape ``/metrics`` and hard-fail unless the job-state gauges and
    submission counters reflect the work that just happened;
-5. merge the first job's cross-process trace shards into one Chrome
+5. submit a job running the ``policy`` mechanism (a JSON-named policy
+   from the incentive-policy registry wrapped as a regular mechanism)
+   and tail it to ``done`` — the learned-policy path must flow through
+   the job service unchanged;
+6. merge the first job's cross-process trace shards into one Chrome
    trace (uploaded as a CI artifact) and render one ``repro jobs top``
    frame;
-6. SIGTERM the server and require a clean exit within a deadline.
+7. SIGTERM the server and require a clean exit within a deadline.
 
 Every phase runs under a wall-clock budget — a hang anywhere exits
 non-zero, so the CI job fails instead of idling until the runner
@@ -43,6 +47,19 @@ SLOW_JOB = {
     "overrides": {
         "n_users": 2000, "n_tasks": 50, "rounds": 80,
         "budget": 1e7, "arrival": "poisson", "seed": 2,
+    }
+}
+
+#: A wrapped incentive policy as a plain JSON job: the ``policy``
+#: mechanism resolves the named policy from the registry server-side,
+#: so trained/tuned policies ship through the job API unchanged.
+POLICY_JOB = {
+    "overrides": {
+        "mechanism": "policy",
+        "mechanism_kwargs": {
+            "policy": {"name": "step-decay", "decay": 0.9, "floor": 0.1},
+        },
+        "n_users": 200, "n_tasks": 10, "rounds": 5, "seed": 3,
     }
 }
 
@@ -239,6 +256,27 @@ def run_smoke(root):
     expect(attempts is not None and attempts >= 2.0,
            f"repro_attempt_seconds_count is {attempts}, wanted >= 2")
     print("post-work scrape consistent with the job table")
+
+    phase = Phase("submit + tail a policy-mechanism job", 120)
+    status, body, _ = client.submit(POLICY_JOB)
+    expect(status == 201, f"policy submit returned {status}: {body}")
+    policy_id = body["job"]["job_id"]
+    policy_rounds = 0
+    policy_terminal = None
+    for line in client.tail(policy_id, timeout=120):
+        phase.check()
+        if line["kind"] == "round":
+            policy_rounds += 1
+        elif line["kind"] == "job_state":
+            policy_terminal = line
+    expect(policy_terminal is not None,
+           "policy tail ended without a job_state line")
+    expect(policy_terminal["state"] == "done",
+           f"policy job finished {policy_terminal['state']}: "
+           f"{policy_terminal['error']}")
+    expect(policy_rounds >= 1, "policy job streamed no round events")
+    print(f"policy job {policy_id}: {policy_rounds} rounds to "
+          f"state={policy_terminal['state']}")
 
     phase = Phase("trace merge + jobs top frame", 60)
     trace_dir = root / "jobs" / job_id / "trace"

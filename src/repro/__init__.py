@@ -32,6 +32,7 @@ from repro.api import (
     DemandCalculator,
     DemandLevels,
     DemandWeights,
+    IncentiveEnv,
     IncentiveMechanism,
     MetricsSummary,
     MobileUser,
@@ -39,22 +40,31 @@ from repro.api import (
     Point,
     RectRegion,
     RewardSchedule,
+    PolicyMechanism,
     ScenarioSpec,
     Selection,
     Selector,
     SensingTask,
+    ServerClient,
+    SessionObservation,
     SimulationConfig,
     SimulationResult,
+    SimulationSession,
     TaskSelectionProblem,
     World,
     WorldGenerator,
     build_config,
+    connect,
     create_mechanism,
     create_selector,
     experiment_ids,
     load_scenario,
     make_engine,
+    make_env,
+    open_session,
     preset_names,
+    result_fingerprint,
+    round_fingerprint,
     run_experiment,
     save_spec,
     simulate,
@@ -125,6 +135,17 @@ __all__ = [
     "save_spec",
     "simulate",
     "summarize",
+    # sessions, envs, server (repro.api re-exports)
+    "open_session",
+    "SimulationSession",
+    "SessionObservation",
+    "round_fingerprint",
+    "result_fingerprint",
+    "make_env",
+    "IncentiveEnv",
+    "PolicyMechanism",
+    "connect",
+    "ServerClient",
     # concrete classes kept at top level for compatibility
     "SimulationEngine",
     "OnDemandMechanism",

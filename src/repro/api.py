@@ -29,8 +29,21 @@ from typing import Any, Optional, Union
 from repro.core.ahp import PairwiseComparisonMatrix, example_comparison_matrix
 from repro.core.demand import DemandCalculator, DemandWeights, TaskDemandInputs
 from repro.core.levels import DemandLevels
-from repro.core.mechanisms import MECHANISMS, IncentiveMechanism
+from repro.core.mechanisms import (
+    MECHANISMS,
+    POLICIES,
+    IncentiveMechanism,
+    PolicyContext,
+    PolicyMechanism,
+    apply_incentive_action,
+)
 from repro.core.rewards import RewardSchedule
+from repro.envs import (
+    ACTION_ADAPTERS,
+    OBS_BUILDERS,
+    REWARD_FUNCTIONS,
+    IncentiveEnv,
+)
 from repro.dynamics import DynamicsSpec, WorldEvent
 from repro.experiments.registry import experiment_ids, run_experiment
 from repro.geometry import Point, RectRegion
@@ -65,7 +78,17 @@ from repro.selection import (
     Selector,
     TaskSelectionProblem,
 )
-from repro.simulation import SimulationConfig, SimulationResult, make_engine
+from repro.server.client import ServerClient
+from repro.simulation import (
+    SessionObservation,
+    SimulationConfig,
+    SimulationResult,
+    SimulationSession,
+    TaskSnapshot,
+    make_engine,
+    result_fingerprint,
+    round_fingerprint,
+)
 from repro.simulation import simulate as _simulate
 from repro.world import MobileUser, SensingTask, World, WorldGenerator
 
@@ -139,6 +162,89 @@ def simulate(
             close()
 
 
+def open_session(
+    config: Optional[SimulationConfig] = None,
+    *,
+    scenario: Optional[ScenarioLike] = None,
+    workers: Optional[int] = None,
+    observers=(),
+    **overrides: Any,
+) -> SimulationSession:
+    """Open a stepwise simulation session (the interactive ``simulate``).
+
+    Same configuration surface as :func:`simulate` — one of ``config`` /
+    ``scenario`` plus field overrides — but instead of running to
+    completion it returns a :class:`SimulationSession` whose round loop
+    the caller drives: ``observe()`` for a read-only snapshot,
+    ``step(action=None)`` to play one round (optionally retuning the
+    mechanism first), ``result()`` for the history so far, ``close()``
+    (or a ``with`` block) to release engine resources.
+
+    Stepped with no actions, a session replays ``simulate()``
+    bit-identically on every engine (scalar, batched, sharded).
+
+    >>> with open_session(scenario="paper-2018", rounds=3) as session:
+    ...     records = [session.step() for _ in range(3)]
+    >>> [r.round_no for r in records]
+    [1, 2, 3]
+    """
+    if config is not None and scenario is not None:
+        raise ValueError("pass either config or scenario, not both")
+    if config is None:
+        config = build_config(scenario, **overrides)
+    elif overrides:
+        config = config.with_overrides(**overrides)
+    return SimulationSession(config, workers=workers, observers=observers)
+
+
+def make_env(
+    config: Optional[SimulationConfig] = None,
+    *,
+    scenario: Optional[ScenarioLike] = None,
+    obs: Any = "demand-levels",
+    actions: Any = "incentive",
+    reward: Any = "completeness-delta",
+    workers: Optional[int] = None,
+    **overrides: Any,
+) -> IncentiveEnv:
+    """Build an :class:`IncentiveEnv` with the facade's scenario surface.
+
+    One of ``config`` / ``scenario`` plus overrides, exactly like
+    :func:`simulate`; ``obs`` / ``actions`` / ``reward`` select the
+    pluggable pieces by registry name (see :mod:`repro.envs`).
+    """
+    if config is not None and scenario is not None:
+        raise ValueError("pass either config or scenario, not both")
+    if config is None:
+        config = build_config(scenario, **overrides)
+    elif overrides:
+        config = config.with_overrides(**overrides)
+    return IncentiveEnv(
+        config, obs=obs, actions=actions, reward=reward, workers=workers
+    )
+
+
+def connect(target: Union[str, Path], timeout: float = 10.0) -> ServerClient:
+    """A :class:`ServerClient` for a running job service.
+
+    Args:
+        target: ``"host:port"``, an ``http://host:port`` URL, or a
+            server state directory (the client then reads the
+            ``server.json`` the service wrote at startup).
+        timeout: per-request socket timeout in seconds.
+
+    Raises:
+        ServerUnavailable: for a directory target with no readable
+            ``server.json``.
+    """
+    text = str(target)
+    address = text[7:] if text.startswith("http://") else text
+    host, sep, port = address.rpartition(":")
+    if sep and "/" not in port and port.isdigit():
+        return ServerClient(host or "127.0.0.1", int(port), timeout=timeout)
+    return ServerClient.from_root(target, timeout=timeout)
+
+
 def summarize(result: SimulationResult) -> MetricsSummary:
     """The standard metrics digest for a finished run."""
     return MetricsSummary.from_result(result)
@@ -164,6 +270,26 @@ __all__ = [
     "summarize",
     "run_experiment",
     "experiment_ids",
+    # stepwise sessions
+    "open_session",
+    "SimulationSession",
+    "SessionObservation",
+    "TaskSnapshot",
+    "round_fingerprint",
+    "result_fingerprint",
+    # policy environment
+    "make_env",
+    "IncentiveEnv",
+    "OBS_BUILDERS",
+    "ACTION_ADAPTERS",
+    "REWARD_FUNCTIONS",
+    "POLICIES",
+    "PolicyMechanism",
+    "PolicyContext",
+    "apply_incentive_action",
+    # server client
+    "connect",
+    "ServerClient",
     # scenarios
     "PRESETS",
     "get_preset",

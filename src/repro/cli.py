@@ -326,6 +326,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shed lowest-priority queued jobs when the "
                             "server RSS exceeds this (default: no shedding)")
 
+    env = sub.add_parser(
+        "env",
+        help="the Gymnasium-style incentive-policy environment",
+    )
+    env_sub = env.add_subparsers(dest="env_command", required=True)
+    env_rollout = env_sub.add_parser(
+        "rollout", parents=[common],
+        help="roll a policy through IncentiveEnv episodes and print "
+             "per-episode returns (the CI env smoke; needs no gymnasium)",
+    )
+    env_rollout.add_argument("--scenario", metavar="NAME_OR_PATH",
+                             default=None,
+                             help="scenario preset or spec file "
+                                  "(default: the paper config)")
+    env_rollout.add_argument("--policy", choices=["none", "random"],
+                             default="random",
+                             help="'random': uniform samples from the "
+                                  "action space; 'none': step with the "
+                                  "paper's static knobs (default: random)")
+    env_rollout.add_argument("--seeds", type=int, default=3, metavar="N",
+                             help="episodes, seeded 0..N-1 (default 3)")
+    env_rollout.add_argument("--users", type=int, default=None,
+                             help="override n_users")
+    env_rollout.add_argument("--tasks", type=int, default=None,
+                             help="override n_tasks")
+    env_rollout.add_argument("--rounds", type=int, default=None,
+                             help="override the round horizon")
+    env_rollout.add_argument("--obs", default="demand-levels",
+                             help="observation builder name "
+                                  "(default: demand-levels)")
+    env_rollout.add_argument("--actions", default="incentive",
+                             help="action adapter name (default: incentive)")
+    env_rollout.add_argument("--reward", default="completeness-delta",
+                             help="reward function name "
+                                  "(default: completeness-delta)")
+    env_rollout.add_argument("--json", action="store_true",
+                             help="print one JSON object per episode "
+                                  "instead of the table")
+
     jobs = sub.add_parser(
         "jobs",
         help="talk to a running job service (submit, status, cancel, tail)",
@@ -1114,6 +1153,76 @@ def _command_jobs(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+def _command_env(args: argparse.Namespace) -> int:
+    """``repro env rollout`` — seeded episodes through IncentiveEnv.
+
+    Works without gymnasium (the shim action space samples); each
+    episode is fully deterministic in its seed, including the random
+    policy's draws, so CI can pin the printed returns if it wants to.
+    """
+    import json as _json
+
+    import numpy as np
+
+    from repro import api
+
+    overrides = {}
+    if args.users is not None:
+        overrides["n_users"] = args.users
+    if args.tasks is not None:
+        overrides["n_tasks"] = args.tasks
+    if args.rounds is not None:
+        overrides["rounds"] = args.rounds
+    env = api.make_env(
+        scenario=args.scenario,
+        obs=args.obs,
+        actions=args.actions,
+        reward=args.reward,
+        **overrides,
+    )
+    rows = []
+    try:
+        for seed in range(args.seeds):
+            observation, _ = env.reset(seed=seed)
+            draws = np.random.default_rng(seed)
+            episode_return, rounds, paid = 0.0, 0, 0.0
+            terminated = False
+            while not terminated:
+                if args.policy == "random":
+                    action = draws.uniform(
+                        0.0, 1.0, size=env.action_space.shape
+                    ).astype(np.float32)
+                else:
+                    action = np.full(
+                        env.action_space.shape, 0.5, dtype=np.float32
+                    )
+                observation, reward, terminated, _, info = env.step(action)
+                episode_return += reward
+                rounds += 1
+                paid += info["paid"]
+            rows.append({
+                "seed": seed,
+                "rounds": rounds,
+                "return": round(episode_return, 6),
+                "paid": round(paid, 2),
+                "completeness": round(info["completeness"], 4),
+                "fingerprint": env.fingerprint()[:16],
+            })
+    finally:
+        env.close()
+    if args.json:
+        for row in rows:
+            print(_json.dumps(row))
+    else:
+        print(f"{'seed':>4}  {'rounds':>6}  {'return':>10}  "
+              f"{'paid':>10}  {'completeness':>12}  fingerprint")
+        for row in rows:
+            print(f"{row['seed']:>4}  {row['rounds']:>6}  "
+                  f"{row['return']:>10.4f}  {row['paid']:>10.2f}  "
+                  f"{row['completeness']:>12.4f}  {row['fingerprint']}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -1145,6 +1254,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_obs(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "env":
+        return _command_env(args)
     if args.command == "jobs":
         return _command_jobs(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

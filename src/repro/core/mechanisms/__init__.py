@@ -14,6 +14,10 @@ platform publishes in the WST mode (Fig. 1).
   measurements.
 - :class:`~repro.core.mechanisms.proportional.ProportionalDemandMechanism`
   — ablation: continuous demand-to-reward mapping without Table III levels.
+- :class:`~repro.core.mechanisms.policy.PolicyMechanism` — on-demand
+  pricing steered by a callable policy (``MECHANISMS["policy"]``): the
+  AHP weights, :math:`\\lambda`, and level partition become per-round
+  actions (see :mod:`repro.envs` for the training environment).
 """
 
 from repro.core.mechanisms.base import IncentiveMechanism, RoundView
@@ -22,7 +26,16 @@ from repro.core.mechanisms.fixed import FixedMechanism
 from repro.core.mechanisms.steered import SteeredMechanism
 from repro.core.mechanisms.proportional import ProportionalDemandMechanism
 from repro.core.mechanisms.adaptive import AdaptiveBudgetMechanism
-from repro.core.mechanisms.factory import MECHANISMS, make_mechanism, MECHANISM_NAMES
+from repro.core.mechanisms.policy import (
+    POLICIES,
+    IncentiveAction,
+    PolicyContext,
+    PolicyMechanism,
+    apply_incentive_action,
+    resolve_policy,
+)
+from repro.core.mechanisms.registry import MECHANISMS, MECHANISM_NAMES
+from repro.core.mechanisms.factory import make_mechanism
 
 __all__ = [
     "IncentiveMechanism",
@@ -32,6 +45,12 @@ __all__ = [
     "SteeredMechanism",
     "ProportionalDemandMechanism",
     "AdaptiveBudgetMechanism",
+    "PolicyMechanism",
+    "PolicyContext",
+    "IncentiveAction",
+    "apply_incentive_action",
+    "resolve_policy",
+    "POLICIES",
     "make_mechanism",
     "MECHANISMS",
     "MECHANISM_NAMES",

@@ -1,43 +1,21 @@
-"""Mechanism registry: build a mechanism from its name + keyword overrides.
+"""Deprecated shim over :mod:`repro.core.mechanisms.registry`.
 
-Used by the CLI and the experiment harness so a mechanism is always
-addressable by the short name that appears in result rows
-("on-demand", "fixed", "steered", "proportional", "adaptive").
-
-The blessed surface is the :data:`MECHANISMS` registry
-(``MECHANISMS.create(name, **kwargs)`` / ``MECHANISMS.available()``);
-:func:`make_mechanism` remains as a deprecated shim with the old call
-signature.
+The registry itself moved to :mod:`repro.core.mechanisms.registry`
+(also re-exported by :mod:`repro.core.mechanisms`); this module stays
+importable for one more release so old ``from
+repro.core.mechanisms.factory import MECHANISMS`` call sites keep
+working, and :func:`make_mechanism` keeps the legacy call signature
+behind a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import warnings
 
-from repro.core.mechanisms.adaptive import AdaptiveBudgetMechanism
 from repro.core.mechanisms.base import IncentiveMechanism
-from repro.core.mechanisms.fixed import FixedMechanism
-from repro.core.mechanisms.on_demand import OnDemandMechanism
-from repro.core.mechanisms.proportional import ProportionalDemandMechanism
-from repro.core.mechanisms.steered import SteeredMechanism
-from repro.dynamics.online import IncentMeMechanism, OMGOnlineMechanism
-from repro.registry import Registry
+from repro.core.mechanisms.registry import MECHANISM_NAMES, MECHANISMS
 
-#: The incentive-mechanism registry (the blessed construction surface).
-MECHANISMS: Registry[IncentiveMechanism] = Registry("mechanism")
-for _cls in (
-    OnDemandMechanism,
-    FixedMechanism,
-    SteeredMechanism,
-    ProportionalDemandMechanism,
-    AdaptiveBudgetMechanism,
-    OMGOnlineMechanism,
-    IncentMeMechanism,
-):
-    MECHANISMS.register(_cls)
-
-#: The registered mechanism names, in a stable presentation order.
-MECHANISM_NAMES = MECHANISMS.available()
+__all__ = ["MECHANISMS", "MECHANISM_NAMES", "make_mechanism"]
 
 
 def make_mechanism(name: str, **kwargs) -> IncentiveMechanism:
@@ -51,7 +29,7 @@ def make_mechanism(name: str, **kwargs) -> IncentiveMechanism:
     """
     warnings.warn(
         "make_mechanism() is deprecated; use MECHANISMS.create(name, ...) "
-        "from repro.core.mechanisms.factory (or repro.api.create_mechanism)",
+        "from repro.core.mechanisms (or repro.api.create_mechanism)",
         DeprecationWarning,
         stacklevel=2,
     )

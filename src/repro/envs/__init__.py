@@ -1,0 +1,53 @@
+"""Learned incentive policies: a Gymnasium-style training environment.
+
+The paper fixes the incentive mechanism's knobs — AHP weights (Table I),
+the reward ladder step :math:`\\lambda` (Eq. 7), the demand-level
+partition (Table III) — for a whole run.  This package turns them into
+per-round *actions* over the stepwise session API:
+
+- :class:`~repro.envs.env.IncentiveEnv` — ``reset()``/``step()``
+  episodes over one seeded simulation each; Gymnasium-compatible,
+  Gymnasium-optional.
+- :mod:`~repro.envs.obs` — pluggable observation builders
+  (:data:`OBS_BUILDERS`).
+- :mod:`~repro.envs.actions` — pluggable action adapters
+  (:data:`ACTION_ADAPTERS`) with Eq. 9-safe clamping.
+- :mod:`~repro.envs.rewards` — pluggable per-round reward functions
+  (:data:`REWARD_FUNCTIONS`).
+
+Trained policies leave the env through
+``MECHANISMS["policy"]`` (:class:`~repro.core.mechanisms.policy.
+PolicyMechanism`), which wraps any callable policy as a regular
+mechanism — so a tuned policy runs through the comparison harness, the
+parallel runner, and the job server exactly like the paper baselines.
+"""
+
+from repro.envs.env import IncentiveEnv
+from repro.envs.obs import OBS_BUILDERS, OBS_BUILDER_NAMES, ObsBuilder
+from repro.envs.actions import (
+    ACTION_ADAPTERS,
+    ACTION_ADAPTER_NAMES,
+    ActionAdapter,
+)
+from repro.envs.rewards import (
+    REWARD_FUNCTIONS,
+    REWARD_FUNCTION_NAMES,
+    RewardFunction,
+)
+from repro.envs.spaces import HAVE_GYMNASIUM, Box, box
+
+__all__ = [
+    "IncentiveEnv",
+    "ObsBuilder",
+    "OBS_BUILDERS",
+    "OBS_BUILDER_NAMES",
+    "ActionAdapter",
+    "ACTION_ADAPTERS",
+    "ACTION_ADAPTER_NAMES",
+    "RewardFunction",
+    "REWARD_FUNCTIONS",
+    "REWARD_FUNCTION_NAMES",
+    "HAVE_GYMNASIUM",
+    "Box",
+    "box",
+]

@@ -1,0 +1,139 @@
+"""Action adapters: policy outputs → validated incentive actions.
+
+An adapter maps a raw ``[0, 1]`` action vector (what an RL policy emits)
+onto the mechanism-level incentive action consumed by
+:func:`~repro.core.mechanisms.policy.apply_incentive_action` — AHP
+weight simplexes, the Eq. 7 ladder step :math:`\\lambda`, the Table III
+level count.  Validation happens here (shape, finiteness) and clamping
+happens in two layers: the adapter clips raw components into ``[0, 1]``
+and maps them onto sane mechanism ranges, and
+``apply_incentive_action`` re-clamps against the Eq. 9 feasibility
+invariant (the base reward must stay positive).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.registry import Registry
+from repro.simulation.config import SimulationConfig
+from repro.envs.spaces import box
+
+#: Registry of action adapters, addressable by ``actions=`` name.
+ACTION_ADAPTERS: Registry["ActionAdapter"] = Registry("action adapter")
+
+
+class ActionAdapter:
+    """Interface: declare an action space, then decode raw vectors."""
+
+    name: str = ""
+    #: Raw action vector length.
+    size: int = 0
+
+    def space(self, config: SimulationConfig):
+        return box(self.size)
+
+    def to_action(self, raw, config: SimulationConfig) -> Dict[str, Any]:
+        """Decode a raw vector into an incentive-action mapping.
+
+        Raises:
+            ValueError: wrong shape or non-finite components (the env
+                refuses the step; nothing is applied).
+        """
+        raise NotImplementedError
+
+    def _validated(self, raw) -> np.ndarray:
+        arr = np.asarray(raw, dtype=np.float64).reshape(-1)
+        if arr.shape != (self.size,):
+            raise ValueError(
+                f"{self.name!r} actions have shape ({self.size},), "
+                f"got {np.asarray(raw).shape}"
+            )
+        if not np.all(np.isfinite(arr)):
+            raise ValueError(
+                f"{self.name!r} action contains non-finite values: {arr}"
+            )
+        return np.clip(arr, 0.0, 1.0)
+
+
+@ACTION_ADAPTERS.register
+class WeightVectorAdapter(ActionAdapter):
+    """Retune the three AHP demand weights (Table I) each round.
+
+    The raw triple is clipped to ``[0, 1]`` and normalised onto the
+    simplex by ``apply_incentive_action``; an all-zero triple is nudged
+    to uniform rather than rejected (RL exploration emits corners).
+    """
+
+    name = "weights"
+    size = 3
+
+    def to_action(self, raw, config) -> Dict[str, Any]:
+        arr = self._validated(raw)
+        if arr.sum() <= 0.0:
+            arr = np.full(self.size, 1.0 / self.size)
+        return {"weights": arr.tolist()}
+
+
+@ACTION_ADAPTERS.register
+class RewardStepAdapter(ActionAdapter):
+    """Retune the reward ladder step :math:`\\lambda` (Eq. 7).
+
+    The unit interval maps onto ``[0.25, 4] x config.reward_step`` —
+    a quarter to four times the paper's increment, a range wide enough
+    to matter and narrow enough to keep Eq. 9 feasible for the presets.
+    """
+
+    name = "reward-step"
+    size = 1
+
+    LOW, HIGH = 0.25, 4.0
+
+    def to_action(self, raw, config) -> Dict[str, Any]:
+        (fraction,) = self._validated(raw)
+        scale = self.LOW + fraction * (self.HIGH - self.LOW)
+        return {"reward_step": scale * config.reward_step}
+
+
+@ACTION_ADAPTERS.register
+class LevelCountAdapter(ActionAdapter):
+    """Repartition the demand levels: N from 1 to twice the config's."""
+
+    name = "level-count"
+    size = 1
+
+    def to_action(self, raw, config) -> Dict[str, Any]:
+        (fraction,) = self._validated(raw)
+        top = max(1, 2 * config.level_count)
+        count = 1 + int(round(fraction * (top - 1)))
+        return {"level_count": count}
+
+
+@ACTION_ADAPTERS.register
+class IncentiveVectorAdapter(ActionAdapter):
+    """The default full action: weights + ladder step + level count.
+
+    Components: ``[w_deadline, w_progress, w_scarcity, step, levels]``,
+    decoded by the three single-knob adapters above.
+    """
+
+    name = "incentive"
+    size = 5
+
+    def __init__(self):
+        self._weights = WeightVectorAdapter()
+        self._step = RewardStepAdapter()
+        self._levels = LevelCountAdapter()
+
+    def to_action(self, raw, config) -> Dict[str, Any]:
+        arr = self._validated(raw)
+        action = self._weights.to_action(arr[:3], config)
+        action.update(self._step.to_action(arr[3:4], config))
+        action.update(self._levels.to_action(arr[4:5], config))
+        return action
+
+
+#: Names, in registration order (for CLI help and docs).
+ACTION_ADAPTER_NAMES: Tuple[str, ...] = ACTION_ADAPTERS.available()

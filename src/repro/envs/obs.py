@@ -1,0 +1,106 @@
+"""Observation builders: session snapshots → fixed-size float vectors.
+
+A builder turns the engine-agnostic
+:class:`~repro.simulation.session.SessionObservation` into the numeric
+observation a policy network consumes.  Builders are registered in
+:data:`OBS_BUILDERS` and selected by name when constructing an
+:class:`~repro.envs.env.IncentiveEnv`, so experiments can swap
+featurisations without touching the env.
+
+Every feature is clipped to ``[0, 1]`` — budgets can overshoot in the
+round Eq. 8 finally trips, demand factors are unbounded above — so the
+declared observation space is honest and ``check_env`` passes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.registry import Registry
+from repro.simulation.config import SimulationConfig
+from repro.simulation.session import SessionObservation
+from repro.envs.spaces import box
+
+#: Registry of observation builders, addressable by ``obs=`` name.
+OBS_BUILDERS: Registry["ObsBuilder"] = Registry("observation builder")
+
+
+class ObsBuilder:
+    """Interface: declare a space for a config, then build vectors in it."""
+
+    name: str = ""
+
+    def space(self, config: SimulationConfig):
+        raise NotImplementedError
+
+    def build(
+        self, observation: SessionObservation, config: SimulationConfig
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+def _scalars(observation: SessionObservation, config: SimulationConfig) -> list:
+    """The five run-state scalars every builder shares, each in [0, 1]."""
+    n_tasks = max(1, len(observation.tasks))
+    return [
+        observation.round_no / max(1, observation.rounds_total),
+        observation.total_paid / max(1e-9, observation.budget),
+        observation.completeness,
+        observation.n_active_tasks / n_tasks,
+        observation.n_published_tasks / n_tasks,
+    ]
+
+
+@OBS_BUILDERS.register
+class CompactObsBuilder(ObsBuilder):
+    """Just the run-state scalars: round progress, spend fraction,
+    completeness, active/published task fractions."""
+
+    name = "compact"
+
+    SIZE = 5
+
+    def space(self, config: SimulationConfig):
+        return box(self.SIZE)
+
+    def build(self, observation, config) -> np.ndarray:
+        vec = np.asarray(_scalars(observation, config), dtype=np.float32)
+        return np.clip(vec, 0.0, 1.0)
+
+
+@OBS_BUILDERS.register
+class DemandLevelObsBuilder(ObsBuilder):
+    """The default featurisation: run-state scalars + the demand-level
+    histogram.
+
+    The histogram buckets the mechanism's per-task demand factors (Eq. 5)
+    into ``config.level_count`` equal-mass bins exactly the way the
+    Table III partition does — the same signal the paper's AHP pricing
+    acts on, handed to the learned policy as level occupancy fractions.
+    """
+
+    name = "demand-levels"
+
+    def space(self, config: SimulationConfig):
+        return box(CompactObsBuilder.SIZE + config.level_count)
+
+    def build(self, observation, config) -> np.ndarray:
+        features = _scalars(observation, config)
+        histogram = np.zeros(config.level_count, dtype=np.float64)
+        demands = observation.demands
+        if demands:
+            values = sorted(demands.values())
+            # Equal-mass partition over this round's demand factors
+            # (mirrors DemandLevels.levels_of): bin k gets the k-th
+            # quantile slice of tasks.
+            edges = np.array_split(np.asarray(values), config.level_count)
+            for level, chunk in enumerate(edges):
+                histogram[level] = len(chunk) / len(values)
+        vec = np.asarray(features + histogram.tolist(), dtype=np.float32)
+        return np.clip(vec, 0.0, 1.0)
+
+
+#: Names, in registration order (for CLI help and docs).
+OBS_BUILDER_NAMES: Tuple[str, ...] = OBS_BUILDERS.available()

@@ -1,0 +1,72 @@
+"""Per-round reward functions for the incentive-policy environment.
+
+A reward function scores one environment step from the observation pair
+around it and the round's record — no engine access, so every function
+is a pure, replayable function of the public step data.  Registered in
+:data:`REWARD_FUNCTIONS` and selected by name on the env.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.registry import Registry
+from repro.simulation.events import RoundRecord
+from repro.simulation.session import SessionObservation
+
+#: Registry of per-round reward functions, addressable by ``reward=`` name.
+REWARD_FUNCTIONS: Registry["RewardFunction"] = Registry("reward function")
+
+
+class RewardFunction:
+    """Interface: score the transition ``prev_obs --record--> obs``."""
+
+    name: str = ""
+
+    def score(
+        self,
+        prev_obs: SessionObservation,
+        record: RoundRecord,
+        obs: SessionObservation,
+    ) -> float:
+        raise NotImplementedError
+
+
+@REWARD_FUNCTIONS.register
+class CompletenessDeltaReward(RewardFunction):
+    """The round's gain in mean task completeness (the Fig. 7 metric).
+
+    Telescopes over an episode to the final completeness, so maximising
+    per-round reward and maximising the paper's headline metric agree.
+    """
+
+    name = "completeness-delta"
+
+    def score(self, prev_obs, record, obs) -> float:
+        return obs.completeness - prev_obs.completeness
+
+
+@REWARD_FUNCTIONS.register
+class PlatformUtilityReward(RewardFunction):
+    """Completeness gain minus a spend penalty.
+
+    Args:
+        spend_weight: dollars-to-completeness exchange rate; the round's
+            payout as a budget fraction is charged at this weight.  The
+            default 0.1 makes a full-budget episode cost 0.1 reward —
+            noticeable without dominating the completeness term.
+    """
+
+    name = "platform-utility"
+
+    def __init__(self, spend_weight: float = 0.1):
+        self.spend_weight = float(spend_weight)
+
+    def score(self, prev_obs, record, obs) -> float:
+        gain = obs.completeness - prev_obs.completeness
+        spend_fraction = record.total_paid / max(1e-9, prev_obs.budget)
+        return gain - self.spend_weight * spend_fraction
+
+
+#: Names, in registration order (for CLI help and docs).
+REWARD_FUNCTION_NAMES: Tuple[str, ...] = REWARD_FUNCTIONS.available()

@@ -1,0 +1,80 @@
+"""Observation/action spaces, with or without Gymnasium installed.
+
+The training environment (:class:`~repro.envs.env.IncentiveEnv`) is
+Gymnasium-*compatible*, not Gymnasium-*dependent*: when ``gymnasium``
+imports, spaces are real ``gymnasium.spaces.Box`` instances (so
+``gymnasium.utils.env_checker.check_env`` passes); when it does not,
+:class:`Box` below is a structural stand-in with the same ``shape`` /
+``dtype`` / ``low`` / ``high`` / ``sample`` / ``contains`` surface, and
+everything in :mod:`repro.envs` keeps working.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where gymnasium is installed
+    import gymnasium as _gymnasium
+except ImportError:  # pragma: no cover - the baked image has no gymnasium
+    _gymnasium = None
+
+#: The imported gymnasium module, or None (the single availability probe
+#: the rest of repro.envs keys off).
+GYMNASIUM = _gymnasium
+
+HAVE_GYMNASIUM = GYMNASIUM is not None
+
+
+class Box:
+    """A minimal ``gymnasium.spaces.Box`` stand-in (bounded float array).
+
+    Implements the structural subset the env and its tests rely on:
+    ``shape``/``dtype``/``low``/``high``, membership via
+    :meth:`contains`, and seeded :meth:`sample`.
+    """
+
+    def __init__(self, low: float, high: float, shape: Tuple[int, ...], dtype=np.float32):
+        self.dtype = np.dtype(dtype)
+        self.shape = tuple(shape)
+        self.low = np.full(self.shape, low, dtype=self.dtype)
+        self.high = np.full(self.shape, high, dtype=self.dtype)
+        self._rng = np.random.default_rng(0)
+
+    def seed(self, seed: Optional[int] = None) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self) -> np.ndarray:
+        draw = self._rng.uniform(self.low, self.high, size=self.shape)
+        return draw.astype(self.dtype)
+
+    def contains(self, x) -> bool:
+        arr = np.asarray(x)
+        return (
+            arr.shape == self.shape
+            and bool(np.all(np.isfinite(arr)))
+            and bool(np.all(arr >= self.low - 1e-6))
+            and bool(np.all(arr <= self.high + 1e-6))
+        )
+
+    def __contains__(self, x) -> bool:
+        return self.contains(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Box({float(self.low.flat[0])}, {float(self.high.flat[0])}, {self.shape})"
+
+
+def box(size: int, low: float = 0.0, high: float = 1.0):
+    """A 1-D float32 box — gymnasium's when available, the shim's else.
+
+    Both observation builders and action adapters declare their spaces
+    through this helper, so the env's ``observation_space`` /
+    ``action_space`` are genuine Gymnasium spaces exactly when Gymnasium
+    can consume them.
+    """
+    if HAVE_GYMNASIUM:
+        return GYMNASIUM.spaces.Box(
+            low=low, high=high, shape=(size,), dtype=np.float32
+        )
+    return Box(low, high, (size,), dtype=np.float32)

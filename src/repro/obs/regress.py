@@ -276,6 +276,16 @@ BENCH_SPECS: Dict[str, MetricSpec] = {
     # live-layer-on per-round wall time over bare: growing means the
     # tracing + progress plumbing itself got more expensive.
     "obs_overhead": MetricSpec("obs_overhead", "higher-is-worse"),
+    "simulate_rounds_per_second": MetricSpec(
+        "simulate_rounds_per_second", "lower-is-worse"
+    ),
+    "session_rounds_per_second": MetricSpec(
+        "session_rounds_per_second", "lower-is-worse"
+    ),
+    # session-stepped per-round wall time over simulate(): growing means
+    # the session shell (observe snapshots, cache bookkeeping) itself
+    # got more expensive relative to the bare kernel loop.
+    "session_overhead": MetricSpec("session_overhead", "higher-is-worse"),
 }
 
 

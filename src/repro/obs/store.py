@@ -485,6 +485,9 @@ BENCH_VALUE_FIELDS = (
     "plain_rounds_per_second",
     "live_rounds_per_second",
     "obs_overhead",
+    "simulate_rounds_per_second",
+    "session_rounds_per_second",
+    "session_overhead",
 )
 
 

@@ -36,7 +36,8 @@ from repro.selection.brute_force import BruteForceSelector
 from repro.selection.branch_and_bound import BranchAndBoundSelector
 from repro.selection.two_opt import GreedyTwoOptSelector, improve_order
 from repro.selection.watchdog import TimeBoundedSelector
-from repro.selection.factory import SELECTORS, make_selector, SELECTOR_NAMES
+from repro.selection.registry import SELECTORS, SELECTOR_NAMES
+from repro.selection.factory import make_selector
 
 __all__ = [
     "CandidateTask",

@@ -1,41 +1,20 @@
-"""Selector registry: build a selector from its short name.
+"""Deprecated shim over :mod:`repro.selection.registry`.
 
-Mirrors :mod:`repro.core.mechanisms.factory`; the CLI and experiment
-configs refer to selectors by these names.  The blessed surface is the
-:data:`SELECTORS` registry (``SELECTORS.create(name, **kwargs)`` /
-``SELECTORS.available()``); :func:`make_selector` remains as a
-deprecated shim with the old call signature.
+The registry itself moved to :mod:`repro.selection.registry` (also
+re-exported by :mod:`repro.selection`); this module stays importable
+for one more release so old ``from repro.selection.factory import
+SELECTORS`` call sites keep working, and :func:`make_selector` keeps
+the legacy call signature behind a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import warnings
 
-from repro.registry import Registry
 from repro.selection.base import Selector
-from repro.selection.branch_and_bound import BranchAndBoundSelector
-from repro.selection.brute_force import BruteForceSelector
-from repro.selection.dp import DynamicProgrammingSelector
-from repro.selection.greedy import GreedySelector
-from repro.selection.reference_dp import ReferenceDPSelector
-from repro.selection.two_opt import GreedyTwoOptSelector
-from repro.selection.watchdog import TimeBoundedSelector
+from repro.selection.registry import SELECTOR_NAMES, SELECTORS
 
-#: The task-selector registry (the blessed construction surface).
-SELECTORS: Registry[Selector] = Registry("selector")
-for _cls in (
-    DynamicProgrammingSelector,
-    ReferenceDPSelector,
-    BranchAndBoundSelector,
-    GreedySelector,
-    GreedyTwoOptSelector,
-    BruteForceSelector,
-    TimeBoundedSelector,
-):
-    SELECTORS.register(_cls)
-
-#: Registered selector names in presentation order.
-SELECTOR_NAMES = SELECTORS.available()
+__all__ = ["SELECTORS", "SELECTOR_NAMES", "make_selector"]
 
 
 def make_selector(name: str, **kwargs) -> Selector:
@@ -49,7 +28,7 @@ def make_selector(name: str, **kwargs) -> Selector:
     """
     warnings.warn(
         "make_selector() is deprecated; use SELECTORS.create(name, ...) "
-        "from repro.selection.factory (or repro.api.create_selector)",
+        "from repro.selection (or repro.api.create_selector)",
         DeprecationWarning,
         stacklevel=2,
     )

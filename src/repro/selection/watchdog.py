@@ -70,7 +70,7 @@ class TimeBoundedSelector(Selector):
         catch_errors: bool = True,
     ):
         if isinstance(inner, str):
-            from repro.selection.factory import SELECTORS
+            from repro.selection.registry import SELECTORS
 
             inner = SELECTORS.create(inner)
         if timeout <= 0:

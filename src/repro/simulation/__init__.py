@@ -23,6 +23,14 @@ from repro.simulation.events import (
     UserRoundRecord,
     RoundRecord,
     SimulationResult,
+    round_fingerprint,
+    result_fingerprint,
+)
+from repro.simulation.session import (
+    SessionObservation,
+    SimulationSession,
+    TaskSnapshot,
+    open_session,
 )
 from repro.simulation.perf import PerfStats
 from repro.simulation.rng import spawn_streams, child_seed
@@ -41,6 +49,12 @@ __all__ = [
     "UserRoundRecord",
     "RoundRecord",
     "SimulationResult",
+    "round_fingerprint",
+    "result_fingerprint",
+    "SimulationSession",
+    "SessionObservation",
+    "TaskSnapshot",
+    "open_session",
     "spawn_streams",
     "child_seed",
     "ProgressPrinter",

@@ -436,8 +436,25 @@ class BatchedSimulationEngine(SimulationEngine):
 
             self._shards = ShardedSelectionPool(self, self._workers)
 
+    @property
+    def workers(self) -> int:
+        """Configured select-phase worker count (1 = in-process)."""
+        return self._workers
+
+    @property
+    def closed(self) -> bool:
+        """Whether the worker pool has been released (mid-run or after).
+
+        Single-process engines (``workers<=1``) hold no pool and always
+        read as closed; sessions use this to assert teardown."""
+        return self._shards is None
+
     def close(self) -> None:
-        """Release the worker pool and its shared memory (if any)."""
+        """Release the worker pool and its shared memory (if any).
+
+        Idempotent and safe mid-run: a :class:`~repro.simulation.
+        session.SimulationSession` closed before the horizon lands here,
+        and the shared-memory blocks must unlink exactly once."""
         if self._shards is not None:
             self._shards.close()
             self._shards = None

@@ -314,6 +314,7 @@ class SimulationConfig:
             "adaptive",
             "omg-online",
             "incentme",
+            "policy",
         )
         if self.mechanism in demand_driven:
             from repro.core.levels import DemandLevels
@@ -323,7 +324,9 @@ class SimulationConfig:
                 "step": self.reward_step,
                 "levels": DemandLevels(self.level_count),
             }
-            if self.mechanism in ("on-demand", "proportional", "adaptive", "incentme"):
+            if self.mechanism in (
+                "on-demand", "proportional", "adaptive", "incentme", "policy"
+            ):
                 base["neighbour_radius"] = self.neighbour_radius
             if self.mechanism == "omg-online":
                 base["horizon"] = self.rounds

@@ -311,6 +311,14 @@ class SimulationEngine:
     def run(self) -> SimulationResult:
         """Play every remaining round and return the accumulated result.
 
+        The run-to-completion entry point is a thin orchestration shell:
+        one "run" tracer span around :meth:`run_rounds`.  Callers that
+        need finer control — pausing between rounds, injecting incentive
+        actions, observing mid-run state — should drive the round kernel
+        through a :class:`~repro.simulation.session.SimulationSession`
+        instead, which steps the *same* kernel and therefore produces
+        bit-identical histories.
+
         Raises:
             OperationCancelled: when the engine's cancellation token
                 trips; the result retains every round completed before
@@ -323,9 +331,19 @@ class SimulationEngine:
             mechanism=self.config.mechanism,
             selector=self.config.selector,
         ):
-            while not self.finished:
-                self.cancel.raise_if_cancelled()
-                self.step()
+            return self.run_rounds()
+
+    def run_rounds(self) -> SimulationResult:
+        """The orchestration loop over the round kernel (:meth:`step`).
+
+        Pure sequencing — poll cancellation, play one round, repeat
+        until :attr:`finished` — with no tracing or IO of its own, so
+        stepping the kernel externally (a session, a debugger, a test)
+        replays exactly this loop.
+        """
+        while not self.finished:
+            self.cancel.raise_if_cancelled()
+            self.step()
         return self.result
 
     def step(self) -> RoundRecord:

@@ -9,6 +9,8 @@ the measurement definitions in one reviewable place.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
@@ -279,6 +281,89 @@ class SimulationResult:
                 if user_record.user_id in totals:
                     totals[user_record.user_id] += user_record.profit
         return [totals[u.user_id] for u in self.world.users]
+
+
+def _canonical_round(record: RoundRecord) -> Dict:
+    """The deterministic content of a round, as plain JSON-able data.
+
+    Includes exactly the fields two bit-identical runs must agree on;
+    excludes ``perf`` and ``metrics``, which carry wall-clock timings
+    and therefore differ between identical replays.
+    """
+    return {
+        "round_no": record.round_no,
+        "published_rewards": [
+            [task_id, record.published_rewards[task_id]]
+            for task_id in sorted(record.published_rewards)
+        ],
+        "user_records": [
+            [r.round_no, r.user_id, list(r.selected_task_ids),
+             r.distance, r.reward, r.cost]
+            for r in record.user_records
+        ],
+        "measurements": [
+            [m.round_no, m.task_id, m.user_id, m.reward]
+            for m in record.measurements
+        ],
+        "rejections": [
+            [r.round_no, r.task_id, r.user_id, r.reason]
+            for r in record.rejections
+        ],
+        "completed_task_ids": list(record.completed_task_ids),
+        "expired_task_ids": list(record.expired_task_ids),
+        "selector_fallbacks": record.selector_fallbacks,
+        "dynamics": [
+            [e.kind, e.round_no, e.subject_id,
+             [[key, value] for key, value in e.payload]]
+            for e in record.dynamics
+        ],
+    }
+
+
+def round_fingerprint(record: RoundRecord) -> str:
+    """A sha256 hex digest of the round's deterministic content.
+
+    Two rounds fingerprint equal iff every decision the simulation made
+    — prices, selections, uploads, expiries, open-world events — was
+    identical; perf counters and metric snapshots (which embed wall
+    times) are excluded.  This is the equality the session/engine
+    bit-identity guarantee is stated in.
+    """
+    payload = json.dumps(
+        _canonical_round(record),
+        separators=(",", ":"),
+        default=repr,  # exotic dynamics payload values hash via repr
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def result_fingerprint(result: SimulationResult) -> str:
+    """A sha256 hex digest of a whole run's deterministic history.
+
+    Chains :func:`round_fingerprint` over the retained rounds plus the
+    run's headline totals, so it works for streamed results too (where
+    per-round records were dropped and only totals remain).
+    """
+    digest = hashlib.sha256()
+    for record in result.rounds:
+        digest.update(round_fingerprint(record).encode("ascii"))
+    totals = json.dumps(
+        {
+            "rounds_played": result.rounds_played,
+            "total_measurements": result.total_measurements,
+            "total_paid": result.total_paid,
+            "total_selector_fallbacks": result.total_selector_fallbacks,
+            "measurements_by_task": [
+                [task_id, count]
+                for task_id, count in sorted(
+                    result.measurements_by_task().items()
+                )
+            ],
+        },
+        separators=(",", ":"),
+    )
+    digest.update(totals.encode("utf-8"))
+    return digest.hexdigest()
 
 
 def merge_user_records(

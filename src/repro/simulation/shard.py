@@ -477,6 +477,11 @@ class ShardedSelectionPool:
 
     # -- lifetime -------------------------------------------------------
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` already ran (shared blocks unlinked)."""
+        return self._closed
+
     def close(self) -> None:
         """Shut the workers down and release the shared blocks.
 

@@ -1,0 +1,287 @@
+"""The incentive-policy environment: protocol, determinism, components.
+
+The env must import and run on the baked toolchain with NO gymnasium
+installed (the shim spaces carry the protocol); with gymnasium present
+it must subclass ``gymnasium.Env`` and pass ``check_env``.  Episodes are
+seed-deterministic: the same seed and action script replay the same
+rewards and the same result fingerprint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.envs import (
+    ACTION_ADAPTERS,
+    HAVE_GYMNASIUM,
+    OBS_BUILDERS,
+    REWARD_FUNCTIONS,
+    Box,
+    IncentiveEnv,
+    box,
+)
+from repro.simulation import SimulationConfig
+
+SMALL = dict(n_users=20, n_tasks=5, rounds=4, seed=0)
+
+
+def small_env(**kwargs):
+    return IncentiveEnv(SimulationConfig(**SMALL), **kwargs)
+
+
+def constant_rollout(env, seed, action):
+    """Run one full episode; return (rewards, fingerprint)."""
+    rewards = []
+    env.reset(seed=seed)
+    terminated = False
+    while not terminated:
+        _, reward, terminated, truncated, _ = env.step(action)
+        assert truncated is False
+        rewards.append(reward)
+    return rewards, env.fingerprint()
+
+
+class TestProtocol:
+    def test_imports_and_runs_without_gymnasium(self):
+        """The headline gate: the env needs no third-party RL package."""
+        env = small_env()
+        try:
+            observation, info = env.reset(seed=3)
+            assert observation.dtype == np.float32
+            assert env.observation_space.contains(observation)
+            assert info["rounds_total"] == SMALL["rounds"]
+            action = env.action_space.sample()
+            observation, reward, terminated, truncated, info = env.step(action)
+            assert env.observation_space.contains(observation)
+            assert isinstance(reward, float)
+            assert truncated is False
+            assert {"paid", "measurements", "applied_action"} <= set(info)
+        finally:
+            env.close()
+
+    def test_step_before_reset_raises(self):
+        env = small_env()
+        with pytest.raises(RuntimeError, match="reset"):
+            env.step(np.zeros(env.action_adapter.size))
+
+    def test_step_after_termination_raises(self):
+        env = small_env()
+        try:
+            env.reset(seed=0)
+            terminated = False
+            while not terminated:
+                _, _, terminated, _, _ = env.step(env.action_space.sample())
+            with pytest.raises(RuntimeError, match="finished"):
+                env.step(env.action_space.sample())
+        finally:
+            env.close()
+
+    def test_close_is_idempotent(self):
+        env = small_env()
+        env.reset(seed=0)
+        env.close()
+        env.close()
+
+    def test_seed_persists_across_resets(self):
+        """Gymnasium semantics: an explicit seed sticks until replaced."""
+        env = small_env()
+        try:
+            env.reset(seed=11)
+            first = env.config.seed
+            env.reset()
+            assert env.config.seed == first == 11
+        finally:
+            env.close()
+
+    @pytest.mark.skipif(not HAVE_GYMNASIUM, reason="gymnasium not installed")
+    def test_passes_gymnasium_check_env(self):  # pragma: no cover
+        from gymnasium.utils.env_checker import check_env
+
+        env = small_env()
+        try:
+            check_env(env, skip_render_check=True)
+        finally:
+            env.close()
+
+
+class TestDeterminism:
+    def test_same_seed_same_actions_same_episode(self):
+        env = small_env()
+        try:
+            action = np.full(env.action_adapter.size, 0.7)
+            rewards_a, fingerprint_a = constant_rollout(env, 5, action)
+            rewards_b, fingerprint_b = constant_rollout(env, 5, action)
+        finally:
+            env.close()
+        assert rewards_a == rewards_b
+        assert fingerprint_a == fingerprint_b
+
+    def test_different_seeds_diverge(self):
+        env = small_env()
+        try:
+            action = np.full(env.action_adapter.size, 0.7)
+            _, fingerprint_a = constant_rollout(env, 5, action)
+            _, fingerprint_b = constant_rollout(env, 6, action)
+        finally:
+            env.close()
+        assert fingerprint_a != fingerprint_b
+
+    def test_completeness_delta_telescopes(self):
+        """Summed per-round rewards == final completeness (starts at 0)."""
+        env = small_env(reward="completeness-delta")
+        try:
+            action = np.full(env.action_adapter.size, 0.5)
+            rewards, _ = constant_rollout(env, 2, action)
+            final = env._last_snapshot.completeness
+        finally:
+            env.close()
+        assert sum(rewards) == pytest.approx(final)
+
+
+class TestActionAdapters:
+    def test_registry_names(self):
+        for name in ("weights", "reward-step", "level-count", "incentive"):
+            assert name in ACTION_ADAPTERS.available()
+
+    def test_wrong_shape_rejected(self):
+        adapter = ACTION_ADAPTERS.create("incentive")
+        config = SimulationConfig(**SMALL)
+        with pytest.raises(ValueError, match="shape"):
+            adapter.to_action(np.zeros(3), config)
+
+    def test_non_finite_rejected(self):
+        adapter = ACTION_ADAPTERS.create("weights")
+        config = SimulationConfig(**SMALL)
+        with pytest.raises(ValueError, match="finite"):
+            adapter.to_action([0.5, np.nan, 0.5], config)
+
+    def test_out_of_range_components_clip(self):
+        adapter = ACTION_ADAPTERS.create("reward-step")
+        config = SimulationConfig(**SMALL)
+        low = adapter.to_action([-5.0], config)["reward_step"]
+        high = adapter.to_action([99.0], config)["reward_step"]
+        assert low == pytest.approx(adapter.LOW * config.reward_step)
+        assert high == pytest.approx(adapter.HIGH * config.reward_step)
+
+    def test_zero_weights_become_uniform(self):
+        adapter = ACTION_ADAPTERS.create("weights")
+        config = SimulationConfig(**SMALL)
+        weights = adapter.to_action([0.0, 0.0, 0.0], config)["weights"]
+        assert weights == pytest.approx([1 / 3] * 3)
+
+    def test_level_count_spans_one_to_double(self):
+        adapter = ACTION_ADAPTERS.create("level-count")
+        config = SimulationConfig(**SMALL)
+        assert adapter.to_action([0.0], config)["level_count"] == 1
+        assert (adapter.to_action([1.0], config)["level_count"]
+                == 2 * config.level_count)
+
+    def test_incentive_adapter_composes_all_knobs(self):
+        adapter = ACTION_ADAPTERS.create("incentive")
+        config = SimulationConfig(**SMALL)
+        action = adapter.to_action(np.full(5, 0.5), config)
+        assert set(action) == {"weights", "reward_step", "level_count"}
+
+    def test_extreme_action_respects_eq9_feasibility(self):
+        """A max-λ, max-levels action must not bankrupt the base reward:
+        apply_incentive_action's Eq. 9 clamp keeps r0 positive, so the
+        episode still prices and completes."""
+        env = small_env()
+        try:
+            env.reset(seed=1)
+            terminated = False
+            while not terminated:
+                observation, _, terminated, _, info = env.step(
+                    np.ones(env.action_adapter.size)
+                )
+            assert env.result().rounds_played >= 1
+        finally:
+            env.close()
+
+
+class TestObsBuilders:
+    def test_registry_names(self):
+        for name in ("compact", "demand-levels"):
+            assert name in OBS_BUILDERS.available()
+
+    @pytest.mark.parametrize("name", ("compact", "demand-levels"))
+    def test_observations_live_in_declared_space(self, name):
+        env = small_env(obs=name)
+        try:
+            observation, _ = env.reset(seed=0)
+            space = env.observation_space
+            assert observation.shape == space.shape
+            assert space.contains(observation)
+            terminated = False
+            while not terminated:
+                observation, _, terminated, _, _ = env.step(
+                    env.action_space.sample()
+                )
+                assert space.contains(observation)
+        finally:
+            env.close()
+
+    def test_demand_levels_histogram_sums_to_one_while_demands_exist(self):
+        config = SimulationConfig(**SMALL)
+        env = IncentiveEnv(config, obs="demand-levels")
+        try:
+            observation, _ = env.reset(seed=0)
+            histogram = observation[5:]
+            assert histogram.shape == (config.level_count,)
+            assert histogram.sum() == pytest.approx(1.0, abs=1e-5)
+        finally:
+            env.close()
+
+
+class TestRewardFunctions:
+    def test_registry_names(self):
+        for name in ("completeness-delta", "platform-utility"):
+            assert name in REWARD_FUNCTIONS.available()
+
+    def test_platform_utility_charges_spending(self):
+        env_free = small_env(reward="completeness-delta")
+        env_paid = small_env(reward="platform-utility")
+        try:
+            action = np.full(env_free.action_adapter.size, 0.5)
+            free, fingerprint_free = constant_rollout(env_free, 4, action)
+            paid, fingerprint_paid = constant_rollout(env_paid, 4, action)
+        finally:
+            env_free.close()
+            env_paid.close()
+        assert fingerprint_free == fingerprint_paid  # reward never leaks in
+        assert sum(paid) < sum(free)  # money was spent, so utility < gain
+
+    def test_reward_spec_as_mapping_with_kwargs(self):
+        env = small_env(reward={"name": "platform-utility",
+                                "spend_weight": 0.5})
+        try:
+            assert env.reward_function.spend_weight == 0.5
+        finally:
+            env.close()
+
+
+class TestSpacesShim:
+    def test_box_helper_matches_gymnasium_presence(self):
+        space = box(4)
+        if HAVE_GYMNASIUM:  # pragma: no cover - not in the baked image
+            import gymnasium
+
+            assert isinstance(space, gymnasium.spaces.Box)
+        else:
+            assert isinstance(space, Box)
+
+    def test_shim_sample_and_contains(self):
+        space = Box(0.0, 1.0, (3,))
+        space.seed(0)
+        sample = space.sample()
+        assert sample.shape == (3,)
+        assert space.contains(sample)
+        assert sample in space
+        assert not space.contains(np.full(3, 2.0, dtype=np.float32))
+        assert not space.contains(np.zeros(2, dtype=np.float32))
+
+    def test_shim_seeded_sampling_is_deterministic(self):
+        first = Box(0.0, 1.0, (2,))
+        second = Box(0.0, 1.0, (2,))
+        first.seed(7)
+        second.seed(7)
+        assert np.array_equal(first.sample(), second.sample())

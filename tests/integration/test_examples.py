@@ -74,6 +74,13 @@ def test_city_scale(capsys):
     assert "replay agrees: True" in out
 
 
+def test_policy_rollout(capsys):
+    out = run_example("policy_rollout", capsys)
+    assert "session == simulate" in out
+    assert "best constant action" in out
+    assert "tuned policy" in out
+
+
 def test_every_example_has_a_smoke_test():
     """Adding an example without a smoke test should fail loudly here."""
     examples = {p.stem for p in EXAMPLES_DIR.glob("*.py")}

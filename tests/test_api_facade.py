@@ -26,6 +26,14 @@ FACADE_ESSENTIALS = {
     # world / geometry / selection
     "World", "MobileUser", "SensingTask", "Point", "RectRegion",
     "Selection", "TaskSelectionProblem",
+    # stepwise sessions + fingerprints
+    "open_session", "SimulationSession", "SessionObservation",
+    "round_fingerprint", "result_fingerprint",
+    # policy environment + wrapped policies
+    "make_env", "IncentiveEnv", "PolicyMechanism", "POLICIES",
+    "apply_incentive_action",
+    # server client
+    "connect", "ServerClient",
 }
 
 
@@ -90,6 +98,52 @@ class TestFactories:
     def test_names_match_registries(self):
         assert "dp" in api.SELECTOR_NAMES
         assert "on-demand" in api.MECHANISM_NAMES
+
+
+class TestOpenSession:
+    def test_scenario_surface_matches_simulate(self):
+        kwargs = dict(scenario="paper-2018", n_users=12, n_tasks=4,
+                      rounds=2, seed=0)
+        direct = api.simulate(**kwargs)
+        with api.open_session(**kwargs) as session:
+            stepped = session.run()
+        assert api.result_fingerprint(direct) == api.result_fingerprint(stepped)
+
+    def test_config_and_scenario_conflict(self):
+        with pytest.raises(ValueError, match="scenario"):
+            api.open_session(api.SimulationConfig(), scenario="paper-2018")
+
+
+class TestMakeEnv:
+    def test_env_from_scenario(self):
+        env = api.make_env(scenario="paper-2018", n_users=12, n_tasks=4,
+                           rounds=2)
+        try:
+            observation, info = env.reset(seed=0)
+            assert env.observation_space.contains(observation)
+            assert info["rounds_total"] == 2
+        finally:
+            env.close()
+
+    def test_config_and_scenario_conflict(self):
+        with pytest.raises(ValueError, match="scenario"):
+            api.make_env(api.SimulationConfig(), scenario="paper-2018")
+
+
+class TestConnect:
+    def test_host_port(self):
+        client = api.connect("somehost:9100")
+        assert (client.host, client.port) == ("somehost", 9100)
+
+    def test_url(self):
+        client = api.connect("http://10.1.2.3:8080")
+        assert (client.host, client.port) == ("10.1.2.3", 8080)
+
+    def test_directory_without_server_file_raises(self, tmp_path):
+        from repro.server.client import ServerUnavailable
+
+        with pytest.raises(ServerUnavailable):
+            api.connect(tmp_path)
 
 
 def test_summarize_returns_metrics_summary():

@@ -24,7 +24,26 @@ EXPECTED_EXPORTS = {
     # world / geometry
     "World", "WorldGenerator", "SensingTask", "MobileUser",
     "Point", "RectRegion",
+    # sessions / envs / server
+    "open_session", "SimulationSession", "SessionObservation",
+    "round_fingerprint", "result_fingerprint",
+    "make_env", "IncentiveEnv", "PolicyMechanism",
+    "connect", "ServerClient",
 }
+
+
+def test_session_quickstart_from_readme():
+    """The README's session/env quickstart must actually run."""
+    from repro import SimulationConfig, open_session, result_fingerprint, simulate
+
+    config = SimulationConfig(n_users=10, n_tasks=4, rounds=3,
+                              required_measurements=2, area_side=1200.0,
+                              budget=100.0, seed=7)
+    with open_session(config) as session:
+        while not session.finished:
+            session.step()
+        stepped = session.result()
+    assert result_fingerprint(stepped) == result_fingerprint(simulate(config))
 
 
 def test_all_expected_exports_present():

@@ -63,6 +63,42 @@ class TestRegistrySurface:
             registry.register(Second)
 
 
+class TestFacadeRoundTrip:
+    """Every registry entry must construct through the api facade."""
+
+    def test_every_mechanism_builds_via_api(self):
+        from repro import api
+
+        for name in MECHANISMS.available():
+            mechanism = api.create_mechanism(name)
+            assert isinstance(mechanism, IncentiveMechanism), name
+            assert mechanism.name == name
+            assert MECHANISMS.get(name) is type(mechanism)
+
+    def test_every_selector_builds_via_api(self):
+        from repro import api
+
+        for name in SELECTORS.available():
+            selector = api.create_selector(name)
+            assert isinstance(selector, Selector), name
+            assert selector.name == name
+            assert SELECTORS.get(name) is type(selector)
+
+    def test_factory_modules_are_shims_over_the_registries(self):
+        """The deprecated factory modules re-export the same objects."""
+        from repro.core.mechanisms import factory as mechanism_factory
+        from repro.selection import factory as selector_factory
+
+        assert mechanism_factory.MECHANISMS is MECHANISMS
+        assert selector_factory.SELECTORS is SELECTORS
+        assert mechanism_factory.__all__ == [
+            "MECHANISMS", "MECHANISM_NAMES", "make_mechanism"
+        ]
+        assert selector_factory.__all__ == [
+            "SELECTORS", "SELECTOR_NAMES", "make_selector"
+        ]
+
+
 class TestDeprecatedShims:
     def test_make_selector_warns_but_works(self):
         with pytest.deprecated_call(match="SELECTORS.create"):

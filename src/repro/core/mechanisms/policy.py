@@ -147,20 +147,16 @@ def apply_incentive_action(
             f"a live session"
         )
 
-    applied: Dict[str, Any] = {}
+    # Validate every key BEFORE mutating anything: an action like
+    # {"weights": [...], "reward_step": -1} must raise with the
+    # mechanism untouched, so callers (SimulationSession.step documents
+    # ValueError as "nothing is stepped") never see a half-applied
+    # action or a stale price cache.
+    weights: Optional[DemandWeights] = None
     if "weights" in action:
         weights = _normalized_weights(action["weights"])
-        target.weights = weights
-        target.calculator = DemandCalculator(
-            weights=weights,
-            deadline_scale=calculator.deadline_scale,
-            progress_scale=calculator.progress_scale,
-            scarcity_scale=calculator.scarcity_scale,
-        )
-        applied["weights"] = (
-            weights.deadline, weights.progress, weights.scarcity
-        )
 
+    ladder: Optional[Tuple[float, int, float]] = None
     if "reward_step" in action or "level_count" in action:
         step = float(action.get("reward_step", schedule.step))
         if not np.isfinite(step) or step <= 0:
@@ -180,6 +176,23 @@ def apply_incentive_action(
         if count > 1:
             max_step = (unit - min_base) / (count - 1)
             step = min(step, max_step)
+        ladder = (step, count, unit)
+
+    applied: Dict[str, Any] = {}
+    if weights is not None:
+        target.weights = weights
+        target.calculator = DemandCalculator(
+            weights=weights,
+            deadline_scale=calculator.deadline_scale,
+            progress_scale=calculator.progress_scale,
+            scarcity_scale=calculator.scarcity_scale,
+        )
+        applied["weights"] = (
+            weights.deadline, weights.progress, weights.scarcity
+        )
+
+    if ladder is not None:
+        step, count, unit = ladder
         levels = DemandLevels(count)
         target.step = step
         target.levels = levels
@@ -251,8 +264,11 @@ class FixedWeightsPolicy:
         progress: float = 1.0 / 3.0,
         scarcity: float = 1.0 / 3.0,
     ):
-        # Validation (and normalisation) happens in apply_incentive_action.
-        self.weights = (float(deadline), float(progress), float(scarcity))
+        # Normalise onto the Eq. 2 simplex up front: context.weights is
+        # always normalised, so the __call__ no-op comparison would
+        # never fire for raw kwargs like (2, 1, 1).
+        weights = _normalized_weights((deadline, progress, scarcity))
+        self.weights = (weights.deadline, weights.progress, weights.scarcity)
 
     def __call__(self, context: PolicyContext) -> IncentiveAction:
         if context.weights == self.weights:
@@ -354,6 +370,13 @@ class PolicyMechanism(IncentiveMechanism):
     ):
         self.policy_spec = policy
         self.policy = resolve_policy(policy)
+        # The last round the policy was consulted for.  rewards() may
+        # legitimately run twice in one round — session.observe() prices
+        # and caches, then a session.step(action) invalidates the cache
+        # and reprices — and a stateful policy (e.g. step-decay) must
+        # not act twice, or the trajectory would depend on whether
+        # observe() was called.
+        self._last_policy_round: Optional[int] = None
         self.inner = OnDemandMechanism(
             budget=budget,
             step=step,
@@ -418,6 +441,7 @@ class PolicyMechanism(IncentiveMechanism):
 
     def initialize(self, world: World, rng: np.random.Generator) -> None:
         self.inner.initialize(world, rng)
+        self._last_policy_round = None
 
     def context(self, round_no: int, active_tasks: int) -> PolicyContext:
         """The deterministic snapshot the policy is shown each round."""
@@ -437,9 +461,11 @@ class PolicyMechanism(IncentiveMechanism):
     def rewards(self, view: RoundView) -> Dict[int, float]:
         if self.inner.schedule is None:
             raise RuntimeError("initialize() must be called before rewards()")
-        action = self.policy(
-            self.context(view.round_no, len(view.active_tasks))
-        )
-        if action is not None:
-            apply_incentive_action(self.inner, action)
+        if view.round_no != self._last_policy_round:
+            self._last_policy_round = view.round_no
+            action = self.policy(
+                self.context(view.round_no, len(view.active_tasks))
+            )
+            if action is not None:
+                apply_incentive_action(self.inner, action)
         return self.inner.rewards(view)

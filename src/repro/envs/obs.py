@@ -18,6 +18,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.core.levels import DemandLevels
 from repro.registry import Registry
 from repro.simulation.config import SimulationConfig
 from repro.simulation.session import SessionObservation
@@ -76,9 +77,10 @@ class DemandLevelObsBuilder(ObsBuilder):
     histogram.
 
     The histogram buckets the mechanism's per-task demand factors (Eq. 5)
-    into ``config.level_count`` equal-mass bins exactly the way the
-    Table III partition does — the same signal the paper's AHP pricing
-    acts on, handed to the learned policy as level occupancy fractions.
+    into ``config.level_count`` uniform-width [0, 1] bins via
+    :meth:`DemandLevels.level_of` — the exact Table III partition the
+    paper's AHP pricing acts on — handed to the learned policy as level
+    occupancy fractions.
     """
 
     name = "demand-levels"
@@ -91,13 +93,14 @@ class DemandLevelObsBuilder(ObsBuilder):
         histogram = np.zeros(config.level_count, dtype=np.float64)
         demands = observation.demands
         if demands:
-            values = sorted(demands.values())
-            # Equal-mass partition over this round's demand factors
-            # (mirrors DemandLevels.levels_of): bin k gets the k-th
-            # quantile slice of tasks.
-            edges = np.array_split(np.asarray(values), config.level_count)
-            for level, chunk in enumerate(edges):
-                histogram[level] = len(chunk) / len(values)
+            levels = DemandLevels(config.level_count)
+            values = np.fromiter(demands.values(), dtype=float)
+            # Demands are normalised upstream; clip float slack so a
+            # 1+eps never trips level_of's range check.
+            values = np.clip(values, 0.0, 1.0)
+            for level in levels.levels_array(values):
+                histogram[level - 1] += 1.0
+            histogram /= len(demands)
         vec = np.asarray(features + histogram.tolist(), dtype=np.float32)
         return np.clip(vec, 0.0, 1.0)
 

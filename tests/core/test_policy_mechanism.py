@@ -135,6 +135,23 @@ class TestApplyIncentiveAction:
         assert mechanism.schedule.levels.count == 1
         assert mechanism.schedule.base_reward == pytest.approx(unit)
 
+    def test_partially_invalid_action_mutates_nothing(self):
+        """Validation is atomic: {"weights": ok, "reward_step": bad}
+        must raise with the mechanism untouched — session.step documents
+        ValueError as 'nothing is stepped', so a half-applied action
+        would desync the engine's price cache."""
+        mechanism = live_mechanism()
+        weights_before = mechanism.weights
+        calculator_before = mechanism.calculator
+        schedule_before = mechanism.schedule
+        with pytest.raises(ValueError, match="positive finite"):
+            apply_incentive_action(
+                mechanism, {"weights": [2, 1, 1], "reward_step": -1.0}
+            )
+        assert mechanism.weights is weights_before
+        assert mechanism.calculator is calculator_before
+        assert mechanism.schedule is schedule_before
+
     def test_action_target_indirection(self):
         """Actions on a PolicyMechanism land on the wrapped inner."""
         config = SimulationConfig(**SMALL)
@@ -173,6 +190,22 @@ class TestPolicyRegistry:
     def test_resolve_policy_garbage_rejected(self):
         with pytest.raises(TypeError, match="callable"):
             resolve_policy(42)
+
+    def test_fixed_weights_normalised_at_construction(self):
+        """Raw kwargs like (2, 1, 1) are normalised up front so the
+        no-op short-circuit against the mechanism's (normalised)
+        context.weights can actually fire."""
+        policy = resolve_policy(
+            {"name": "fixed-weights", "deadline": 2, "progress": 1,
+             "scarcity": 1}
+        )
+        assert policy.weights == pytest.approx((0.5, 0.25, 0.25))
+        context = PolicyContext(
+            round_no=2, active_tasks=3, budget=100.0, base_reward=1.0,
+            step=0.5, level_count=5, weights=policy.weights,
+            last_demands={},
+        )
+        assert policy(context) is None
 
     def test_step_decay_validates_kwargs(self):
         with pytest.raises(ValueError, match="decay"):
@@ -241,6 +274,40 @@ class TestPolicyMechanismRuns:
         ))
         assert seen[0] == 1
         assert len(seen) == result.rounds_played
+
+    def test_policy_consulted_at_most_once_per_round(self):
+        """Repricing the same round (session.observe() caches a price
+        map, session.step(action) invalidates and reprices) must not
+        re-run the policy — a stateful policy acting twice would make
+        the trajectory depend on whether observe() was called."""
+        from repro.core.mechanisms.base import RoundView
+
+        seen = []
+
+        def spy(context):
+            seen.append(context.round_no)
+            return None
+
+        config = SimulationConfig(**SMALL)
+        mechanism = PolicyMechanism(policy=spy, budget=config.budget)
+        world = small_world(config)
+        mechanism.initialize(world, np.random.default_rng(0))
+        view = RoundView(
+            round_no=1,
+            active_tasks=world.tasks,
+            user_locations=[u.location for u in world.users],
+        )
+        first = mechanism.rewards(view)
+        second = mechanism.rewards(view)  # same round: repricing only
+        assert seen == [1]
+        assert first == second
+        view2 = RoundView(
+            round_no=2,
+            active_tasks=world.tasks,
+            user_locations=[u.location for u in world.users],
+        )
+        mechanism.rewards(view2)
+        assert seen == [1, 2]
 
     def test_action_keys_are_stable(self):
         """The env adapters and docs enumerate these exact knobs."""

@@ -220,6 +220,48 @@ class TestObsBuilders:
         finally:
             env.close()
 
+    def test_demand_levels_histogram_tracks_demand_values(self):
+        """The histogram is the Table III value bucketing, not an
+        equal-mass split: concentrating every demand in one level puts
+        all the mass in that level's bin, and a mixed set lands exactly
+        where DemandLevels.level_of says."""
+        from repro.core.levels import DemandLevels
+        from repro.envs.obs import DemandLevelObsBuilder
+        from repro.simulation.session import SessionObservation
+
+        config = SimulationConfig(**SMALL)
+        builder = DemandLevelObsBuilder()
+
+        def observation_with(demands):
+            return SessionObservation(
+                round_no=1, rounds_total=4, finished=False, n_users=20,
+                n_active_tasks=len(demands), n_published_tasks=len(demands),
+                budget=100.0, total_paid=0.0, completeness=0.0,
+                published_rewards={}, demands=demands, tasks=(),
+            )
+
+        count = config.level_count
+        low = builder.build(
+            observation_with({1: 0.05, 2: 0.1, 3: 0.15}), config
+        )
+        high = builder.build(
+            observation_with({1: 0.85, 2: 0.9, 3: 0.95}), config
+        )
+        assert low[5:].tolist() == pytest.approx(
+            [1.0] + [0.0] * (count - 1)
+        )
+        assert high[5:].tolist() == pytest.approx(
+            [0.0] * (count - 1) + [1.0]
+        )
+        levels = DemandLevels(count)
+        demands = {1: 0.05, 2: 0.45, 3: 0.45, 4: 0.95}
+        histogram = builder.build(observation_with(demands), config)[5:]
+        for level in range(1, count + 1):
+            expected = sum(
+                1 for d in demands.values() if levels.level_of(d) == level
+            ) / len(demands)
+            assert histogram[level - 1] == pytest.approx(expected)
+
     def test_demand_levels_histogram_sums_to_one_while_demands_exist(self):
         config = SimulationConfig(**SMALL)
         env = IncentiveEnv(config, obs="demand-levels")

@@ -171,6 +171,48 @@ class TestActions:
                 session.step({"weights": [1.0, 2.0]})  # wrong arity
             assert session.current_round == 1  # the round did not play
 
+    def test_partially_invalid_action_leaves_pricing_untouched(self):
+        """A mixed action with one bad key must not half-apply: after
+        the ValueError the round reprices exactly as observed."""
+        config = _config("paper-2018", "scalar")
+        with open_session(config) as session:
+            before = session.observe()
+            with pytest.raises(ValueError):
+                session.step({"weights": [2, 1, 1], "reward_step": -1.0})
+            assert session.current_round == 1
+            assert session.observe().published_rewards == (
+                before.published_rewards
+            )
+
+    def test_observe_does_not_perturb_stateful_policy_mechanism(self):
+        """With mechanism='policy' an observe() prices the round (the
+        wrapped policy acts once); a subsequent step(action) reprices
+        but must not re-run the policy — the trajectory cannot depend
+        on whether observe() was called."""
+        overrides = dict(
+            PRESET_OVERRIDES["paper-2018"],
+            engine="scalar",
+            distance_dtype="float64",
+            mechanism="policy",
+            mechanism_kwargs={
+                "policy": {"name": "step-decay", "decay": 0.7},
+            },
+        )
+        config = api.build_config(scenario="paper-2018", **overrides)
+        action = {"weights": [0.5, 0.3, 0.2]}
+        with open_session(config) as plain:
+            while not plain.finished:
+                plain.step(dict(action))
+            plain_result = plain.result()
+        with open_session(config) as observed:
+            while not observed.finished:
+                observed.observe()  # prices: the policy acts here
+                observed.step(dict(action))  # reprices: no second act
+            observed_result = observed.result()
+        assert result_fingerprint(observed_result) == result_fingerprint(
+            plain_result
+        )
+
 
 class TestLifecycle:
     def test_close_is_idempotent_and_blocks_stepping(self):
